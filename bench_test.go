@@ -1,0 +1,239 @@
+package conferr
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the full experiment per iteration
+// and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, next to the usual ns/op, the detection percentages (Table 1),
+// assumption satisfaction (Table 2), found/total fault classes (Table 3)
+// and band shares (Figure 3). Absolute times are not expected to match the
+// paper's testbed (Dell Optiplex 745; 1.1–6 s per injection) — the
+// simulated SUTs start in microseconds — but the per-injection cost is
+// reported for completeness as injection ns/op.
+
+import (
+	"testing"
+
+	"conferr/internal/plugins/semantic"
+	"conferr/internal/profile"
+)
+
+// benchTable1System runs one Table 1 column and reports its row values.
+func benchTable1System(b *testing.B, label string) {
+	spec := Table1Specs()[label]
+	var last Summary
+	for i := 0; i < b.N; i++ {
+		p, err := RunTable1System(spec, DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = p.Summarize()
+	}
+	b.ReportMetric(float64(last.Injected), "injected")
+	b.ReportMetric(pctOf(last.AtStartup, last.Injected), "startup-det-%")
+	b.ReportMetric(pctOf(last.ByTest, last.Injected), "test-det-%")
+	b.ReportMetric(pctOf(last.Ignored, last.Injected), "ignored-%")
+	if last.Injected > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(last.Injected),
+			"ns/injection")
+	}
+}
+
+func pctOf(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total) * 100
+}
+
+// BenchmarkTable1_MySQL regenerates the MySQL column of Table 1
+// (paper: 327 injected, 83% startup, ~0% tests, 17% ignored).
+func BenchmarkTable1_MySQL(b *testing.B) { benchTable1System(b, "MySQL") }
+
+// BenchmarkTable1_Postgres regenerates the Postgres column of Table 1
+// (paper: 98 injected, 78% startup, 0% tests, 22% ignored).
+func BenchmarkTable1_Postgres(b *testing.B) { benchTable1System(b, "Postgres") }
+
+// BenchmarkTable1_Apache regenerates the Apache column of Table 1
+// (paper: 120 injected, 38% startup, 5% tests, 57% ignored).
+func BenchmarkTable1_Apache(b *testing.B) { benchTable1System(b, "Apache") }
+
+// BenchmarkTable2_Structural regenerates Table 2 (paper: MySQL satisfies
+// 80% of the structural assumptions, Postgres and Apache 75%).
+func BenchmarkTable2_Structural(b *testing.B) {
+	var res *Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunTable2(DefaultSeed, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.SatisfiedPercent("MySQL")), "mysql-satisfied-%")
+	b.ReportMetric(float64(res.SatisfiedPercent("Postgres")), "postgres-satisfied-%")
+	b.ReportMetric(float64(res.SatisfiedPercent("Apache")), "apache-satisfied-%")
+}
+
+// benchTable3System regenerates one Table 3 column, reporting how many of
+// the paper's four fault classes were found / not found / not injectable.
+func benchTable3System(b *testing.B, label string) {
+	var res *Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunTable3(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	found, notFound, na := 0, 0, 0
+	for _, class := range res.Classes {
+		switch res.Cells[class][label] {
+		case Found:
+			found++
+		case NotFound:
+			notFound++
+		case NotInjectable:
+			na++
+		}
+	}
+	b.ReportMetric(float64(found), "found")
+	b.ReportMetric(float64(notFound), "not-found")
+	b.ReportMetric(float64(na), "n/a")
+}
+
+// BenchmarkTable3_BIND regenerates the BIND column of Table 3
+// (paper: errors 3 and 4 found; 1 and 2 not found).
+func BenchmarkTable3_BIND(b *testing.B) { benchTable3System(b, "BIND") }
+
+// BenchmarkTable3_Djbdns regenerates the djbdns column of Table 3
+// (paper: errors 1 and 2 N/A; 3 and 4 not found).
+func BenchmarkTable3_Djbdns(b *testing.B) { benchTable3System(b, "djbdns") }
+
+// BenchmarkFigure3_Compare regenerates Figure 3 (paper: Postgres detects
+// >75% of value typos for ~45% of directives; MySQL detects <25% for
+// ~45% of its).
+func BenchmarkFigure3_Compare(b *testing.B) {
+	var res *Figure3Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunFigure3(DefaultSeed, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	for _, band := range res.Bandings {
+		prefix := "pg-"
+		if band.System == "MySQL" {
+			prefix = "mysql-"
+		}
+		b.ReportMetric(band.Share[Excellent]*100, prefix+"excellent-%")
+		b.ReportMetric(band.Share[Poor]*100, prefix+"poor-%")
+	}
+}
+
+// BenchmarkInjectionOverhead measures the cost of one complete injection
+// experiment (mutate, back-transform, serialize, start SUT, functional
+// test, stop) against the simulated Postgres — the per-injection figure
+// the paper reports as seconds on its testbed (§5.2).
+func BenchmarkInjectionOverhead(b *testing.B) {
+	tgt, err := PostgresTarget()
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := TypoGenerator(TypoOptions{Seed: 1, PerModel: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &Campaign{Target: tgt.Target, Generator: gen}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches: design choices DESIGN.md calls out.
+
+// BenchmarkAblation_TypoSubmodels reports the per-submodel detection rate
+// against Postgres — how much each of the five §2.1 error categories
+// contributes to the profile.
+func BenchmarkAblation_TypoSubmodels(b *testing.B) {
+	var prof *Profile
+	for i := 0; i < b.N; i++ {
+		tgt, err := PostgresTarget()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := &Campaign{Target: tgt.Target, Generator: TypoGenerator(TypoOptions{Seed: 2, PerModel: 20})}
+		p, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof = p
+	}
+	for class, m := range prof.CountByClass() {
+		injected := m[profile.DetectedAtStartup] + m[profile.DetectedByTest] + m[profile.Ignored]
+		detected := m[profile.DetectedAtStartup] + m[profile.DetectedByTest]
+		b.ReportMetric(pctOf(detected, injected), class+"-det-%")
+	}
+}
+
+// BenchmarkAblation_KeyboardLayout compares the faultload sizes of the US
+// and Swiss-German layouts — layout choice changes which substitution and
+// insertion typos are realistic.
+func BenchmarkAblation_KeyboardLayout(b *testing.B) {
+	var us, ch int
+	for i := 0; i < b.N; i++ {
+		tgt, err := PostgresTarget()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cUS := &Campaign{Target: tgt.Target, Generator: TypoGenerator(TypoOptions{Seed: 3})}
+		pUS, err := cUS.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tgt2, err := PostgresTarget()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cCH := &Campaign{Target: tgt2.Target, Generator: TypoGenerator(TypoOptions{Seed: 3, SwissKeyboard: true})}
+		pCH, err := cCH.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		us, ch = len(pUS.Records), len(pCH.Records)
+	}
+	b.ReportMetric(float64(us), "us-scenarios")
+	b.ReportMetric(float64(ch), "swiss-scenarios")
+}
+
+// BenchmarkAblation_SemanticExtended runs the extended RFC-1912 classes
+// against both name servers.
+func BenchmarkAblation_SemanticExtended(b *testing.B) {
+	var res *Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := RunTable3(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(len(res.Classes)), "classes")
+	_ = semantic.AllClasses
+}
+
+// BenchmarkEditBenchmark runs the §5.5 configuration-process benchmark
+// (paper: Postgres more resilient to near-edit typos than MySQL).
+func BenchmarkEditBenchmark(b *testing.B) {
+	var res *EditBenchmarkResult
+	for i := 0; i < b.N; i++ {
+		r, err := RunEditBenchmark(DefaultSeed, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Rates["Postgres"]*100, "pg-det-%")
+	b.ReportMetric(res.Rates["MySQL"]*100, "mysql-det-%")
+}

@@ -1,0 +1,303 @@
+// Command conferr runs ConfErr campaigns and the paper's evaluation
+// experiments against the built-in simulated systems.
+//
+//	conferr table1 [-seed N]          reproduce Table 1 (typo resilience)
+//	conferr table2 [-seed N] [-n N]   reproduce Table 2 (structural variations)
+//	conferr table3 [-extended]        reproduce Table 3 (DNS semantic errors)
+//	conferr figure3 [-seed N] [-n N]  reproduce Figure 3 (MySQL vs Postgres)
+//	conferr campaign -system S -plugin P [-seed N] [-records]
+//	                                  run one custom campaign and summarize
+//	conferr all [-seed N]             run every experiment
+//
+// Systems: mysql, postgres, apache, bind, djbdns. Plugins: typo,
+// structural, variations, semantic (semantic applies to bind/djbdns only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"conferr"
+	"conferr/internal/profile"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(rest)
+	case "table2":
+		err = cmdTable2(rest)
+	case "table3":
+		err = cmdTable3(rest)
+	case "figure3":
+		err = cmdFigure3(rest)
+	case "campaign":
+		err = cmdCampaign(rest)
+	case "editbench":
+		err = cmdEditBench(rest)
+	case "compare":
+		err = cmdCompare(rest)
+	case "all":
+		err = cmdAll(rest)
+	case "help", "-h", "--help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "conferr: unknown command %q\n", cmd)
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conferr:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: conferr <command> [flags]
+
+commands:
+  table1    reproduce Table 1: resilience to typos (MySQL, Postgres, Apache)
+  table2    reproduce Table 2: resilience to structural errors
+  table3    reproduce Table 3: resilience to semantic errors (BIND, djbdns)
+  figure3   reproduce Figure 3: MySQL vs Postgres value-typo comparison
+  campaign  run one campaign: -system mysql|postgres|apache|bind|djbdns
+            -plugin typo|structural|variations|semantic
+  editbench run the §5.5 configuration-process benchmark (typos near edits)
+  compare   quantify the impact of MySQL's missing checks (before/after)
+  all       run every experiment`)
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	_ = fs.Parse(args)
+	res, err := conferr.RunTable1(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1. Resilience to typos")
+	fmt.Print(res.Format())
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "variation seed")
+	n := fs.Int("n", 10, "variant configurations per class")
+	_ = fs.Parse(args)
+	res, err := conferr.RunTable2(*seed, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2. Resilience to structural errors")
+	fmt.Print(res.Format())
+	return nil
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	extended := fs.Bool("extended", false, "include extension fault classes")
+	_ = fs.Parse(args)
+	res, err := conferr.RunTable3(*extended)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 3. Resilience to semantic errors")
+	fmt.Print(res.Format())
+	return nil
+}
+
+func cmdFigure3(args []string) error {
+	fs := flag.NewFlagSet("figure3", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	n := fs.Int("n", 20, "typo experiments per directive")
+	_ = fs.Parse(args)
+	res, err := conferr.RunFigure3(*seed, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3. Resilience to typos in directive values, across all directives")
+	fmt.Print(res.Format())
+	return nil
+}
+
+func cmdEditBench(args []string) error {
+	fs := flag.NewFlagSet("editbench", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	n := fs.Int("n", 20, "typo variants per edit")
+	_ = fs.Parse(args)
+	res, err := conferr.RunEditBenchmark(*seed, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	return nil
+}
+
+// cmdCompare runs the development-feedback comparison: the same typo
+// faultload against MySQL with and without the simple checks the paper's
+// profile suggests, diffing the two resilience profiles.
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	n := fs.Int("n", 15, "value typos per directive")
+	_ = fs.Parse(args)
+
+	const port = 23467
+	campaign := func(newTarget func(int) (*conferr.SystemTarget, error)) (*conferr.Profile, error) {
+		tgt, err := newTarget(port)
+		if err != nil {
+			return nil, err
+		}
+		c := &conferr.Campaign{
+			Target: tgt.Target,
+			Generator: conferr.TypoGenerator(conferr.TypoOptions{
+				Seed: *seed, ValuesOnly: true, PerDirective: *n,
+			}),
+		}
+		return c.Run()
+	}
+	before, err := campaign(conferr.MySQLTargetAt)
+	if err != nil {
+		return err
+	}
+	after, err := campaign(conferr.MySQLStrictTargetAt)
+	if err != nil {
+		return err
+	}
+	sb, sa := before.Summarize(), after.Summarize()
+	sb.System, sa.System = "before", "after"
+	fmt.Println("MySQL value-typo resilience, before vs after the missing checks:")
+	fmt.Print(profile.FormatTable1(sb, sa))
+	cmp := conferr.CompareProfiles(before, after)
+	fmt.Printf("improved=%d regressed=%d unchanged=%d\n",
+		len(cmp.Improved), len(cmp.Regressed), cmp.Unchanged)
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	system := fs.String("system", "", "target system")
+	plugin := fs.String("plugin", "typo", "error generator plugin")
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	perModel := fs.Int("per-model", 0, "typo scenarios per submodel (0 = all)")
+	records := fs.Bool("records", false, "print the full resilience profile")
+	jsonOut := fs.String("json", "", "write the profile as JSON to this file")
+	_ = fs.Parse(args)
+
+	tgt, err := makeTarget(*system)
+	if err != nil {
+		return err
+	}
+	gen, err := makeGenerator(*system, *plugin, *seed, *perModel)
+	if err != nil {
+		return err
+	}
+	c := &conferr.Campaign{Target: tgt.Target, Generator: gen}
+	if err := c.Baseline(); err != nil {
+		return fmt.Errorf("baseline failed: %w", err)
+	}
+	prof, err := c.Run()
+	if err != nil {
+		return err
+	}
+	s := prof.Summarize()
+	fmt.Printf("system=%s generator=%s\n", prof.System, prof.Generator)
+	fmt.Print(profile.FormatTable1(s))
+	fmt.Println()
+	fmt.Println("Per-class detection:")
+	fmt.Print(conferr.DetectionByClass(prof))
+	if *records {
+		fmt.Println()
+		fmt.Print(prof.FormatRecords())
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prof.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("profile written to", *jsonOut)
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	_ = fs.Parse(args)
+	if err := cmdTable1([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdTable2([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdTable3(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := cmdFigure3([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+		return err
+	}
+	fmt.Println()
+	return cmdEditBench([]string{"-seed", fmt.Sprint(*seed)})
+}
+
+func makeTarget(system string) (*conferr.SystemTarget, error) {
+	switch system {
+	case "mysql":
+		return conferr.MySQLTarget()
+	case "postgres":
+		return conferr.PostgresTarget()
+	case "apache":
+		return conferr.ApacheTarget()
+	case "bind":
+		return conferr.BINDTarget()
+	case "djbdns":
+		return conferr.DjbdnsTarget()
+	case "":
+		return nil, fmt.Errorf("-system is required")
+	default:
+		return nil, fmt.Errorf("unknown system %q", system)
+	}
+}
+
+func makeGenerator(system, plugin string, seed int64, perModel int) (conferr.Generator, error) {
+	switch plugin {
+	case "typo":
+		return conferr.TypoGenerator(conferr.TypoOptions{Seed: seed, PerModel: perModel}), nil
+	case "structural":
+		return conferr.StructuralGenerator(conferr.StructuralOptions{Seed: seed, Sections: true}), nil
+	case "variations":
+		return conferr.VariationsGenerator(seed, 10, nil), nil
+	case "semantic":
+		switch system {
+		case "bind":
+			return conferr.SemanticDNSGenerator(conferr.BINDRecordView(), nil), nil
+		case "djbdns":
+			return conferr.SemanticDNSGenerator(conferr.DjbdnsRecordView(), nil), nil
+		default:
+			return nil, fmt.Errorf("semantic plugin applies to bind or djbdns, not %q", system)
+		}
+	default:
+		return nil, fmt.Errorf("unknown plugin %q", plugin)
+	}
+}

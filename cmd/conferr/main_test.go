@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"conferr"
+)
+
+func TestRunUsage(t *testing.T) {
+	if got := run(nil); got != 2 {
+		t.Errorf("no args: exit = %d, want 2", got)
+	}
+	if got := run([]string{"help"}); got != 0 {
+		t.Errorf("help: exit = %d, want 0", got)
+	}
+	if got := run([]string{"bogus"}); got != 2 {
+		t.Errorf("unknown command: exit = %d, want 2", got)
+	}
+}
+
+func TestRunTable3Command(t *testing.T) {
+	if got := run([]string{"table3"}); got != 0 {
+		t.Errorf("table3: exit = %d", got)
+	}
+	if got := run([]string{"table3", "-extended"}); got != 0 {
+		t.Errorf("table3 -extended: exit = %d", got)
+	}
+}
+
+func TestRunEditBenchCommand(t *testing.T) {
+	if got := run([]string{"editbench", "-n", "5"}); got != 0 {
+		t.Errorf("editbench: exit = %d", got)
+	}
+}
+
+func TestRunCampaignCommand(t *testing.T) {
+	if got := run([]string{"campaign", "-system", "djbdns", "-plugin", "semantic"}); got != 0 {
+		t.Errorf("campaign semantic: exit = %d", got)
+	}
+	if got := run([]string{"campaign", "-system", "postgres", "-plugin", "typo", "-per-model", "3", "-records"}); got != 0 {
+		t.Errorf("campaign typo: exit = %d", got)
+	}
+}
+
+func TestRunCampaignErrors(t *testing.T) {
+	cases := [][]string{
+		{"campaign"},                    // missing system
+		{"campaign", "-system", "nope"}, // unknown system
+		{"campaign", "-system", "mysql", "-plugin", "nope"},     // unknown plugin
+		{"campaign", "-system", "mysql", "-plugin", "semantic"}, // wrong pairing
+	}
+	for _, args := range cases {
+		if got := run(args); got != 1 {
+			t.Errorf("run(%v) = %d, want 1", args, got)
+		}
+	}
+}
+
+func TestMakeTargetAll(t *testing.T) {
+	for _, sys := range []string{"mysql", "postgres", "apache", "bind", "djbdns"} {
+		if _, err := makeTarget(sys); err != nil {
+			t.Errorf("makeTarget(%s): %v", sys, err)
+		}
+	}
+}
+
+func TestRunExperimentCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiments in -short mode")
+	}
+	cases := [][]string{
+		{"table1"},
+		{"table2", "-n", "2"},
+		{"figure3", "-n", "3"},
+	}
+	for _, args := range cases {
+		if got := run(args); got != 0 {
+			t.Errorf("run(%v) = %d, want 0", args, got)
+		}
+	}
+}
+
+func TestRunCampaignJSONOutput(t *testing.T) {
+	out := t.TempDir() + "/profile.json"
+	if got := run([]string{"campaign", "-system", "bind", "-plugin", "semantic", "-json", out}); got != 0 {
+		t.Fatalf("exit = %d", got)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prof, err := conferr.ReadProfileJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.System != "bind-sim" || len(prof.Records) == 0 {
+		t.Errorf("profile = %s with %d records", prof.System, len(prof.Records))
+	}
+}
+
+func TestRunCompareCommand(t *testing.T) {
+	if got := run([]string{"compare", "-n", "4"}); got != 0 {
+		t.Errorf("compare: exit = %d", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Command sutd hosts any of the simulated systems under test as a
+// standalone process, reading its configuration from files on disk. It
+// exists so that ConfErr's external-process path (internal/proc) can be
+// exercised against the same simulators the in-process campaigns use:
+//
+//	sutd -system mysql -dir /path/to/configs -port 23306
+//
+// The daemon loads the configuration files the selected system expects
+// from -dir (my.cnf, postgresql.conf, httpd.conf, named.conf + zones, or
+// data), starts the system, and runs until SIGTERM/SIGINT. A
+// configuration rejected by the system makes sutd exit non-zero with the
+// system's complaint on stderr — exactly what an init script would show
+// an administrator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"conferr/internal/suts"
+	"conferr/internal/suts/bind"
+	"conferr/internal/suts/djbdns"
+	"conferr/internal/suts/httpd"
+	"conferr/internal/suts/mysqld"
+	"conferr/internal/suts/postgres"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		system = flag.String("system", "", "system to host: mysql|postgres|apache|bind|djbdns")
+		dir    = flag.String("dir", ".", "directory holding the configuration files")
+		port   = flag.Int("port", 0, "default port the system advertises (0 = allocate)")
+		write  = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
+	)
+	flag.Parse()
+
+	sys, files, err := makeSystem(*system, *port)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sutd:", err)
+		return 2
+	}
+
+	if *write {
+		for name, data := range sys.DefaultConfig() {
+			path := filepath.Join(*dir, name)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "sutd:", err)
+				return 1
+			}
+			fmt.Println("wrote", path)
+		}
+		return 0
+	}
+
+	loaded := make(suts.Files, len(files))
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(*dir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sutd:", err)
+			return 1
+		}
+		loaded[name] = data
+	}
+
+	if err := sys.Start(loaded); err != nil {
+		fmt.Fprintln(os.Stderr, err.Error())
+		return 1
+	}
+	if a, ok := sys.(suts.Addressable); ok {
+		fmt.Println("sutd: serving on", a.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	if err := sys.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "sutd: stop:", err)
+		return 1
+	}
+	return 0
+}
+
+// makeSystem constructs the selected simulator and lists the file names it
+// reads from -dir.
+func makeSystem(name string, port int) (suts.System, []string, error) {
+	switch name {
+	case "mysql":
+		s, err := mysqld.New(port)
+		return s, []string{mysqld.ConfigFile}, err
+	case "postgres":
+		s, err := postgres.New(port)
+		return s, []string{postgres.ConfigFile}, err
+	case "apache":
+		s, err := httpd.New(port)
+		return s, []string{httpd.ConfigFile}, err
+	case "bind":
+		s, err := bind.New(port)
+		return s, []string{bind.ConfigFile, bind.ForwardZoneFile, bind.ReverseZoneFile}, err
+	case "djbdns":
+		s, err := djbdns.New(port)
+		return s, []string{djbdns.DataFile}, err
+	case "":
+		return nil, nil, fmt.Errorf("-system is required (mysql|postgres|apache|bind|djbdns)")
+	default:
+		return nil, nil, fmt.Errorf("unknown system %q", name)
+	}
+}

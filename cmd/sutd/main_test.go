@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMakeSystem(t *testing.T) {
+	for _, name := range []string{"mysql", "postgres", "apache", "bind", "djbdns"} {
+		sys, files, err := makeSystem(name, 0)
+		if err != nil {
+			t.Errorf("makeSystem(%s): %v", name, err)
+			continue
+		}
+		if sys == nil || len(files) == 0 {
+			t.Errorf("makeSystem(%s): empty result", name)
+		}
+		// Every listed file must exist in the default config.
+		def := sys.DefaultConfig()
+		for _, f := range files {
+			if _, ok := def[f]; !ok {
+				t.Errorf("%s: file %s not in default config", name, f)
+			}
+		}
+	}
+	if _, _, err := makeSystem("", 0); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, _, err := makeSystem("bogus", 0); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestWriteDefaultConfig(t *testing.T) {
+	dir := t.TempDir()
+	sys, files, err := makeSystem("postgres", 25511)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range sys.DefaultConfig() {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range files {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+// Package conferr is a tool for testing and quantifying the resilience of
+// software systems to human-induced configuration errors, reproducing
+// Keller, Upadhyaya and Candea, "ConfErr: A Tool for Assessing Resilience
+// to Human Configuration Errors" (DSN 2008).
+//
+// ConfErr parses a system's configuration files into abstract trees, maps
+// them into the view an error-generator plugin operates on, synthesizes
+// fault scenarios from psychologically grounded human-error models
+// (spelling mistakes, structural mistakes, semantic mistakes), injects
+// each fault, starts the system under test, runs functional tests, and
+// records the outcome of every injection in a resilience profile.
+//
+// This package is the public facade: it re-exports the engine types and
+// provides ready-made targets for the five simulated systems of the
+// paper's evaluation (MySQL, Postgres, Apache, BIND, djbdns) and
+// constructors for the three error-generator plugins.
+//
+// A minimal campaign:
+//
+//	tgt, err := conferr.PostgresTarget()
+//	// handle err
+//	campaign := &conferr.Campaign{
+//	    Target:    tgt.Target,
+//	    Generator: conferr.TypoGenerator(conferr.TypoOptions{Seed: 1, PerModel: 10}),
+//	}
+//	prof, err := campaign.Run()
+//	// handle err
+//	fmt.Println(prof.FormatRecords())
+package conferr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"conferr/internal/confnode"
+	"conferr/internal/core"
+	"conferr/internal/dnsmodel"
+	"conferr/internal/formats"
+	"conferr/internal/formats/apacheconf"
+	"conferr/internal/formats/ini"
+	"conferr/internal/formats/kv"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/formats/zonefile"
+	"conferr/internal/keyboard"
+	"conferr/internal/plugins/editsim"
+	"conferr/internal/plugins/semantic"
+	"conferr/internal/plugins/structural"
+	"conferr/internal/plugins/typo"
+	"conferr/internal/proc"
+	"conferr/internal/profile"
+	"conferr/internal/suts"
+	"conferr/internal/suts/bind"
+	"conferr/internal/suts/djbdns"
+	"conferr/internal/suts/dnscheck"
+	"conferr/internal/suts/httpd"
+	"conferr/internal/suts/mysqld"
+	"conferr/internal/suts/postgres"
+	"conferr/internal/view"
+)
+
+// Core engine types, re-exported for API users.
+type (
+	// Campaign is one ConfErr run: a target plus an error generator.
+	Campaign = core.Campaign
+	// Target bundles the SUT, its file formats and functional tests.
+	Target = core.Target
+	// Generator is an error-generator plugin.
+	Generator = core.Generator
+	// Profile is the resilience profile — ConfErr's output.
+	Profile = profile.Profile
+	// Record is one injection result within a profile.
+	Record = profile.Record
+	// Outcome classifies an injection result.
+	Outcome = profile.Outcome
+	// Summary is the Table 1 row shape.
+	Summary = profile.Summary
+	// Banding is the Figure 3 shape.
+	Banding = profile.Banding
+	// System is a system under test.
+	System = suts.System
+	// Test is a functional test.
+	Test = suts.Test
+)
+
+// Outcome values, re-exported.
+const (
+	DetectedAtStartup = profile.DetectedAtStartup
+	DetectedByTest    = profile.DetectedByTest
+	Ignored           = profile.Ignored
+	NotExpressible    = profile.NotExpressible
+	NotApplicable     = profile.NotApplicable
+)
+
+// Band is a Figure 3 detection band.
+type Band = profile.Band
+
+// Band values, re-exported.
+const (
+	Poor      = profile.Poor
+	Fair      = profile.Fair
+	Good      = profile.Good
+	Excellent = profile.Excellent
+)
+
+// SystemTarget is a ready-made target: the engine Target plus the concrete
+// simulator, for callers that need SUT-specific hooks.
+type SystemTarget struct {
+	// Target is what a Campaign consumes.
+	Target *core.Target
+	// System is the simulator behind the target.
+	System suts.System
+}
+
+// MySQLTarget returns a campaign target for the simulated MySQL server
+// with its paper-style functional tests (create/populate/query a
+// database), on a freshly allocated port.
+func MySQLTarget() (*SystemTarget, error) { return MySQLTargetAt(0) }
+
+// MySQLTargetAt is MySQLTarget on a fixed port (0 allocates one). The
+// experiment harness uses fixed ports so that faultloads — which include
+// typos in the port digits — are reproducible across runs.
+func MySQLTargetAt(port int) (*SystemTarget, error) {
+	s, err := mysqld.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: mysql target: %w", err)
+	}
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
+			Tests:   mysqld.Tests(s),
+		},
+	}, nil
+}
+
+// PostgresTarget returns a campaign target for the simulated PostgreSQL
+// server, on a freshly allocated port.
+func PostgresTarget() (*SystemTarget, error) { return PostgresTargetAt(0) }
+
+// PostgresTargetAt is PostgresTarget on a fixed port (0 allocates one).
+func PostgresTargetAt(port int) (*SystemTarget, error) {
+	s, err := postgres.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: postgres target: %w", err)
+	}
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{postgres.ConfigFile: kv.Format{}},
+			Tests:   postgres.Tests(s),
+		},
+	}, nil
+}
+
+// postgresFullSystem wraps the Postgres simulator so that its default
+// configuration is the §5.5 full parameter listing instead of the stock
+// 8-directive file.
+type postgresFullSystem struct {
+	*postgres.Server
+}
+
+// DefaultConfig implements suts.System.
+func (s postgresFullSystem) DefaultConfig() suts.Files { return s.FullConfig() }
+
+// PostgresFullTarget is PostgresTarget with the full §5.5 configuration
+// (every modeled parameter with its default, booleans excluded) as the
+// campaign's initial configuration — the Figure 3 faultload.
+func PostgresFullTarget() (*SystemTarget, error) { return PostgresFullTargetAt(0) }
+
+// PostgresFullTargetAt is PostgresFullTarget on a fixed port.
+func PostgresFullTargetAt(port int) (*SystemTarget, error) {
+	s, err := postgres.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: postgres full target: %w", err)
+	}
+	sys := postgresFullSystem{Server: s}
+	return &SystemTarget{
+		System: sys,
+		Target: &core.Target{
+			System:  sys,
+			Formats: map[string]formats.Format{postgres.ConfigFile: kv.Format{}},
+			Tests:   postgres.Tests(s),
+		},
+	}, nil
+}
+
+// mysqlFullSystem mirrors postgresFullSystem for MySQL.
+type mysqlFullSystem struct {
+	*mysqld.Server
+}
+
+// DefaultConfig implements suts.System.
+func (s mysqlFullSystem) DefaultConfig() suts.Files { return s.FullConfig() }
+
+// MySQLFullTarget is MySQLTarget with a configuration listing every
+// modeled server variable with its default — the Figure 3 faultload.
+func MySQLFullTarget() (*SystemTarget, error) { return MySQLFullTargetAt(0) }
+
+// MySQLFullTargetAt is MySQLFullTarget on a fixed port.
+func MySQLFullTargetAt(port int) (*SystemTarget, error) {
+	s, err := mysqld.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: mysql full target: %w", err)
+	}
+	sys := mysqlFullSystem{Server: s}
+	return &SystemTarget{
+		System: sys,
+		Target: &core.Target{
+			System:  sys,
+			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
+			Tests:   mysqld.Tests(s),
+		},
+	}, nil
+}
+
+// ApacheTarget returns a campaign target for the simulated Apache httpd
+// with the paper's HTTP GET functional test, on a freshly allocated port.
+func ApacheTarget() (*SystemTarget, error) { return ApacheTargetAt(0) }
+
+// ApacheTargetAt is ApacheTarget on a fixed port (0 allocates one).
+func ApacheTargetAt(port int) (*SystemTarget, error) {
+	s, err := httpd.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: apache target: %w", err)
+	}
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{httpd.ConfigFile: apacheconf.Format{}},
+			Tests:   httpd.Tests(s),
+		},
+	}, nil
+}
+
+// BINDTarget returns a campaign target for the simulated BIND name server
+// with the paper's zone-liveness functional tests.
+func BINDTarget() (*SystemTarget, error) {
+	s, err := bind.New(0)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: bind target: %w", err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System: s,
+			Formats: map[string]formats.Format{
+				bind.ConfigFile:      formats.Raw{},
+				bind.ForwardZoneFile: zonefile.Format{},
+				bind.ReverseZoneFile: zonefile.Format{},
+			},
+			Tests: dnscheck.ZoneLivenessTests(addr, []string{"example.com", "2.0.192.in-addr.arpa"}),
+		},
+	}, nil
+}
+
+// BINDRecordView returns the record view matching BINDTarget's zones, for
+// use with SemanticDNSGenerator.
+func BINDRecordView() view.View {
+	return dnsmodel.ZoneRecordView{Origins: bind.Origins()}
+}
+
+// DjbdnsTarget returns a campaign target for the simulated djbdns
+// (tinydns) server.
+func DjbdnsTarget() (*SystemTarget, error) {
+	s, err := djbdns.New(0)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: djbdns target: %w", err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{djbdns.DataFile: tinydns.Format{}},
+			Tests:   dnscheck.ZoneLivenessTests(addr, []string{"example.com", "2.0.192.in-addr.arpa"}),
+		},
+	}, nil
+}
+
+// DjbdnsRecordView returns the record view matching DjbdnsTarget's data
+// file, for use with SemanticDNSGenerator.
+func DjbdnsRecordView() view.View {
+	return dnsmodel.TinyRecordView{File: djbdns.DataFile}
+}
+
+// TypoOptions configures the spelling-mistakes generator.
+type TypoOptions struct {
+	// Seed makes the faultload reproducible.
+	Seed int64
+	// PerModel bounds scenarios per submodel (0 = all).
+	PerModel int
+	// PerDirective bounds scenarios per directive (0 = off) — the §5.5
+	// faultload shape.
+	PerDirective int
+	// NamesOnly restricts typos to directive names.
+	NamesOnly bool
+	// ValuesOnly restricts typos to directive values.
+	ValuesOnly bool
+	// SwissKeyboard selects the Swiss-German layout instead of US-QWERTY.
+	SwissKeyboard bool
+}
+
+// TypoGenerator returns the spelling-mistakes plugin (paper §4.1).
+func TypoGenerator(opts TypoOptions) Generator {
+	p := &typo.Plugin{
+		PerModel:     opts.PerModel,
+		PerDirective: opts.PerDirective,
+		Rng:          rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.SwissKeyboard {
+		p.Layout = keyboard.SwissGerman()
+	}
+	switch {
+	case opts.NamesOnly:
+		p.Tokens = []string{view.TokenName}
+	case opts.ValuesOnly:
+		p.Tokens = []string{view.TokenValue}
+	}
+	return p
+}
+
+// StructuralOptions configures the structural-faults generator.
+type StructuralOptions struct {
+	// Seed makes the faultload reproducible.
+	Seed int64
+	// PerClass bounds scenarios per fault class (0 = all).
+	PerClass int
+	// Sections enables section-level omission/duplication.
+	Sections bool
+}
+
+// StructuralGenerator returns the structural-errors plugin (paper §4.2).
+func StructuralGenerator(opts StructuralOptions) Generator {
+	return &structural.Plugin{
+		Sections: opts.Sections,
+		PerClass: opts.PerClass,
+		Rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// VariationsGenerator returns the §5.3 structure-preserving variations
+// generator (Table 2). perClass 0 means the paper's 10 files per class;
+// classes nil means all five Table 2 rows.
+func VariationsGenerator(seed int64, perClass int, classes []string) Generator {
+	return &structural.Variations{
+		Classes:  classes,
+		PerClass: perClass,
+		Rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SemanticDNSGenerator returns the RFC-1912 semantic-errors plugin (paper
+// §4.3) over the given record view (BINDRecordView or DjbdnsRecordView).
+// classes nil means all fault classes.
+func SemanticDNSGenerator(recordView view.View, classes []string) Generator {
+	return &semantic.Plugin{RecordView: recordView, Classes: classes}
+}
+
+// Edit is one valid configuration change of a simulated administration
+// task (§5.5 benchmark procedure).
+type Edit = editsim.Edit
+
+// EditBenchmarkGenerator returns the §5.5 human-error benchmark plugin:
+// each scenario applies one valid edit of the task and injects one
+// spelling mistake into the freshly typed value — errors in close
+// proximity to where the administrator was working. perEdit 0 means the
+// paper's 20 experiments per edit.
+func EditBenchmarkGenerator(edits []Edit, seed int64, perEdit int) Generator {
+	return &editsim.Plugin{
+		Edits:   edits,
+		PerEdit: perEdit,
+		Rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// MergeProfiles concatenates profiles from multiple campaigns against the
+// same system (e.g. a structural deletion campaign plus a typo campaign,
+// the Table 1 faultload) into one profile.
+func MergeProfiles(system, generator string, profs ...*Profile) *Profile {
+	out := &Profile{System: system, Generator: generator}
+	for _, p := range profs {
+		out.Records = append(out.Records, p.Records...)
+	}
+	return out
+}
+
+// FormatTable1 renders summaries in the paper's Table 1 shape.
+func FormatTable1(summaries ...Summary) string { return profile.FormatTable1(summaries...) }
+
+// FormatFigure3 renders bandings in the paper's Figure 3 shape.
+func FormatFigure3(bandings ...Banding) string { return profile.FormatFigure3(bandings...) }
+
+// TypoDirectiveKey extracts the directive key from a typo scenario ID, the
+// grouping key for Figure 3 banding.
+func TypoDirectiveKey(scenarioID string) string { return typo.DirectiveKey(scenarioID) }
+
+// ProcessOptions configures an external-process system under test; see
+// the fields of internal/proc.Options.
+type ProcessOptions = proc.Options
+
+// ProcessSystem returns a System that runs as an external process,
+// started and stopped by ConfErr around every injection — the paper's
+// deployment model, where the SUT is a real server binary driven through
+// scripts (§5.1). Combine it with a Target whose Formats and Tests match
+// the hosted program; cmd/sutd hosts the built-in simulators this way.
+func ProcessSystem(opts ProcessOptions) (System, error) {
+	return proc.New(opts)
+}
+
+// BorrowGenerator returns the §2.2 rule-based-error generator: directives
+// "borrowed" from another program's configuration (the donor) are
+// inserted into the target's configuration, modeling an operator reusing
+// the mental model of one system while configuring another. perClass 0
+// keeps all (donor directive × insertion point) combinations.
+func BorrowGenerator(donor *SystemTarget, seed int64, perClass int) (Generator, error) {
+	donorSet := confnode.NewSet()
+	files := donor.System.DefaultConfig()
+	for name, data := range files {
+		f, ok := donor.Target.Formats[name]
+		if !ok {
+			continue
+		}
+		root, err := f.Parse(name, data)
+		if err != nil {
+			return nil, fmt.Errorf("conferr: parsing donor %s: %w", name, err)
+		}
+		donorSet.Put(name, root)
+	}
+	return &structural.Borrow{
+		Donor:    donorSet,
+		PerClass: perClass,
+		Rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// ReadProfileJSON deserializes a resilience profile previously written
+// with Profile.WriteJSON.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	return profile.ReadJSON(r)
+}
+
+// MySQLStrictTargetAt is MySQLTargetAt with the simulator's strict mode
+// enabled: the silent acceptances the paper flags as flaws (clamping,
+// multiplier trailing junk, valueless directives) become startup errors.
+// Comparing a campaign's profile against the default target's quantifies
+// the resilience improvement those simple checks buy — the paper's
+// development-feedback use case (§1).
+func MySQLStrictTargetAt(port int) (*SystemTarget, error) {
+	tgt, err := MySQLTargetAt(port)
+	if err != nil {
+		return nil, err
+	}
+	tgt.System.(*mysqld.Server).Strict = true
+	return tgt, nil
+}
+
+// CompareProfiles diffs two profiles of the same faultload by scenario
+// ID, classifying shared scenarios as improved (now detected), regressed
+// (no longer detected) or unchanged.
+func CompareProfiles(before, after *Profile) profile.Comparison {
+	return profile.Compare(before, after)
+}
+
+// mysqlSharedSystem serves the shared my.cnf (server plus auxiliary tool
+// groups) as the default configuration.
+type mysqlSharedSystem struct {
+	*mysqld.Server
+}
+
+// DefaultConfig implements suts.System.
+func (s mysqlSharedSystem) DefaultConfig() suts.Files { return s.SharedConfig() }
+
+// MySQLSharedTarget returns a MySQL target whose configuration is the
+// shared my.cnf (server group plus [mysqldump] and [myisamchk] groups).
+// When withToolChecks is true, the functional tests also run the
+// auxiliary tools — which is when errors in their groups finally surface.
+// Comparing campaigns with and without the tool checks quantifies the
+// §5.2 latent-error design flaw: the difference is exactly the faults an
+// administrator would not learn about until a nightly cron job fails.
+func MySQLSharedTarget(withToolChecks bool) (*SystemTarget, error) {
+	s, err := mysqld.New(0)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: mysql shared target: %w", err)
+	}
+	sys := mysqlSharedSystem{Server: s}
+	tests := mysqld.Tests(s)
+	if withToolChecks {
+		for _, group := range []string{"mysqldump", "myisamchk"} {
+			group := group
+			tests = append(tests, Test{
+				Name: "tool-run/" + group,
+				Run:  func() error { return s.CheckTool(group) },
+			})
+		}
+	}
+	return &SystemTarget{
+		System: sys,
+		Target: &core.Target{
+			System:  sys,
+			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
+			Tests:   tests,
+		},
+	}, nil
+}

@@ -1,0 +1,78 @@
+package conferr_test
+
+import (
+	"fmt"
+
+	"conferr"
+)
+
+// The smallest campaign: spelling mistakes against the simulated
+// PostgreSQL, with a deterministic faultload.
+func Example() {
+	tgt, err := conferr.PostgresTarget()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	campaign := &conferr.Campaign{
+		Target:    tgt.Target,
+		Generator: conferr.TypoGenerator(conferr.TypoOptions{Seed: 1, PerModel: 2}),
+	}
+	prof, err := campaign.Run()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("records:", len(prof.Records) > 0)
+	// Output:
+	// records: true
+}
+
+// Restricting typos to directive names only (the §5.2 faultload slice all
+// systems detect well).
+func ExampleTypoGenerator() {
+	gen := conferr.TypoGenerator(conferr.TypoOptions{
+		Seed:      7,
+		NamesOnly: true,
+		PerModel:  5,
+	})
+	fmt.Println(gen.Name(), gen.View().Name())
+	// Output:
+	// typo word
+}
+
+// RFC-1912 semantic faults target the record view; the same classes apply
+// to BIND and djbdns.
+func ExampleSemanticDNSGenerator() {
+	gen := conferr.SemanticDNSGenerator(conferr.DjbdnsRecordView(), nil)
+	fmt.Println(gen.Name(), gen.View().Name())
+	// Output:
+	// semantic-dns tinydns-records
+}
+
+// Table 3 reproduces exactly, including the N/A cells caused by
+// tinydns's combined "=" directive.
+func ExampleRunTable3() {
+	res, err := conferr.RunTable3(false)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Cells["semantic/missing-ptr"]["djbdns"])
+	fmt.Println(res.Cells["semantic/mx-to-cname"]["BIND"])
+	// Output:
+	// N/A
+	// found
+}
+
+// Profiles aggregate into the paper's Table 1 shape.
+func ExampleFormatTable1() {
+	s := conferr.Summary{System: "demo", Injected: 10, AtStartup: 7, ByTest: 1, Ignored: 2}
+	fmt.Print(conferr.FormatTable1(s))
+	// Output:
+	//                                         demo
+	// # of Injected Errors               10 (100%)
+	// Detected by system at startup         7 (70%)
+	// Detected by functional tests         1 (10%)
+	// Ignored                              2 (20%)
+}

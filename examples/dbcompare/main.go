@@ -1,0 +1,63 @@
+// dbcompare reproduces the paper's §5.5 comparison (Figure 3): which
+// database is more resilient to typos in configuration values, MySQL or
+// Postgres?
+//
+// For every directive of each system's full configuration (booleans
+// excluded, as in the paper), 20 value typos are injected; the
+// per-directive detection rates are then banded into poor (0–25%
+// detected), fair, good and excellent (75–100%), yielding the figure's
+// distribution.
+//
+//	go run ./examples/dbcompare [-seed N] [-n perDirective]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"conferr"
+)
+
+func main() {
+	seed := flag.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	n := flag.Int("n", 20, "typo experiments per directive")
+	flag.Parse()
+
+	res, err := conferr.RunFigure3(*seed, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbcompare:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Resilience to typos in directive values (Figure 3)")
+	fmt.Println()
+	fmt.Print(res.Format())
+	fmt.Println()
+
+	for _, b := range res.Bandings {
+		fmt.Printf("%s: %d directives measured\n", b.System, b.Directives)
+	}
+	fmt.Println()
+
+	// The paper's headline: Postgres detects >75% of typos for a large
+	// share of its directives; MySQL detects <25% for a large share of
+	// its — the constraint checking vs silent-acceptance gap.
+	var pg, my conferr.Banding
+	for _, b := range res.Bandings {
+		if b.System == "MySQL" {
+			my = b
+		} else {
+			pg = b
+		}
+	}
+	switch {
+	case pg.Share[conferr.Excellent] > my.Share[conferr.Excellent] &&
+		my.Share[conferr.Poor] > pg.Share[conferr.Poor]:
+		fmt.Println("Finding: Postgres is markedly more robust to configuration value")
+		fmt.Println("typos than MySQL, matching the paper's conclusion.")
+	default:
+		fmt.Println("Finding: distributions do not show the expected dominance; inspect")
+		fmt.Println("the profiles with the conferr CLI.")
+	}
+}

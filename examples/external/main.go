@@ -1,0 +1,184 @@
+// external demonstrates ConfErr's external-process path: the system under
+// test is not an in-process simulator but a real child process — the
+// sutd daemon hosting the simulated Postgres — started and stopped around
+// every injection, exactly how the paper drives real server binaries.
+//
+// The example builds cmd/sutd, writes the initial configuration, and runs
+// a typo campaign where each scenario:
+//
+//  1. writes the mutated postgresql.conf into a scratch directory,
+//  2. spawns `sutd -system postgres -dir <dir> -port <port>`,
+//  3. waits for the TCP endpoint (ready probe),
+//  4. runs a create/insert/select functional test over the wire protocol,
+//  5. stops the daemon (SIGTERM, then SIGKILL).
+//
+// A configuration the daemon rejects makes it exit non-zero with the
+// complaint on stderr, which ConfErr records as detected-at-startup.
+//
+//	go run ./examples/external
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"conferr"
+)
+
+// port is fixed so the functional test (and typo scenarios on the port
+// digits) are reproducible.
+const port = 25444
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "external:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bin, cleanup, err := buildSutd()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	defaultConf := fmt.Sprintf(`# PostgreSQL configuration file
+listen_addresses = 'localhost'
+port = %d
+max_connections = 100
+shared_buffers = 32MB
+max_fsm_pages = 153600
+log_destination = 'stderr'
+`, port)
+
+	sys, err := conferr.ProcessSystem(conferr.ProcessOptions{
+		Name:    "postgres-external",
+		Command: bin,
+		Args:    []string{"-system", "postgres", "-dir", "{dir}", "-port", fmt.Sprint(port)},
+		DefaultFiles: map[string][]byte{
+			"postgresql.conf": []byte(defaultConf),
+		},
+		ReadyProbe:   tcpProbe(fmt.Sprintf("127.0.0.1:%d", port)),
+		ReadyTimeout: 3 * time.Second,
+		StopGrace:    time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	tgt, err := conferr.PostgresTarget() // only for the format mapping
+	if err != nil {
+		return err
+	}
+	target := &conferr.Target{
+		System:  sys,
+		Formats: tgt.Target.Formats,
+		Tests: []conferr.Test{{
+			Name: "db-roundtrip",
+			Run:  func() error { return dbRoundTrip(fmt.Sprintf("127.0.0.1:%d", port)) },
+		}},
+	}
+
+	campaign := &conferr.Campaign{
+		Target:    target,
+		Generator: conferr.TypoGenerator(conferr.TypoOptions{Seed: 7, PerModel: 4}),
+	}
+	if err := campaign.Baseline(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	prof, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("External-process campaign against sutd-hosted Postgres:")
+	fmt.Print(conferr.FormatTable1(prof.Summarize()))
+	fmt.Println()
+	fmt.Print(conferr.DetectionByClass(prof))
+	return nil
+}
+
+// buildSutd compiles cmd/sutd into a temporary binary.
+func buildSutd() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "conferr-external-*")
+	if err != nil {
+		return "", nil, err
+	}
+	bin := filepath.Join(dir, "sutd")
+	cmd := exec.Command("go", "build", "-o", bin, "conferr/cmd/sutd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("building sutd: %v\n%s", err, out)
+	}
+	return bin, func() { _ = os.RemoveAll(dir) }, nil
+}
+
+// tcpProbe reports readiness once the address accepts connections.
+func tcpProbe(addr string) func() error {
+	return func() error {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		return conn.Close()
+	}
+}
+
+// dbRoundTrip speaks the sqlmini wire protocol directly: one statement per
+// line, replies are "ROW ..." lines terminated by "OK n" or "ERR msg".
+func dbRoundTrip(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return fmt.Errorf("connect: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	exec := func(stmt string) ([]string, error) {
+		if _, err := fmt.Fprintf(conn, "%s\n", stmt); err != nil {
+			return nil, err
+		}
+		var rows []string
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			line = strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(line, "ROW "):
+				rows = append(rows, line[4:])
+			case strings.HasPrefix(line, "OK"):
+				return rows, nil
+			case strings.HasPrefix(line, "ERR "):
+				return nil, fmt.Errorf("server: %s", line[4:])
+			}
+		}
+	}
+	for _, stmt := range []string{
+		"CREATE DATABASE extest",
+		"USE extest",
+		"CREATE TABLE t (id, name)",
+		"INSERT INTO t VALUES (1, 'alpha')",
+	} {
+		if _, err := exec(stmt); err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+	}
+	rows, err := exec("SELECT name FROM t WHERE id = 1")
+	if err != nil {
+		return err
+	}
+	if len(rows) != 1 || rows[0] != "alpha" {
+		return fmt.Errorf("unexpected rows %v", rows)
+	}
+	return nil
+}

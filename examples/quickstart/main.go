@@ -1,0 +1,58 @@
+// Quickstart: the smallest complete ConfErr campaign.
+//
+// It injects keyboard-realistic spelling mistakes into the simulated
+// PostgreSQL server's configuration, runs the database functional tests
+// after each injection, and prints the resulting resilience profile — the
+// paper's §3.1 loop end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"conferr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A ready-made target: the simulated Postgres with its config
+	// format and the create/populate/query functional test.
+	tgt, err := conferr.PostgresTarget()
+	if err != nil {
+		return err
+	}
+
+	// 2. The error generator: all five typo submodels (omission,
+	// insertion, substitution, case alteration, transposition), capped at
+	// 8 scenarios per submodel for a quick run.
+	gen := conferr.TypoGenerator(conferr.TypoOptions{Seed: 42, PerModel: 8})
+
+	campaign := &conferr.Campaign{Target: tgt.Target, Generator: gen}
+
+	// 3. Sanity: the unmutated configuration must work.
+	if err := campaign.Baseline(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+
+	// 4. Inject every scenario and collect the resilience profile.
+	prof, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("ConfErr resilience profile — system=%s generator=%s\n\n",
+		prof.System, prof.Generator)
+	fmt.Print(prof.FormatRecords())
+	fmt.Println()
+	fmt.Print(conferr.FormatTable1(prof.Summarize()))
+	fmt.Printf("\nOverall detection rate: %.0f%%\n", prof.DetectionRate()*100)
+	return nil
+}

@@ -1,0 +1,66 @@
+// webstructural runs the structural-errors plugin (§4.2/§5.3) against the
+// simulated Apache httpd: omissions, copy-paste duplications, and
+// directives moved into the wrong section — plus the Table 2
+// structure-preserving variations that an ideal server should accept.
+//
+//	go run ./examples/webstructural [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"conferr"
+)
+
+func main() {
+	seed := flag.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	flag.Parse()
+	if err := run(*seed); err != nil {
+		fmt.Fprintln(os.Stderr, "webstructural:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64) error {
+	// Part 1: structural faults. Misplaced directives hit Apache's context
+	// checks ("AllowOverride not allowed here"); harmless duplications are
+	// silently absorbed; omissions mostly fall back to defaults — except
+	// Listen, without which the server has no sockets.
+	tgt, err := conferr.ApacheTarget()
+	if err != nil {
+		return err
+	}
+	faults := &conferr.Campaign{
+		Target: tgt.Target,
+		Generator: conferr.StructuralGenerator(conferr.StructuralOptions{
+			Seed: seed, Sections: true, PerClass: 20,
+		}),
+	}
+	prof, err := faults.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Structural faults against Apache:")
+	fmt.Print(conferr.DetectionByClass(prof))
+	fmt.Println()
+
+	// Part 2: structure-preserving variations (Table 2 rows for Apache).
+	tgt2, err := conferr.ApacheTarget()
+	if err != nil {
+		return err
+	}
+	variations := &conferr.Campaign{
+		Target:    tgt2.Target,
+		Generator: conferr.VariationsGenerator(seed, 10, nil),
+	}
+	vprof, err := variations.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Structure-preserving variations against Apache")
+	fmt.Println("(an ideal system accepts every one — 'detected' rows are rejections):")
+	fmt.Print(conferr.DetectionByClass(vprof))
+	return nil
+}

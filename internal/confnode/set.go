@@ -1,0 +1,94 @@
+package confnode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is an ordered collection of configuration trees keyed by logical file
+// name. A fault scenario mutates an entire Set, which is what allows
+// ConfErr to inject cross-file errors (paper §3.1).
+type Set struct {
+	order []string
+	trees map[string]*Node
+}
+
+// NewSet returns an empty configuration set.
+func NewSet() *Set {
+	return &Set{trees: make(map[string]*Node)}
+}
+
+// Put adds or replaces the tree for the given logical file name. Insertion
+// order of first occurrence is preserved by Names.
+func (s *Set) Put(name string, root *Node) {
+	if s.trees == nil {
+		s.trees = make(map[string]*Node)
+	}
+	if _, exists := s.trees[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.trees[name] = root
+}
+
+// Get returns the tree for the given file name, or nil when absent.
+func (s *Set) Get(name string) *Node {
+	if s == nil {
+		return nil
+	}
+	return s.trees[name]
+}
+
+// Names returns the logical file names in insertion order. The slice is a
+// copy.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len returns the number of files in the set.
+func (s *Set) Len() int { return len(s.order) }
+
+// Clone deep-copies the set and every tree in it.
+func (s *Set) Clone() *Set {
+	c := NewSet()
+	for _, name := range s.order {
+		c.Put(name, s.trees[name].Clone())
+	}
+	return c
+}
+
+// Equal reports whether two sets contain equal trees under the same names,
+// in the same order.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i, name := range s.order {
+		if o.order[i] != name {
+			return false
+		}
+		if !s.trees[name].Equal(o.trees[name]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Walk visits every tree in the set in order.
+func (s *Set) Walk(visit func(file string, root *Node)) {
+	for _, name := range s.order {
+		visit(name, s.trees[name])
+	}
+}
+
+// Dump renders all trees for debugging, files sorted by name.
+func (s *Set) Dump() string {
+	names := s.Names()
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		out += fmt.Sprintf("=== %s ===\n%s", name, s.trees[name].Dump())
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package core implements the ConfErr engine — the paper's primary
+// contribution (§3): it drives parsing of the initial configuration files,
+// mapping to the plugin-specific view, fault-scenario generation and
+// application, mapping back (detecting inexpressible mutations),
+// serialization, SUT start/stop, functional testing, and the recording of
+// every outcome into a resilience profile.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+	"conferr/internal/suts"
+	"conferr/internal/view"
+)
+
+// Generator is an error-generator plugin: it enumerates fault scenarios
+// over the plugin-specific view of the configuration and names the view it
+// requires (paper §4).
+type Generator interface {
+	// Name identifies the plugin for the profile.
+	Name() string
+	// View returns the configuration view the plugin's scenarios apply to.
+	View() view.View
+	// Generate enumerates fault scenarios for the given view of the
+	// initial configuration.
+	Generate(viewSet *confnode.Set) ([]scenario.Scenario, error)
+}
+
+// Target bundles everything system-specific: the SUT, the format of each
+// of its configuration files, and the functional tests (paper §5.1's three
+// system-specific components).
+type Target struct {
+	// System is the system under test.
+	System suts.System
+	// Formats maps each configuration file name to its format.
+	Formats map[string]formats.Format
+	// Tests are the functional tests run after a successful start.
+	Tests []suts.Test
+}
+
+// Campaign is one ConfErr run: a target plus an error generator.
+type Campaign struct {
+	// Target is the system-specific bundle.
+	Target *Target
+	// Generator is the error-generator plugin.
+	Generator Generator
+	// KeepGoing controls behaviour on infrastructure errors (not SUT
+	// detections): when false (default) the campaign aborts; when true the
+	// scenario is recorded as not-applicable and the campaign continues.
+	KeepGoing bool
+	// Observer, when non-nil, is called after every experiment with the
+	// record just added; used for progress reporting.
+	Observer func(profile.Record)
+}
+
+// Run executes the campaign: every scenario produced by the generator is
+// injected into a fresh clone of the initial configuration and the outcome
+// recorded. The returned profile is complete even when an error is
+// returned (it covers the experiments run so far).
+func (c *Campaign) Run() (*profile.Profile, error) {
+	prof := &profile.Profile{
+		System:    c.Target.System.Name(),
+		Generator: c.Generator.Name(),
+	}
+
+	sysSet, err := c.parseInitial()
+	if err != nil {
+		return prof, fmt.Errorf("core: parsing initial configuration: %w", err)
+	}
+	v := c.Generator.View()
+	viewSet, err := v.Forward(sysSet)
+	if err != nil {
+		return prof, fmt.Errorf("core: forward transform (%s): %w", v.Name(), err)
+	}
+	scens, err := c.Generator.Generate(viewSet)
+	if err != nil {
+		return prof, fmt.Errorf("core: generating scenarios: %w", err)
+	}
+
+	for _, sc := range scens {
+		rec, err := c.runOne(sc, v, viewSet, sysSet)
+		prof.Add(rec)
+		if c.Observer != nil {
+			c.Observer(rec)
+		}
+		if err != nil && !c.KeepGoing {
+			return prof, fmt.Errorf("core: scenario %s: %w", sc.ID, err)
+		}
+	}
+	return prof, nil
+}
+
+// parseInitial parses the SUT's default configuration files into the
+// system representation.
+func (c *Campaign) parseInitial() (*confnode.Set, error) {
+	files := c.Target.System.DefaultConfig()
+	set := confnode.NewSet()
+	// Files iterates in map order; fix a deterministic order by name.
+	for _, name := range sortedNames(files) {
+		f, ok := c.Target.Formats[name]
+		if !ok {
+			return nil, fmt.Errorf("no format registered for file %q", name)
+		}
+		root, err := f.Parse(name, files[name])
+		if err != nil {
+			return nil, err
+		}
+		set.Put(name, root)
+	}
+	return set, nil
+}
+
+// runOne performs a single injection experiment. The returned error is an
+// infrastructure failure; SUT detections are encoded in the record.
+func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *confnode.Set) (profile.Record, error) {
+	start := time.Now()
+	rec := profile.Record{
+		ScenarioID:  sc.ID,
+		Class:       sc.Class,
+		Description: sc.Description,
+	}
+	finish := func(o profile.Outcome, detail string) profile.Record {
+		rec.Outcome = o
+		rec.Detail = detail
+		rec.Duration = time.Since(start)
+		return rec
+	}
+
+	// 1. Mutate a fresh clone of the view.
+	mutated := viewSet.Clone()
+	if err := sc.Apply(mutated); err != nil {
+		if errors.Is(err, scenario.ErrNotApplicable) {
+			return finish(profile.NotApplicable, err.Error()), nil
+		}
+		return finish(profile.NotApplicable, err.Error()), err
+	}
+
+	// 2. Map back to the system representation; expressiveness gaps are a
+	// first-class outcome (paper §5.4).
+	mutatedSys, err := v.Backward(mutated, sysSet)
+	if err != nil {
+		if errors.Is(err, view.ErrNotExpressible) {
+			return finish(profile.NotExpressible, err.Error()), nil
+		}
+		return finish(profile.NotApplicable, err.Error()), err
+	}
+
+	// 3. Serialize to native file formats.
+	files := make(suts.Files, mutatedSys.Len())
+	for _, name := range mutatedSys.Names() {
+		f := c.Target.Formats[name]
+		data, serr := f.Serialize(mutatedSys.Get(name))
+		if serr != nil {
+			return finish(profile.NotExpressible, serr.Error()), nil
+		}
+		files[name] = data
+	}
+
+	// 4. Start the SUT with the faulty configuration.
+	if err := c.Target.System.Start(files); err != nil {
+		stopErr := c.Target.System.Stop()
+		if suts.IsStartupError(err) {
+			return finish(profile.DetectedAtStartup, err.Error()), stopErr
+		}
+		// Non-startup failures (e.g. port in use) are infrastructure
+		// problems, not SUT detections.
+		return finish(profile.NotApplicable, err.Error()), err
+	}
+
+	// 5. Run the functional tests.
+	outcome, detail := profile.Ignored, ""
+	for _, t := range c.Target.Tests {
+		if terr := t.Run(); terr != nil {
+			outcome = profile.DetectedByTest
+			detail = fmt.Sprintf("%s: %v", t.Name, terr)
+			break
+		}
+	}
+	if err := c.Target.System.Stop(); err != nil {
+		return finish(outcome, detail), fmt.Errorf("stopping SUT: %w", err)
+	}
+	return finish(outcome, detail), nil
+}
+
+// Baseline verifies that the unmutated default configuration starts the
+// SUT and passes all functional tests; campaigns are meaningless without
+// this invariant (a failing test would count every scenario as detected).
+func (c *Campaign) Baseline() error {
+	files := c.Target.System.DefaultConfig()
+	// Round-trip the default configuration through parse+serialize so the
+	// baseline exercises the exact bytes mutated runs will produce.
+	sysSet, err := c.parseInitial()
+	if err != nil {
+		return fmt.Errorf("core: baseline parse: %w", err)
+	}
+	rt := make(suts.Files, len(files))
+	for _, name := range sysSet.Names() {
+		data, err := c.Target.Formats[name].Serialize(sysSet.Get(name))
+		if err != nil {
+			return fmt.Errorf("core: baseline serialize %s: %w", name, err)
+		}
+		rt[name] = data
+	}
+	if err := c.Target.System.Start(rt); err != nil {
+		_ = c.Target.System.Stop()
+		return fmt.Errorf("core: baseline start: %w", err)
+	}
+	defer func() { _ = c.Target.System.Stop() }()
+	for _, t := range c.Target.Tests {
+		if err := t.Run(); err != nil {
+			return fmt.Errorf("core: baseline test %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+func sortedNames(files suts.Files) []string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/formats"
+	"conferr/internal/formats/kv"
+	"conferr/internal/plugins/typo"
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+	"conferr/internal/suts"
+	"conferr/internal/template"
+	"conferr/internal/view"
+)
+
+// fakeSystem is a minimal in-process SUT: its config format is kv; it
+// requires directive "port" to equal "1234" to start; the functional test
+// fails unless directive "greet" equals "hello".
+type fakeSystem struct {
+	started   int
+	stopped   int
+	lastGreet string
+	failStart error // non-startup error injected by tests
+}
+
+func (f *fakeSystem) Name() string { return "fake" }
+
+func (f *fakeSystem) DefaultConfig() suts.Files {
+	return suts.Files{"fake.conf": []byte("port = 1234\ngreet = hello\n")}
+}
+
+func (f *fakeSystem) Start(files suts.Files) error {
+	if f.failStart != nil {
+		return f.failStart
+	}
+	f.started++
+	conf := string(files["fake.conf"])
+	f.lastGreet = ""
+	port := ""
+	for _, line := range strings.Split(conf, "\n") {
+		fields := strings.SplitN(line, "=", 2)
+		if len(fields) != 2 {
+			continue
+		}
+		k, v := strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1])
+		switch k {
+		case "port":
+			port = v
+		case "greet":
+			f.lastGreet = v
+		default:
+			return &suts.StartupError{System: "fake", Msg: "unknown directive " + k}
+		}
+	}
+	if port != "1234" {
+		return &suts.StartupError{System: "fake", Msg: "bad port " + port}
+	}
+	return nil
+}
+
+func (f *fakeSystem) Stop() error {
+	f.stopped++
+	return nil
+}
+
+func target(sys suts.System) *Target {
+	return &Target{
+		System:  sys,
+		Formats: map[string]formats.Format{"fake.conf": kv.Format{}},
+		Tests: []suts.Test{{
+			Name: "greeting",
+			Run: func() error {
+				fs, ok := sys.(*fakeSystem)
+				if !ok {
+					return errors.New("wrong system type")
+				}
+				if fs.lastGreet != "hello" {
+					return fmt.Errorf("greet = %q", fs.lastGreet)
+				}
+				return nil
+			},
+		}},
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{Target: target(sys), Generator: &typo.Plugin{}}
+	if err := c.Baseline(); err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	if sys.started != 1 || sys.stopped != 1 {
+		t.Errorf("started=%d stopped=%d", sys.started, sys.stopped)
+	}
+}
+
+func TestRunTypoCampaign(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{Target: target(sys), Generator: &typo.Plugin{}}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.System != "fake" || prof.Generator != "typo" {
+		t.Errorf("profile identity = %q/%q", prof.System, prof.Generator)
+	}
+	counts := prof.CountByOutcome()
+	// Typos in names ("port"->"prt", "greet"->"gret") are unknown
+	// directives -> startup detection. Typos in port's value -> bad port.
+	// Typos in greet's value -> functional test detection.
+	if counts[profile.DetectedAtStartup] == 0 {
+		t.Error("expected startup detections")
+	}
+	if counts[profile.DetectedByTest] == 0 {
+		t.Error("expected test detections")
+	}
+	if counts[profile.NotApplicable] != 0 {
+		t.Errorf("unexpected not-applicable: %v", counts)
+	}
+	// Start/Stop balanced.
+	if sys.started != sys.stopped {
+		t.Errorf("started=%d stopped=%d", sys.started, sys.stopped)
+	}
+	// Every record has an ID and class.
+	for _, r := range prof.Records {
+		if r.ScenarioID == "" || r.Class == "" {
+			t.Errorf("incomplete record %+v", r)
+		}
+	}
+}
+
+func TestRunObserver(t *testing.T) {
+	sys := &fakeSystem{}
+	var seen int
+	c := &Campaign{
+		Target:    target(sys),
+		Generator: &typo.Plugin{Models: []template.Mutator{typo.Omission{}}},
+		Observer:  func(profile.Record) { seen++ },
+	}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(prof.Records) {
+		t.Errorf("observer saw %d, profile has %d", seen, len(prof.Records))
+	}
+}
+
+// delGen deletes directives on the struct view.
+type delGen struct{}
+
+func (delGen) Name() string    { return "del" }
+func (delGen) View() view.View { return view.StructView{} }
+func (delGen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
+	tpl := &template.DeleteTemplate{Targets: cpath.MustCompile("//directive")}
+	return tpl.Generate(s)
+}
+
+func TestRunStructuralDeletion(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{Target: target(sys), Generator: delGen{}}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (one per directive)", len(prof.Records))
+	}
+	// Deleting port -> startup failure; deleting greet -> test failure.
+	byID := map[string]profile.Outcome{}
+	for _, r := range prof.Records {
+		byID[r.Description] = r.Outcome
+	}
+	found := map[profile.Outcome]bool{}
+	for _, o := range byID {
+		found[o] = true
+	}
+	if !found[profile.DetectedAtStartup] || !found[profile.DetectedByTest] {
+		t.Errorf("outcomes = %v", byID)
+	}
+}
+
+// badGen returns scenarios that fail in various ways.
+type badGen struct {
+	scens []scenario.Scenario
+}
+
+func (g badGen) Name() string    { return "bad" }
+func (g badGen) View() view.View { return view.StructView{} }
+func (g badGen) Generate(*confnode.Set) ([]scenario.Scenario, error) {
+	return g.scens, nil
+}
+
+func TestRunNotApplicableScenario(t *testing.T) {
+	sys := &fakeSystem{}
+	g := badGen{scens: []scenario.Scenario{{
+		ID: "na", Class: "c",
+		Apply: func(*confnode.Set) error {
+			return fmt.Errorf("gone: %w", scenario.ErrNotApplicable)
+		},
+	}}}
+	c := &Campaign{Target: target(sys), Generator: g}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Records[0].Outcome != profile.NotApplicable {
+		t.Errorf("outcome = %v", prof.Records[0].Outcome)
+	}
+}
+
+func TestRunInfrastructureErrorAborts(t *testing.T) {
+	sys := &fakeSystem{}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "boom", Class: "c", Apply: func(*confnode.Set) error { return errors.New("boom") }},
+		{ID: "after", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: target(sys), Generator: g}
+	prof, err := c.Run()
+	if err == nil {
+		t.Fatal("expected campaign abort")
+	}
+	if len(prof.Records) != 1 {
+		t.Errorf("records = %d, want 1 (abort after first)", len(prof.Records))
+	}
+}
+
+func TestRunKeepGoing(t *testing.T) {
+	sys := &fakeSystem{}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "boom", Class: "c", Apply: func(*confnode.Set) error { return errors.New("boom") }},
+		{ID: "after", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: target(sys), Generator: g, KeepGoing: true}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) != 2 {
+		t.Errorf("records = %d, want 2", len(prof.Records))
+	}
+}
+
+func TestRunNonStartupErrorIsInfrastructure(t *testing.T) {
+	sys := &fakeSystem{failStart: errors.New("address already in use")}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "s", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: target(sys), Generator: g}
+	_, err := c.Run()
+	if err == nil {
+		t.Fatal("non-startup error should abort the campaign")
+	}
+	if !strings.Contains(err.Error(), "address already in use") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunMissingFormat(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{
+		Target:    &Target{System: sys, Formats: map[string]formats.Format{}},
+		Generator: &typo.Plugin{},
+	}
+	if _, err := c.Run(); err == nil || !strings.Contains(err.Error(), "no format registered") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// notExprView always fails the backward transform.
+type notExprView struct{ view.StructView }
+
+func (notExprView) Backward(_, _ *confnode.Set) (*confnode.Set, error) {
+	return nil, fmt.Errorf("nope: %w", view.ErrNotExpressible)
+}
+
+type notExprGen struct{}
+
+func (notExprGen) Name() string    { return "ne" }
+func (notExprGen) View() view.View { return notExprView{} }
+func (notExprGen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
+	return []scenario.Scenario{{ID: "x", Class: "c", Apply: func(*confnode.Set) error { return nil }}}, nil
+}
+
+func TestRunNotExpressible(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{Target: target(sys), Generator: notExprGen{}}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Records[0].Outcome != profile.NotExpressible {
+		t.Errorf("outcome = %v", prof.Records[0].Outcome)
+	}
+	if sys.started != 0 {
+		t.Error("SUT must not start for inexpressible faults")
+	}
+}
+
+// stopFailSystem fails on Stop after a successful start.
+type stopFailSystem struct {
+	fakeSystem
+}
+
+func (s *stopFailSystem) Stop() error {
+	s.stopped++
+	return errors.New("stop failed")
+}
+
+func TestRunStopFailureSurfaces(t *testing.T) {
+	sys := &stopFailSystem{}
+	tgt := &Target{
+		System:  sys,
+		Formats: map[string]formats.Format{"fake.conf": kv.Format{}},
+	}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "s", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: tgt, Generator: g}
+	prof, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "stop failed") {
+		t.Errorf("err = %v", err)
+	}
+	// The record is still present with the real outcome.
+	if len(prof.Records) != 1 || prof.Records[0].Outcome != profile.Ignored {
+		t.Errorf("records = %+v", prof.Records)
+	}
+}
+
+func TestBaselineFailures(t *testing.T) {
+	// Baseline with a failing functional test.
+	sys := &fakeSystem{}
+	tgt := target(sys)
+	tgt.Tests = []suts.Test{{Name: "always-fails", Run: func() error { return errors.New("nope") }}}
+	c := &Campaign{Target: tgt, Generator: &typo.Plugin{}}
+	if err := c.Baseline(); err == nil || !strings.Contains(err.Error(), "always-fails") {
+		t.Errorf("err = %v", err)
+	}
+	// Baseline with a config the SUT rejects.
+	sys2 := &fakeSystem{}
+	tgt2 := target(sys2)
+	tgt2.System = rejectAllSystem{sys2}
+	c2 := &Campaign{Target: tgt2, Generator: &typo.Plugin{}}
+	if err := c2.Baseline(); err == nil || !strings.Contains(err.Error(), "baseline start") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// rejectAllSystem rejects every configuration.
+type rejectAllSystem struct{ *fakeSystem }
+
+func (s rejectAllSystem) Start(suts.Files) error {
+	return &suts.StartupError{System: "reject", Msg: "no"}
+}
+
+func TestRunDurationRecorded(t *testing.T) {
+	sys := &fakeSystem{}
+	c := &Campaign{Target: target(sys), Generator: delGen{}}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range prof.Records {
+		if r.Duration <= 0 {
+			t.Errorf("record %s has no duration", r.ScenarioID)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package cpath
+
+import "testing"
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("//section:VirtualHost[@arg='*:80']/directive[name='ServerName']"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	root := testTree()
+	expr := MustCompile("//directive")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := expr.Select(root); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

@@ -1,0 +1,602 @@
+package dnsmodel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/formats/zonefile"
+	"conferr/internal/view"
+)
+
+const forwardZone = `$TTL 3600
+$ORIGIN example.com.
+@	IN	SOA	ns1.example.com. hostmaster.example.com. 2008060101 3600 900 604800 86400
+@	IN	NS	ns1.example.com.
+ns1	IN	A	192.0.2.1
+www	IN	A	192.0.2.10
+mail	IN	A	192.0.2.20
+ftp	IN	CNAME	www
+@	IN	MX	10 mail
+@	IN	TXT	"v=spf1 mx -all"
+`
+
+const reverseZone = `$TTL 3600
+$ORIGIN 2.0.192.in-addr.arpa.
+@	IN	SOA	ns1.example.com. hostmaster.example.com. 2008060101 3600 900 604800 86400
+@	IN	NS	ns1.example.com.
+1	IN	PTR	ns1.example.com.
+10	IN	PTR	www.example.com.
+20	IN	PTR	mail.example.com.
+`
+
+const tinyData = `.example.com::ns1.example.com:3600
+.2.0.192.in-addr.arpa::ns1.example.com:3600
+=ns1.example.com:192.0.2.1:3600
+=www.example.com:192.0.2.10:3600
+=mail.example.com:192.0.2.20:3600
+Cftp.example.com:www.example.com:3600
+@example.com::mail.example.com:10:3600
+'example.com:v=spf1 mx -all:3600
+`
+
+func TestAbsName(t *testing.T) {
+	cases := []struct{ in, origin, want string }{
+		{"@", "example.com", "example.com"},
+		{"www", "example.com", "www.example.com"},
+		{"www.example.com.", "example.com", "www.example.com"},
+		{"WWW.Example.COM.", "other", "www.example.com"},
+		{"10", "2.0.192.in-addr.arpa", "10.2.0.192.in-addr.arpa"},
+	}
+	for _, tt := range cases {
+		if got := AbsName(tt.in, tt.origin); got != tt.want {
+			t.Errorf("AbsName(%q, %q) = %q, want %q", tt.in, tt.origin, got, tt.want)
+		}
+	}
+}
+
+func TestParseZoneFile(t *testing.T) {
+	recs, err := ParseZoneFile("f", []byte(forwardZone), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("records = %d, want 8", len(recs))
+	}
+	byType := map[string]Record{}
+	for _, r := range recs {
+		byType[r.Type] = r
+	}
+	if a := byType["MX"]; a.Owner != "example.com" || a.Data != "10 mail.example.com" {
+		t.Errorf("MX = %+v", a)
+	}
+	if a := byType["CNAME"]; a.Owner != "ftp.example.com" || a.Data != "www.example.com" {
+		t.Errorf("CNAME = %+v", a)
+	}
+	if a := byType["TXT"]; a.Data != "v=spf1 mx -all" {
+		t.Errorf("TXT = %+v", a)
+	}
+	if a := byType["SOA"]; !strings.HasPrefix(a.Data, "ns1.example.com hostmaster.example.com 2008060101") {
+		t.Errorf("SOA = %+v", a)
+	}
+	if a := byType["A"]; a.TTL != 3600 {
+		t.Errorf("TTL = %d", a.TTL)
+	}
+}
+
+func TestParseZoneFileErrors(t *testing.T) {
+	cases := []string{
+		"$TTL abc\nwww A 1.2.3.4\n",
+		"www 12x A 1.2.3.4\n",
+		"@ MX onlyhost\n",
+		"@ MX pref host\n",
+		"@ SOA a b 1 2 3\n",
+		"@ RP single\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseZoneFile("f", []byte(in), "example.com"); err == nil {
+			t.Errorf("ParseZoneFile(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseTinyData(t *testing.T) {
+	recs, err := ParseTinyData("data", []byte(tinyData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 '.' lines -> 4 records; 3 '=' -> 6; C -> 1; @ -> 1; ' -> 1. Total 13.
+	if len(recs) != 13 {
+		t.Fatalf("records = %d, want 13", len(recs))
+	}
+	var ptrs, as []Record
+	for _, r := range recs {
+		switch r.Type {
+		case "PTR":
+			ptrs = append(ptrs, r)
+		case "A":
+			as = append(as, r)
+		}
+	}
+	if len(ptrs) != 3 || len(as) != 3 {
+		t.Fatalf("ptrs=%d as=%d", len(ptrs), len(as))
+	}
+	if ptrs[1].Owner != "10.2.0.192.in-addr.arpa" || ptrs[1].Data != "www.example.com" {
+		t.Errorf("derived PTR = %+v", ptrs[1])
+	}
+}
+
+func TestParseTinyDataErrors(t *testing.T) {
+	cases := []string{
+		"=www.example.com:not-an-ip:3600\n",
+		"+www.example.com:999.1.1.1:3600\n",
+		"@example.com::mail.example.com:abc:3600\n",
+		"=:1.2.3.4:3600\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseTinyData("data", []byte(in)); err == nil {
+			t.Errorf("ParseTinyData(%q) succeeded", in)
+		}
+	}
+}
+
+func zoneSysSet(t *testing.T) *confnode.Set {
+	t.Helper()
+	set := confnode.NewSet()
+	for name, content := range map[string]string{
+		"example.zone": forwardZone,
+		"reverse.zone": reverseZone,
+	} {
+		doc, err := (zonefile.Format{}).Parse(name, []byte(content))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set.Put(name, doc)
+	}
+	// A non-zone file passes through the view untouched.
+	raw := confnode.New(confnode.KindDocument, "named.conf")
+	raw.Value = "options {};"
+	set.Put("named.conf", raw)
+	return set
+}
+
+func zoneView() ZoneRecordView {
+	return ZoneRecordView{Origins: map[string]string{
+		"example.zone": "example.com",
+		"reverse.zone": "2.0.192.in-addr.arpa",
+	}}
+}
+
+func TestZoneViewForward(t *testing.T) {
+	v := zoneView()
+	sys := zoneSysSet(t)
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd.Get("named.conf") != nil {
+		t.Error("non-zone file leaked into view")
+	}
+	fz := fwd.Get("example.zone")
+	recs := fz.ChildrenByKind(confnode.KindRecord)
+	if len(recs) != 8 {
+		t.Fatalf("forward zone records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if _, ok := r.Attr(view.SrcAttr); !ok {
+			t.Error("record missing provenance")
+		}
+	}
+	rz := fwd.Get("reverse.zone")
+	if rz.CountKind(confnode.KindRecord) != 5 {
+		t.Errorf("reverse zone records = %d", rz.CountKind(confnode.KindRecord))
+	}
+}
+
+func TestZoneViewBackwardIdentitySemantics(t *testing.T) {
+	v := zoneView()
+	sys := zoneSysSet(t)
+	fwd, _ := v.Forward(sys)
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewrite is not byte-identical (absolute names) but must parse to
+	// the same canonical records.
+	out, err := (zonefile.Format{}).Serialize(back.Get("example.zone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseZoneFile("example.zone", out, "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := ParseZoneFile("f", []byte(forwardZone), "example.com")
+	if len(recs) != len(orig) {
+		t.Fatalf("records = %d, want %d", len(recs), len(orig))
+	}
+	for i := range recs {
+		if recs[i] != orig[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], orig[i])
+		}
+	}
+	// named.conf untouched.
+	if back.Get("named.conf").Value != "options {};" {
+		t.Error("raw file mutated")
+	}
+}
+
+func TestZoneViewDeleteAndInsert(t *testing.T) {
+	v := zoneView()
+	sys := zoneSysSet(t)
+	fwd, _ := v.Forward(sys)
+	// Delete the PTR for www (record index 3 in reverse zone: SOA,NS,1,10,20).
+	rz := fwd.Get("reverse.zone")
+	recs := rz.ChildrenByKind(confnode.KindRecord)
+	recs[3].Remove()
+	// Insert a CNAME at the forward apex.
+	ins := recordNode(Record{Owner: "example.com", Type: "CNAME", TTL: 60, Data: "www.example.com"}, "", "")
+	fwd.Get("example.zone").Append(ins)
+
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revOut, _ := (zonefile.Format{}).Serialize(back.Get("reverse.zone"))
+	if strings.Contains(string(revOut), "www.example.com") {
+		t.Errorf("deleted PTR still present:\n%s", revOut)
+	}
+	fwdOut, _ := (zonefile.Format{}).Serialize(back.Get("example.zone"))
+	if !strings.Contains(string(fwdOut), "example.com.\t60\tCNAME\twww.example.com.") {
+		t.Errorf("inserted CNAME missing:\n%s", fwdOut)
+	}
+	// Original untouched.
+	if sys.Get("reverse.zone").CountKind(confnode.KindRecord) != 5 {
+		t.Error("original mutated")
+	}
+}
+
+func tinySysSet(t *testing.T) *confnode.Set {
+	t.Helper()
+	doc, err := (tinydns.Format{}).Parse("data", []byte(tinyData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := confnode.NewSet()
+	set.Put("data", doc)
+	return set
+}
+
+func TestTinyViewForward(t *testing.T) {
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fwd.Get("data").ChildrenByKind(confnode.KindRecord)
+	if len(recs) != 13 {
+		t.Fatalf("view records = %d, want 13", len(recs))
+	}
+	// '=' produces two records with the same src, different parts.
+	var aSrc, ptrSrc string
+	for _, r := range recs {
+		if r.Name == "www.example.com" && r.AttrDefault(AttrType, "") == "A" {
+			aSrc = r.AttrDefault(view.SrcAttr, "")
+		}
+		if r.AttrDefault(AttrType, "") == "PTR" && r.Value == "www.example.com" {
+			ptrSrc = r.AttrDefault(view.SrcAttr, "")
+		}
+	}
+	if aSrc == "" || aSrc != ptrSrc {
+		t.Errorf("combined '=' provenance mismatch: %q vs %q", aSrc, ptrSrc)
+	}
+}
+
+func TestTinyViewRoundTrip(t *testing.T) {
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	if string(out) != tinyData {
+		t.Errorf("round trip:\nwant:\n%s\ngot:\n%s", tinyData, out)
+	}
+}
+
+func findViewRecord(doc *confnode.Node, typ, owner string) *confnode.Node {
+	for _, r := range doc.ChildrenByKind(confnode.KindRecord) {
+		if r.AttrDefault(AttrType, "") == typ && r.Name == owner {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestTinyViewMissingPTRNotExpressible(t *testing.T) {
+	// The paper's Table 3 error (1): deleting the PTR half of a '=' line
+	// cannot be mapped back to a tinydns-data file.
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	ptr := findViewRecord(fwd.Get("data"), "PTR", "10.2.0.192.in-addr.arpa")
+	if ptr == nil {
+		t.Fatal("PTR not found in view")
+	}
+	ptr.Remove()
+	_, err := v.Backward(fwd, sys)
+	if !errors.Is(err, view.ErrNotExpressible) {
+		t.Errorf("err = %v, want ErrNotExpressible", err)
+	}
+}
+
+func TestTinyViewPTRToCNAMENotExpressible(t *testing.T) {
+	// Table 3 error (2): retargeting the PTR half of a '=' line breaks the
+	// A/PTR consistency the directive requires.
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	ptr := findViewRecord(fwd.Get("data"), "PTR", "10.2.0.192.in-addr.arpa")
+	ptr.Value = "ftp.example.com" // now points at the alias
+	_, err := v.Backward(fwd, sys)
+	if !errors.Is(err, view.ErrNotExpressible) {
+		t.Errorf("err = %v, want ErrNotExpressible", err)
+	}
+}
+
+func TestTinyViewInsertCNAMEExpressible(t *testing.T) {
+	// Table 3 error (3): adding a CNAME that duplicates an NS owner IS
+	// expressible in tinydns-data.
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	ins := recordNode(Record{Owner: "example.com", Type: "CNAME", TTL: 60, Data: "www.example.com"}, "", "")
+	fwd.Get("data").Append(ins)
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	if !strings.Contains(string(out), "Cexample.com:www.example.com:60") {
+		t.Errorf("inserted CNAME missing:\n%s", out)
+	}
+}
+
+func TestTinyViewMXRetargetExpressible(t *testing.T) {
+	// Table 3 error (4): changing the MX exchange is expressible.
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	mx := findViewRecord(fwd.Get("data"), "MX", "example.com")
+	mx.Value = "10 ftp.example.com"
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	if !strings.Contains(string(out), "@example.com::ftp.example.com:10:3600") {
+		t.Errorf("MX not retargeted:\n%s", out)
+	}
+}
+
+func TestTinyViewDeleteWholePair(t *testing.T) {
+	// Deleting both halves of a '=' line deletes the line — expressible.
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	doc := fwd.Get("data")
+	findViewRecord(doc, "PTR", "20.2.0.192.in-addr.arpa").Remove()
+	findViewRecord(doc, "A", "mail.example.com").Remove()
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	if strings.Contains(string(out), "=mail.example.com") {
+		t.Errorf("deleted pair still present:\n%s", out)
+	}
+}
+
+func TestTinyViewInsertAllTypes(t *testing.T) {
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	doc := fwd.Get("data")
+	for _, rec := range []Record{
+		{Owner: "x.example.com", Type: "A", TTL: 60, Data: "192.0.2.99"},
+		{Owner: "99.2.0.192.in-addr.arpa", Type: "PTR", TTL: 60, Data: "x.example.com"},
+		{Owner: "y.example.com", Type: "TXT", TTL: 60, Data: "hi"},
+		{Owner: "sub.example.com", Type: "NS", TTL: 60, Data: "ns2.example.com"},
+		{Owner: "z.example.com", Type: "MX", TTL: 60, Data: "5 mail.example.com"},
+		{Owner: "w.example.com", Type: "SOA", TTL: 60, Data: "a.example.com b.example.com 1 2 3 4 5"},
+	} {
+		doc.Append(recordNode(rec, "", ""))
+	}
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	for _, want := range []string{
+		"+x.example.com:192.0.2.99:60",
+		"^99.2.0.192.in-addr.arpa:x.example.com:60",
+		"'y.example.com:hi:60",
+		"&sub.example.com::ns2.example.com:60",
+		"@z.example.com::mail.example.com:5:60",
+		"Zw.example.com:a.example.com:b.example.com:1:2:3:4:5:60",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTinyViewInsertUnsupportedType(t *testing.T) {
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	fwd.Get("data").Append(recordNode(Record{Owner: "h.example.com", Type: "HINFO", TTL: 60, Data: "i386 linux"}, "", ""))
+	_, err := v.Backward(fwd, sys)
+	if !errors.Is(err, view.ErrNotExpressible) {
+		t.Errorf("HINFO insert: err = %v, want ErrNotExpressible", err)
+	}
+}
+
+func TestTinyViewNSWithoutSOANotExpressible(t *testing.T) {
+	v := TinyRecordView{File: "data"}
+	sys := tinySysSet(t)
+	fwd, _ := v.Forward(sys)
+	// Delete only the SOA half of the first '.' line.
+	doc := fwd.Get("data")
+	for _, r := range doc.ChildrenByKind(confnode.KindRecord) {
+		if r.AttrDefault(AttrType, "") == "SOA" && r.Name == "example.com" {
+			r.Remove()
+			break
+		}
+	}
+	_, err := v.Backward(fwd, sys)
+	if !errors.Is(err, view.ErrNotExpressible) {
+		t.Errorf("err = %v, want ErrNotExpressible", err)
+	}
+}
+
+func TestViewNames(t *testing.T) {
+	if (ZoneRecordView{}).Name() != "zone-records" {
+		t.Error("zone view name")
+	}
+	if (TinyRecordView{}).Name() != "tinydns-records" {
+		t.Error("tiny view name")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Owner: "www.example.com", TTL: 60, Type: "A", Data: "192.0.2.1"}
+	if got := r.String(); got != "www.example.com 60 A 192.0.2.1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUncanonRData(t *testing.T) {
+	cases := []struct{ typ, in, want string }{
+		{"NS", "ns1.example.com", "ns1.example.com."},
+		{"CNAME", "", "."},
+		{"PTR", "www.example.com", "www.example.com."},
+		{"MX", "10 mail.example.com", "10 mail.example.com."},
+		{"MX", "malformed", "malformed"},
+		{"TXT", "hello world", "\"hello world\""},
+		{"HINFO", "i386 linux", "\"i386\" \"linux\""},
+		{"RP", "a.example.com b.example.com", "a.example.com. b.example.com."},
+		{"RP", "justone", "justone"},
+		{"SOA", "m.example.com r.example.com 1 2 3 4 5", "m.example.com. r.example.com. 1 2 3 4 5"},
+		{"SOA", "short", "short"},
+		{"A", "192.0.2.1", "192.0.2.1"},
+	}
+	for _, tt := range cases {
+		if got := uncanonRData(tt.typ, tt.in); got != tt.want {
+			t.Errorf("uncanonRData(%s, %q) = %q, want %q", tt.typ, tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNumOr(t *testing.T) {
+	if numOr("42", "1") != "42" || numOr("junk", "1") != "1" || numOr("", "7") != "7" {
+		t.Error("numOr wrong")
+	}
+}
+
+func TestTinyZAndCaretRoundTrip(t *testing.T) {
+	// 'Z' (explicit SOA), '^' (bare PTR), '&' (bare NS) and '+' (bare A)
+	// lines survive forward+backward and accept retargeting.
+	const data = `Zstatic.example.com:ns1.example.com:hostmaster.example.com:1:2:3:4:5:3600
+^9.2.0.192.in-addr.arpa:bare.example.com:3600
+&sub.example.com::ns2.example.com:3600
++plain.example.com:192.0.2.9:3600
+'txt.example.com:some text:3600
+`
+	doc, err := (tinydns.Format{}).Parse("data", []byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := confnode.NewSet()
+	sys.Put("data", doc)
+	v := TinyRecordView{File: "data"}
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fwd.Get("data").CountKind(confnode.KindRecord); got != 5 {
+		t.Fatalf("view records = %d, want 5", got)
+	}
+	// Retarget the bare PTR — expressible for '^' (unlike '=').
+	ptr := findViewRecord(fwd.Get("data"), "PTR", "9.2.0.192.in-addr.arpa")
+	ptr.Value = "other.example.com"
+	// Retarget the bare NS.
+	ns := findViewRecord(fwd.Get("data"), "NS", "sub.example.com")
+	ns.Value = "ns3.example.com"
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	for _, want := range []string{
+		"^9.2.0.192.in-addr.arpa:other.example.com:3600",
+		"&sub.example.com::ns3.example.com:3600",
+		"Zstatic.example.com:ns1.example.com:hostmaster.example.com:1:2:3:4:5:3600",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Delete the bare A: whole line disappears.
+	fwd2, _ := v.Forward(sys)
+	findViewRecord(fwd2.Get("data"), "A", "plain.example.com").Remove()
+	back2, err := v.Backward(fwd2, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := (tinydns.Format{}).Serialize(back2.Get("data"))
+	if strings.Contains(string(out2), "plain.example.com") {
+		t.Errorf("deleted '+' line survived:\n%s", out2)
+	}
+}
+
+func TestTinySOARewrite(t *testing.T) {
+	const data = "Zs.example.com:m.example.com:r.example.com:1:2:3:4:5:60\n"
+	doc, _ := (tinydns.Format{}).Parse("data", []byte(data))
+	sys := confnode.NewSet()
+	sys.Put("data", doc)
+	v := TinyRecordView{File: "data"}
+	fwd, _ := v.Forward(sys)
+	soa := findViewRecord(fwd.Get("data"), "SOA", "s.example.com")
+	soa.Value = "m2.example.com r.example.com 9 2 3 4 5"
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := (tinydns.Format{}).Serialize(back.Get("data"))
+	if !strings.Contains(string(out), "Zs.example.com:m2.example.com:r.example.com:9:2:3:4:5") {
+		t.Errorf("SOA rewrite missing:\n%s", out)
+	}
+}
+
+func TestTinyPartTypeChangeNotExpressible(t *testing.T) {
+	// Changing the record type of a '+' line's A into a CNAME has no
+	// equivalent '+' form.
+	const data = "+plain.example.com:192.0.2.9:3600\n"
+	doc, _ := (tinydns.Format{}).Parse("data", []byte(data))
+	sys := confnode.NewSet()
+	sys.Put("data", doc)
+	v := TinyRecordView{File: "data"}
+	fwd, _ := v.Forward(sys)
+	a := findViewRecord(fwd.Get("data"), "A", "plain.example.com")
+	a.SetAttr(AttrType, "CNAME")
+	a.Value = "www.example.com"
+	if _, err := v.Backward(fwd, sys); !errors.Is(err, view.ErrNotExpressible) {
+		t.Errorf("err = %v, want ErrNotExpressible", err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package dnsmodel provides the system-independent representation of DNS
+// records that the paper's semantic error generator is defined on (§5.4):
+// "an abstract representation that shows the DNS records published by each
+// server". It contains the canonical Record type, parsers from the two
+// native formats (zone master files and tinydns-data), and the
+// bidirectional views that map configurations to record trees and back —
+// including the expressiveness gap of tinydns's combined "=" directive
+// that yields the paper's N/A outcomes.
+package dnsmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/dnswire"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/formats/zonefile"
+)
+
+// Record is one published DNS record in canonical form: names lower-case
+// without trailing dots; Data in presentation form with canonical names
+// ("pref host" for MX, "mname rname serial refresh retry expire minimum"
+// for SOA).
+type Record struct {
+	// Owner is the canonical owner name.
+	Owner string
+	// Type is the RR type mnemonic ("A", "MX", …).
+	Type string
+	// TTL is the time to live in seconds.
+	TTL uint32
+	// Data is the canonicalized RDATA.
+	Data string
+}
+
+// String renders the record in zone-file-like form.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s", r.Owner, r.TTL, r.Type, r.Data)
+}
+
+// Canon lower-cases a name and strips the trailing dot.
+func Canon(name string) string { return dnswire.CanonicalName(name) }
+
+// AbsName resolves a zone-file name against an origin: "@" is the origin,
+// a trailing dot marks an absolute name, anything else is relative.
+func AbsName(name, origin string) string {
+	switch {
+	case name == "@":
+		return Canon(origin)
+	case strings.HasSuffix(name, "."):
+		return Canon(name)
+	default:
+		return Canon(name) + "." + Canon(origin)
+	}
+}
+
+// defaultDNSTTL is used when neither the record nor $TTL provides one.
+const defaultDNSTTL = 3600
+
+// ParseZoneFile parses a zone master file into canonical records. origin
+// is the zone origin (used for relative names and "@"); a $ORIGIN
+// directive inside the file overrides it.
+func ParseZoneFile(file string, data []byte, origin string) ([]Record, error) {
+	doc, err := (zonefile.Format{}).Parse(file, data)
+	if err != nil {
+		return nil, err
+	}
+	return recordsFromZoneDoc(doc, origin, nil)
+}
+
+// recordsFromZoneDoc walks a parsed zone document. When want is non-nil it
+// is called with (record, sourceNode) for every record, enabling the view
+// to attach provenance.
+func recordsFromZoneDoc(doc *confnode.Node, origin string, want func(Record, *confnode.Node)) ([]Record, error) {
+	var out []Record
+	defaultTTL := uint32(defaultDNSTTL)
+	for _, n := range doc.Children() {
+		switch n.Kind {
+		case confnode.KindDirective:
+			switch n.Name {
+			case "$TTL":
+				v, err := strconv.ParseUint(n.Value, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("dnsmodel: bad $TTL %q", n.Value)
+				}
+				defaultTTL = uint32(v)
+			case "$ORIGIN":
+				origin = Canon(n.Value)
+			}
+		case confnode.KindRecord:
+			rec, err := canonZoneRecord(n, origin, defaultTTL)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+			if want != nil {
+				want(rec, n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// canonZoneRecord canonicalizes one zone-file record node.
+func canonZoneRecord(n *confnode.Node, origin string, defaultTTL uint32) (Record, error) {
+	rec := Record{
+		Owner: AbsName(n.Name, origin),
+		Type:  n.AttrDefault(zonefile.AttrType, "A"),
+		TTL:   defaultTTL,
+	}
+	if ttl, ok := n.Attr(zonefile.AttrTTL); ok {
+		v, err := strconv.ParseUint(ttl, 10, 32)
+		if err != nil {
+			return rec, fmt.Errorf("dnsmodel: bad TTL %q for %s", ttl, rec.Owner)
+		}
+		rec.TTL = uint32(v)
+	}
+	data, err := canonRData(rec.Type, n.Value, origin)
+	if err != nil {
+		return rec, err
+	}
+	rec.Data = data
+	return rec, nil
+}
+
+// canonRData canonicalizes RDATA for the given type, resolving relative
+// names against origin and stripping TXT quotes.
+func canonRData(typ, raw, origin string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	switch typ {
+	case "A":
+		return raw, nil
+	case "NS", "CNAME", "PTR":
+		return AbsName(raw, origin), nil
+	case "MX":
+		fields := strings.Fields(raw)
+		if len(fields) != 2 {
+			return "", fmt.Errorf("dnsmodel: MX data %q must be \"pref host\"", raw)
+		}
+		if _, err := strconv.Atoi(fields[0]); err != nil {
+			return "", fmt.Errorf("dnsmodel: bad MX preference %q", fields[0])
+		}
+		return fields[0] + " " + AbsName(fields[1], origin), nil
+	case "TXT":
+		return strings.Trim(raw, "\""), nil
+	case "HINFO":
+		return strings.ReplaceAll(raw, "\"", ""), nil
+	case "RP":
+		fields := strings.Fields(raw)
+		if len(fields) != 2 {
+			return "", fmt.Errorf("dnsmodel: RP data %q must be \"mbox txt\"", raw)
+		}
+		return AbsName(fields[0], origin) + " " + AbsName(fields[1], origin), nil
+	case "SOA":
+		fields := strings.Fields(raw)
+		if len(fields) != 7 {
+			return "", fmt.Errorf("dnsmodel: SOA data %q must have 7 fields", raw)
+		}
+		out := []string{AbsName(fields[0], origin), AbsName(fields[1], origin)}
+		for _, f := range fields[2:] {
+			if _, err := strconv.ParseUint(f, 10, 32); err != nil {
+				return "", fmt.Errorf("dnsmodel: bad SOA number %q", f)
+			}
+			out = append(out, f)
+		}
+		return strings.Join(out, " "), nil
+	default:
+		return raw, nil
+	}
+}
+
+// uncanonRData renders canonical RDATA back into absolute zone-file form
+// (names carry trailing dots so the output is origin-independent).
+func uncanonRData(typ, data string) string {
+	dot := func(name string) string {
+		if name == "" {
+			return "."
+		}
+		return name + "."
+	}
+	switch typ {
+	case "NS", "CNAME", "PTR":
+		return dot(data)
+	case "MX":
+		fields := strings.Fields(data)
+		if len(fields) == 2 {
+			return fields[0] + " " + dot(fields[1])
+		}
+		return data
+	case "TXT":
+		return "\"" + data + "\""
+	case "HINFO":
+		fields := strings.Fields(data)
+		for i := range fields {
+			fields[i] = "\"" + fields[i] + "\""
+		}
+		return strings.Join(fields, " ")
+	case "RP":
+		fields := strings.Fields(data)
+		if len(fields) == 2 {
+			return dot(fields[0]) + " " + dot(fields[1])
+		}
+		return data
+	case "SOA":
+		fields := strings.Fields(data)
+		if len(fields) == 7 {
+			return dot(fields[0]) + " " + dot(fields[1]) + " " + strings.Join(fields[2:], " ")
+		}
+		return data
+	default:
+		return data
+	}
+}
+
+// ParseTinyData parses a tinydns-data file into the canonical records the
+// server would publish. A "=" line yields both the A and the derived PTR.
+func ParseTinyData(file string, data []byte) ([]Record, error) {
+	doc, err := (tinydns.Format{}).Parse(file, data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, n := range doc.ChildrenByKind(confnode.KindRecord) {
+		recs, err := tinyLineRecords(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, lr := range recs {
+			out = append(out, lr.rec)
+		}
+	}
+	return out, nil
+}
+
+// lineRecord pairs a derived record with the part label identifying which
+// half of a combined directive it came from.
+type lineRecord struct {
+	rec  Record
+	part string
+}
+
+// tinyLineRecords expands one tinydns-data line into canonical records.
+func tinyLineRecords(n *confnode.Node) ([]lineRecord, error) {
+	fields := strings.Split(n.Value, ":")
+	get := func(i int) string {
+		if i < len(fields) {
+			return strings.TrimSpace(fields[i])
+		}
+		return ""
+	}
+	ttl := func(i int) uint32 {
+		if v, err := strconv.ParseUint(get(i), 10, 32); err == nil {
+			return uint32(v)
+		}
+		return defaultDNSTTL
+	}
+	fqdn := Canon(get(0))
+	if fqdn == "" {
+		return nil, fmt.Errorf("dnsmodel: tinydns line %q missing fqdn", n.Name+n.Value)
+	}
+	switch n.Name {
+	case "=":
+		ip := get(1)
+		rev, err := dnswire.ReverseName(ip)
+		if err != nil {
+			return nil, fmt.Errorf("dnsmodel: tinydns '=' line for %s: %w", fqdn, err)
+		}
+		t := ttl(2)
+		return []lineRecord{
+			{rec: Record{Owner: fqdn, Type: "A", TTL: t, Data: ip}, part: "a"},
+			{rec: Record{Owner: Canon(rev), Type: "PTR", TTL: t, Data: fqdn}, part: "ptr"},
+		}, nil
+	case "+":
+		ip := get(1)
+		if _, err := dnswire.ReverseName(ip); err != nil {
+			return nil, fmt.Errorf("dnsmodel: tinydns '+' line for %s: %w", fqdn, err)
+		}
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "A", TTL: ttl(2), Data: ip}, part: "a"}}, nil
+	case "^":
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "PTR", TTL: ttl(2), Data: Canon(get(1))}, part: "ptr"}}, nil
+	case "C":
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "CNAME", TTL: ttl(2), Data: Canon(get(1))}, part: "cname"}}, nil
+	case "@":
+		// @fqdn:ip:x:dist:ttl
+		x := Canon(get(2))
+		dist := get(3)
+		if dist == "" {
+			dist = "0"
+		}
+		if _, err := strconv.Atoi(dist); err != nil {
+			return nil, fmt.Errorf("dnsmodel: tinydns '@' line for %s: bad distance %q", fqdn, dist)
+		}
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "MX", TTL: ttl(4), Data: dist + " " + x}, part: "mx"}}, nil
+	case "&":
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "NS", TTL: ttl(3), Data: Canon(get(2))}, part: "ns"}}, nil
+	case ".":
+		x := Canon(get(2))
+		t := ttl(3)
+		soa := Record{Owner: fqdn, Type: "SOA", TTL: t,
+			Data: fmt.Sprintf("%s hostmaster.%s 1 16384 2048 1048576 2560", x, fqdn)}
+		return []lineRecord{
+			{rec: Record{Owner: fqdn, Type: "NS", TTL: t, Data: x}, part: "ns"},
+			{rec: soa, part: "soa"},
+		}, nil
+	case "'":
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "TXT", TTL: ttl(2), Data: get(1)}, part: "txt"}}, nil
+	case "Z":
+		// Zfqdn:mname:rname:ser:ref:ret:exp:min:ttl
+		data := fmt.Sprintf("%s %s %s %s %s %s %s",
+			Canon(get(1)), Canon(get(2)),
+			numOr(get(3), "1"), numOr(get(4), "16384"), numOr(get(5), "2048"),
+			numOr(get(6), "1048576"), numOr(get(7), "2560"))
+		return []lineRecord{{rec: Record{Owner: fqdn, Type: "SOA", TTL: ttl(8), Data: data}, part: "soa"}}, nil
+	default:
+		return nil, fmt.Errorf("dnsmodel: unknown tinydns directive %q", n.Name)
+	}
+}
+
+func numOr(s, def string) string {
+	if _, err := strconv.ParseUint(s, 10, 32); err != nil {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package dnswire
+
+import "testing"
+
+func benchMessage() *Message {
+	return &Message{
+		ID:        1,
+		Questions: []Question{{Name: "www.example.com", Type: TypeA}},
+		Answers: []RR{
+			{Name: "www.example.com", Type: TypeA, TTL: 3600, Data: "192.0.2.10"},
+			{Name: "example.com", Type: TypeMX, TTL: 3600, Data: "10 mail.example.com"},
+		},
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire, err := benchMessage().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

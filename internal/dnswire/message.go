@@ -1,0 +1,462 @@
+// Package dnswire implements a minimal subset of the DNS wire protocol
+// (RFC 1035): message header, question and resource-record encoding and
+// decoding for the record types the paper's zones use (A, NS, CNAME, SOA,
+// PTR, MX, TXT, HINFO, RP), plus a UDP client and server used by the
+// simulated BIND and djbdns targets and their functional tests.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS RR type code.
+type Type uint16
+
+// Supported RR types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeHINFO Type = 13
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeRP    Type = 17
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME", TypeSOA: "SOA",
+	TypePTR: "PTR", TypeHINFO: "HINFO", TypeMX: "MX", TypeTXT: "TXT",
+	TypeRP: "RP", TypeANY: "ANY",
+}
+
+// String returns the mnemonic of the type.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// TypeFromString resolves a mnemonic ("A", "MX", …) to a type code.
+func TypeFromString(s string) (Type, bool) {
+	for t, name := range typeNames {
+		if strings.EqualFold(name, s) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// ClassIN is the only class the implementation supports.
+const ClassIN uint16 = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes used by the simulators.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// Question is a DNS question section entry.
+type Question struct {
+	// Name is the queried domain name, dot-terminated or not; it is
+	// normalized on encode.
+	Name string
+	// Type is the queried RR type.
+	Type Type
+}
+
+// RR is a resource record. Data holds the presentation form of the RDATA:
+// an IPv4 dotted quad for A, a domain name for NS/CNAME/PTR, "pref host"
+// for MX, free text for TXT, "mbox txt" for RP, "cpu os" for HINFO, and
+// "mname rname serial refresh retry expire minimum" for SOA.
+type RR struct {
+	// Name is the owner name.
+	Name string
+	// Type is the RR type.
+	Type Type
+	// TTL is the time to live in seconds.
+	TTL uint32
+	// Data is the RDATA in presentation form (see type comment).
+	Data string
+}
+
+// Message is a DNS message.
+type Message struct {
+	// ID is the transaction ID.
+	ID uint16
+	// Response marks a response (QR bit).
+	Response bool
+	// Authoritative marks an authoritative answer (AA bit).
+	Authoritative bool
+	// RecursionDesired copies the RD bit.
+	RecursionDesired bool
+	// RCode is the response code.
+	RCode RCode
+	// Questions is the question section.
+	Questions []Question
+	// Answers is the answer section.
+	Answers []RR
+	// Authority is the authority section.
+	Authority []RR
+}
+
+// Errors returned by the decoder.
+var (
+	// ErrTruncated means the packet ended before the advertised content.
+	ErrTruncated = errors.New("dnswire: truncated message")
+	// ErrBadName means a domain name was malformed.
+	ErrBadName = errors.New("dnswire: malformed domain name")
+)
+
+// CanonicalName lower-cases a domain name and strips the trailing dot, the
+// normalization used across the DNS model.
+func CanonicalName(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// encodeName appends the wire form of a domain name (no compression).
+func encodeName(buf []byte, name string) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "" {
+		return append(buf, 0), nil
+	}
+	for _, label := range strings.Split(name, ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// decodeName reads a (possibly compressed) domain name starting at off and
+// returns it with the offset just past the name in the original stream.
+func decodeName(msg []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("%w: compression loop", ErrBadName)
+		}
+		if off >= len(msg) {
+			return "", 0, ErrTruncated
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(msg[off:off+2]) & 0x3FFF)
+			if !jumped {
+				end = off + 2
+			}
+			jumped = true
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label bits", ErrBadName)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(msg[off+1:off+1+l]))
+			off += 1 + l
+		}
+	}
+}
+
+// Encode serializes the message (no name compression; responses stay small
+// enough for the simulators' zones).
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint16(buf[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	flags |= uint16(m.RCode) & 0xF
+	binary.BigEndian.PutUint16(buf[2:4], flags)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(buf[10:12], 0)
+
+	var err error
+	for _, q := range m.Questions {
+		buf, err = encodeName(buf, q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority} {
+		for _, rr := range sec {
+			buf, err = appendRR(buf, rr)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRR(buf []byte, rr RR) ([]byte, error) {
+	var err error
+	buf, err = encodeName(buf, rr.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	buf = binary.BigEndian.AppendUint16(buf, ClassIN)
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	rdata, err := encodeRData(rr.Type, rr.Data)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rdata)))
+	return append(buf, rdata...), nil
+}
+
+func encodeRData(t Type, data string) ([]byte, error) {
+	switch t {
+	case TypeA:
+		ip, err := parseIPv4(data)
+		if err != nil {
+			return nil, err
+		}
+		return ip[:], nil
+	case TypeNS, TypeCNAME, TypePTR:
+		return encodeName(nil, data)
+	case TypeMX:
+		fields := strings.Fields(data)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("dnswire: MX data %q must be \"pref host\"", data)
+		}
+		var pref int
+		if _, err := fmt.Sscanf(fields[0], "%d", &pref); err != nil {
+			return nil, fmt.Errorf("dnswire: bad MX preference %q", fields[0])
+		}
+		buf := binary.BigEndian.AppendUint16(nil, uint16(pref))
+		return encodeName(buf, fields[1])
+	case TypeTXT:
+		txt := data
+		if len(txt) > 255 {
+			txt = txt[:255]
+		}
+		return append([]byte{byte(len(txt))}, txt...), nil
+	case TypeHINFO, TypeRP:
+		// Two fields; HINFO uses character strings, RP two names. Encode
+		// both as the presentation text in one TXT-style string for the
+		// simulators (queries for these types are not wire-tested).
+		fields := strings.Fields(data)
+		var buf []byte
+		for _, f := range fields {
+			if len(f) > 255 {
+				f = f[:255]
+			}
+			buf = append(buf, byte(len(f)))
+			buf = append(buf, f...)
+		}
+		return buf, nil
+	case TypeSOA:
+		fields := strings.Fields(data)
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("dnswire: SOA data %q must have 7 fields", data)
+		}
+		buf, err := encodeName(nil, fields[0])
+		if err != nil {
+			return nil, err
+		}
+		buf, err = encodeName(buf, fields[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range fields[2:] {
+			var n uint32
+			if _, err := fmt.Sscanf(f, "%d", &n); err != nil {
+				return nil, fmt.Errorf("dnswire: bad SOA number %q", f)
+			}
+			buf = binary.BigEndian.AppendUint32(buf, n)
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("dnswire: cannot encode rdata for %s", t)
+	}
+}
+
+func parseIPv4(s string) ([4]byte, error) {
+	var ip [4]byte
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("dnswire: bad IPv4 %q", s)
+	}
+	for i, p := range parts {
+		var n int
+		if _, err := fmt.Sscanf(p, "%d", &n); err != nil || n < 0 || n > 255 {
+			return ip, fmt.Errorf("dnswire: bad IPv4 %q", s)
+		}
+		ip[i] = byte(n)
+	}
+	return ip, nil
+}
+
+// Decode parses a wire-format message.
+func Decode(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{}
+	m.ID = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.Authoritative = flags&(1<<10) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RCode = RCode(flags & 0xF)
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		if off+4 > len(msg) {
+			return nil, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name: name,
+			Type: Type(binary.BigEndian.Uint16(msg[off : off+2])),
+		})
+		off += 4
+	}
+	var err error
+	for i := 0; i < an; i++ {
+		var rr RR
+		rr, off, err = decodeRR(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	for i := 0; i < ns; i++ {
+		var rr RR
+		rr, off, err = decodeRR(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		m.Authority = append(m.Authority, rr)
+	}
+	return m, nil
+}
+
+func decodeRR(msg []byte, off int) (RR, int, error) {
+	var rr RR
+	name, next, err := decodeName(msg, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	off = next
+	if off+10 > len(msg) {
+		return rr, 0, ErrTruncated
+	}
+	rr.Name = name
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off : off+2]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4 : off+8])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8 : off+10]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, ErrTruncated
+	}
+	rdata := msg[off : off+rdlen]
+	rr.Data, err = decodeRData(msg, off, rr.Type, rdata)
+	if err != nil {
+		return rr, 0, err
+	}
+	return rr, off + rdlen, nil
+}
+
+func decodeRData(msg []byte, off int, t Type, rdata []byte) (string, error) {
+	switch t {
+	case TypeA:
+		if len(rdata) != 4 {
+			return "", ErrTruncated
+		}
+		return fmt.Sprintf("%d.%d.%d.%d", rdata[0], rdata[1], rdata[2], rdata[3]), nil
+	case TypeNS, TypeCNAME, TypePTR:
+		name, _, err := decodeName(msg, off)
+		return name, err
+	case TypeMX:
+		if len(rdata) < 3 {
+			return "", ErrTruncated
+		}
+		pref := binary.BigEndian.Uint16(rdata[0:2])
+		host, _, err := decodeName(msg, off+2)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d %s", pref, host), nil
+	case TypeTXT, TypeHINFO, TypeRP:
+		var parts []string
+		i := 0
+		for i < len(rdata) {
+			l := int(rdata[i])
+			if i+1+l > len(rdata) {
+				return "", ErrTruncated
+			}
+			parts = append(parts, string(rdata[i+1:i+1+l]))
+			i += 1 + l
+		}
+		return strings.Join(parts, " "), nil
+	case TypeSOA:
+		mname, next, err := decodeName(msg, off)
+		if err != nil {
+			return "", err
+		}
+		rname, next, err := decodeName(msg, next)
+		if err != nil {
+			return "", err
+		}
+		rel := next - off
+		if rel+20 > len(rdata) {
+			return "", ErrTruncated
+		}
+		nums := make([]string, 5)
+		for i := 0; i < 5; i++ {
+			nums[i] = fmt.Sprint(binary.BigEndian.Uint32(rdata[rel+4*i : rel+4*i+4]))
+		}
+		return fmt.Sprintf("%s %s %s", mname, rname, strings.Join(nums, " ")), nil
+	default:
+		return fmt.Sprintf("\\#%d", len(rdata)), nil
+	}
+}

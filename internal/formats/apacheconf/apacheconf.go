@@ -1,0 +1,173 @@
+// Package apacheconf parses and serializes Apache httpd-style
+// configuration files: whitespace-separated directives ("Listen 80",
+// "AddType application/x-tar .tgz"), '#' comments, and nested section
+// containers ("<VirtualHost *:80> … </VirtualHost>"). Apache is the only
+// paper target with nested sections (paper §5.1).
+package apacheconf
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// Format implements formats.Format for Apache httpd configuration.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "apacheconf" }
+
+// Parse implements formats.Format. Sections become KindSection nodes whose
+// Name is the tag ("VirtualHost") and whose AttrArg holds the argument
+// text ("*:80"); their body nodes are children, so nested sections form
+// subtrees.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	stack := []*confnode.Node{doc}
+	for i, line := range splitLines(data) {
+		top := stack[len(stack)-1]
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			top.Append(confnode.New(confnode.KindBlank, ""))
+		case strings.HasPrefix(trimmed, "#"):
+			top.Append(confnode.NewValued(confnode.KindComment, "", line))
+		case strings.HasPrefix(trimmed, "</"):
+			if !strings.HasSuffix(trimmed, ">") {
+				return nil, &formats.ParseError{File: file, Line: i + 1, Msg: "malformed closing tag"}
+			}
+			name := strings.TrimSpace(trimmed[2 : len(trimmed)-1])
+			if len(stack) == 1 {
+				return nil, &formats.ParseError{File: file, Line: i + 1,
+					Msg: "closing tag </" + name + "> without opening tag"}
+			}
+			open := stack[len(stack)-1]
+			if !strings.EqualFold(open.Name, name) {
+				return nil, &formats.ParseError{File: file, Line: i + 1,
+					Msg: "closing tag </" + name + "> does not match <" + open.Name + ">"}
+			}
+			stack = stack[:len(stack)-1]
+		case strings.HasPrefix(trimmed, "<"):
+			if !strings.HasSuffix(trimmed, ">") {
+				return nil, &formats.ParseError{File: file, Line: i + 1, Msg: "malformed opening tag"}
+			}
+			inner := trimmed[1 : len(trimmed)-1]
+			name, arg := splitFirstWord(inner)
+			sec := confnode.New(confnode.KindSection, name)
+			if arg != "" {
+				sec.SetAttr(formats.AttrArg, arg)
+			}
+			// Always record the indent (even empty) so serialization
+			// distinguishes parsed nodes from mutation-created ones, which
+			// get depth-based default indentation.
+			sec.SetAttr(formats.AttrIndent, leadingWS(line))
+			top.Append(sec)
+			stack = append(stack, sec)
+		default:
+			top.Append(parseDirective(line))
+		}
+	}
+	if len(stack) != 1 {
+		return nil, &formats.ParseError{File: file, Line: 0,
+			Msg: "unclosed section <" + stack[len(stack)-1].Name + ">"}
+	}
+	return doc, nil
+}
+
+func parseDirective(line string) *confnode.Node {
+	indent := leadingWS(line)
+	body := strings.TrimRight(line[len(indent):], " \t")
+	name, rest := splitFirstWord(body)
+	d := confnode.NewValued(confnode.KindDirective, name, rest)
+	// Apache separates name and arguments with whitespace; preserve it.
+	if rest != "" {
+		d.SetAttr(formats.AttrSep, body[len(name):len(body)-len(rest)])
+	} else {
+		d.SetAttr(formats.AttrSep, "")
+	}
+	d.SetAttr(formats.AttrIndent, indent)
+	return d
+}
+
+// splitFirstWord splits "Name args..." at the first whitespace run.
+func splitFirstWord(s string) (first, rest string) {
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimLeft(s[i:], " \t")
+}
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	writeItems(&b, root.Children(), 0)
+	return b.Bytes(), nil
+}
+
+func writeItems(b *bytes.Buffer, items []*confnode.Node, depth int) {
+	for _, n := range items {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindSection:
+			indent := n.AttrDefault(formats.AttrIndent, strings.Repeat("    ", depth))
+			b.WriteString(indent)
+			b.WriteByte('<')
+			b.WriteString(n.Name)
+			if arg, ok := n.Attr(formats.AttrArg); ok && arg != "" {
+				b.WriteByte(' ')
+				b.WriteString(arg)
+			}
+			b.WriteString(">\n")
+			writeItems(b, n.Children(), depth+1)
+			b.WriteString(indent)
+			b.WriteString("</")
+			b.WriteString(n.Name)
+			b.WriteString(">\n")
+		case confnode.KindDirective:
+			indent := n.AttrDefault(formats.AttrIndent, strings.Repeat("    ", depth))
+			b.WriteString(indent)
+			b.WriteString(n.Name)
+			if n.Value != "" {
+				sep := n.AttrDefault(formats.AttrSep, " ")
+				if sep == "" {
+					sep = " "
+				}
+				b.WriteString(sep)
+				b.WriteString(n.Value)
+			}
+			b.WriteByte('\n')
+		default:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+func leadingWS(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

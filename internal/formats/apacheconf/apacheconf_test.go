@@ -1,0 +1,210 @@
+package apacheconf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# Apache httpd configuration
+Listen 80
+ServerName www.example.com
+
+<VirtualHost *:80>
+    ServerName a.example.com
+    DocumentRoot /var/www/a
+    <Directory /var/www/a>
+        Options Indexes FollowSymLinks
+        AllowOverride None
+    </Directory>
+</VirtualHost>
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("httpd.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := doc.ChildrenByKind(confnode.KindDirective)
+	if len(dirs) != 2 {
+		t.Fatalf("top-level directives = %d, want 2", len(dirs))
+	}
+	if dirs[0].Name != "Listen" || dirs[0].Value != "80" {
+		t.Errorf("dir0 = %s", dirs[0])
+	}
+	secs := doc.ChildrenByKind(confnode.KindSection)
+	if len(secs) != 1 {
+		t.Fatalf("sections = %d", len(secs))
+	}
+	vh := secs[0]
+	if vh.Name != "VirtualHost" {
+		t.Errorf("section name = %q", vh.Name)
+	}
+	if arg, _ := vh.Attr(formats.AttrArg); arg != "*:80" {
+		t.Errorf("section arg = %q", arg)
+	}
+	// Nested section.
+	inner := vh.ChildrenByKind(confnode.KindSection)
+	if len(inner) != 1 || inner[0].Name != "Directory" {
+		t.Fatalf("nested sections = %v", inner)
+	}
+	if arg, _ := inner[0].Attr(formats.AttrArg); arg != "/var/www/a" {
+		t.Errorf("Directory arg = %q", arg)
+	}
+	opts := inner[0].ChildrenByKind(confnode.KindDirective)
+	if len(opts) != 2 || opts[0].Value != "Indexes FollowSymLinks" {
+		t.Errorf("Directory directives = %v", opts)
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	doc, err := Format{}.Parse("httpd.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"<VirtualHost *:80>\n", "unclosed"},
+		{"</VirtualHost>\n", "without opening"},
+		{"<VirtualHost *:80>\n</Directory>\n", "does not match"},
+		{"<VirtualHost *:80\n", "malformed opening"},
+		{"<VirtualHost></VirtualHost\n", "malformed"},
+	}
+	for _, tt := range cases {
+		_, err := Format{}.Parse("f", []byte(tt.in))
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", tt.in)
+			continue
+		}
+		var pe *formats.ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error type %T", tt.in, err)
+			continue
+		}
+		if !strings.Contains(pe.Msg, tt.want) {
+			t.Errorf("Parse(%q) msg = %q, want contains %q", tt.in, pe.Msg, tt.want)
+		}
+	}
+}
+
+func TestClosingTagCaseInsensitive(t *testing.T) {
+	_, err := Format{}.Parse("f", []byte("<virtualhost *:80>\n</VirtualHost>\n"))
+	if err != nil {
+		t.Errorf("case-insensitive close rejected: %v", err)
+	}
+}
+
+func TestSectionWithoutArg(t *testing.T) {
+	doc, err := Format{}.Parse("f", []byte("<IfModule>\nx 1\n</IfModule>\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "<IfModule>\nx 1\n</IfModule>\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSerializeMutatedNodes(t *testing.T) {
+	// Nodes created by mutation (no indent attrs) get depth-based default
+	// indentation.
+	doc := confnode.New(confnode.KindDocument, "f")
+	sec := confnode.New(confnode.KindSection, "VirtualHost")
+	sec.SetAttr(formats.AttrArg, "*:80")
+	sec.Append(confnode.NewValued(confnode.KindDirective, "ServerName", "x.example.com"))
+	doc.Append(sec)
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "<VirtualHost *:80>\n    ServerName x.example.com\n</VirtualHost>\n"
+	if string(out) != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}
+
+func TestValuelessDirective(t *testing.T) {
+	doc, err := Format{}.Parse("f", []byte("ClearModuleList\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := doc.Child(0)
+	if d.Name != "ClearModuleList" || d.Value != "" {
+		t.Errorf("directive = %s", d)
+	}
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "ClearModuleList\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestDuplicatedSectionRoundTrips(t *testing.T) {
+	// The structural plugin duplicates sections; the clone must serialize
+	// with identical content.
+	doc, _ := Format{}.Parse("f", []byte(sample))
+	vh := doc.ChildrenByKind(confnode.KindSection)[0]
+	doc.InsertAt(vh.Index()+1, vh.Clone())
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(out), "<VirtualHost *:80>"); got != 2 {
+		t.Errorf("VirtualHost count = %d, want 2", got)
+	}
+	if got := strings.Count(string(out), "</VirtualHost>"); got != 2 {
+		t.Errorf("closing count = %d", got)
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "apacheconf" {
+		t.Error("wrong name")
+	}
+}
+
+func TestPropertyParseSerializeStable(t *testing.T) {
+	lines := []string{
+		"Listen 80", "ServerAdmin a@b.c", "# comment", "",
+		"<VirtualHost *:80>", "</VirtualHost>",
+		"<Directory />", "</Directory>", "Options None",
+	}
+	f := func(picks []uint8) bool {
+		var in strings.Builder
+		for _, p := range picks {
+			in.WriteString(lines[int(p)%len(lines)])
+			in.WriteByte('\n')
+		}
+		doc, err := Format{}.Parse("f", []byte(in.String()))
+		if err != nil {
+			return true // unbalanced tags etc. are out of scope
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			return false
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			return false
+		}
+		return doc.Equal(doc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package formats defines the contract between ConfErr and the
+// system-specific configuration file formats: parsing a native file into
+// the system representation (a confnode tree) and serializing a — possibly
+// mutated — tree back into the native format (paper §3.2).
+//
+// Subpackages implement the concrete formats: ini (MySQL-style), kv
+// (Postgres-style), apacheconf (Apache httpd), zonefile and tinydns (DNS),
+// and xmlconf (generic XML).
+package formats
+
+import (
+	"fmt"
+
+	"conferr/internal/confnode"
+)
+
+// Format parses and serializes one configuration file format.
+//
+// Parse must produce a tree that Serialize maps back to byte-identical
+// output for unmutated input (round-trip fidelity), so that injected
+// faults are the only difference between the original and the mutated
+// configuration files.
+type Format interface {
+	// Name identifies the format, e.g. "ini".
+	Name() string
+	// Parse converts native file content into the system representation.
+	// file is the logical name, used for error messages and the document
+	// node name.
+	Parse(file string, data []byte) (*confnode.Node, error)
+	// Serialize converts a system-representation tree back to native file
+	// content.
+	Serialize(root *confnode.Node) ([]byte, error)
+}
+
+// ParseError describes a configuration file parse failure.
+type ParseError struct {
+	// File is the logical file name.
+	File string
+	// Line is the 1-based line number of the failure.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Attribute keys used by the format packages to preserve the lexical
+// details needed for byte-identical round trips.
+const (
+	// AttrSep preserves the separator between a directive name and its
+	// value, including surrounding whitespace (e.g. " = ", "=", " ").
+	AttrSep = "sep"
+	// AttrIndent preserves leading whitespace of the line.
+	AttrIndent = "indent"
+	// AttrTrailing preserves a trailing comment on the directive's line.
+	AttrTrailing = "trailing"
+	// AttrArg preserves a section's argument text (e.g. Apache
+	// "<VirtualHost *:80>" has arg "*:80").
+	AttrArg = "arg"
+)
+
+// DefaultSep is the separator used when serializing directives created by
+// mutations (which carry no AttrSep).
+const DefaultSep = " = "

@@ -1,0 +1,27 @@
+package ini
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	data := []byte(sample)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Format{}).Parse("my.cnf", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	doc, err := (Format{}).Parse("my.cnf", []byte(sample))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Format{}).Serialize(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

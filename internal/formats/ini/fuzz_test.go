@@ -1,0 +1,30 @@
+package ini
+
+import "testing"
+
+// FuzzParseSerialize checks the stability property on arbitrary input:
+// whatever parses must serialize and re-parse to an equal tree.
+func FuzzParseSerialize(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("[s]\nx=1\n"))
+	f.Add([]byte("a = b = c\n"))
+	f.Add([]byte("[\x00]\n"))
+	f.Add([]byte("=\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Format{}.Parse("f", data)
+		if err != nil {
+			return
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize after successful Parse: %v", err)
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			t.Fatalf("re-Parse of serialized output: %v\n%q", err, out)
+		}
+		if !doc.Equal(doc2) {
+			t.Fatalf("parse∘serialize unstable:\nin: %q\nout: %q", data, out)
+		}
+	})
+}

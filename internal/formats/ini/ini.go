@@ -1,0 +1,170 @@
+// Package ini parses and serializes MySQL-style INI configuration files:
+// "[section]" headers, "name = value" directives (value optional),
+// comments starting with '#' or ';'. This is the format of my.cnf, the
+// shared configuration file of the MySQL server and its auxiliary tools
+// (paper §5.1).
+package ini
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// Format implements formats.Format for INI files.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "ini" }
+
+// Parse implements formats.Format. The resulting tree has KindSection
+// children for each "[name]" header, with KindDirective children;
+// directives before any header are direct children of the document.
+// Comments and blank lines are preserved as KindComment/KindBlank nodes in
+// place.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	current := doc // section nodes get appended; directives go to current
+	lines := splitLines(data)
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			current.Append(confnode.New(confnode.KindBlank, ""))
+		case strings.HasPrefix(trimmed, "#") || strings.HasPrefix(trimmed, ";"):
+			current.Append(confnode.NewValued(confnode.KindComment, "", line))
+		case strings.HasPrefix(trimmed, "["):
+			end := strings.IndexByte(trimmed, ']')
+			if end < 0 {
+				return nil, &formats.ParseError{File: file, Line: i + 1, Msg: "unterminated section header"}
+			}
+			name := trimmed[1:end]
+			sec := confnode.New(confnode.KindSection, name)
+			if indent := leadingWS(line); indent != "" {
+				sec.SetAttr(formats.AttrIndent, indent)
+			}
+			doc.Append(sec)
+			current = sec
+		default:
+			current.Append(parseDirective(line))
+		}
+	}
+	return doc, nil
+}
+
+// parseDirective splits "name sep value" keeping the separator text so the
+// line round-trips byte-identically.
+func parseDirective(line string) *confnode.Node {
+	indent := leadingWS(line)
+	rest := line[len(indent):]
+	eq := strings.IndexByte(rest, '=')
+	var d *confnode.Node
+	if eq < 0 {
+		// Valueless directive (e.g. "quick" in [mysqldump]); MySQL accepts
+		// these as boolean flags.
+		name := strings.TrimRight(rest, " \t")
+		d = confnode.NewValued(confnode.KindDirective, name, "")
+		if trail := rest[len(name):]; trail != "" {
+			d.SetAttr(formats.AttrTrailing, trail)
+		}
+		d.SetAttr(formats.AttrSep, "")
+	} else {
+		name := strings.TrimRight(rest[:eq], " \t")
+		afterEq := rest[eq+1:]
+		value := strings.TrimLeft(afterEq, " \t")
+		sep := rest[len(name) : len(rest)-len(value)]
+		trailWS := value[len(strings.TrimRight(value, " \t")):]
+		value = strings.TrimRight(value, " \t")
+		d = confnode.NewValued(confnode.KindDirective, name, value)
+		d.SetAttr(formats.AttrSep, sep)
+		if trailWS != "" {
+			d.SetAttr(formats.AttrTrailing, trailWS)
+		}
+	}
+	if indent != "" {
+		d.SetAttr(formats.AttrIndent, indent)
+	}
+	return d
+}
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	writeItems(&b, root.Children(), true)
+	return b.Bytes(), nil
+}
+
+func writeItems(b *bytes.Buffer, items []*confnode.Node, topLevel bool) {
+	for _, n := range items {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindSection:
+			b.WriteString(n.AttrDefault(formats.AttrIndent, ""))
+			b.WriteByte('[')
+			b.WriteString(n.Name)
+			b.WriteString("]\n")
+			writeItems(b, n.Children(), false)
+		case confnode.KindDirective:
+			writeDirective(b, n)
+		default:
+			// Nodes of unexpected kinds (possible after exotic mutations)
+			// serialize as their value, which keeps the fault visible to
+			// the SUT instead of silently dropping it.
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+	_ = topLevel
+}
+
+func writeDirective(b *bytes.Buffer, n *confnode.Node) {
+	b.WriteString(n.AttrDefault(formats.AttrIndent, ""))
+	b.WriteString(n.Name)
+	sep, hasSep := n.Attr(formats.AttrSep)
+	switch {
+	case n.Value != "":
+		if !hasSep || sep == "" {
+			sep = formats.DefaultSep
+		}
+		b.WriteString(sep)
+		b.WriteString(n.Value)
+	case hasSep && sep != "":
+		// A directive whose value was mutated away keeps its separator:
+		// "name =" is exactly what the operator's file would contain.
+		b.WriteString(sep)
+	}
+	b.WriteString(n.AttrDefault(formats.AttrTrailing, ""))
+	b.WriteByte('\n')
+}
+
+func leadingWS(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitLines splits on '\n', dropping a final empty fragment so files with
+// and without trailing newlines parse identically; Serialize always emits
+// a trailing newline.
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := string(data)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,217 @@
+package ini
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# MySQL default configuration
+[mysqld]
+port = 3306
+key_buffer_size=16M
+skip-external-locking
+
+[mysqldump]
+quick
+max_allowed_packet = 16M
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("my.cnf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != confnode.KindDocument || doc.Name != "my.cnf" {
+		t.Errorf("root = %s", doc)
+	}
+	secs := doc.ChildrenByKind(confnode.KindSection)
+	if len(secs) != 2 {
+		t.Fatalf("sections = %d, want 2", len(secs))
+	}
+	if secs[0].Name != "mysqld" || secs[1].Name != "mysqldump" {
+		t.Errorf("section names = %q, %q", secs[0].Name, secs[1].Name)
+	}
+	dirs := secs[0].ChildrenByKind(confnode.KindDirective)
+	if len(dirs) != 3 {
+		t.Fatalf("mysqld directives = %d, want 3", len(dirs))
+	}
+	if dirs[0].Name != "port" || dirs[0].Value != "3306" {
+		t.Errorf("dir0 = %s", dirs[0])
+	}
+	if sep, _ := dirs[0].Attr(formats.AttrSep); sep != " = " {
+		t.Errorf("port sep = %q", sep)
+	}
+	if sep, _ := dirs[1].Attr(formats.AttrSep); sep != "=" {
+		t.Errorf("key_buffer_size sep = %q", sep)
+	}
+	if dirs[2].Name != "skip-external-locking" || dirs[2].Value != "" {
+		t.Errorf("valueless directive = %s", dirs[2])
+	}
+	// Comment preserved at document level.
+	if doc.Child(0).Kind != confnode.KindComment {
+		t.Error("leading comment lost")
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	doc, err := Format{}.Parse("my.cnf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant: %q\ngot:  %q", sample, out)
+	}
+}
+
+func TestRoundTripVariants(t *testing.T) {
+	cases := []string{
+		"",
+		"\n",
+		"a=1\n",
+		"a = 1\n",
+		"a =1\n",
+		"a= 1\n",
+		"  indented = x\n",
+		"[s]\n",
+		"; semicolon comment\n[s]\nflag\n",
+		"top_level = before_any_section\n[s]\nx=1\n",
+		"a = value with spaces  \n",
+		"[s]\n\n\n[t]\n",
+	}
+	for _, in := range cases {
+		doc, err := Format{}.Parse("f", []byte(in))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Errorf("Serialize(%q): %v", in, err)
+			continue
+		}
+		want := in
+		if want != "" && !strings.HasSuffix(want, "\n") {
+			want += "\n"
+		}
+		if string(out) != want {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+}
+
+func TestParseNoTrailingNewline(t *testing.T) {
+	doc, err := Format{}.Parse("f", []byte("[s]\na=1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "[s]\na=1\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestParseUnterminatedSection(t *testing.T) {
+	_, err := Format{}.Parse("f", []byte("[mysqld\nport=1\n"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *formats.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 || pe.File != "f" {
+		t.Errorf("ParseError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "f:1:") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestSerializeMutatedDirective(t *testing.T) {
+	// A directive created by a mutation (no attrs) serializes with the
+	// default separator.
+	doc := confnode.New(confnode.KindDocument, "f")
+	sec := confnode.New(confnode.KindSection, "s")
+	sec.Append(confnode.NewValued(confnode.KindDirective, "new_dir", "7"))
+	doc.Append(sec)
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "[s]\nnew_dir = 7\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSerializeValueRemoved(t *testing.T) {
+	// Typo omission can empty a 1-char value: "a = 1" becomes "a = ".
+	doc, _ := Format{}.Parse("f", []byte("a = 1\n"))
+	doc.Child(0).Value = ""
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "a = \n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSerializeUnknownKind(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "f")
+	doc.Append(confnode.NewValued(confnode.KindWord, "", "stray-token"))
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "stray-token\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "ini" {
+		t.Error("wrong name")
+	}
+}
+
+// Property: parse∘serialize∘parse is stable (serialize(parse(x)) parses to
+// an equal tree).
+func TestPropertyParseSerializeStable(t *testing.T) {
+	lines := []string{
+		"[mysqld]", "[a b]", "port = 3306", "x=1", "flag", "# c", "; c", "",
+		"  y = 2", "weird == value", "tab\t=\t3",
+	}
+	f := func(picks []uint8) bool {
+		var in strings.Builder
+		for _, p := range picks {
+			in.WriteString(lines[int(p)%len(lines)])
+			in.WriteByte('\n')
+		}
+		doc, err := Format{}.Parse("f", []byte(in.String()))
+		if err != nil {
+			return true // malformed input out of scope
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			return false
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			return false
+		}
+		out2, err := Format{}.Serialize(doc2)
+		if err != nil {
+			return false
+		}
+		return doc.Equal(doc2) && string(out) == string(out2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

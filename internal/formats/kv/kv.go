@@ -1,0 +1,169 @@
+// Package kv parses and serializes Postgres-style flat configuration
+// files: one "name = value" directive per line (the '=' is optional, as in
+// postgresql.conf), '#' comments, no sections. The document's directives
+// are direct children of the root — Postgres's configuration has only one
+// main section (paper §5.1).
+package kv
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// Format implements formats.Format for flat key-value files.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "kv" }
+
+// Parse implements formats.Format. Trailing '#' comments on directive
+// lines are preserved in the AttrTrailing attribute; quoted values keep
+// their quotes as part of the value text (a typo can therefore corrupt a
+// quote character, exactly as in a real file).
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	for _, line := range splitLines(data) {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			doc.Append(confnode.New(confnode.KindBlank, ""))
+		case strings.HasPrefix(trimmed, "#"):
+			doc.Append(confnode.NewValued(confnode.KindComment, "", line))
+		default:
+			doc.Append(parseDirective(line))
+		}
+	}
+	return doc, nil
+}
+
+func parseDirective(line string) *confnode.Node {
+	indent := leadingWS(line)
+	rest := line[len(indent):]
+
+	// Separate a trailing comment, respecting single quotes ('' escapes a
+	// quote inside a quoted value, which cannot start a comment).
+	body, trailing := splitTrailingComment(rest)
+
+	wsEnd := body[len(strings.TrimRight(body, " \t")):]
+	body = strings.TrimRight(body, " \t")
+
+	var name, sep, value string
+	if eq := strings.IndexByte(body, '='); eq >= 0 {
+		name = strings.TrimRight(body[:eq], " \t")
+		value = strings.TrimLeft(body[eq+1:], " \t")
+		sep = body[len(name) : len(body)-len(value)]
+	} else if sp := strings.IndexAny(body, " \t"); sp >= 0 {
+		// '=' is optional in postgresql.conf: "name value".
+		name = body[:sp]
+		value = strings.TrimLeft(body[sp:], " \t")
+		sep = body[len(name) : len(body)-len(value)]
+	} else {
+		name = body
+	}
+
+	d := confnode.NewValued(confnode.KindDirective, name, value)
+	d.SetAttr(formats.AttrSep, sep)
+	if indent != "" {
+		d.SetAttr(formats.AttrIndent, indent)
+	}
+	if trailing != "" || wsEnd != "" {
+		d.SetAttr(formats.AttrTrailing, wsEnd+trailing)
+	}
+	return d
+}
+
+// splitTrailingComment splits "body # comment" at the first '#' outside
+// single quotes. The returned trailing part includes the '#' and any
+// whitespace immediately before it.
+func splitTrailingComment(s string) (body, trailing string) {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				start := i
+				for start > 0 && (s[start-1] == ' ' || s[start-1] == '\t') {
+					start--
+				}
+				return s[:start], s[start:]
+			}
+		}
+	}
+	return s, ""
+}
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	for _, n := range root.Children() {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindDirective:
+			b.WriteString(n.AttrDefault(formats.AttrIndent, ""))
+			b.WriteString(n.Name)
+			if n.Value != "" {
+				sep := n.AttrDefault(formats.AttrSep, formats.DefaultSep)
+				if sep == "" {
+					sep = formats.DefaultSep
+				}
+				b.WriteString(sep)
+				b.WriteString(n.Value)
+			} else if sep, ok := n.Attr(formats.AttrSep); ok && strings.Contains(sep, "=") {
+				b.WriteString(sep)
+			}
+			b.WriteString(n.AttrDefault(formats.AttrTrailing, ""))
+			b.WriteByte('\n')
+		case confnode.KindSection:
+			// kv files have no sections; a section arriving here is a
+			// structural fault (e.g. borrowed from another program's
+			// format). Serialize its directives; the header itself is
+			// written as an INI-style line so the fault reaches the SUT.
+			b.WriteString("[" + n.Name + "]\n")
+			for _, c := range n.Children() {
+				if c.Kind == confnode.KindDirective {
+					b.WriteString(c.Name)
+					if c.Value != "" {
+						b.WriteString(c.AttrDefault(formats.AttrSep, formats.DefaultSep))
+						b.WriteString(c.Value)
+					}
+					b.WriteByte('\n')
+				}
+			}
+		default:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func leadingWS(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,182 @@
+package kv
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# PostgreSQL configuration
+max_connections = 100
+shared_buffers = 32MB
+listen_addresses = 'localhost' # what to listen on
+log_destination 'stderr'
+fsync = on
+
+#commented_out = 1
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("postgresql.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := doc.ChildrenByKind(confnode.KindDirective)
+	if len(dirs) != 5 {
+		t.Fatalf("directives = %d, want 5", len(dirs))
+	}
+	if dirs[0].Name != "max_connections" || dirs[0].Value != "100" {
+		t.Errorf("dir0 = %s", dirs[0])
+	}
+	// Trailing comment preserved separately from value.
+	if dirs[2].Name != "listen_addresses" || dirs[2].Value != "'localhost'" {
+		t.Errorf("dir2 = %s", dirs[2])
+	}
+	if trail, _ := dirs[2].Attr(formats.AttrTrailing); !strings.Contains(trail, "# what to listen on") {
+		t.Errorf("trailing = %q", trail)
+	}
+	// '=' optional.
+	if dirs[3].Name != "log_destination" || dirs[3].Value != "'stderr'" {
+		t.Errorf("dir3 = %s", dirs[3])
+	}
+	// No sections at all.
+	if len(doc.ChildrenByKind(confnode.KindSection)) != 0 {
+		t.Error("kv file should have no sections")
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	doc, err := Format{}.Parse("postgresql.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant: %q\ngot:  %q", sample, out)
+	}
+}
+
+func TestRoundTripVariants(t *testing.T) {
+	cases := []string{
+		"",
+		"a = 1\n",
+		"a=1\n",
+		"a 1\n",
+		"a\t1\n",
+		"a = 'x y z'\n",
+		"a = 'quoted # not comment'\n",
+		"a = 1 # trailing\n",
+		"bare_name\n",
+		"  indented = 1\n",
+		"# only comment\n",
+		"\n",
+	}
+	for _, in := range cases {
+		doc, err := Format{}.Parse("f", []byte(in))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Errorf("Serialize(%q): %v", in, err)
+			continue
+		}
+		if string(out) != in {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+}
+
+func TestQuoteAwareTrailingComment(t *testing.T) {
+	doc, err := Format{}.Parse("f", []byte("a = 'has # inside' # real comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := doc.Child(0)
+	if d.Value != "'has # inside'" {
+		t.Errorf("value = %q", d.Value)
+	}
+	if trail, _ := d.Attr(formats.AttrTrailing); !strings.Contains(trail, "# real comment") {
+		t.Errorf("trailing = %q", trail)
+	}
+}
+
+func TestSerializeMutatedDirective(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "f")
+	doc.Append(confnode.NewValued(confnode.KindDirective, "work_mem", "4MB"))
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "work_mem = 4MB\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSerializeForeignSection(t *testing.T) {
+	// A structural fault can move an INI-style section into a kv file; the
+	// serializer must emit it so the SUT sees the fault.
+	doc := confnode.New(confnode.KindDocument, "f")
+	sec := confnode.New(confnode.KindSection, "mysqld")
+	sec.Append(confnode.NewValued(confnode.KindDirective, "port", "3306"))
+	doc.Append(sec)
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "[mysqld]") || !strings.Contains(string(out), "port = 3306") {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestEmptyValueKeepsEquals(t *testing.T) {
+	doc, _ := Format{}.Parse("f", []byte("a = 1\n"))
+	doc.Child(0).Value = ""
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "a = \n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "kv" {
+		t.Error("wrong name")
+	}
+}
+
+func TestPropertyParseSerializeStable(t *testing.T) {
+	lines := []string{
+		"a = 1", "b 2", "c='x'", "# comment", "", "d = 'a # b' # c",
+		"bare", "  e = 5  ", "f == 6",
+	}
+	f := func(picks []uint8) bool {
+		var in strings.Builder
+		for _, p := range picks {
+			in.WriteString(lines[int(p)%len(lines)])
+			in.WriteByte('\n')
+		}
+		doc, err := Format{}.Parse("f", []byte(in.String()))
+		if err != nil {
+			return true
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			return false
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			return false
+		}
+		return doc.Equal(doc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

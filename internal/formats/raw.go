@@ -1,0 +1,26 @@
+package formats
+
+import "conferr/internal/confnode"
+
+// Raw is a pass-through format for configuration files that campaigns
+// carry along but do not mutate (e.g. named.conf in the DNS semantic
+// experiments, where faults are injected only into zone data). The whole
+// file content is stored in the document node's Value.
+type Raw struct{}
+
+var _ Format = Raw{}
+
+// Name implements Format.
+func (Raw) Name() string { return "raw" }
+
+// Parse implements Format.
+func (Raw) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	doc.Value = string(data)
+	return doc, nil
+}
+
+// Serialize implements Format.
+func (Raw) Serialize(root *confnode.Node) ([]byte, error) {
+	return []byte(root.Value), nil
+}

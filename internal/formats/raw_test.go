@@ -1,0 +1,34 @@
+package formats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRawRoundTrip(t *testing.T) {
+	data := []byte("options {\n  listen-on port 53 { any; };\n};\n")
+	doc, err := Raw{}.Parse("named.conf", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "named.conf" || doc.NumChildren() != 0 {
+		t.Errorf("doc = %s", doc)
+	}
+	out, err := Raw{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(data) {
+		t.Errorf("round trip %q -> %q", data, out)
+	}
+	if (Raw{}).Name() != "raw" {
+		t.Error("wrong name")
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	e := &ParseError{File: "f.conf", Line: 3, Msg: "bad things"}
+	if got := e.Error(); !strings.Contains(got, "f.conf:3: bad things") {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Package tinydns parses and serializes djbdns tinydns-data files. Each
+// line starts with a type character followed by colon-separated fields:
+//
+//	=fqdn:ip:ttl     A record plus the matching PTR — one directive
+//	                 defines both halves of the mapping, the property the
+//	                 paper highlights as a strength of the format (§5.4)
+//	+fqdn:ip:ttl     A record only
+//	^fqdn:name:ttl   PTR record only
+//	Cfqdn:name:ttl   CNAME record
+//	@fqdn:ip:x:dist:ttl  MX record
+//	&fqdn:ip:x:ttl   NS record (delegation)
+//	.fqdn:ip:x:ttl   NS record plus SOA
+//	'fqdn:text:ttl   TXT record
+//	Zfqdn:mname:rname:ser:ref:ret:exp:min:ttl  SOA record
+//	#comment
+package tinydns
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// TypeChars are the directive characters the format accepts.
+const TypeChars = "=+^C@&.'Z"
+
+// Format implements formats.Format for tinydns-data files.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "tinydns" }
+
+// Parse implements formats.Format. Each data line becomes a KindRecord
+// node whose Name is the one-character directive type and whose Value is
+// the raw colon-separated remainder.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	for i, line := range splitLines(data) {
+		t := strings.TrimRight(line, " \t")
+		switch {
+		case strings.TrimSpace(t) == "":
+			doc.Append(confnode.New(confnode.KindBlank, ""))
+		case strings.HasPrefix(t, "#"):
+			doc.Append(confnode.NewValued(confnode.KindComment, "", line))
+		default:
+			c := t[:1]
+			if !strings.Contains(TypeChars, c) {
+				return nil, &formats.ParseError{File: file, Line: i + 1,
+					Msg: "unable to parse data line: unknown leading character " + c}
+			}
+			doc.Append(confnode.NewValued(confnode.KindRecord, c, t[1:]))
+		}
+	}
+	return doc, nil
+}
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	for _, n := range root.Children() {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindRecord:
+			b.WriteString(n.Name)
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		default:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

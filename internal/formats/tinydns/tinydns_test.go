@@ -1,0 +1,95 @@
+package tinydns
+
+import (
+	"errors"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# tinydns data for example.com
+.example.com::ns1.example.com:3600
+=www.example.com:192.0.2.10:3600
+=mail.example.com:192.0.2.20:3600
+Cftp.example.com:www.example.com:3600
+@example.com::mail.example.com:10:3600
+'example.com:v=spf1 mx -all:3600
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("data", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := doc.ChildrenByKind(confnode.KindRecord)
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 6", len(recs))
+	}
+	if recs[0].Name != "." || recs[0].Value != "example.com::ns1.example.com:3600" {
+		t.Errorf("rec0 = %s", recs[0])
+	}
+	if recs[1].Name != "=" {
+		t.Errorf("rec1 = %s", recs[1])
+	}
+	if doc.Child(0).Kind != confnode.KindComment {
+		t.Error("comment lost")
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	doc, err := Format{}.Parse("data", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+func TestUnknownLeadingChar(t *testing.T) {
+	_, err := Format{}.Parse("data", []byte("Xwww.example.com:1.2.3.4\n"))
+	if err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+	var pe *formats.ParseError
+	if !errors.As(err, &pe) || pe.Line != 1 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBlankAndCommentOnly(t *testing.T) {
+	doc, err := Format{}.Parse("data", []byte("\n# c\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "\n# c\n\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestAllTypeChars(t *testing.T) {
+	for _, c := range TypeChars {
+		in := string(c) + "x.example.com:1:2:3\n"
+		doc, err := Format{}.Parse("data", []byte(in))
+		if err != nil {
+			t.Errorf("type %q rejected: %v", c, err)
+			continue
+		}
+		out, _ := Format{}.Serialize(doc)
+		if string(out) != in {
+			t.Errorf("type %q round trip %q", c, out)
+		}
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "tinydns" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,151 @@
+// Package xmlconf parses and serializes generic XML configuration files —
+// one of the input formats the original ConfErr supports (§3.2). Elements
+// with element children become sections; leaf elements become directives
+// whose value is their text content; XML attributes are preserved as
+// node attributes prefixed "xml:".
+//
+// The mapping is deliberately simple: it targets the common
+// "<config><server><port>8080</port>…</server></config>" shape of
+// application configuration files, not general XML documents (no mixed
+// content, CDATA or processing instructions).
+package xmlconf
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// attrPrefix namespaces XML attributes within confnode attributes, so
+// they cannot collide with ConfErr's own bookkeeping attributes.
+const attrPrefix = "xml:"
+
+// Format implements formats.Format for generic XML configuration files.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "xmlconf" }
+
+// Parse implements formats.Format.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	doc := confnode.New(confnode.KindDocument, file)
+	stack := []*confnode.Node{doc}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, &formats.ParseError{File: file, Line: 0, Msg: err.Error()}
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			// A new element: until we know whether it has element
+			// children, treat it as a directive; promote to section when a
+			// child element arrives.
+			n := confnode.New(confnode.KindDirective, t.Name.Local)
+			for _, a := range t.Attr {
+				n.SetAttr(attrPrefix+a.Name.Local, a.Value)
+			}
+			parent := stack[len(stack)-1]
+			if parent.Kind == confnode.KindDirective {
+				parent.Kind = confnode.KindSection
+				parent.Value = ""
+			}
+			parent.Append(n)
+			stack = append(stack, n)
+			text.Reset()
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			if top.Kind == confnode.KindDirective {
+				top.Value = strings.TrimSpace(text.String())
+			}
+			text.Reset()
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text.Write(t)
+		case xml.Comment:
+			parent := stack[len(stack)-1]
+			if parent.Kind == confnode.KindDirective {
+				parent.Kind = confnode.KindSection
+			}
+			parent.Append(confnode.NewValued(confnode.KindComment, "", string(t)))
+		}
+	}
+	if len(stack) != 1 {
+		return nil, &formats.ParseError{File: file, Line: 0, Msg: "unbalanced XML document"}
+	}
+	if doc.CountKind(confnode.KindSection)+doc.CountKind(confnode.KindDirective) == 0 {
+		return nil, &formats.ParseError{File: file, Line: 0, Msg: "no elements in document"}
+	}
+	return doc, nil
+}
+
+// Serialize implements formats.Format, emitting two-space indentation.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	for _, c := range root.Children() {
+		if err := writeNode(&b, c, 0); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func writeNode(b *bytes.Buffer, n *confnode.Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case confnode.KindComment:
+		fmt.Fprintf(b, "%s<!--%s-->\n", indent, n.Value)
+		return nil
+	case confnode.KindBlank:
+		b.WriteByte('\n')
+		return nil
+	case confnode.KindSection, confnode.KindDirective:
+		// Handled below.
+	default:
+		return fmt.Errorf("xmlconf: cannot serialize %s node", n.Kind)
+	}
+
+	b.WriteString(indent)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, k := range n.AttrKeys() {
+		if !strings.HasPrefix(k, attrPrefix) {
+			continue
+		}
+		v, _ := n.Attr(k)
+		fmt.Fprintf(b, " %s=%q", strings.TrimPrefix(k, attrPrefix), escape(v))
+	}
+	if n.Kind == confnode.KindDirective {
+		if n.Value == "" && n.NumChildren() == 0 {
+			b.WriteString("/>\n")
+			return nil
+		}
+		fmt.Fprintf(b, ">%s</%s>\n", escape(n.Value), n.Name)
+		return nil
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children() {
+		if err := writeNode(b, c, depth+1); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(b, "%s</%s>\n", indent, n.Name)
+	return nil
+}
+
+// escape applies minimal XML text escaping.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;")
+	return r.Replace(s)
+}

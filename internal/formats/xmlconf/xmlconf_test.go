@@ -1,0 +1,151 @@
+package xmlconf
+
+import (
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/view"
+)
+
+const sample = `<config>
+  <!-- application settings -->
+  <server role="primary">
+    <port>8080</port>
+    <host>localhost</host>
+    <idle/>
+  </server>
+  <logging>
+    <level>info</level>
+  </logging>
+</config>
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("app.xml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := doc.Child(0)
+	if cfg.Kind != confnode.KindSection || cfg.Name != "config" {
+		t.Fatalf("root element = %s", cfg)
+	}
+	server := cfg.ChildByName("server")
+	if server == nil || server.Kind != confnode.KindSection {
+		t.Fatalf("server = %v", server)
+	}
+	if v, _ := server.Attr("xml:role"); v != "primary" {
+		t.Errorf("role attr = %q", v)
+	}
+	port := server.ChildByName("port")
+	if port.Kind != confnode.KindDirective || port.Value != "8080" {
+		t.Errorf("port = %s", port)
+	}
+	idle := server.ChildByName("idle")
+	if idle.Kind != confnode.KindDirective || idle.Value != "" {
+		t.Errorf("idle = %s", idle)
+	}
+	// Comment preserved.
+	if cfg.CountKind(confnode.KindComment) != 1 {
+		t.Error("comment lost")
+	}
+}
+
+func TestRoundTripStable(t *testing.T) {
+	doc, err := Format{}.Parse("app.xml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Format{}.Parse("app.xml", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !doc.Equal(doc2) {
+		t.Errorf("parse∘serialize not stable:\n%s\nvs\n%s", doc.Dump(), doc2.Dump())
+	}
+	out2, _ := Format{}.Serialize(doc2)
+	if string(out) != string(out2) {
+		t.Errorf("serialize not idempotent:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"<a><b></a></b>",
+		"<unclosed>",
+		"text only",
+	} {
+		if _, err := (Format{}).Parse("f", []byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "f")
+	d := confnode.NewValued(confnode.KindDirective, "msg", `a < b & "c"`)
+	d.SetAttr("xml:note", `x"y`)
+	doc.Append(d)
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "a &lt; b &amp; &quot;c&quot;") {
+		t.Errorf("text not escaped: %s", s)
+	}
+	doc2, err := Format{}.Parse("f", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc2.Child(0).Value; got != `a < b & "c"` {
+		t.Errorf("unescaped value = %q", got)
+	}
+}
+
+func TestWorksWithWordView(t *testing.T) {
+	// The word view targets directives regardless of format; typos on XML
+	// config values flow through the same machinery.
+	doc, err := Format{}.Parse("app.xml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := confnode.NewSet()
+	sys.Put("app.xml", doc)
+	fwd, err := view.WordView{}.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := fwd.Get("app.xml").ChildrenByKind(confnode.KindLine)
+	if len(lines) != 4 { // port, host, idle, level
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Mutate the port value and fold back.
+	lines[0].Child(1).Value = "8o80"
+	back, err := view.WordView{}.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := Format{}.Serialize(back.Get("app.xml"))
+	if !strings.Contains(string(out), "<port>8o80</port>") {
+		t.Errorf("mutation lost:\n%s", out)
+	}
+}
+
+func TestSerializeUnsupportedKind(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "f")
+	doc.Append(confnode.NewValued(confnode.KindWord, "", "stray"))
+	if _, err := (Format{}).Serialize(doc); err == nil {
+		t.Error("stray word node serialized")
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "xmlconf" {
+		t.Error("wrong name")
+	}
+}

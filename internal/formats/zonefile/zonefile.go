@@ -1,0 +1,163 @@
+// Package zonefile parses and serializes DNS master zone files (RFC 1035
+// presentation format) for the record types the paper's zones use: SOA,
+// NS, A, CNAME, MX, PTR, TXT, RP and HINFO. $TTL and $ORIGIN directives
+// are supported; multi-line records (parenthesized SOA) and owner-name
+// inheritance are not — the shipped zones use the explicit one-line form.
+package zonefile
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// Attribute keys used on record nodes.
+const (
+	// AttrType holds the RR type mnemonic ("A", "MX", …).
+	AttrType = "type"
+	// AttrTTL holds the record's explicit TTL, if present.
+	AttrTTL = "ttl"
+	// AttrClass holds the record's explicit class, if present ("IN").
+	AttrClass = "class"
+)
+
+// recordTypes are the RR types the parser recognizes.
+var recordTypes = map[string]bool{
+	"SOA": true, "NS": true, "A": true, "CNAME": true, "MX": true,
+	"PTR": true, "TXT": true, "RP": true, "HINFO": true,
+}
+
+// Format implements formats.Format for zone master files.
+type Format struct{}
+
+var _ formats.Format = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "zonefile" }
+
+// Parse implements formats.Format. $TTL/$ORIGIN become KindDirective
+// nodes; records become KindRecord nodes with the owner as written in
+// Name, the type/ttl/class in attributes, and the raw rdata in Value.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	for i, line := range splitLines(data) {
+		t := strings.TrimSpace(line)
+		switch {
+		case t == "":
+			doc.Append(confnode.New(confnode.KindBlank, ""))
+		case strings.HasPrefix(t, ";"):
+			doc.Append(confnode.NewValued(confnode.KindComment, "", line))
+		case strings.HasPrefix(t, "$"):
+			fields := strings.Fields(t)
+			if len(fields) != 2 {
+				return nil, &formats.ParseError{File: file, Line: i + 1,
+					Msg: "malformed control directive " + t}
+			}
+			doc.Append(confnode.NewValued(confnode.KindDirective, strings.ToUpper(fields[0]), fields[1]))
+		case line[0] == ' ' || line[0] == '\t':
+			return nil, &formats.ParseError{File: file, Line: i + 1,
+				Msg: "owner-name inheritance not supported; write the owner explicitly"}
+		default:
+			rec, err := parseRecord(t)
+			if err != nil {
+				return nil, &formats.ParseError{File: file, Line: i + 1, Msg: err.Error()}
+			}
+			doc.Append(rec)
+		}
+	}
+	return doc, nil
+}
+
+// parseRecord parses "owner [ttl] [class] TYPE rdata".
+func parseRecord(line string) (*confnode.Node, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("record %q needs owner, type and data", line)
+	}
+	owner := fields[0]
+	rest := fields[1:]
+
+	var ttl, class string
+	// Optional TTL.
+	if _, err := strconv.Atoi(rest[0]); err == nil {
+		ttl = rest[0]
+		rest = rest[1:]
+	}
+	// Optional class.
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		class = strings.ToUpper(rest[0])
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("record %q missing type or data", line)
+	}
+	typ := strings.ToUpper(rest[0])
+	if !recordTypes[typ] {
+		return nil, fmt.Errorf("unknown record type %q", rest[0])
+	}
+	rdata := strings.Join(rest[1:], " ")
+	rec := confnode.NewValued(confnode.KindRecord, owner, rdata)
+	rec.SetAttr(AttrType, typ)
+	if ttl != "" {
+		rec.SetAttr(AttrTTL, ttl)
+	}
+	if class != "" {
+		rec.SetAttr(AttrClass, class)
+	}
+	return rec, nil
+}
+
+// Serialize implements formats.Format, emitting fields separated by single
+// tabs — the normalized form the shipped zones use, so unmutated
+// configurations round-trip byte-identically.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	for _, n := range root.Children() {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindDirective:
+			b.WriteString(n.Name)
+			b.WriteByte(' ')
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindRecord:
+			b.WriteString(n.Name)
+			if ttl, ok := n.Attr(AttrTTL); ok {
+				b.WriteByte('\t')
+				b.WriteString(ttl)
+			}
+			if class, ok := n.Attr(AttrClass); ok {
+				b.WriteByte('\t')
+				b.WriteString(class)
+			}
+			b.WriteByte('\t')
+			b.WriteString(n.AttrDefault(AttrType, "A"))
+			b.WriteByte('\t')
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		default:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,128 @@
+package zonefile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `; example.com zone
+$TTL 3600
+$ORIGIN example.com.
+@	IN	SOA	ns1.example.com. hostmaster.example.com. 2008060101 3600 900 604800 86400
+@	IN	NS	ns1.example.com.
+ns1	IN	A	192.0.2.1
+www	3600	IN	A	192.0.2.10
+mail	IN	A	192.0.2.20
+ftp	IN	CNAME	www
+@	IN	MX	10 mail
+@	IN	TXT	"v=spf1 mx -all"
+www	IN	RP	hostmaster.example.com. txt.example.com.
+www	IN	HINFO	"i386" "linux"
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("example.zone", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := doc.ChildrenByKind(confnode.KindRecord)
+	if len(recs) != 10 {
+		t.Fatalf("records = %d, want 10", len(recs))
+	}
+	dirs := doc.ChildrenByKind(confnode.KindDirective)
+	if len(dirs) != 2 || dirs[0].Name != "$TTL" || dirs[1].Name != "$ORIGIN" {
+		t.Errorf("directives = %v", dirs)
+	}
+	soa := recs[0]
+	if soa.Name != "@" || soa.AttrDefault(AttrType, "") != "SOA" {
+		t.Errorf("soa = %s", soa)
+	}
+	if !strings.HasPrefix(soa.Value, "ns1.example.com.") {
+		t.Errorf("soa data = %q", soa.Value)
+	}
+	www := recs[3]
+	if www.Name != "www" || www.AttrDefault(AttrTTL, "") != "3600" ||
+		www.AttrDefault(AttrClass, "") != "IN" || www.Value != "192.0.2.10" {
+		t.Errorf("www = %s", www)
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	doc, err := Format{}.Parse("example.zone", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"$TTL\n",                  // malformed directive
+		"   indented A 1.2.3.4\n", // owner inheritance unsupported
+		"www\n",                   // too few fields
+		"www IN\n",                // missing data
+		"www IN FROB 1.2.3.4\n",   // unknown type
+	}
+	for _, in := range cases {
+		_, err := Format{}.Parse("f", []byte(in))
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+			continue
+		}
+		var pe *formats.ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error type %T", in, err)
+		}
+	}
+}
+
+func TestOptionalFields(t *testing.T) {
+	doc, err := Format{}.Parse("f", []byte("www\tA\t192.0.2.1\nmail\t600\tA\t192.0.2.2\nns\tIN\tNS\tn.example.com.\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := doc.ChildrenByKind(confnode.KindRecord)
+	if _, ok := recs[0].Attr(AttrTTL); ok {
+		t.Error("record without TTL should lack attr")
+	}
+	if _, ok := recs[0].Attr(AttrClass); ok {
+		t.Error("record without class should lack attr")
+	}
+	if ttl, _ := recs[1].Attr(AttrTTL); ttl != "600" {
+		t.Errorf("ttl = %q", ttl)
+	}
+	out, _ := Format{}.Serialize(doc)
+	if string(out) != "www\tA\t192.0.2.1\nmail\t600\tA\t192.0.2.2\nns\tIN\tNS\tn.example.com.\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestSerializeMutatedRecord(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "f")
+	rec := confnode.NewValued(confnode.KindRecord, "x.example.com.", "192.0.2.9")
+	rec.SetAttr(AttrType, "A")
+	doc.Append(rec)
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "x.example.com.\tA\t192.0.2.9\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestFormatName(t *testing.T) {
+	if (Format{}).Name() != "zonefile" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,13 @@
+package keyboard
+
+import "testing"
+
+func BenchmarkNeighbors(b *testing.B) {
+	l := USQwerty()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := l.Neighbors('g'); len(got) == 0 {
+			b.Fatal("no neighbors")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package keyboard
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUSQwertyContains(t *testing.T) {
+	l := USQwerty()
+	for _, r := range "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 `~!@#$%^&*()-_=+[]{}\\|;:'\",<.>/?" {
+		if !l.Contains(r) {
+			t.Errorf("US layout missing %q", r)
+		}
+	}
+	if l.Contains('ü') {
+		t.Error("US layout should not contain ü")
+	}
+	if l.Name() != "us-qwerty" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}
+
+func TestSwissGermanContains(t *testing.T) {
+	l := SwissGerman()
+	for _, r := range "abcdefghijklmnopqrstuvwxyz0123456789üöäèéà çZ" {
+		if !l.Contains(r) {
+			t.Errorf("Swiss layout missing %q", r)
+		}
+	}
+	// QWERTZ: z and y swapped relative to QWERTY.
+	zKey, _, _ := l.KeyFor('z')
+	yKey, _, _ := l.KeyFor('y')
+	if zKey.Y != 1 || yKey.Y != 3 {
+		t.Errorf("QWERTZ rows wrong: z row %v, y row %v", zKey.Y, yKey.Y)
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	l := USQwerty()
+	k, mod, ok := l.KeyFor('a')
+	if !ok || mod != ModNone || k.Base != 'a' {
+		t.Errorf("KeyFor(a) = %v, %v, %v", k, mod, ok)
+	}
+	k2, mod2, ok2 := l.KeyFor('A')
+	if !ok2 || mod2 != ModShift || k2.Shift != 'A' {
+		t.Errorf("KeyFor(A) = %v, %v, %v", k2, mod2, ok2)
+	}
+	if k != k2 {
+		t.Error("a and A should be on the same key")
+	}
+	if _, _, ok := l.KeyFor('€'); ok {
+		t.Error("KeyFor(€) should fail")
+	}
+}
+
+func TestKeyRune(t *testing.T) {
+	k := Key{Base: 'a', Shift: 'A'}
+	if r, ok := k.Rune(ModNone); !ok || r != 'a' {
+		t.Errorf("Rune(none) = %q, %v", r, ok)
+	}
+	if r, ok := k.Rune(ModShift); !ok || r != 'A' {
+		t.Errorf("Rune(shift) = %q, %v", r, ok)
+	}
+	sp := Key{Base: ' '}
+	if _, ok := sp.Rune(ModShift); ok {
+		t.Error("space shifted should produce nothing")
+	}
+}
+
+func neighborSet(l *Layout, r rune) map[rune]bool {
+	out := map[rune]bool{}
+	for _, n := range l.Neighbors(r) {
+		out[n] = true
+	}
+	return out
+}
+
+func TestNeighborsGeometry(t *testing.T) {
+	l := USQwerty()
+	tests := []struct {
+		r       rune
+		include []rune
+		exclude []rune
+	}{
+		{'s', []rune{'a', 'd', 'w', 'e', 'x', 'z'}, []rune{'s', 'f', 'q', 'r', '2'}},
+		{'5', []rune{'4', '6', 'r', 't'}, []rune{'5', 'e', 'y', 'f'}},
+		{'S', []rune{'A', 'D', 'W', 'E', 'X', 'Z'}, []rune{'s', 'a', 'F'}},
+		{'!', []rune{'~', '@', 'Q'}, []rune{'1', '#', 'W'}},
+		{'q', []rune{'w', 'a', '1', '2'}, []rune{'e', 's', 'z'}},
+	}
+	for _, tt := range tests {
+		got := neighborSet(l, tt.r)
+		for _, want := range tt.include {
+			if !got[want] {
+				t.Errorf("Neighbors(%q) missing %q (got %q)", tt.r, want, l.Neighbors(tt.r))
+			}
+		}
+		for _, not := range tt.exclude {
+			if got[not] {
+				t.Errorf("Neighbors(%q) wrongly includes %q", tt.r, not)
+			}
+		}
+	}
+}
+
+func TestNeighborsSortedByDistance(t *testing.T) {
+	l := USQwerty()
+	n := l.Neighbors('g')
+	if len(n) < 4 {
+		t.Fatalf("Neighbors(g) = %q, too few", n)
+	}
+	// f and h are exactly 1 unit away; they must precede diagonals.
+	firstTwo := map[rune]bool{n[0]: true, n[1]: true}
+	if !firstTwo['f'] || !firstTwo['h'] {
+		t.Errorf("nearest neighbors of g should be f,h; got %q", n[:2])
+	}
+}
+
+func TestNeighborsUnknownRune(t *testing.T) {
+	if USQwerty().Neighbors('€') != nil {
+		t.Error("Neighbors of unknown rune should be nil")
+	}
+}
+
+func TestNeighborsDeterministic(t *testing.T) {
+	l := USQwerty()
+	a := l.Neighbors('k')
+	b := l.Neighbors('k')
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("order not deterministic")
+		}
+	}
+}
+
+func TestShiftCounterpart(t *testing.T) {
+	l := USQwerty()
+	tests := []struct {
+		in   rune
+		want rune
+	}{
+		{'a', 'A'}, {'A', 'a'}, {'1', '!'}, {'!', '1'}, {';', ':'}, {'/', '?'},
+	}
+	for _, tt := range tests {
+		got, ok := l.ShiftCounterpart(tt.in)
+		if !ok || got != tt.want {
+			t.Errorf("ShiftCounterpart(%q) = %q, %v; want %q", tt.in, got, ok, tt.want)
+		}
+	}
+	if _, ok := l.ShiftCounterpart(' '); ok {
+		t.Error("space has no shift counterpart")
+	}
+	if _, ok := l.ShiftCounterpart('€'); ok {
+		t.Error("unknown rune has no counterpart")
+	}
+}
+
+func TestRunes(t *testing.T) {
+	l := USQwerty()
+	rs := l.Runes()
+	if len(rs) < 90 {
+		t.Errorf("US layout produces %d runes, expected >= 90", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1] >= rs[i] {
+			t.Fatal("Runes not sorted/unique")
+		}
+	}
+}
+
+func TestDefaultIsUS(t *testing.T) {
+	if Default().Name() != "us-qwerty" {
+		t.Error("Default should be US QWERTY")
+	}
+}
+
+// Property: neighborhood is symmetric for same-modifier pairs — if b is a
+// neighbor of a then a is a neighbor of b.
+func TestPropertyNeighborSymmetry(t *testing.T) {
+	for _, l := range []*Layout{USQwerty(), SwissGerman()} {
+		for _, a := range l.Runes() {
+			for _, b := range l.Neighbors(a) {
+				_, amod, _ := l.KeyFor(a)
+				_, bmod, _ := l.KeyFor(b)
+				if amod != bmod {
+					t.Errorf("%s: neighbor %q of %q has different modifier", l.Name(), b, a)
+					continue
+				}
+				found := false
+				for _, back := range l.Neighbors(b) {
+					if back == a {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s: %q in Neighbors(%q) but not vice versa", l.Name(), b, a)
+				}
+			}
+		}
+	}
+}
+
+// Property: neighbors never include the rune itself and are unique.
+func TestPropertyNeighborsProper(t *testing.T) {
+	l := USQwerty()
+	runes := l.Runes()
+	f := func(idx uint16) bool {
+		r := runes[int(idx)%len(runes)]
+		seen := map[rune]bool{}
+		for _, n := range l.Neighbors(r) {
+			if n == r || seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShiftCounterpart is an involution where defined on both sides.
+func TestPropertyShiftInvolution(t *testing.T) {
+	for _, l := range []*Layout{USQwerty(), SwissGerman()} {
+		for _, r := range l.Runes() {
+			c, ok := l.ShiftCounterpart(r)
+			if !ok {
+				continue
+			}
+			back, ok2 := l.ShiftCounterpart(c)
+			if !ok2 || back != r {
+				t.Errorf("%s: ShiftCounterpart not involutive at %q (-> %q -> %q)", l.Name(), r, c, back)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package editsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/scenario"
+	"conferr/internal/view"
+)
+
+// wordSet builds a word view with two directive lines: port=5432 and
+// shared_buffers=32MB.
+func wordSet() *confnode.Set {
+	doc := confnode.New(confnode.KindDocument, "postgresql.conf")
+	for i, kv := range [][2]string{{"port", "5432"}, {"shared_buffers", "32MB"}} {
+		line := confnode.New(confnode.KindLine, "")
+		line.SetAttr(view.SrcAttr, "postgresql.conf#"+string(rune('0'+i)))
+		name := confnode.NewValued(confnode.KindWord, "", kv[0])
+		name.SetAttr(view.TokenAttr, view.TokenName)
+		val := confnode.NewValued(confnode.KindWord, "", kv[1])
+		val.SetAttr(view.TokenAttr, view.TokenValue)
+		line.Append(name, val)
+		doc.Append(line)
+	}
+	set := confnode.NewSet()
+	set.Put("postgresql.conf", doc)
+	return set
+}
+
+func TestGenerate(t *testing.T) {
+	p := &Plugin{
+		Edits: []Edit{
+			{Directive: "shared_buffers", NewValue: "64MB"},
+			{Directive: "port", NewValue: "6000"},
+		},
+		PerEdit: 5,
+		Rng:     rand.New(rand.NewSource(1)),
+	}
+	scens, err := p.Generate(wordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 10 {
+		t.Fatalf("scenarios = %d, want 10", len(scens))
+	}
+	if p.Name() != "editsim" || p.View().Name() != "word" {
+		t.Error("identity wrong")
+	}
+	set := wordSet()
+	for _, s := range scens {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		// The edit+typo lands in the intended line's value token; the
+		// result differs from both the original and the clean new value.
+		var line *confnode.Node
+		if strings.Contains(s.ID, "shared_buffers") {
+			line = clone.Get("postgresql.conf").Child(1)
+		} else {
+			line = clone.Get("postgresql.conf").Child(0)
+		}
+		words := line.ChildrenByKind(confnode.KindWord)
+		got := words[len(words)-1].Value
+		if got == "5432" || got == "32MB" {
+			t.Errorf("%s: value %q — edit not applied", s.ID, got)
+		}
+		if got == "64MB" || got == "6000" {
+			t.Errorf("%s: value %q — typo not applied", s.ID, got)
+		}
+	}
+}
+
+func TestCleanEditControl(t *testing.T) {
+	p := &Plugin{
+		Edits:            []Edit{{Directive: "port", NewValue: "6000"}},
+		PerEdit:          2,
+		Rng:              rand.New(rand.NewSource(2)),
+		IncludeCleanEdit: true,
+	}
+	scens, err := p.Generate(wordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 3 {
+		t.Fatalf("scenarios = %d, want 3 (1 clean + 2 faulty)", len(scens))
+	}
+	var clean scenario.Scenario
+	for _, s := range scens {
+		if s.Class == "editsim/clean" {
+			clean = s
+		}
+	}
+	if clean.Apply == nil {
+		t.Fatal("no clean-edit control scenario")
+	}
+	set := wordSet()
+	if err := clean.Apply(set); err != nil {
+		t.Fatal(err)
+	}
+	if got := set.Get("postgresql.conf").Child(0).Child(1).Value; got != "6000" {
+		t.Errorf("clean edit value = %q, want 6000", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := &Plugin{Edits: []Edit{{Directive: "port", NewValue: "1"}}}
+	if _, err := p.Generate(wordSet()); err == nil {
+		t.Error("missing Rng accepted")
+	}
+	p = &Plugin{
+		Edits: []Edit{{Directive: "no_such_directive", NewValue: "1"}},
+		Rng:   rand.New(rand.NewSource(1)),
+	}
+	if _, err := p.Generate(wordSet()); err == nil {
+		t.Error("unknown directive accepted")
+	}
+}
+
+func TestCaseInsensitiveDirectiveLookup(t *testing.T) {
+	p := &Plugin{
+		Edits:   []Edit{{Directive: "Shared_Buffers", NewValue: "64MB"}},
+		PerEdit: 1,
+		Rng:     rand.New(rand.NewSource(1)),
+	}
+	if _, err := p.Generate(wordSet()); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	gen := func() []string {
+		p := &Plugin{
+			Edits:   []Edit{{Directive: "port", NewValue: "6000"}},
+			PerEdit: 6,
+			Rng:     rand.New(rand.NewSource(9)),
+		}
+		scens, err := p.Generate(wordSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, len(scens))
+		for i, s := range scens {
+			ids[i] = s.ID
+		}
+		return ids
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("IDs differ at %d", i)
+		}
+	}
+}

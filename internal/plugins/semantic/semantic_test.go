@@ -1,0 +1,264 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/dnsmodel"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/formats/zonefile"
+	"conferr/internal/scenario"
+	"conferr/internal/suts/bind"
+	"conferr/internal/suts/djbdns"
+)
+
+// bindViewSet builds the record view of the BIND simulator's default
+// zones.
+func bindViewSet(t *testing.T) (*confnode.Set, dnsmodel.ZoneRecordView) {
+	t.Helper()
+	s, err := bind.New(5353)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.DefaultConfig()
+	sys := confnode.NewSet()
+	for _, name := range []string{bind.ForwardZoneFile, bind.ReverseZoneFile} {
+		doc, err := (zonefile.Format{}).Parse(name, files[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Put(name, doc)
+	}
+	v := dnsmodel.ZoneRecordView{Origins: bind.Origins()}
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fwd, v
+}
+
+func tinyViewSet(t *testing.T) *confnode.Set {
+	t.Helper()
+	s, err := djbdns.New(5353)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := (tinydns.Format{}).Parse(djbdns.DataFile, s.DefaultConfig()[djbdns.DataFile])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := confnode.NewSet()
+	sys.Put(djbdns.DataFile, doc)
+	v := dnsmodel.TinyRecordView{File: djbdns.DataFile}
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fwd
+}
+
+func TestGenerateAllClassesBind(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v}
+	scens, err := p.Generate(viewSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := scenario.ByClass(scens)
+	// 3 PTR records to delete.
+	if got := len(byClass[ClassMissingPTR]); got != 3 {
+		t.Errorf("missing-ptr = %d, want 3", got)
+	}
+	// PTR www -> alias ftp; PTR mail -> alias webmail.
+	if got := len(byClass[ClassPTRToCNAME]); got != 2 {
+		t.Errorf("ptr-to-cname = %d, want 2", got)
+	}
+	// 2 NS records (one per zone).
+	if got := len(byClass[ClassCNAMEDupNS]); got != 2 {
+		t.Errorf("cname-dup-ns = %d, want 2", got)
+	}
+	// 1 MX × 2 aliases.
+	if got := len(byClass[ClassMXToCNAME]); got != 2 {
+		t.Errorf("mx-to-cname = %d, want 2", got)
+	}
+	if got := len(byClass[ClassCNAMEChain]); got != 2 {
+		t.Errorf("cname-chain = %d, want 2", got)
+	}
+	if len(byClass[ClassDuplicateRecord]) == 0 || len(byClass[ClassAddressInCNAME]) == 0 {
+		t.Error("extension classes missing")
+	}
+	for _, s := range scens {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid scenario: %v", err)
+		}
+	}
+	if p.Name() != "semantic-dns" {
+		t.Error("name wrong")
+	}
+	if p.View().Name() != "zone-records" {
+		t.Error("view wrong")
+	}
+}
+
+func TestClassFilter(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassMissingPTR}}
+	scens, err := p.Generate(viewSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scens {
+		if s.Class != ClassMissingPTR {
+			t.Errorf("unexpected class %s", s.Class)
+		}
+	}
+	p.Classes = []string{"semantic/bogus"}
+	if _, err := p.Generate(viewSet); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestMissingPTRApply(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassMissingPTR}}
+	scens, _ := p.Generate(viewSet)
+	clone := viewSet.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	before := viewSet.Get(bind.ReverseZoneFile).CountKind(confnode.KindRecord)
+	after := clone.Get(bind.ReverseZoneFile).CountKind(confnode.KindRecord)
+	if after != before-1 {
+		t.Errorf("records %d -> %d, want one fewer", before, after)
+	}
+}
+
+func TestPTRToCNAMEApply(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassPTRToCNAME}}
+	scens, _ := p.Generate(viewSet)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	clone := viewSet.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	clone.Get(bind.ReverseZoneFile).Walk(func(n *confnode.Node) bool {
+		if n.Kind == confnode.KindRecord && (n.Value == "ftp.example.com" || n.Value == "webmail.example.com") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("no PTR retargeted at an alias")
+	}
+}
+
+func TestCNAMEDupNSApply(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassCNAMEDupNS}}
+	scens, _ := p.Generate(viewSet)
+	clone := viewSet.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	// An inserted CNAME with an NS owner must exist somewhere.
+	dup := false
+	clone.Walk(func(_ string, root *confnode.Node) {
+		for _, n := range root.ChildrenByKind(confnode.KindRecord) {
+			if n.AttrDefault(dnsmodel.AttrType, "") != "CNAME" {
+				continue
+			}
+			for _, m := range root.ChildrenByKind(confnode.KindRecord) {
+				if m.AttrDefault(dnsmodel.AttrType, "") == "NS" && m.Name == n.Name {
+					dup = true
+				}
+			}
+		}
+	})
+	if !dup {
+		t.Error("no CNAME duplicating an NS owner")
+	}
+}
+
+func TestMXToCNAMEApply(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassMXToCNAME}}
+	scens, _ := p.Generate(viewSet)
+	clone := viewSet.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	clone.Get(bind.ForwardZoneFile).Walk(func(n *confnode.Node) bool {
+		if n.Kind == confnode.KindRecord && n.AttrDefault(dnsmodel.AttrType, "") == "MX" {
+			f := strings.Fields(n.Value)
+			if len(f) == 2 && (f[1] == "ftp.example.com" || f[1] == "webmail.example.com") {
+				ok = true
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Error("MX not retargeted at alias")
+	}
+}
+
+func TestGenerateOnTinyView(t *testing.T) {
+	viewSet := tinyViewSet(t)
+	p := &Plugin{
+		RecordView: dnsmodel.TinyRecordView{File: djbdns.DataFile},
+		Classes:    []string{ClassMissingPTR, ClassPTRToCNAME, ClassCNAMEDupNS, ClassMXToCNAME},
+	}
+	scens, err := p.Generate(viewSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := scenario.ByClass(scens)
+	// The same generator finds targets in the tinydns view: 3 derived
+	// PTRs, aliases, NS records and the MX.
+	if len(byClass[ClassMissingPTR]) != 3 {
+		t.Errorf("missing-ptr = %d", len(byClass[ClassMissingPTR]))
+	}
+	if len(byClass[ClassPTRToCNAME]) != 2 {
+		t.Errorf("ptr-to-cname = %d", len(byClass[ClassPTRToCNAME]))
+	}
+	if len(byClass[ClassCNAMEDupNS]) != 2 {
+		t.Errorf("cname-dup-ns = %d", len(byClass[ClassCNAMEDupNS]))
+	}
+	if len(byClass[ClassMXToCNAME]) != 2 {
+		t.Errorf("mx-to-cname = %d", len(byClass[ClassMXToCNAME]))
+	}
+}
+
+func TestDuplicateRecordKeepsProvenanceClean(t *testing.T) {
+	viewSet, v := bindViewSet(t)
+	p := &Plugin{RecordView: v, Classes: []string{ClassDuplicateRecord}}
+	scens, _ := p.Generate(viewSet)
+	clone := viewSet.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate must NOT carry provenance (it is an insert, not an
+	// update of the original).
+	total := 0
+	clone.Walk(func(_ string, root *confnode.Node) {
+		for _, n := range root.ChildrenByKind(confnode.KindRecord) {
+			if _, ok := n.Attr("src"); !ok {
+				total++
+			}
+		}
+	})
+	if total != 1 {
+		t.Errorf("unprovenanced records = %d, want 1", total)
+	}
+}
+
+func TestAllClassesList(t *testing.T) {
+	if len(AllClasses()) != 7 {
+		t.Errorf("AllClasses = %d", len(AllClasses()))
+	}
+}

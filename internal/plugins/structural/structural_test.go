@@ -1,0 +1,342 @@
+package structural
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+	"conferr/internal/formats/ini"
+	"conferr/internal/scenario"
+)
+
+const sampleINI = `[mysqld]
+port = 3306
+key_buffer_size = 16M
+max_connections = 151
+
+[mysqldump]
+quick
+max_allowed_packet = 16M
+`
+
+func iniSet(t *testing.T) *confnode.Set {
+	t.Helper()
+	doc, err := (ini.Format{}).Parse("my.cnf", []byte(sampleINI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := confnode.NewSet()
+	set.Put("my.cnf", doc)
+	return set
+}
+
+func TestPluginGenerate(t *testing.T) {
+	p := &Plugin{Sections: true}
+	scens, err := p.Generate(iniSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := scenario.ByClass(scens)
+	// 5 directives to omit/duplicate; moves: each directive to the other
+	// section; 2 sections to omit/duplicate.
+	if got := len(byClass["structural/omit-directive"]); got != 5 {
+		t.Errorf("omit-directive = %d", got)
+	}
+	if got := len(byClass["structural/duplicate-directive"]); got != 5 {
+		t.Errorf("duplicate-directive = %d", got)
+	}
+	if got := len(byClass["structural/misplace-directive"]); got != 5 {
+		t.Errorf("misplace-directive = %d", got)
+	}
+	if got := len(byClass["structural/omit-section"]); got != 2 {
+		t.Errorf("omit-section = %d", got)
+	}
+	if got := len(byClass["structural/duplicate-section"]); got != 2 {
+		t.Errorf("duplicate-section = %d", got)
+	}
+	if p.Name() != "structural" || p.View().Name() != "struct" {
+		t.Error("identity wrong")
+	}
+}
+
+func TestPluginPerClassSampling(t *testing.T) {
+	p := &Plugin{Sections: true, PerClass: 1, Rng: rand.New(rand.NewSource(3))}
+	scens, err := p.Generate(iniSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class, s := range scenario.ByClass(scens) {
+		if len(s) != 1 {
+			t.Errorf("class %s has %d scenarios", class, len(s))
+		}
+	}
+	if _, err := (&Plugin{PerClass: 1}).Generate(iniSet(t)); err == nil {
+		t.Error("PerClass without Rng should error")
+	}
+}
+
+func TestMisplaceDirectiveScenario(t *testing.T) {
+	p := &Plugin{}
+	scens, _ := p.Generate(iniSet(t))
+	var move scenario.Scenario
+	for _, s := range scens {
+		if s.Class == "structural/misplace-directive" && strings.Contains(s.Description, "port") {
+			move = s
+			break
+		}
+	}
+	if move.Apply == nil {
+		t.Fatal("no move scenario for port")
+	}
+	set := iniSet(t)
+	clone := set.Clone()
+	if err := move.Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	mysqld := clone.Get("my.cnf").ChildByName("mysqld")
+	dump := clone.Get("my.cnf").ChildByName("mysqldump")
+	if mysqld.ChildByName("port") != nil {
+		t.Error("port still in [mysqld]")
+	}
+	if dump.ChildByName("port") == nil {
+		t.Error("port not in [mysqldump]")
+	}
+}
+
+func variationScens(t *testing.T, class string, per int) []scenario.Scenario {
+	t.Helper()
+	v := &Variations{Classes: []string{class}, PerClass: per, Rng: rand.New(rand.NewSource(7))}
+	scens, err := v.Generate(iniSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != per {
+		t.Fatalf("scenarios = %d, want %d", len(scens), per)
+	}
+	return scens
+}
+
+func TestVariationSectionOrderPreservesContent(t *testing.T) {
+	set := iniSet(t)
+	for _, s := range variationScens(t, VariationSectionOrder, 10) {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		doc := clone.Get("my.cnf")
+		if doc.CountKind(confnode.KindSection) != 2 || doc.CountKind(confnode.KindDirective) != 5 {
+			t.Fatal("section order variation lost content")
+		}
+		// Sections keep their own directives.
+		mysqld := doc.ChildByName("mysqld")
+		if mysqld.ChildByName("port") == nil {
+			t.Error("port lost from [mysqld]")
+		}
+	}
+}
+
+func TestVariationDirectiveOrderPreservesMembership(t *testing.T) {
+	set := iniSet(t)
+	changed := false
+	for _, s := range variationScens(t, VariationDirectiveOrder, 10) {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		mysqld := clone.Get("my.cnf").ChildByName("mysqld")
+		if mysqld.CountKind(confnode.KindDirective) != 3 {
+			t.Fatal("directive lost")
+		}
+		if mysqld.Child(0).Name != "port" {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("10 reorders never moved the first directive; rewrite inert?")
+	}
+}
+
+func TestVariationSpacesChangesSeparators(t *testing.T) {
+	set := iniSet(t)
+	changed := false
+	for _, s := range variationScens(t, VariationSpaces, 10) {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		port := clone.Get("my.cnf").ChildByName("mysqld").ChildByName("port")
+		if sep, _ := port.Attr(formats.AttrSep); sep != " = " {
+			changed = true
+			if !strings.Contains(sep, "=") {
+				t.Errorf("separator %q lost '='", sep)
+			}
+		}
+	}
+	if !changed {
+		t.Error("spaces rewrite never changed a separator")
+	}
+}
+
+func TestVariationMixedCaseAltersEveryName(t *testing.T) {
+	set := iniSet(t)
+	for _, s := range variationScens(t, VariationMixedCase, 5) {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		clone.Get("my.cnf").Walk(func(n *confnode.Node) bool {
+			if n.Kind != confnode.KindDirective {
+				return true
+			}
+			orig := findOriginal(set, n)
+			if orig == nil {
+				t.Errorf("no original for %q", n.Name)
+				return true
+			}
+			if n.Name == orig.Name {
+				t.Errorf("name %q unchanged by mixed-case rewrite", n.Name)
+			}
+			if !strings.EqualFold(n.Name, orig.Name) {
+				t.Errorf("mixed-case changed letters: %q vs %q", n.Name, orig.Name)
+			}
+			return true
+		})
+	}
+}
+
+// findOriginal locates the original directive at the same tree position.
+func findOriginal(set *confnode.Set, n *confnode.Node) *confnode.Node {
+	var path []int
+	for cur := n; cur.Parent() != nil; cur = cur.Parent() {
+		path = append([]int{cur.Index()}, path...)
+	}
+	orig := set.Get("my.cnf")
+	for _, i := range path {
+		orig = orig.Child(i)
+	}
+	return orig
+}
+
+func TestVariationTruncatedNames(t *testing.T) {
+	set := iniSet(t)
+	truncated := false
+	for _, s := range variationScens(t, VariationTruncatedNames, 10) {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		kb := clone.Get("my.cnf").ChildByName("mysqld").Child(1)
+		if kb.Name == "key_buffer_siz" {
+			truncated = true
+		} else if kb.Name != "key_buffer_size" {
+			t.Errorf("unexpected truncation %q", kb.Name)
+		}
+	}
+	if !truncated {
+		t.Error("truncation never applied over 10 rewrites")
+	}
+}
+
+func TestVariationsReplayable(t *testing.T) {
+	set := iniSet(t)
+	v := &Variations{PerClass: 3, Rng: rand.New(rand.NewSource(42))}
+	scens, err := v.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scens {
+		a, b := set.Clone(), set.Clone()
+		if err := s.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("scenario %s not replayable", s.ID)
+		}
+	}
+}
+
+func TestVariationsErrors(t *testing.T) {
+	if _, err := (&Variations{}).Generate(iniSet(t)); err == nil {
+		t.Error("missing Rng accepted")
+	}
+	v := &Variations{Classes: []string{"variation/bogus"}, Rng: rand.New(rand.NewSource(1))}
+	if _, err := v.Generate(iniSet(t)); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestAllVariationClasses(t *testing.T) {
+	if len(AllVariationClasses()) != 5 {
+		t.Error("expected 5 Table 2 rows")
+	}
+}
+
+func kvDonor(t *testing.T) *confnode.Set {
+	t.Helper()
+	doc := confnode.New(confnode.KindDocument, "postgresql.conf")
+	doc.Append(
+		confnode.NewValued(confnode.KindDirective, "shared_buffers", "32MB"),
+		confnode.NewValued(confnode.KindDirective, "max_connections", "100"),
+	)
+	set := confnode.NewSet()
+	set.Put("postgresql.conf", doc)
+	return set
+}
+
+func TestBorrowGenerate(t *testing.T) {
+	b := &Borrow{Donor: kvDonor(t)}
+	scens, err := b.Generate(iniSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 foreign directives × (1 doc root + 2 sections) = 6.
+	if len(scens) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(scens))
+	}
+	if b.Name() != "borrow" || b.View().Name() != "struct" {
+		t.Error("identity wrong")
+	}
+	set := iniSet(t)
+	for _, s := range scens {
+		clone := set.Clone()
+		if err := s.Apply(clone); err != nil {
+			t.Fatal(err)
+		}
+		// Exactly one directive more than the original.
+		orig := countDirs(set)
+		got := countDirs(clone)
+		if got != orig+1 {
+			t.Errorf("%s: directives %d -> %d", s.ID, orig, got)
+		}
+	}
+}
+
+func countDirs(set *confnode.Set) int {
+	n := 0
+	set.Walk(func(_ string, root *confnode.Node) {
+		n += root.CountKind(confnode.KindDirective)
+	})
+	return n
+}
+
+func TestBorrowSamplingAndErrors(t *testing.T) {
+	b := &Borrow{Donor: kvDonor(t), PerClass: 2, Rng: rand.New(rand.NewSource(1))}
+	scens, err := b.Generate(iniSet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 2 {
+		t.Errorf("sampled = %d", len(scens))
+	}
+	if _, err := (&Borrow{}).Generate(iniSet(t)); err == nil {
+		t.Error("missing donor accepted")
+	}
+	if _, err := (&Borrow{Donor: kvDonor(t), PerClass: 1}).Generate(iniSet(t)); err == nil {
+		t.Error("sampling without Rng accepted")
+	}
+}

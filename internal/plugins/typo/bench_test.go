@@ -1,0 +1,18 @@
+package typo
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	set := wordSet()
+	p := &Plugin{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scens, err := p.Generate(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scens) == 0 {
+			b.Fatal("no scenarios")
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package typo implements ConfErr's spelling-mistakes error generator
+// (paper §2.1, §4.1). It operates on the word view of a configuration and
+// provides one submodel per error category — omissions, insertions,
+// substitutions, case alterations and transpositions — each a
+// template.Mutator specializing the abstract modify template. Insertions
+// and substitutions are keyboard-aware: they only produce characters a
+// human could hit by pressing a key adjacent to the intended one with the
+// same modifiers.
+package typo
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"unicode"
+
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/keyboard"
+	"conferr/internal/scenario"
+	"conferr/internal/template"
+	"conferr/internal/view"
+)
+
+// Omission generates variants that drop one character from the token,
+// modeling characters missed during hurried typing. The paper restricts
+// the model to single-letter omissions, which are the common case.
+type Omission struct{}
+
+var _ template.Mutator = Omission{}
+
+// Name implements template.Mutator.
+func (Omission) Name() string { return "omission" }
+
+// Variants implements template.Mutator.
+func (Omission) Variants(n *confnode.Node) []template.Variant {
+	runes := []rune(n.Value)
+	out := make([]template.Variant, 0, len(runes))
+	for i := range runes {
+		i := i
+		mutated := string(runes[:i]) + string(runes[i+1:])
+		out = append(out, template.Variant{
+			Description: fmt.Sprintf("omit %q at %d -> %q", runes[i], i, mutated),
+			Apply:       func(m *confnode.Node) { m.Value = mutated },
+		})
+	}
+	return out
+}
+
+// Insertion generates variants that introduce a spurious character next to
+// an existing one. For each position, the inserted characters are the
+// keyboard neighbors of the character at that position — the keys a finger
+// could have brushed while typing it.
+type Insertion struct {
+	// Layout is the keyboard to draw neighbor characters from; nil means
+	// keyboard.Default().
+	Layout *keyboard.Layout
+}
+
+var _ template.Mutator = Insertion{}
+
+// Name implements template.Mutator.
+func (Insertion) Name() string { return "insertion" }
+
+// Variants implements template.Mutator.
+func (t Insertion) Variants(n *confnode.Node) []template.Variant {
+	layout := t.Layout
+	if layout == nil {
+		layout = keyboard.Default()
+	}
+	runes := []rune(n.Value)
+	var out []template.Variant
+	for i, r := range runes {
+		for _, nb := range layout.Neighbors(r) {
+			if nb == ' ' {
+				// A stray space splits the token; word identity is handled
+				// by the structural model, so skip it here.
+				continue
+			}
+			mutated := string(runes[:i]) + string(nb) + string(runes[i:])
+			out = append(out, template.Variant{
+				Description: fmt.Sprintf("insert %q before %d -> %q", nb, i, mutated),
+				Apply: func(m *confnode.Node) {
+					m.Value = mutated
+				},
+			})
+		}
+	}
+	return out
+}
+
+// Substitution generates variants that replace one character with a
+// keyboard neighbor, modeling an operator pressing a nearby key with the
+// same modifier combination.
+type Substitution struct {
+	// Layout is the keyboard to draw neighbor characters from; nil means
+	// keyboard.Default().
+	Layout *keyboard.Layout
+}
+
+var _ template.Mutator = Substitution{}
+
+// Name implements template.Mutator.
+func (Substitution) Name() string { return "substitution" }
+
+// Variants implements template.Mutator.
+func (t Substitution) Variants(n *confnode.Node) []template.Variant {
+	layout := t.Layout
+	if layout == nil {
+		layout = keyboard.Default()
+	}
+	runes := []rune(n.Value)
+	var out []template.Variant
+	for i, r := range runes {
+		for _, nb := range layout.Neighbors(r) {
+			if nb == ' ' {
+				continue
+			}
+			mutated := string(runes[:i]) + string(nb) + string(runes[i+1:])
+			out = append(out, template.Variant{
+				Description: fmt.Sprintf("substitute %q for %q at %d -> %q", nb, r, i, mutated),
+				Apply: func(m *confnode.Node) {
+					m.Value = mutated
+				},
+			})
+		}
+	}
+	return out
+}
+
+// CaseAlteration generates variants that swap the case of adjacent letters
+// — the signature of a mis-coordinated Shift press ("Value" typed as
+// "vAlue"). A variant is produced for each adjacent pair containing at
+// least one cased letter, with both letters' cases toggled.
+type CaseAlteration struct{}
+
+var _ template.Mutator = CaseAlteration{}
+
+// Name implements template.Mutator.
+func (CaseAlteration) Name() string { return "case" }
+
+// Variants implements template.Mutator.
+func (CaseAlteration) Variants(n *confnode.Node) []template.Variant {
+	runes := []rune(n.Value)
+	var out []template.Variant
+	for i := 0; i+1 < len(runes); i++ {
+		a, b := toggleCase(runes[i]), toggleCase(runes[i+1])
+		if a == runes[i] && b == runes[i+1] {
+			continue
+		}
+		mutated := string(runes[:i]) + string(a) + string(b) + string(runes[i+2:])
+		if mutated == n.Value {
+			continue
+		}
+		i := i
+		out = append(out, template.Variant{
+			Description: fmt.Sprintf("swap case at %d -> %q", i, mutated),
+			Apply:       func(m *confnode.Node) { m.Value = mutated },
+		})
+	}
+	return out
+}
+
+func toggleCase(r rune) rune {
+	switch {
+	case unicode.IsUpper(r):
+		return unicode.ToLower(r)
+	case unicode.IsLower(r):
+		return unicode.ToUpper(r)
+	default:
+		return r
+	}
+}
+
+// Transposition generates variants that swap two adjacent characters,
+// modeling out-of-order key presses. Pairs of equal characters are skipped
+// (the swap would be invisible). The paper notes letters in different
+// words are rarely swapped, so the model never crosses token boundaries.
+type Transposition struct{}
+
+var _ template.Mutator = Transposition{}
+
+// Name implements template.Mutator.
+func (Transposition) Name() string { return "transposition" }
+
+// Variants implements template.Mutator.
+func (Transposition) Variants(n *confnode.Node) []template.Variant {
+	runes := []rune(n.Value)
+	var out []template.Variant
+	for i := 0; i+1 < len(runes); i++ {
+		if runes[i] == runes[i+1] {
+			continue
+		}
+		mutated := string(runes[:i]) + string(runes[i+1]) + string(runes[i]) + string(runes[i+2:])
+		i := i
+		out = append(out, template.Variant{
+			Description: fmt.Sprintf("transpose %d/%d -> %q", i, i+1, mutated),
+			Apply:       func(m *confnode.Node) { m.Value = mutated },
+		})
+	}
+	return out
+}
+
+// Plugin is the spelling-mistakes error generator. It composes the five
+// submodels over the word view and optionally samples a bounded number of
+// scenarios per submodel, mirroring the paper's plugin, which "generates
+// errors by choosing random subsets of typos".
+type Plugin struct {
+	// Layout is the keyboard used by insertion and substitution; nil means
+	// keyboard.Default().
+	Layout *keyboard.Layout
+	// Tokens restricts injection to word tokens of these classes
+	// (view.TokenName, view.TokenValue). Empty means all tokens.
+	Tokens []string
+	// PerModel bounds the number of scenarios drawn from each submodel;
+	// 0 means keep all. Sampling uses Rng.
+	PerModel int
+	// PerDirective bounds the number of scenarios per configuration
+	// directive, drawn uniformly across all submodels — the paper's §5.5
+	// faultload ("20 experiments for each directive"). 0 disables.
+	// PerModel and PerDirective compose: PerModel caps first.
+	PerDirective int
+	// Rng drives sampling; required when PerModel or PerDirective > 0.
+	Rng *rand.Rand
+	// Models overrides the submodels to use; nil means all five.
+	Models []template.Mutator
+}
+
+// View returns the configuration view the plugin's scenarios apply to.
+func (p *Plugin) View() view.View { return view.WordView{} }
+
+// Name identifies the plugin.
+func (p *Plugin) Name() string { return "typo" }
+
+// targetExpr builds the cpath expression selecting the word tokens to
+// mutate.
+func (p *Plugin) targetExprs() []*cpath.Expr {
+	if len(p.Tokens) == 0 {
+		return []*cpath.Expr{cpath.MustCompile("//word")}
+	}
+	out := make([]*cpath.Expr, 0, len(p.Tokens))
+	for _, tok := range p.Tokens {
+		expr, err := cpath.Compile(fmt.Sprintf("//word[@%s='%s']", view.TokenAttr, tok))
+		if err != nil {
+			// Token classes are package constants; a failure here is a
+			// programming error surfaced in tests.
+			panic(err)
+		}
+		out = append(out, expr)
+	}
+	return out
+}
+
+// models returns the active submodels.
+func (p *Plugin) models() []template.Mutator {
+	if len(p.Models) > 0 {
+		return p.Models
+	}
+	return []template.Mutator{
+		Omission{},
+		Insertion{Layout: p.Layout},
+		Substitution{Layout: p.Layout},
+		CaseAlteration{},
+		Transposition{},
+	}
+}
+
+// Generate enumerates typo scenarios for the given word-view configuration
+// set. Scenarios are grouped per submodel class ("typo/omission", …); when
+// PerModel is set, each class is independently down-sampled, which
+// preserves variety across classes while bounding the faultload (paper
+// §5.1: the plugins "declaratively specify broad fault classes and then
+// select one element of each class").
+func (p *Plugin) Generate(wordSet *confnode.Set) ([]scenario.Scenario, error) {
+	if (p.PerModel > 0 || p.PerDirective > 0) && p.Rng == nil {
+		return nil, fmt.Errorf("typo: sampling requires Rng")
+	}
+	var all []scenario.Scenario
+	for _, m := range p.models() {
+		var classScens []scenario.Scenario
+		for _, expr := range p.targetExprs() {
+			tpl := &template.ModifyTemplate{
+				Targets: expr,
+				Mutator: m,
+				Class:   "typo/" + m.Name(),
+			}
+			s, err := tpl.Generate(wordSet)
+			if err != nil {
+				return nil, fmt.Errorf("typo: %s: %w", m.Name(), err)
+			}
+			classScens = append(classScens, s...)
+		}
+		if p.PerModel > 0 {
+			classScens = scenario.RandomSubset(p.Rng, classScens, p.PerModel)
+		}
+		all = append(all, classScens...)
+	}
+	if p.PerDirective > 0 {
+		all = samplePerDirective(p.Rng, all, p.PerDirective)
+	}
+	return all, nil
+}
+
+// samplePerDirective groups scenarios by the directive (line) they target
+// and draws n per group, preserving group order of first appearance.
+func samplePerDirective(rng *rand.Rand, scens []scenario.Scenario, n int) []scenario.Scenario {
+	groups := make(map[string][]scenario.Scenario)
+	var order []string
+	for _, s := range scens {
+		key := DirectiveKey(s.ID)
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], s)
+	}
+	var out []scenario.Scenario
+	for _, key := range order {
+		out = append(out, scenario.RandomSubset(rng, groups[key], n)...)
+	}
+	return out
+}
+
+// DirectiveKey extracts, from a typo scenario ID, a key identifying the
+// configuration directive (word-view line) the scenario targets: the
+// node-ref portion of the ID with the word index stripped. Scenario IDs
+// have the form "typo/<model>/<file>#<line>.<word>/<seq>".
+func DirectiveKey(scenarioID string) string {
+	hash := strings.IndexByte(scenarioID, '#')
+	if hash < 0 {
+		return ""
+	}
+	// The ref runs from the last '/' before '#' to the '/' after it.
+	start := strings.LastIndexByte(scenarioID[:hash], '/') + 1
+	end := strings.IndexByte(scenarioID[hash:], '/')
+	if end < 0 {
+		end = len(scenarioID)
+	} else {
+		end += hash
+	}
+	ref := scenarioID[start:end]
+	// Strip the word index, keeping file#line.
+	if dot := strings.LastIndexByte(ref, '.'); dot > strings.IndexByte(ref, '#') {
+		ref = ref[:dot]
+	}
+	return ref
+}

@@ -1,0 +1,84 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// jsonRecord is the serialized form of a Record.
+type jsonRecord struct {
+	ScenarioID  string `json:"scenario_id"`
+	Class       string `json:"class"`
+	Description string `json:"description,omitempty"`
+	Outcome     string `json:"outcome"`
+	Detail      string `json:"detail,omitempty"`
+	DurationNS  int64  `json:"duration_ns,omitempty"`
+}
+
+// jsonProfile is the serialized form of a Profile.
+type jsonProfile struct {
+	System    string       `json:"system"`
+	Generator string       `json:"generator"`
+	Records   []jsonRecord `json:"records"`
+}
+
+// WriteJSON serializes the profile, one indented JSON document.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	out := jsonProfile{
+		System:    p.System,
+		Generator: p.Generator,
+		Records:   make([]jsonRecord, 0, len(p.Records)),
+	}
+	for _, r := range p.Records {
+		out.Records = append(out.Records, jsonRecord{
+			ScenarioID:  r.ScenarioID,
+			Class:       r.Class,
+			Description: r.Description,
+			Outcome:     r.Outcome.String(),
+			Detail:      r.Detail,
+			DurationNS:  r.Duration.Nanoseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("profile: encoding: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a profile written by WriteJSON.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var in jsonProfile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	p := &Profile{System: in.System, Generator: in.Generator}
+	for _, jr := range in.Records {
+		outcome, err := outcomeFromString(jr.Outcome)
+		if err != nil {
+			return nil, err
+		}
+		p.Add(Record{
+			ScenarioID:  jr.ScenarioID,
+			Class:       jr.Class,
+			Description: jr.Description,
+			Outcome:     outcome,
+			Detail:      jr.Detail,
+			Duration:    time.Duration(jr.DurationNS),
+		})
+	}
+	return p, nil
+}
+
+// outcomeFromString resolves an outcome's kebab-case name.
+func outcomeFromString(s string) (Outcome, error) {
+	for o, name := range outcomeNames {
+		if name == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: unknown outcome %q", s)
+}

@@ -1,0 +1,113 @@
+// Package scenario defines fault scenarios: named, replayable mutations of
+// configuration sets. Error-generator plugins synthesize scenarios (paper
+// §3.1); the injection engine applies each one to a fresh clone of the
+// initial configuration and observes the system under test.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"conferr/internal/confnode"
+)
+
+// ErrNotApplicable is returned by a scenario's Apply when the mutation it
+// describes cannot be carried out on the given configuration (for example,
+// the target node no longer exists). Such scenarios are skipped rather than
+// counted as injections.
+var ErrNotApplicable = errors.New("scenario not applicable to this configuration")
+
+// Scenario is a single fault to inject: a mutation over an entire
+// configuration set, which allows cross-file errors.
+type Scenario struct {
+	// ID uniquely identifies the scenario within a campaign, e.g.
+	// "typo/substitution/my.cnf/3".
+	ID string
+	// Class is the fault class the scenario belongs to, e.g.
+	// "typo/omission" or "structural/duplicate". Profiles aggregate by
+	// class.
+	Class string
+	// Description says what the mutation does, in human terms, for the
+	// resilience profile.
+	Description string
+	// Apply performs the mutation in place. The engine always passes a
+	// clone of the initial configuration, so Apply may mutate freely.
+	Apply func(set *confnode.Set) error
+}
+
+// Validate reports whether the scenario is well-formed.
+func (s Scenario) Validate() error {
+	if s.ID == "" {
+		return errors.New("scenario: empty ID")
+	}
+	if s.Apply == nil {
+		return fmt.Errorf("scenario %s: nil Apply", s.ID)
+	}
+	return nil
+}
+
+// Union concatenates scenario sets, preserving order. It corresponds to the
+// paper's union template for composing error models.
+func Union(sets ...[]Scenario) []Scenario {
+	var total int
+	for _, s := range sets {
+		total += len(s)
+	}
+	out := make([]Scenario, 0, total)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// RandomSubset returns n scenarios drawn uniformly without replacement,
+// using the provided source of randomness. When n >= len(scenarios) a copy
+// of the full set is returned. It corresponds to the paper's random-subset
+// template used to limit the number of faults a model can return.
+func RandomSubset(rng *rand.Rand, scenarios []Scenario, n int) []Scenario {
+	if n < 0 {
+		n = 0
+	}
+	cp := make([]Scenario, len(scenarios))
+	copy(cp, scenarios)
+	if n >= len(cp) {
+		return cp
+	}
+	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	return cp[:n]
+}
+
+// Filter returns the scenarios for which keep returns true.
+func Filter(scenarios []Scenario, keep func(Scenario) bool) []Scenario {
+	var out []Scenario
+	for _, s := range scenarios {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Limit returns at most n scenarios, preserving order.
+func Limit(scenarios []Scenario, n int) []Scenario {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(scenarios) {
+		n = len(scenarios)
+	}
+	out := make([]Scenario, n)
+	copy(out, scenarios)
+	return out
+}
+
+// ByClass groups scenarios by their Class field, preserving order within
+// each class.
+func ByClass(scenarios []Scenario) map[string][]Scenario {
+	out := make(map[string][]Scenario)
+	for _, s := range scenarios {
+		out[s.Class] = append(out[s.Class], s)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package dnscheck provides the functional test the paper uses for name
+// servers: "the script checks that the server is answering to requests
+// both for the forward and the reverse zone" (§5.1). The check asks for
+// each zone's SOA and requires an authoritative positive answer — it
+// verifies zone liveness, not individual records, which is why record-
+// level semantic faults (a missing PTR, say) pass the functional tests and
+// are classified "not found" in Table 3.
+package dnscheck
+
+import (
+	"fmt"
+	"time"
+
+	"conferr/internal/dnswire"
+	"conferr/internal/suts"
+)
+
+// queryTimeout bounds each functional-test query.
+const queryTimeout = 2 * time.Second
+
+// ZoneLivenessTests returns one functional test per zone, each verifying
+// that the server at addr answers the zone's SOA query authoritatively.
+func ZoneLivenessTests(addr string, zones []string) []suts.Test {
+	tests := make([]suts.Test, 0, len(zones))
+	for _, zone := range zones {
+		zone := zone
+		tests = append(tests, suts.Test{
+			Name: "zone-liveness/" + zone,
+			Run: func() error {
+				resp, err := dnswire.Query(addr, zone, dnswire.TypeSOA, queryTimeout)
+				if err != nil {
+					return fmt.Errorf("query SOA %s: %w", zone, err)
+				}
+				if resp.RCode != dnswire.RCodeNoError {
+					return fmt.Errorf("SOA %s: rcode %d", zone, resp.RCode)
+				}
+				for _, rr := range resp.Answers {
+					if rr.Type == dnswire.TypeSOA {
+						return nil
+					}
+				}
+				return fmt.Errorf("SOA %s: no SOA in answer", zone)
+			},
+		})
+	}
+	return tests
+}
+
+// RecordTests returns functional tests that check specific records — a
+// stricter diagnosis suite than the paper's, useful for custom campaigns.
+func RecordTests(addr string, expect map[string]string) []suts.Test {
+	var tests []suts.Test
+	for name, ip := range expect {
+		name, ip := name, ip
+		tests = append(tests, suts.Test{
+			Name: "record/" + name,
+			Run: func() error {
+				resp, err := dnswire.Query(addr, name, dnswire.TypeA, queryTimeout)
+				if err != nil {
+					return fmt.Errorf("query A %s: %w", name, err)
+				}
+				for _, rr := range resp.Answers {
+					if rr.Type == dnswire.TypeA && rr.Data == ip {
+						return nil
+					}
+				}
+				return fmt.Errorf("A %s: expected %s, got %v", name, ip, resp.Answers)
+			},
+		})
+	}
+	return tests
+}

@@ -1,0 +1,241 @@
+// Package httpd simulates the Apache 2.2 web server for ConfErr
+// campaigns. The simulator serves real HTTP (net/http) and reproduces the
+// configuration behaviours the paper's findings rest on (§5.2, §5.3):
+//
+//   - directive names are case-insensitive (Table 2); unknown directives
+//     abort startup ("Invalid command ..."), truncated names do not work;
+//   - MIME-type directives (AddType, DefaultType), ServerAdmin and
+//     ServerName accept freeform strings without validation — the
+//     weaknesses the paper reports;
+//   - core numeric directives (Timeout, MaxClients, …) and keyword
+//     directives (LogLevel, Options, KeepAlive, …) are validated;
+//   - Listen validates that its argument is a numeric port, so only a typo
+//     that yields a different valid number survives to be caught by the
+//     functional tests (the paper's 5%);
+//   - directives are restricted to their allowed contexts, so structural
+//     faults that move a directive into the wrong section can fail
+//     startup, as in real Apache ("... not allowed here").
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// context is a configuration context a directive may appear in.
+type context int
+
+const (
+	ctxServer context = iota + 1
+	ctxVirtualHost
+	ctxDirectory
+	ctxFiles
+)
+
+// argKind is the validation class of a directive's arguments.
+type argKind int
+
+const (
+	argFreeform argKind = iota + 1
+	argNumber           // single integer with bounds
+	argEnum             // single keyword from a fixed set
+	argKeywords         // one or more keywords from a fixed set (Options)
+	argPort             // Listen: numeric port 1..65535
+	argModule           // LoadModule: known module name + path
+	argOnOff            // On|Off
+)
+
+// directiveDef describes one configuration directive.
+type directiveDef struct {
+	name     string
+	kind     argKind
+	min, max int64
+	keywords []string
+	contexts []context
+}
+
+// knownModules are the modules the simulated server can "load"; a typo in
+// a module name or path is detected at startup like real httpd's "Cannot
+// load ... into server".
+var knownModules = map[string]string{
+	"authz_host_module":  "modules/mod_authz_host.so",
+	"dir_module":         "modules/mod_dir.so",
+	"mime_module":        "modules/mod_mime.so",
+	"log_config_module":  "modules/mod_log_config.so",
+	"alias_module":       "modules/mod_alias.so",
+	"autoindex_module":   "modules/mod_autoindex.so",
+	"negotiation_module": "modules/mod_negotiation.so",
+	"setenvif_module":    "modules/mod_setenvif.so",
+}
+
+// anywhere marks directives legal in all contexts.
+var anywhere = []context{ctxServer, ctxVirtualHost, ctxDirectory, ctxFiles}
+
+var serverOnly = []context{ctxServer}
+
+var serverOrVHost = []context{ctxServer, ctxVirtualHost}
+
+// directives is the registry of modeled Apache directives.
+var directives = []directiveDef{
+	{name: "ServerRoot", kind: argFreeform, contexts: serverOnly},
+	{name: "Listen", kind: argPort, contexts: serverOnly},
+	{name: "LoadModule", kind: argModule, contexts: serverOnly},
+	{name: "User", kind: argFreeform, contexts: serverOnly},
+	{name: "Group", kind: argFreeform, contexts: serverOnly},
+	// The paper's flaw findings: these accept anything.
+	{name: "ServerAdmin", kind: argFreeform, contexts: serverOrVHost},
+	{name: "ServerName", kind: argFreeform, contexts: serverOrVHost},
+	{name: "AddType", kind: argFreeform, contexts: anywhere},
+	{name: "DefaultType", kind: argFreeform, contexts: anywhere},
+	{name: "AddLanguage", kind: argFreeform, contexts: anywhere},
+	{name: "AddIcon", kind: argFreeform, contexts: anywhere},
+	{name: "AddIconByType", kind: argFreeform, contexts: anywhere},
+	{name: "AddIconByEncoding", kind: argFreeform, contexts: anywhere},
+	{name: "DefaultIcon", kind: argFreeform, contexts: anywhere},
+	{name: "ReadmeName", kind: argFreeform, contexts: anywhere},
+	{name: "HeaderName", kind: argFreeform, contexts: anywhere},
+	{name: "DocumentRoot", kind: argFreeform, contexts: serverOrVHost},
+	{name: "ErrorLog", kind: argFreeform, contexts: serverOrVHost},
+	{name: "CustomLog", kind: argFreeform, contexts: serverOrVHost},
+	{name: "TransferLog", kind: argFreeform, contexts: serverOrVHost},
+	{name: "LogFormat", kind: argFreeform, contexts: serverOrVHost},
+	{name: "PidFile", kind: argFreeform, contexts: serverOnly},
+	{name: "TypesConfig", kind: argFreeform, contexts: serverOnly},
+	{name: "MimeMagicFile", kind: argFreeform, contexts: serverOnly},
+	{name: "Alias", kind: argFreeform, contexts: serverOrVHost},
+	{name: "ScriptAlias", kind: argFreeform, contexts: serverOrVHost},
+	{name: "DirectoryIndex", kind: argFreeform, contexts: anywhere},
+	{name: "AccessFileName", kind: argFreeform, contexts: serverOrVHost},
+	{name: "IndexOptions", kind: argFreeform, contexts: anywhere},
+	{name: "LanguagePriority", kind: argFreeform, contexts: anywhere},
+	{name: "ForceLanguagePriority", kind: argFreeform, contexts: anywhere},
+	{name: "BrowserMatch", kind: argFreeform, contexts: serverOrVHost},
+	{name: "SetEnvIf", kind: argFreeform, contexts: serverOrVHost},
+	{name: "ErrorDocument", kind: argFreeform, contexts: anywhere},
+	{name: "NameVirtualHost", kind: argFreeform, contexts: serverOnly},
+
+	// Validated numeric directives.
+	{name: "Timeout", kind: argNumber, min: 0, max: 1 << 31, contexts: serverOnly},
+	{name: "KeepAliveTimeout", kind: argNumber, min: 0, max: 1 << 31, contexts: serverOnly},
+	{name: "MaxKeepAliveRequests", kind: argNumber, min: 0, max: 1 << 31, contexts: serverOnly},
+	{name: "StartServers", kind: argNumber, min: 0, max: 10000, contexts: serverOnly},
+	{name: "MinSpareServers", kind: argNumber, min: 1, max: 10000, contexts: serverOnly},
+	{name: "MaxSpareServers", kind: argNumber, min: 1, max: 10000, contexts: serverOnly},
+	{name: "MaxClients", kind: argNumber, min: 1, max: 20000, contexts: serverOnly},
+	{name: "MaxRequestsPerChild", kind: argNumber, min: 0, max: 1 << 31, contexts: serverOnly},
+	{name: "ServerLimit", kind: argNumber, min: 1, max: 20000, contexts: serverOnly},
+	{name: "ThreadsPerChild", kind: argNumber, min: 1, max: 20000, contexts: serverOnly},
+
+	// Validated keyword directives.
+	{name: "KeepAlive", kind: argOnOff, contexts: serverOnly},
+	{name: "HostnameLookups", kind: argEnum, keywords: []string{"On", "Off", "Double"}, contexts: anywhere},
+	{name: "ServerTokens", kind: argEnum, keywords: []string{"Major", "Minor", "Min", "Minimal", "Prod", "ProductOnly", "OS", "Full"}, contexts: serverOnly},
+	{name: "ServerSignature", kind: argEnum, keywords: []string{"On", "Off", "EMail"}, contexts: anywhere},
+	{name: "LogLevel", kind: argEnum, keywords: []string{"debug", "info", "notice", "warn", "error", "crit", "alert", "emerg"}, contexts: serverOrVHost},
+	{name: "UseCanonicalName", kind: argEnum, keywords: []string{"On", "Off", "DNS"}, contexts: anywhere},
+	{name: "EnableMMAP", kind: argOnOff, contexts: anywhere},
+	{name: "EnableSendfile", kind: argOnOff, contexts: anywhere},
+	{name: "Options", kind: argKeywords, keywords: []string{"None", "All", "Indexes", "Includes", "IncludesNOEXEC", "FollowSymLinks", "SymLinksIfOwnerMatch", "ExecCGI", "MultiViews"}, contexts: anywhere},
+	{name: "AllowOverride", kind: argKeywords, keywords: []string{"None", "All", "AuthConfig", "FileInfo", "Indexes", "Limit", "Options"}, contexts: []context{ctxDirectory}},
+	{name: "Order", kind: argEnum, keywords: []string{"allow,deny", "deny,allow", "mutual-failure"}, contexts: []context{ctxDirectory, ctxFiles}},
+	{name: "Allow", kind: argFreeform, contexts: []context{ctxDirectory, ctxFiles}},
+	{name: "Deny", kind: argFreeform, contexts: []context{ctxDirectory, ctxFiles}},
+	{name: "Satisfy", kind: argEnum, keywords: []string{"All", "Any"}, contexts: []context{ctxDirectory, ctxFiles}},
+}
+
+// lookupDirective resolves a directive name case-insensitively (Table 2:
+// Apache accepts mixed-case names; it does not accept truncations).
+func lookupDirective(name string) *directiveDef {
+	for i := range directives {
+		if strings.EqualFold(directives[i].name, name) {
+			return &directives[i]
+		}
+	}
+	return nil
+}
+
+// validateArgs checks a directive's argument string against its kind,
+// returning the parsed port for Listen.
+func validateArgs(def *directiveDef, args string) (int, error) {
+	args = strings.TrimSpace(args)
+	switch def.kind {
+	case argFreeform:
+		return 0, nil
+	case argNumber:
+		n, err := strconv.ParseInt(args, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s must be a number, got %q", def.name, args)
+		}
+		if n < def.min || n > def.max {
+			return 0, fmt.Errorf("%s value %d out of range [%d, %d]", def.name, n, def.min, def.max)
+		}
+		return 0, nil
+	case argPort:
+		// Listen accepts "port" or "address:port"; the port must be numeric.
+		portStr := args
+		if i := strings.LastIndexByte(args, ':'); i >= 0 {
+			portStr = args[i+1:]
+		}
+		n, err := strconv.Atoi(portStr)
+		if err != nil {
+			return 0, fmt.Errorf("%s requires a numeric port, got %q", def.name, args)
+		}
+		if n < 1 || n > 65535 {
+			return 0, fmt.Errorf("%s port %d out of range", def.name, n)
+		}
+		return n, nil
+	case argOnOff:
+		if !strings.EqualFold(args, "On") && !strings.EqualFold(args, "Off") {
+			return 0, fmt.Errorf("%s must be On or Off, got %q", def.name, args)
+		}
+		return 0, nil
+	case argEnum:
+		for _, k := range def.keywords {
+			if strings.EqualFold(k, args) {
+				return 0, nil
+			}
+		}
+		return 0, fmt.Errorf("%s: unknown keyword %q", def.name, args)
+	case argKeywords:
+		for _, word := range strings.Fields(args) {
+			word = strings.TrimLeft(word, "+-")
+			ok := false
+			for _, k := range def.keywords {
+				if strings.EqualFold(k, word) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return 0, fmt.Errorf("%s: unknown keyword %q", def.name, word)
+			}
+		}
+		return 0, nil
+	case argModule:
+		fields := strings.Fields(args)
+		if len(fields) != 2 {
+			return 0, fmt.Errorf("LoadModule takes two arguments, got %q", args)
+		}
+		path, ok := knownModules[fields[0]]
+		if !ok {
+			return 0, fmt.Errorf("Cannot load module %q into server", fields[0])
+		}
+		if path != fields[1] {
+			return 0, fmt.Errorf("Cannot load %q into server: no such file", fields[1])
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("internal: unhandled arg kind %d", def.kind)
+	}
+}
+
+// allowedIn reports whether the directive may appear in the given context.
+func (d *directiveDef) allowedIn(ctx context) bool {
+	for _, c := range d.contexts {
+		if c == ctx {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,406 @@
+package httpd
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"conferr/internal/suts"
+)
+
+// ConfigFile is the logical name of the simulator's configuration file.
+const ConfigFile = "httpd.conf"
+
+// Server is the simulated Apache httpd.
+type Server struct {
+	port int
+
+	mu         sync.Mutex
+	listeners  []net.Listener
+	httpSrv    *http.Server
+	serverName string
+	wg         sync.WaitGroup
+}
+
+var _ suts.System = (*Server)(nil)
+var _ suts.Addressable = (*Server)(nil)
+
+// New returns a simulator whose default configuration listens on the given
+// TCP port (0 picks a free one at construction time).
+func New(port int) (*Server, error) {
+	if port == 0 {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("httpd: allocating port: %w", err)
+		}
+		port = ln.Addr().(*net.TCPAddr).Port
+		if err := ln.Close(); err != nil {
+			return nil, fmt.Errorf("httpd: releasing probe listener: %w", err)
+		}
+	}
+	return &Server{port: port}, nil
+}
+
+// Name implements suts.System.
+func (s *Server) Name() string { return "apache-sim" }
+
+// DefaultPort returns the port of the default configuration.
+func (s *Server) DefaultPort() int { return s.port }
+
+// DefaultConfig implements suts.System: a configuration modeled on the
+// stock httpd.conf of Apache 2.2, with 98 directives (paper §5.1)
+// including nested sections.
+func (s *Server) DefaultConfig() suts.Files {
+	conf := fmt.Sprintf(`# Apache httpd 2.2 configuration
+ServerRoot /etc/httpd
+PidFile logs/httpd.pid
+Timeout 120
+KeepAlive Off
+MaxKeepAliveRequests 100
+KeepAliveTimeout 15
+StartServers 8
+MinSpareServers 5
+MaxSpareServers 20
+MaxClients 256
+MaxRequestsPerChild 4000
+Listen %d
+LoadModule authz_host_module modules/mod_authz_host.so
+LoadModule dir_module modules/mod_dir.so
+LoadModule mime_module modules/mod_mime.so
+LoadModule log_config_module modules/mod_log_config.so
+LoadModule alias_module modules/mod_alias.so
+LoadModule autoindex_module modules/mod_autoindex.so
+LoadModule negotiation_module modules/mod_negotiation.so
+LoadModule setenvif_module modules/mod_setenvif.so
+User apache
+Group apache
+ServerAdmin root@localhost
+ServerName www.example.com:80
+UseCanonicalName Off
+DocumentRoot /var/www/html
+DirectoryIndex index.html index.html.var
+AccessFileName .htaccess
+TypesConfig /etc/mime.types
+DefaultType text/plain
+MimeMagicFile conf/magic
+HostnameLookups Off
+ErrorLog logs/error_log
+LogLevel warn
+LogFormat "%%h %%l %%u %%t \"%%r\" %%>s %%b" common
+LogFormat "%%{Referer}i -> %%U" referer
+LogFormat "%%{User-agent}i" agent
+LogFormat "%%h %%l %%u %%t \"%%r\" %%>s %%b \"%%{Referer}i\" \"%%{User-Agent}i\"" combined
+CustomLog logs/access_log combined
+ServerTokens OS
+ServerSignature On
+Alias /icons/ /var/www/icons/
+ScriptAlias /cgi-bin/ /var/www/cgi-bin/
+IndexOptions FancyIndexing VersionSort NameWidth=*
+AddIconByEncoding (CMP,/icons/compressed.gif) x-compress x-gzip
+AddIconByType (TXT,/icons/text.gif) text/*
+AddIconByType (IMG,/icons/image2.gif) image/*
+AddIconByType (SND,/icons/sound2.gif) audio/*
+AddIconByType (VID,/icons/movie.gif) video/*
+AddIcon /icons/binary.gif .bin .exe
+AddIcon /icons/binhex.gif .hqx
+AddIcon /icons/tar.gif .tar
+AddIcon /icons/world2.gif .wrl .vrml
+AddIcon /icons/compressed.gif .Z .z .tgz .gz .zip
+AddIcon /icons/a.gif .ps .ai .eps
+AddIcon /icons/layout.gif .html .shtml .htm .pdf
+AddIcon /icons/text.gif .txt
+AddIcon /icons/c.gif .c
+AddIcon /icons/p.gif .pl .py
+AddIcon /icons/script.gif .conf .sh .shar
+AddIcon /icons/folder.gif ^^DIRECTORY^^
+AddIcon /icons/blank.gif ^^BLANKICON^^
+DefaultIcon /icons/unknown.gif
+ReadmeName README.html
+HeaderName HEADER.html
+AddLanguage ca .ca
+AddLanguage cs .cz .cs
+AddLanguage da .dk
+AddLanguage de .de
+AddLanguage en .en
+AddLanguage es .es
+AddLanguage fr .fr
+AddLanguage it .it
+AddLanguage ja .ja
+AddLanguage pt .pt
+LanguagePriority en ca cs da de es fr it ja pt
+ForceLanguagePriority Prefer Fallback
+AddType application/x-compress .Z
+AddType application/x-gzip .gz .tgz
+AddType application/x-tar .tar
+AddType text/html .shtml
+AddType application/x-x509-ca-cert .crt
+AddType application/x-pkcs7-crl .crl
+BrowserMatch "Mozilla/2" nokeepalive
+BrowserMatch "MSIE 4\.0b2;" nokeepalive downgrade-1.0 force-response-1.0
+BrowserMatch "RealPlayer 4\.0" force-response-1.0
+BrowserMatch "Java/1\.0" force-response-1.0
+BrowserMatch "JDK/1\.0" force-response-1.0
+ErrorDocument 404 /missing.html
+
+<Directory />
+    Options FollowSymLinks
+    AllowOverride None
+</Directory>
+
+<Directory /var/www/html>
+    Options Indexes FollowSymLinks
+    AllowOverride None
+    Order allow,deny
+    Allow from all
+</Directory>
+
+<Files ~ "^\.ht">
+    Order allow,deny
+    Deny from all
+    Satisfy All
+</Files>
+`, s.port)
+	return suts.Files{ConfigFile: []byte(conf)}
+}
+
+// vhost is one <VirtualHost> block: the name it answers to and a marker
+// (its DocumentRoot) that responses embed, so functional tests can tell
+// which host served them.
+type vhost struct {
+	serverName string
+	docRoot    string
+}
+
+// parsed is the effective configuration.
+type parsed struct {
+	ports      []int
+	serverName string
+	vhosts     []vhost
+}
+
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error {
+	data, ok := files[ConfigFile]
+	if !ok {
+		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+	}
+	cfg, err := parseConfig(string(data))
+	if err != nil {
+		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+	}
+	if len(cfg.ports) == 0 {
+		return &suts.StartupError{System: s.Name(), Msg: "no listening sockets available (no Listen directive)"}
+	}
+	seen := map[int]bool{}
+	for _, p := range cfg.ports {
+		if seen[p] {
+			return &suts.StartupError{System: s.Name(),
+				Msg: fmt.Sprintf("could not bind to address 0.0.0.0:%d: Address already in use", p)}
+		}
+		seen[p] = true
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.serverName = cfg.serverName
+	vhosts := cfg.vhosts
+	mainName := cfg.serverName
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Server", "Apache-sim/2.2")
+		// Name-based virtual hosting: match the Host header against the
+		// vhosts' ServerNames; a vhost whose ServerName was omitted (the
+		// §2.2 mistake) can never match, so its requests silently fall
+		// through to the main server — misrouting only a functional test
+		// of that host would notice.
+		host := r.Host
+		if i := strings.LastIndexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		for _, v := range vhosts {
+			if v.serverName != "" && nameMatches(v.serverName, host) {
+				fmt.Fprintf(w, "<html><body><h1>It works!</h1><p>%s</p><p>root=%s</p></body></html>\n",
+					v.serverName, v.docRoot)
+				return
+			}
+		}
+		fmt.Fprintf(w, "<html><body><h1>It works!</h1><p>%s</p></body></html>\n", mainName)
+	})
+	s.httpSrv = &http.Server{Handler: mux}
+	for _, p := range cfg.ports {
+		ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", p))
+		if err != nil {
+			for _, l := range s.listeners {
+				_ = l.Close()
+			}
+			s.listeners = nil
+			return &suts.StartupError{System: s.Name(),
+				Msg: fmt.Sprintf("could not bind to port %d: %v", p, err)}
+		}
+		s.listeners = append(s.listeners, ln)
+		s.wg.Add(1)
+		go func(srv *http.Server, l net.Listener) {
+			defer s.wg.Done()
+			_ = srv.Serve(l)
+		}(s.httpSrv, ln)
+	}
+	return nil
+}
+
+// Stop implements suts.System.
+func (s *Server) Stop() error {
+	s.mu.Lock()
+	lns := s.listeners
+	srv := s.httpSrv
+	s.listeners = nil
+	s.httpSrv = nil
+	s.mu.Unlock()
+	for _, l := range lns {
+		_ = l.Close()
+	}
+	if srv != nil {
+		_ = srv.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Addr implements suts.Addressable (first listener).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.listeners) == 0 {
+		return ""
+	}
+	return s.listeners[0].Addr().String()
+}
+
+// nameMatches compares a ServerName (which may carry a ":port" suffix)
+// against a request host, case-insensitively.
+func nameMatches(serverName, host string) bool {
+	if i := strings.LastIndexByte(serverName, ':'); i >= 0 {
+		serverName = serverName[:i]
+	}
+	return strings.EqualFold(serverName, host)
+}
+
+// parseConfig applies httpd's configuration semantics: nested sections
+// with context checking, case-insensitive directive lookup, per-kind
+// argument validation.
+func parseConfig(conf string) (parsed, error) {
+	var cfg parsed
+	type frame struct {
+		ctx   context
+		tag   string
+		vhost *vhost
+	}
+	stack := []frame{{ctx: ctxServer}}
+	for lineno, line := range strings.Split(conf, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(t, "</"):
+			if !strings.HasSuffix(t, ">") || len(stack) == 1 {
+				return cfg, fmt.Errorf("syntax error on line %d: %s without matching section", lineno+1, t)
+			}
+			name := strings.TrimSpace(t[2 : len(t)-1])
+			top := stack[len(stack)-1]
+			if !strings.EqualFold(top.tag, name) {
+				return cfg, fmt.Errorf("syntax error on line %d: expected </%s> but saw </%s>",
+					lineno+1, top.tag, name)
+			}
+			stack = stack[:len(stack)-1]
+		case strings.HasPrefix(t, "<"):
+			if !strings.HasSuffix(t, ">") {
+				return cfg, fmt.Errorf("syntax error on line %d: malformed section", lineno+1)
+			}
+			inner := t[1 : len(t)-1]
+			tag := inner
+			if i := strings.IndexAny(inner, " \t"); i >= 0 {
+				tag = inner[:i]
+			}
+			var ctx context
+			switch strings.ToLower(tag) {
+			case "directory", "location":
+				ctx = ctxDirectory
+			case "files", "filesmatch":
+				ctx = ctxFiles
+			case "virtualhost":
+				ctx = ctxVirtualHost
+			case "ifmodule":
+				// Transparent container: inherits the enclosing context.
+				ctx = stack[len(stack)-1].ctx
+			default:
+				return cfg, fmt.Errorf("syntax error on line %d: unknown section <%s>", lineno+1, tag)
+			}
+			fr := frame{ctx: ctx, tag: tag}
+			if ctx == ctxVirtualHost {
+				cfg.vhosts = append(cfg.vhosts, vhost{})
+				fr.vhost = &cfg.vhosts[len(cfg.vhosts)-1]
+			}
+			stack = append(stack, fr)
+		default:
+			name := t
+			args := ""
+			if i := strings.IndexAny(t, " \t"); i >= 0 {
+				name, args = t[:i], strings.TrimSpace(t[i:])
+			}
+			def := lookupDirective(name)
+			if def == nil {
+				return cfg, fmt.Errorf(
+					"Invalid command '%s', perhaps misspelled or defined by a module not included in the server configuration",
+					name)
+			}
+			ctx := stack[len(stack)-1].ctx
+			if !def.allowedIn(ctx) {
+				return cfg, fmt.Errorf("%s not allowed here", def.name)
+			}
+			port, err := validateArgs(def, args)
+			if err != nil {
+				return cfg, err
+			}
+			top := stack[len(stack)-1]
+			switch {
+			case def.kind == argPort:
+				cfg.ports = append(cfg.ports, port)
+			case strings.EqualFold(def.name, "ServerName"):
+				if top.vhost != nil {
+					top.vhost.serverName = args
+				} else {
+					cfg.serverName = args
+				}
+			case strings.EqualFold(def.name, "DocumentRoot") && top.vhost != nil:
+				top.vhost.docRoot = args
+			}
+		}
+	}
+	if len(stack) != 1 {
+		return cfg, fmt.Errorf("syntax error: unclosed section <%s>", stack[len(stack)-1].tag)
+	}
+	return cfg, nil
+}
+
+// Tests returns the paper's web-server diagnosis (§5.1): an HTTP GET of a
+// page from the default port.
+func Tests(s *Server) []suts.Test {
+	return []suts.Test{{
+		Name: "http-get",
+		Run: func() error {
+			client := &http.Client{Timeout: 5 * time.Second}
+			resp, err := client.Get(fmt.Sprintf("http://127.0.0.1:%d/", s.DefaultPort()))
+			if err != nil {
+				return fmt.Errorf("GET: %w", err)
+			}
+			defer func() { _ = resp.Body.Close() }()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			return nil
+		},
+	}}
+}

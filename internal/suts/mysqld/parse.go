@@ -1,0 +1,106 @@
+package mysqld
+
+import (
+	"fmt"
+	"strings"
+)
+
+// numResult is the outcome of MySQL's numeric option parsing.
+type numResult struct {
+	// value is the parsed (possibly clamped) value.
+	value int64
+	// clamped reports whether the value was silently adjusted to a bound.
+	clamped bool
+	// usedDefault reports whether the raw text yielded no number at all
+	// and the default was silently substituted.
+	usedDefault bool
+	// trailingJunk reports that characters after a valid multiplier were
+	// discarded (the "1M0" flaw) — strict mode turns this into an error.
+	trailingJunk bool
+}
+
+// parseNum reproduces MySQL 5.1's eval_num_suffix + getopt clamping:
+//
+//   - leading digits (with optional sign) are parsed;
+//   - the next character may be a multiplier K/M/G (either case), which is
+//     applied — and everything after it is silently ignored ("1M0" ⇒ 1M);
+//   - any other non-digit character is an "unknown suffix" error;
+//   - a value that starts with a multiplier parses as 0 × multiplier = 0
+//     and is then silently clamped to the minimum ("M16" ⇒ min), which the
+//     paper describes as "silently ignored and defaults used instead";
+//   - an empty value is accepted and the default used;
+//   - out-of-range results are clamped to the nearest bound, silently.
+func parseNum(raw string, min, max int64) (numResult, error) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return numResult{usedDefault: true}, nil
+	}
+	neg := false
+	i := 0
+	if s[0] == '-' || s[0] == '+' {
+		neg = s[0] == '-'
+		i++
+	}
+	start := i
+	var n int64
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		n = n*10 + int64(s[i]-'0')
+		i++
+	}
+	digits := i - start
+	trailingJunk := false
+	if i < len(s) {
+		switch s[i] {
+		case 'k', 'K':
+			n *= 1 << 10
+		case 'm', 'M':
+			n *= 1 << 20
+		case 'g', 'G':
+			n *= 1 << 30
+		default:
+			return numResult{}, fmt.Errorf("unknown suffix '%c' used for value '%s'", s[i], raw)
+		}
+		// Characters after the multiplier are silently discarded — the
+		// "1M0" flaw (paper §5.2).
+		trailingJunk = i+1 < len(s)
+	}
+	if digits == 0 && i >= len(s) {
+		// "-" alone or bare sign: no digits, no suffix.
+		return numResult{}, fmt.Errorf("invalid numeric value '%s'", raw)
+	}
+	if neg {
+		n = -n
+	}
+	res := numResult{value: n, trailingJunk: trailingJunk}
+	if n < min {
+		res.value, res.clamped = min, true
+	} else if n > max {
+		res.value, res.clamped = max, true
+	}
+	return res, nil
+}
+
+// parseBool reproduces MySQL boolean option parsing: 0/1, ON/OFF,
+// TRUE/FALSE (case-insensitive). Anything else is rejected at startup.
+func parseBool(raw string) (bool, error) {
+	switch strings.ToUpper(strings.TrimSpace(raw)) {
+	case "1", "ON", "TRUE", "YES":
+		return true, nil
+	case "0", "OFF", "FALSE", "NO":
+		return false, nil
+	default:
+		return false, fmt.Errorf("invalid boolean value '%s'", raw)
+	}
+}
+
+// parseEnum validates an enumerated option value (case-insensitive), as
+// MySQL does for sql_mode, binlog_format and friends.
+func parseEnum(raw string, allowed []string) (string, error) {
+	v := strings.TrimSpace(raw)
+	for _, a := range allowed {
+		if strings.EqualFold(a, v) {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("invalid value '%s' (allowed: %s)", raw, strings.Join(allowed, ","))
+}

@@ -1,0 +1,126 @@
+// Package mysqld simulates the MySQL 5.1 database server for ConfErr
+// campaigns. The simulator is a real TCP server (speaking the sqlmini wire
+// protocol) whose configuration handling reproduces the documented MySQL
+// behaviours the paper's findings rest on (§5.2):
+//
+//   - unknown server variables abort startup, but option names are
+//     case-sensitive and unambiguous prefixes are accepted;
+//   - numeric values are prefix-parsed: digits, then one optional
+//     multiplier letter (K/M/G); anything after the multiplier is silently
+//     ignored ("1M0" is accepted as 1M), while any other junk character is
+//     an "unknown suffix" error;
+//   - out-of-range values are silently clamped to the nearest bound
+//     (key_buffer_size=1 is accepted and raised to the minimum);
+//   - directives without a value are accepted and replaced with defaults;
+//   - my.cnf is shared with the auxiliary tools: only the [mysqld] group
+//     is parsed at startup, so errors in other groups stay latent.
+package mysqld
+
+import "strings"
+
+// varKind is the type of a server variable's value.
+type varKind int
+
+const (
+	kindInt varKind = iota + 1
+	kindSize
+	kindBool
+	kindEnum
+	kindString
+	kindFlag // valueless boolean option, e.g. skip-external-locking
+)
+
+// varDef describes one server variable.
+type varDef struct {
+	name string
+	kind varKind
+	// min/max bound numeric values; MySQL clamps silently.
+	min, max int64
+	// enum lists allowed values for kindEnum.
+	enum []string
+	// def is the default raw value (informational).
+	def string
+}
+
+// serverVars is the [mysqld] variable registry: the subset of MySQL 5.1
+// system variables the simulator models, covering every type the paper's
+// experiments exercise. Lookup is case-sensitive (Table 2: MySQL does not
+// accept mixed-case directive names) and accepts unambiguous prefixes
+// (Table 2: truncatable names).
+var serverVars = []varDef{
+	{name: "port", kind: kindInt, min: 0, max: 65535, def: "3306"},
+	{name: "bind_address", kind: kindString, def: "127.0.0.1"},
+	{name: "socket", kind: kindString, def: "/tmp/mysql.sock"},
+	{name: "datadir", kind: kindString, def: "/var/lib/mysql"},
+	{name: "key_buffer_size", kind: kindSize, min: 8, max: 1 << 42, def: "16M"},
+	{name: "max_allowed_packet", kind: kindSize, min: 1024, max: 1 << 30, def: "1M"},
+	{name: "table_open_cache", kind: kindInt, min: 1, max: 524288, def: "64"},
+	{name: "sort_buffer_size", kind: kindSize, min: 32 << 10, max: 1 << 42, def: "512K"},
+	{name: "net_buffer_length", kind: kindSize, min: 1024, max: 1 << 20, def: "8K"},
+	{name: "read_buffer_size", kind: kindSize, min: 8 << 10, max: 1 << 31, def: "256K"},
+	{name: "thread_stack", kind: kindSize, min: 128 << 10, max: 1 << 31, def: "192K"},
+	{name: "thread_cache_size", kind: kindInt, min: 0, max: 16384, def: "8"},
+	{name: "max_connections", kind: kindInt, min: 1, max: 100000, def: "151"},
+	// Stored normalized ('-' ⇒ '_'); the option file may use either form.
+	{name: "skip_external_locking", kind: kindFlag},
+	{name: "sql_mode", kind: kindEnum, def: "ANSI",
+		enum: []string{"ANSI", "TRADITIONAL", "STRICT_ALL_TABLES", "STRICT_TRANS_TABLES", "NO_ENGINE_SUBSTITUTION"}},
+	{name: "default_storage_engine", kind: kindEnum, def: "MyISAM",
+		enum: []string{"MyISAM", "InnoDB", "MEMORY", "CSV", "ARCHIVE"}},
+	{name: "log_error", kind: kindString, def: "/var/log/mysql/error.log"},
+	{name: "tmpdir", kind: kindString, def: "/tmp"},
+	{name: "language", kind: kindString, def: "/usr/share/mysql/english"},
+	{name: "low_priority_updates", kind: kindBool, def: "0"},
+	{name: "log_bin", kind: kindString, def: "mysql-bin"},
+	{name: "server_id", kind: kindInt, min: 0, max: 1 << 32, def: "1"},
+	{name: "binlog_format", kind: kindEnum, def: "STATEMENT",
+		enum: []string{"STATEMENT", "ROW", "MIXED"}},
+	{name: "innodb_buffer_pool_size", kind: kindSize, min: 1 << 20, max: 1 << 42, def: "8M"},
+	{name: "innodb_log_file_size", kind: kindSize, min: 1 << 20, max: 1 << 32, def: "5M"},
+	{name: "query_cache_size", kind: kindSize, min: 0, max: 1 << 32, def: "0"},
+	{name: "back_log", kind: kindInt, min: 1, max: 65535, def: "50"},
+	{name: "open_files_limit", kind: kindInt, min: 0, max: 1 << 20, def: "1024"},
+	{name: "wait_timeout", kind: kindInt, min: 1, max: 31536000, def: "28800"},
+	{name: "tmp_table_size", kind: kindSize, min: 1024, max: 1 << 42, def: "16M"},
+	// Unvalidated string variables: names, relative log paths and
+	// replication settings that MySQL accepts verbatim. These dominate
+	// the full variable listing and are why the §5.5 comparison finds
+	// MySQL "poor" for a large share of directives — no typo in them is
+	// ever detected.
+	{name: "init_connect", kind: kindString, def: "SET NAMES utf8"},
+	{name: "report_host", kind: kindString, def: "slave1.example.com"},
+	{name: "report_user", kind: kindString, def: "repl"},
+	{name: "report_password", kind: kindString, def: "replpass"},
+	{name: "relay_log", kind: kindString, def: "relay-bin"},
+	{name: "relay_log_index", kind: kindString, def: "relay-bin.index"},
+	{name: "log_bin_index", kind: kindString, def: "mysql-bin.index"},
+	{name: "slow_query_log_file", kind: kindString, def: "slow.log"},
+	{name: "general_log_file", kind: kindString, def: "general.log"},
+	{name: "slave_load_tmpdir", kind: kindString, def: "/tmp"},
+	{name: "ft_stopword_file", kind: kindString, def: "stopwords.txt"},
+	{name: "innodb_data_home_dir", kind: kindString, def: "ibdata"},
+	{name: "innodb_log_group_home_dir", kind: kindString, def: "iblogs"},
+	{name: "innodb_data_file_path", kind: kindString, def: "ibdata1:10M:autoextend"},
+}
+
+// lookupVar resolves a directive name against the registry: exact match
+// first, then a unique-prefix match (MySQL's truncated option names). The
+// second return distinguishes "not found" (nil, false) from "ambiguous
+// prefix" (nil, true).
+func lookupVar(name string) (def *varDef, ambiguous bool) {
+	for i := range serverVars {
+		if serverVars[i].name == name {
+			return &serverVars[i], false
+		}
+	}
+	var found *varDef
+	for i := range serverVars {
+		if strings.HasPrefix(serverVars[i].name, name) {
+			if found != nil {
+				return nil, true
+			}
+			found = &serverVars[i]
+		}
+	}
+	return found, false
+}

@@ -1,0 +1,322 @@
+package postgres
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"conferr/internal/sqlmini"
+	"conferr/internal/suts"
+)
+
+// ConfigFile is the logical name of the simulator's configuration file.
+const ConfigFile = "postgresql.conf"
+
+// Server is the simulated PostgreSQL server.
+type Server struct {
+	port int
+
+	srv      *sqlmini.Server
+	settings settings
+}
+
+// settings is the effective configuration after a successful parse.
+type settings struct {
+	ints    map[string]int64
+	reals   map[string]float64
+	bools   map[string]bool
+	strs    map[string]string
+	enums   map[string]string
+	port    int64
+	maxConn int64
+	listen  string
+}
+
+var _ suts.System = (*Server)(nil)
+var _ suts.Addressable = (*Server)(nil)
+
+// New returns a simulator whose default configuration listens on the given
+// TCP port (0 picks a free one at construction time).
+func New(port int) (*Server, error) {
+	if port == 0 {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("postgres: allocating port: %w", err)
+		}
+		port = ln.Addr().(*net.TCPAddr).Port
+		if err := ln.Close(); err != nil {
+			return nil, fmt.Errorf("postgres: releasing probe listener: %w", err)
+		}
+	}
+	return &Server{port: port}, nil
+}
+
+// Name implements suts.System.
+func (s *Server) Name() string { return "postgres-sim" }
+
+// DefaultPort returns the port of the default configuration.
+func (s *Server) DefaultPort() int { return s.port }
+
+// DefaultConfig implements suts.System. It mirrors the stock
+// postgresql.conf of 8.2: 8 active directives (paper §5.1), including the
+// max_fsm_pages default whose typo the paper uses as its constraint-check
+// example.
+func (s *Server) DefaultConfig() suts.Files {
+	conf := fmt.Sprintf(`# PostgreSQL configuration file
+listen_addresses = 'localhost'
+port = %d
+max_connections = 100
+shared_buffers = 32MB
+max_fsm_pages = 153600
+datestyle = 'iso, mdy'
+lc_messages = 'C'
+log_destination = 'stderr'
+`, s.port)
+	return suts.Files{ConfigFile: []byte(conf)}
+}
+
+// FullConfig returns a configuration listing every modeled parameter with
+// its default value, excluding booleans and parameters without defaults —
+// the §5.5 comparison faultload ("a file containing most of the available
+// directives, along with the default values").
+func (s *Server) FullConfig() suts.Files {
+	var b strings.Builder
+	b.WriteString("# full parameter listing\n")
+	for _, g := range gucs {
+		if g.kind == kindBool || g.def == "" {
+			continue
+		}
+		val := g.def
+		if g.name == "port" {
+			val = fmt.Sprint(s.port)
+		}
+		if g.kind == kindString || g.kind == kindEnum {
+			val = "'" + val + "'"
+		}
+		fmt.Fprintf(&b, "%s = %s\n", g.name, val)
+	}
+	return suts.Files{ConfigFile: []byte(b.String())}
+}
+
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error {
+	data, ok := files[ConfigFile]
+	if !ok {
+		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+	}
+	st, err := parseConfig(string(data))
+	if err != nil {
+		return &suts.StartupError{System: s.Name(), Msg: "FATAL: " + err.Error()}
+	}
+	s.settings = st
+
+	// listen_addresses is a plain string parameter, but a host that does
+	// not resolve fails at bind time — still a startup-visible failure.
+	host := st.listen
+	switch host {
+	case "localhost", "127.0.0.1", "*", "0.0.0.0", "":
+		host = "127.0.0.1"
+	default:
+		return &suts.StartupError{System: s.Name(),
+			Msg: fmt.Sprintf("FATAL: could not translate host name \"%s\" to address", st.listen)}
+	}
+
+	eng := &sqlmini.Engine{}
+	srv := sqlmini.NewServer(eng)
+	srv.MaxConns = int(st.maxConn)
+	if err := srv.Listen(fmt.Sprintf("%s:%d", host, st.port)); err != nil {
+		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+	}
+	s.srv = srv
+	return nil
+}
+
+// Stop implements suts.System.
+func (s *Server) Stop() error {
+	if s.srv == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	s.srv = nil
+	return err
+}
+
+// Addr implements suts.Addressable.
+func (s *Server) Addr() string {
+	if s.srv == nil {
+		return ""
+	}
+	return s.srv.Addr()
+}
+
+// parseConfig applies 8.2's configuration-file semantics.
+func parseConfig(conf string) (settings, error) {
+	st := settings{
+		ints:    make(map[string]int64),
+		reals:   make(map[string]float64),
+		bools:   make(map[string]bool),
+		strs:    make(map[string]string),
+		enums:   make(map[string]string),
+		port:    5432,
+		maxConn: 100,
+		listen:  "localhost",
+	}
+	for lineno, line := range strings.Split(conf, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		name, rawVal, err := splitAssignment(t, lineno+1)
+		if err != nil {
+			return st, err
+		}
+		def := lookupGUC(name)
+		if def == nil {
+			return st, fmt.Errorf("unrecognized configuration parameter \"%s\"", name)
+		}
+		val, err := unquoteValue(rawVal, lineno+1)
+		if err != nil {
+			return st, err
+		}
+		if err := applyGUC(&st, def, val); err != nil {
+			return st, err
+		}
+	}
+	// Cross-directive constraint (paper §5.2): max_fsm_pages must be at
+	// least 16 × max_fsm_relations.
+	fsmPages, hasPages := st.ints["max_fsm_pages"]
+	fsmRel := int64(1000) // default max_fsm_relations
+	if v, ok := st.ints["max_fsm_relations"]; ok {
+		fsmRel = v
+	}
+	if hasPages && fsmPages < 16*fsmRel {
+		return st, fmt.Errorf(
+			"max_fsm_pages must exceed max_fsm_relations * 16 (%d < %d)",
+			fsmPages, 16*fsmRel)
+	}
+	return st, nil
+}
+
+// splitAssignment splits "name = value" or "name value"; the '=' is
+// optional, a directive with neither '=' nor value is a syntax error.
+func splitAssignment(line string, lineno int) (string, string, error) {
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		name := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return "", "", fmt.Errorf("syntax error in configuration file at line %d", lineno)
+		}
+		return name, val, nil
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return "", "", fmt.Errorf("syntax error in configuration file at line %d", lineno)
+	}
+	return line[:i], strings.TrimSpace(line[i:]), nil
+}
+
+// unquoteValue strips trailing comments and paired single quotes; an
+// unterminated quote is a syntax error (a typo corrupting a quote is
+// detected).
+func unquoteValue(raw string, lineno int) (string, error) {
+	v := raw
+	if !strings.HasPrefix(v, "'") {
+		// Trailing comment only applies outside quotes here; quoted values
+		// had comments handled by the scan below.
+		if i := strings.IndexByte(v, '#'); i >= 0 {
+			v = strings.TrimSpace(v[:i])
+		}
+		return v, nil
+	}
+	// Quoted: find the closing quote ('' escapes).
+	for i := 1; i < len(v); i++ {
+		if v[i] != '\'' {
+			continue
+		}
+		if i+1 < len(v) && v[i+1] == '\'' {
+			i++
+			continue
+		}
+		inner := strings.ReplaceAll(v[1:i], "''", "'")
+		rest := strings.TrimSpace(v[i+1:])
+		if rest != "" && !strings.HasPrefix(rest, "#") {
+			return "", fmt.Errorf("syntax error in configuration file at line %d", lineno)
+		}
+		return inner, nil
+	}
+	return "", fmt.Errorf("unterminated quoted string in configuration file at line %d", lineno)
+}
+
+func applyGUC(st *settings, def *gucDef, val string) error {
+	switch def.kind {
+	case kindInt:
+		n, err := parseInt(val, def)
+		if err != nil {
+			return err
+		}
+		st.ints[def.name] = n
+		switch def.name {
+		case "port":
+			st.port = n
+		case "max_connections":
+			st.maxConn = n
+		}
+	case kindReal:
+		f, err := parseReal(val, def)
+		if err != nil {
+			return err
+		}
+		st.reals[def.name] = f
+	case kindBool:
+		b, err := parseBool(val, def)
+		if err != nil {
+			return err
+		}
+		st.bools[def.name] = b
+	case kindEnum:
+		v, err := parseEnum(val, def)
+		if err != nil {
+			return err
+		}
+		st.enums[def.name] = v
+	case kindString:
+		st.strs[def.name] = val
+		if def.name == "listen_addresses" {
+			st.listen = val
+		}
+	}
+	return nil
+}
+
+// Tests returns the paper's database diagnosis suite (§5.1) against the
+// default port.
+func Tests(s *Server) []suts.Test {
+	return []suts.Test{{
+		Name: "db-roundtrip",
+		Run: func() error {
+			c, err := sqlmini.Dial(fmt.Sprintf("127.0.0.1:%d", s.DefaultPort()))
+			if err != nil {
+				return fmt.Errorf("connect: %w", err)
+			}
+			defer func() { _ = c.Close() }()
+			for _, stmt := range []string{
+				"CREATE DATABASE conferr_test",
+				"USE conferr_test",
+				"CREATE TABLE t (id, name)",
+				"INSERT INTO t VALUES (1, 'alpha')",
+			} {
+				if _, _, err := c.Exec(stmt); err != nil {
+					return fmt.Errorf("%s: %w", stmt, err)
+				}
+			}
+			rows, _, err := c.Exec("SELECT name FROM t WHERE id = 1")
+			if err != nil {
+				return fmt.Errorf("select: %w", err)
+			}
+			if len(rows) != 1 || rows[0][0] != "alpha" {
+				return fmt.Errorf("unexpected result %v", rows)
+			}
+			return nil
+		},
+	}}
+}

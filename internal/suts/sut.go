@@ -1,0 +1,77 @@
+// Package suts defines the contract between the ConfErr engine and a
+// system under test (SUT), and hosts the simulated targets in its
+// subpackages.
+//
+// The paper drives real server binaries (MySQL, Postgres, Apache, BIND,
+// djbdns) via start/stop scripts. This reproduction substitutes simulated
+// SUTs — real network servers whose configuration parsers faithfully model
+// the documented behaviours of the originals (see DESIGN.md §2) — plus an
+// external-process path via internal/proc and cmd/sutd.
+package suts
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Files maps logical configuration file names to their serialized content,
+// as delivered to a SUT at startup.
+type Files map[string][]byte
+
+// System is a system under test. Implementations must be restartable: the
+// engine calls Start/Stop once per injection experiment.
+type System interface {
+	// Name identifies the SUT (e.g. "mysql-sim").
+	Name() string
+	// DefaultConfig returns the initial (valid) configuration files the
+	// campaign mutates — the equivalent of the default files that ship
+	// with the system (paper §5.1).
+	DefaultConfig() Files
+	// Start parses the given configuration and brings the system up. A
+	// returned error means the SUT detected a problem at startup; the
+	// error text is recorded in the resilience profile.
+	Start(files Files) error
+	// Stop shuts the system down and releases its resources. It must be
+	// safe to call after a failed Start.
+	Stop() error
+}
+
+// Addressable is implemented by SUTs that serve a network endpoint;
+// functional tests use Addr to reach the running system.
+type Addressable interface {
+	// Addr returns the listening address ("host:port") of the running
+	// system. Only valid between a successful Start and Stop.
+	Addr() string
+}
+
+// StartupError is returned by System.Start when the SUT's own
+// configuration parsing or validation rejects the configuration — the
+// "detected by system at startup" outcome.
+type StartupError struct {
+	// System is the SUT name.
+	System string
+	// Msg is the SUT's complaint, recorded in the profile.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *StartupError) Error() string {
+	return fmt.Sprintf("%s: %s", e.System, e.Msg)
+}
+
+// IsStartupError reports whether err is a SUT startup rejection.
+func IsStartupError(err error) bool {
+	var se *StartupError
+	return errors.As(err, &se)
+}
+
+// Test is a functional test run against a started SUT — the equivalent of
+// the paper's diagnostic scripts ("akin to what an administrator might do
+// to check that a system is OK", §5.1).
+type Test struct {
+	// Name identifies the test in the profile.
+	Name string
+	// Run performs the check against the running SUT and returns an error
+	// when the system misbehaves.
+	Run func() error
+}

@@ -1,0 +1,395 @@
+// Package template implements ConfErr's base fault templates (paper §3.3).
+//
+// A template describes a class of configuration-tree transformations —
+// deletion, duplication, move, or content modification of nodes — and is
+// parameterized with cpath expressions that select the nodes the
+// transformation targets. Instantiating a template against an initial
+// configuration set enumerates concrete fault scenarios, each of which can
+// later be replayed against a fresh clone of the configuration.
+package template
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/scenario"
+)
+
+// Template generates fault scenarios from an initial configuration set.
+type Template interface {
+	// Name identifies the template kind for scenario IDs and profiles.
+	Name() string
+	// Generate enumerates the scenarios this template yields for the given
+	// initial configuration.
+	Generate(set *confnode.Set) ([]scenario.Scenario, error)
+}
+
+// Ref is a stable reference to a node inside a configuration set: the
+// logical file name plus the child-index path from the document root.
+// Because the engine applies scenarios to clones of the initial set, refs
+// (not node pointers) are what scenarios capture.
+type Ref struct {
+	// File is the logical configuration file name within the set.
+	File string
+	// Indices is the child-index path from the file's root to the node.
+	Indices []int
+}
+
+// RefOf computes the Ref of a node that belongs to the tree stored under
+// the given file name.
+func RefOf(file string, n *confnode.Node) Ref {
+	var idx []int
+	for cur := n; cur.Parent() != nil; cur = cur.Parent() {
+		idx = append(idx, cur.Index())
+	}
+	for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return Ref{File: file, Indices: idx}
+}
+
+// Resolve returns the node the ref denotes inside the set, or an error
+// wrapping scenario.ErrNotApplicable when the path no longer exists.
+func (r Ref) Resolve(set *confnode.Set) (*confnode.Node, error) {
+	root := set.Get(r.File)
+	if root == nil {
+		return nil, fmt.Errorf("file %q not in set: %w", r.File, scenario.ErrNotApplicable)
+	}
+	n := root
+	for _, i := range r.Indices {
+		n = n.Child(i)
+		if n == nil {
+			return nil, fmt.Errorf("node %v not found: %w", r, scenario.ErrNotApplicable)
+		}
+	}
+	return n, nil
+}
+
+// String renders the ref in the form "file#i1.i2...", parseable by
+// ParseRef. The '#' separator keeps file names containing dots
+// unambiguous.
+func (r Ref) String() string {
+	parts := make([]string, 0, len(r.Indices))
+	for _, i := range r.Indices {
+		parts = append(parts, fmt.Sprint(i))
+	}
+	return r.File + "#" + strings.Join(parts, ".")
+}
+
+// ParseRef parses the string form produced by Ref.String.
+func ParseRef(s string) (Ref, error) {
+	hash := strings.LastIndexByte(s, '#')
+	if hash < 0 {
+		return Ref{}, fmt.Errorf("template: malformed ref %q", s)
+	}
+	ref := Ref{File: s[:hash]}
+	rest := s[hash+1:]
+	if rest == "" {
+		return ref, nil
+	}
+	for _, part := range strings.Split(rest, ".") {
+		i, err := strconv.Atoi(part)
+		if err != nil || i < 0 {
+			return Ref{}, fmt.Errorf("template: malformed ref %q", s)
+		}
+		ref.Indices = append(ref.Indices, i)
+	}
+	return ref, nil
+}
+
+// targets evaluates expr over every file of the set and returns the refs of
+// all matched nodes together with the nodes themselves (from the original,
+// for descriptions).
+func targets(set *confnode.Set, expr *cpath.Expr) []refNode {
+	var out []refNode
+	set.Walk(func(file string, root *confnode.Node) {
+		for _, n := range expr.Select(root) {
+			out = append(out, refNode{ref: RefOf(file, n), node: n})
+		}
+	})
+	return out
+}
+
+type refNode struct {
+	ref  Ref
+	node *confnode.Node
+}
+
+// describe renders a node succinctly for scenario descriptions.
+func describe(n *confnode.Node) string {
+	s := n.Kind.String()
+	if n.Name != "" {
+		s += " " + truncate(n.Name)
+	}
+	if n.Value != "" {
+		s += "=" + truncate(n.Value)
+	}
+	return s
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:37] + "..."
+	}
+	return s
+}
+
+// DeleteTemplate generates one scenario per target node, each deleting that
+// node (and its subtree). It models omissions: forgotten directives or
+// whole sections (paper §2.2, §4.2).
+type DeleteTemplate struct {
+	// Targets selects the nodes to delete.
+	Targets *cpath.Expr
+	// Class overrides the scenario class; defaults to "delete".
+	Class string
+}
+
+var _ Template = (*DeleteTemplate)(nil)
+
+// Name implements Template.
+func (t *DeleteTemplate) Name() string { return "delete" }
+
+// Generate implements Template.
+func (t *DeleteTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	class := t.Class
+	if class == "" {
+		class = "delete"
+	}
+	var out []scenario.Scenario
+	for i, tn := range targets(set, t.Targets) {
+		ref := tn.ref
+		out = append(out, scenario.Scenario{
+			ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
+			Class:       class,
+			Description: "delete " + describe(tn.node),
+			Apply: func(s *confnode.Set) error {
+				n, err := ref.Resolve(s)
+				if err != nil {
+					return err
+				}
+				if n.Parent() == nil {
+					return fmt.Errorf("cannot delete root: %w", scenario.ErrNotApplicable)
+				}
+				n.Remove()
+				return nil
+			},
+		})
+	}
+	return out, nil
+}
+
+// DuplicateTemplate generates one scenario per target node, each inserting
+// a copy of the node immediately after the original. It models mistaken
+// repetition of directives, e.g. via copy-paste (paper §2.2).
+type DuplicateTemplate struct {
+	// Targets selects the nodes to duplicate.
+	Targets *cpath.Expr
+	// Class overrides the scenario class; defaults to "duplicate".
+	Class string
+}
+
+var _ Template = (*DuplicateTemplate)(nil)
+
+// Name implements Template.
+func (t *DuplicateTemplate) Name() string { return "duplicate" }
+
+// Generate implements Template.
+func (t *DuplicateTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	class := t.Class
+	if class == "" {
+		class = "duplicate"
+	}
+	var out []scenario.Scenario
+	for i, tn := range targets(set, t.Targets) {
+		ref := tn.ref
+		out = append(out, scenario.Scenario{
+			ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
+			Class:       class,
+			Description: "duplicate " + describe(tn.node),
+			Apply: func(s *confnode.Set) error {
+				n, err := ref.Resolve(s)
+				if err != nil {
+					return err
+				}
+				p := n.Parent()
+				if p == nil {
+					return fmt.Errorf("cannot duplicate root: %w", scenario.ErrNotApplicable)
+				}
+				p.InsertAt(n.Index()+1, n.Clone())
+				return nil
+			},
+		})
+	}
+	return out, nil
+}
+
+// MoveTemplate generates one scenario per (target, destination) pair,
+// moving the target node to the end of the destination node's children.
+// Pairs where the destination already contains the target, equals the
+// target, or lies inside the target's subtree are skipped. It models
+// misplacement of directives in the wrong section (paper §2.2, §4.2).
+type MoveTemplate struct {
+	// Targets selects the nodes to move.
+	Targets *cpath.Expr
+	// Destinations selects candidate new parents.
+	Destinations *cpath.Expr
+	// Class overrides the scenario class; defaults to "move".
+	Class string
+}
+
+var _ Template = (*MoveTemplate)(nil)
+
+// Name implements Template.
+func (t *MoveTemplate) Name() string { return "move" }
+
+// Generate implements Template.
+func (t *MoveTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	class := t.Class
+	if class == "" {
+		class = "move"
+	}
+	tgts := targets(set, t.Targets)
+	dsts := targets(set, t.Destinations)
+	var out []scenario.Scenario
+	seq := 0
+	for _, tn := range tgts {
+		for _, dn := range dsts {
+			if dn.node == tn.node || dn.node == tn.node.Parent() || isInside(dn.node, tn.node) {
+				continue
+			}
+			tref, dref := tn.ref, dn.ref
+			out = append(out, scenario.Scenario{
+				ID:    fmt.Sprintf("%s/%s->%s/%d", class, tref, dref, seq),
+				Class: class,
+				Description: fmt.Sprintf("move %s into %s",
+					describe(tn.node), describe(dn.node)),
+				Apply: func(s *confnode.Set) error {
+					// Resolve the destination first: moving the target
+					// changes sibling indices, which would invalidate a
+					// destination ref passing through the same parent.
+					d, err := dref.Resolve(s)
+					if err != nil {
+						return err
+					}
+					n, err := tref.Resolve(s)
+					if err != nil {
+						return err
+					}
+					if d == n || isInside(d, n) {
+						return fmt.Errorf("destination inside target: %w", scenario.ErrNotApplicable)
+					}
+					n.Remove()
+					d.Append(n)
+					return nil
+				},
+			})
+			seq++
+		}
+	}
+	return out, nil
+}
+
+// isInside reports whether n is a strict descendant of root.
+func isInside(n, root *confnode.Node) bool {
+	for cur := n.Parent(); cur != nil; cur = cur.Parent() {
+		if cur == root {
+			return true
+		}
+	}
+	return false
+}
+
+// Variant is one concrete modification of a node's content produced by a
+// Mutator.
+type Variant struct {
+	// Description says what changed, e.g. `omit 'r' at 2: "pot"`.
+	Description string
+	// Apply performs the change on the (cloned) node.
+	Apply func(n *confnode.Node)
+}
+
+// Mutator generates content-modification variants for a node. It is the
+// specialization point of the abstract modify template: the spelling-
+// mistakes plugin supplies mutators for omission, insertion, substitution,
+// case alteration and transposition (paper §4.1).
+type Mutator interface {
+	// Name identifies the mutation submodel, e.g. "omission".
+	Name() string
+	// Variants enumerates the possible mutations of the node's content.
+	Variants(n *confnode.Node) []Variant
+}
+
+// ModifyTemplate is the abstract modify template (paper §3.3): it generates
+// one scenario per (target node, mutator variant) pair.
+type ModifyTemplate struct {
+	// Targets selects the nodes whose content is modified.
+	Targets *cpath.Expr
+	// Mutator supplies the content variants.
+	Mutator Mutator
+	// Class overrides the scenario class; defaults to "modify/<mutator>".
+	Class string
+}
+
+var _ Template = (*ModifyTemplate)(nil)
+
+// Name implements Template.
+func (t *ModifyTemplate) Name() string { return "modify/" + t.Mutator.Name() }
+
+// Generate implements Template.
+func (t *ModifyTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	class := t.Class
+	if class == "" {
+		class = t.Name()
+	}
+	var out []scenario.Scenario
+	seq := 0
+	for _, tn := range targets(set, t.Targets) {
+		ref := tn.ref
+		for _, v := range t.Mutator.Variants(tn.node) {
+			apply := v.Apply
+			out = append(out, scenario.Scenario{
+				ID:          fmt.Sprintf("%s/%s/%d", class, ref, seq),
+				Class:       class,
+				Description: fmt.Sprintf("%s on %s", v.Description, describe(tn.node)),
+				Apply: func(s *confnode.Set) error {
+					n, err := ref.Resolve(s)
+					if err != nil {
+						return err
+					}
+					apply(n)
+					return nil
+				},
+			})
+			seq++
+		}
+	}
+	return out, nil
+}
+
+// UnionTemplate composes templates: its scenarios are the concatenation of
+// the component templates' scenarios (paper §3.3 complex templates).
+type UnionTemplate struct {
+	// Parts are the composed templates, in order.
+	Parts []Template
+}
+
+var _ Template = (*UnionTemplate)(nil)
+
+// Name implements Template.
+func (t *UnionTemplate) Name() string { return "union" }
+
+// Generate implements Template.
+func (t *UnionTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	var all [][]scenario.Scenario
+	for _, p := range t.Parts {
+		s, err := p.Generate(set)
+		if err != nil {
+			return nil, fmt.Errorf("union part %s: %w", p.Name(), err)
+		}
+		all = append(all, s)
+	}
+	return scenario.Union(all...), nil
+}

@@ -1,0 +1,367 @@
+package template
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/scenario"
+)
+
+// initialSet builds a two-file configuration set:
+//
+//	my.cnf:  [mysqld] port=3306 key_buffer_size=16M ; [mysqldump] quick
+//	b.conf:  single directive x=1
+func initialSet() *confnode.Set {
+	doc := confnode.New(confnode.KindDocument, "my.cnf")
+	mysqld := confnode.New(confnode.KindSection, "mysqld")
+	mysqld.Append(
+		confnode.NewValued(confnode.KindDirective, "port", "3306"),
+		confnode.NewValued(confnode.KindDirective, "key_buffer_size", "16M"),
+	)
+	dump := confnode.New(confnode.KindSection, "mysqldump")
+	dump.Append(confnode.NewValued(confnode.KindDirective, "quick", ""))
+	doc.Append(mysqld, dump)
+
+	b := confnode.New(confnode.KindDocument, "b.conf")
+	b.Append(confnode.NewValued(confnode.KindDirective, "x", "1"))
+
+	set := confnode.NewSet()
+	set.Put("my.cnf", doc)
+	set.Put("b.conf", b)
+	return set
+}
+
+func TestRefRoundTrip(t *testing.T) {
+	set := initialSet()
+	node := set.Get("my.cnf").Child(0).Child(1)
+	ref := RefOf("my.cnf", node)
+	got, err := ref.Resolve(set)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got != node {
+		t.Error("Resolve returned wrong node")
+	}
+	if ref.String() != "my.cnf#0.1" {
+		t.Errorf("Ref.String = %q", ref.String())
+	}
+	parsed, err := ParseRef(ref.String())
+	if err != nil {
+		t.Fatalf("ParseRef: %v", err)
+	}
+	if parsed.File != ref.File || len(parsed.Indices) != 2 ||
+		parsed.Indices[0] != 0 || parsed.Indices[1] != 1 {
+		t.Errorf("ParseRef = %+v, want %+v", parsed, ref)
+	}
+}
+
+func TestRefResolveErrors(t *testing.T) {
+	set := initialSet()
+	if _, err := (Ref{File: "nope"}).Resolve(set); !errors.Is(err, scenario.ErrNotApplicable) {
+		t.Errorf("missing file: err = %v", err)
+	}
+	bad := Ref{File: "my.cnf", Indices: []int{0, 99}}
+	if _, err := bad.Resolve(set); !errors.Is(err, scenario.ErrNotApplicable) {
+		t.Errorf("missing node: err = %v", err)
+	}
+}
+
+func TestDeleteTemplate(t *testing.T) {
+	set := initialSet()
+	tpl := &DeleteTemplate{Targets: cpath.MustCompile("//directive")}
+	scens, err := tpl.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 4 {
+		t.Fatalf("generated %d scenarios, want 4", len(scens))
+	}
+	// Apply the first (deletes port from a clone).
+	clone := set.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Get("my.cnf").Child(0).NumChildren() != 1 {
+		t.Error("delete did not remove the directive")
+	}
+	// Original untouched.
+	if set.Get("my.cnf").Child(0).NumChildren() != 2 {
+		t.Error("original was mutated")
+	}
+	if scens[0].Class != "delete" {
+		t.Errorf("Class = %q", scens[0].Class)
+	}
+	if !strings.Contains(scens[0].Description, "port") {
+		t.Errorf("Description = %q", scens[0].Description)
+	}
+}
+
+func TestDeleteTemplateCustomClass(t *testing.T) {
+	set := initialSet()
+	tpl := &DeleteTemplate{Targets: cpath.MustCompile("//section"), Class: "structural/omission"}
+	scens, _ := tpl.Generate(set)
+	if len(scens) != 2 {
+		t.Fatalf("got %d scenarios", len(scens))
+	}
+	if scens[0].Class != "structural/omission" {
+		t.Errorf("Class = %q", scens[0].Class)
+	}
+}
+
+func TestDeleteRootNotApplicable(t *testing.T) {
+	set := initialSet()
+	tpl := &DeleteTemplate{Targets: cpath.MustCompile("/directive")}
+	scens, _ := tpl.Generate(set)
+	// b.conf's directive x — delete works.
+	if len(scens) != 1 {
+		t.Fatalf("got %d scenarios", len(scens))
+	}
+	// Now delete the node's parent first so Apply hits a stale ref.
+	clone := set.Clone()
+	clone.Get("b.conf").Child(0).Remove()
+	if err := scens[0].Apply(clone); !errors.Is(err, scenario.ErrNotApplicable) {
+		t.Errorf("stale ref: err = %v", err)
+	}
+}
+
+func TestDuplicateTemplate(t *testing.T) {
+	set := initialSet()
+	tpl := &DuplicateTemplate{Targets: cpath.MustCompile("//directive[name='port']")}
+	scens, err := tpl.Generate(set)
+	if err != nil || len(scens) != 1 {
+		t.Fatalf("scens=%d err=%v", len(scens), err)
+	}
+	clone := set.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	sec := clone.Get("my.cnf").Child(0)
+	if sec.NumChildren() != 3 {
+		t.Fatalf("children = %d, want 3", sec.NumChildren())
+	}
+	if sec.Child(0).Name != "port" || sec.Child(1).Name != "port" {
+		t.Error("duplicate not adjacent to original")
+	}
+	if sec.Child(0) == sec.Child(1) {
+		t.Error("duplicate shares node with original")
+	}
+}
+
+func TestMoveTemplate(t *testing.T) {
+	set := initialSet()
+	tpl := &MoveTemplate{
+		Targets:      cpath.MustCompile("//directive[name='port']"),
+		Destinations: cpath.MustCompile("//section"),
+	}
+	scens, err := tpl.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// port can move only to [mysqldump] (its own parent is excluded).
+	if len(scens) != 1 {
+		t.Fatalf("scenarios = %d, want 1", len(scens))
+	}
+	clone := set.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	mysqld := clone.Get("my.cnf").Child(0)
+	dump := clone.Get("my.cnf").Child(1)
+	if mysqld.NumChildren() != 1 {
+		t.Error("port not removed from [mysqld]")
+	}
+	if dump.NumChildren() != 2 || dump.Child(1).Name != "port" {
+		t.Error("port not appended to [mysqldump]")
+	}
+}
+
+func TestMoveTemplateExcludesSelfAndDescendants(t *testing.T) {
+	// Nested sections: moving an outer section into its own child must be
+	// excluded.
+	doc := confnode.New(confnode.KindDocument, "a")
+	outer := confnode.New(confnode.KindSection, "outer")
+	inner := confnode.New(confnode.KindSection, "inner")
+	outer.Append(inner)
+	doc.Append(outer)
+	set := confnode.NewSet()
+	set.Put("a", doc)
+
+	tpl := &MoveTemplate{
+		Targets:      cpath.MustCompile("/section:outer"),
+		Destinations: cpath.MustCompile("//section"),
+	}
+	scens, err := tpl.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 0 {
+		t.Errorf("generated %d scenarios, want 0 (self and descendant destinations excluded)", len(scens))
+	}
+}
+
+func TestMoveCrossFile(t *testing.T) {
+	set := initialSet()
+	tpl := &MoveTemplate{
+		Targets:      cpath.MustCompile("//directive[name='x']"),
+		Destinations: cpath.MustCompile("//section:mysqld"),
+	}
+	scens, err := tpl.Generate(set)
+	if err != nil || len(scens) != 1 {
+		t.Fatalf("scens=%d err=%v", len(scens), err)
+	}
+	clone := set.Clone()
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Get("b.conf").NumChildren() != 0 {
+		t.Error("x not removed from b.conf")
+	}
+	sec := clone.Get("my.cnf").Child(0)
+	if sec.Child(sec.NumChildren()-1).Name != "x" {
+		t.Error("x not moved into [mysqld]")
+	}
+}
+
+type upperMutator struct{}
+
+func (upperMutator) Name() string { return "upper" }
+
+func (upperMutator) Variants(n *confnode.Node) []Variant {
+	if n.Value == "" {
+		return nil
+	}
+	return []Variant{{
+		Description: "uppercase value",
+		Apply:       func(m *confnode.Node) { m.Value = strings.ToUpper(m.Value) },
+	}}
+}
+
+func TestModifyTemplate(t *testing.T) {
+	set := initialSet()
+	tpl := &ModifyTemplate{
+		Targets: cpath.MustCompile("//directive"),
+		Mutator: upperMutator{},
+	}
+	scens, err := tpl.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 directives have values (quick has none).
+	if len(scens) != 3 {
+		t.Fatalf("scenarios = %d, want 3", len(scens))
+	}
+	if tpl.Name() != "modify/upper" {
+		t.Errorf("Name = %q", tpl.Name())
+	}
+	clone := set.Clone()
+	if err := scens[1].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	if got := clone.Get("my.cnf").Child(0).Child(1).Value; got != "16M" {
+		t.Errorf("value = %q, want 16M (already upper)", got)
+	}
+	if err := scens[0].Apply(clone); err != nil {
+		t.Fatal(err)
+	}
+	if scens[0].Class != "modify/upper" {
+		t.Errorf("Class = %q", scens[0].Class)
+	}
+}
+
+func TestUnionTemplate(t *testing.T) {
+	set := initialSet()
+	u := &UnionTemplate{Parts: []Template{
+		&DeleteTemplate{Targets: cpath.MustCompile("//section")},
+		&DuplicateTemplate{Targets: cpath.MustCompile("//section")},
+	}}
+	scens, err := u.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scens) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(scens))
+	}
+	if u.Name() != "union" {
+		t.Errorf("Name = %q", u.Name())
+	}
+	classes := map[string]int{}
+	for _, s := range scens {
+		classes[s.Class]++
+	}
+	if classes["delete"] != 2 || classes["duplicate"] != 2 {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+type errTemplate struct{}
+
+func (errTemplate) Name() string { return "boom" }
+func (errTemplate) Generate(*confnode.Set) ([]scenario.Scenario, error) {
+	return nil, fmt.Errorf("boom")
+}
+
+func TestUnionTemplatePropagatesError(t *testing.T) {
+	u := &UnionTemplate{Parts: []Template{errTemplate{}}}
+	if _, err := u.Generate(initialSet()); err == nil {
+		t.Error("expected error from failing part")
+	}
+}
+
+func TestScenarioIDsUnique(t *testing.T) {
+	set := initialSet()
+	u := &UnionTemplate{Parts: []Template{
+		&DeleteTemplate{Targets: cpath.MustCompile("//directive")},
+		&DuplicateTemplate{Targets: cpath.MustCompile("//directive")},
+		&ModifyTemplate{Targets: cpath.MustCompile("//directive"), Mutator: upperMutator{}},
+	}}
+	scens, err := u.Generate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range scens {
+		if err := s.Validate(); err != nil {
+			t.Errorf("invalid scenario: %v", err)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate scenario ID %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestApplyIsReplayable(t *testing.T) {
+	// The same scenario applied to two fresh clones must produce equal
+	// results — the engine depends on replayability.
+	set := initialSet()
+	tpl := &DeleteTemplate{Targets: cpath.MustCompile("//directive")}
+	scens, _ := tpl.Generate(set)
+	for _, s := range scens {
+		a, b := set.Clone(), set.Clone()
+		if err := s.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("scenario %s not replayable", s.ID)
+		}
+	}
+}
+
+func TestDescribeTruncatesLongValues(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	n := confnode.NewValued(confnode.KindDirective, "d", long)
+	d := describe(n)
+	if len(d) > 80 {
+		t.Errorf("describe too long: %d chars", len(d))
+	}
+	if !strings.Contains(d, "...") {
+		t.Errorf("describe should truncate: %q", d)
+	}
+}

@@ -1,0 +1,168 @@
+// Package view implements bidirectional transformations between the
+// system-specific representation of a configuration and the plugin-specific
+// representations error generators operate on (paper §3.2).
+//
+// The original ConfErr performs this mapping with XSLT and records
+// auxiliary information so the mutated plugin view can be mapped back to
+// the system representation; mapping back can fail when the mutated state
+// is not expressible in the system's configuration language, which is a
+// first-class outcome (paper §5.4). Here the same roles are played by the
+// View interface, provenance attributes, and ErrNotExpressible.
+package view
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/template"
+)
+
+// ErrNotExpressible is returned by Backward when the mutated plugin-view
+// state cannot be expressed in the system-specific configuration language
+// (e.g. a fault that deletes one half of a record pair that the target
+// format can only write as a single combined directive).
+var ErrNotExpressible = errors.New("mutated configuration not expressible in system format")
+
+// View maps between the system-specific configuration representation and a
+// plugin-specific one.
+type View interface {
+	// Name identifies the view, e.g. "word" or "struct".
+	Name() string
+	// Forward derives the plugin-specific representation from the system
+	// one. The input must not be mutated.
+	Forward(sys *confnode.Set) (*confnode.Set, error)
+	// Backward folds a (possibly mutated) plugin-view set back onto the
+	// original system set, returning a new system set. It returns an error
+	// wrapping ErrNotExpressible when the view state has no system-format
+	// equivalent.
+	Backward(mutated, sys *confnode.Set) (*confnode.Set, error)
+}
+
+// SrcAttr is the provenance attribute linking a view node to the system
+// node it was derived from; its value is a template.Ref string produced by
+// refString.
+const SrcAttr = "src"
+
+// TokenAttr classifies word-view tokens ("name" or "value"), letting the
+// spelling plugin restrict injection to a part of the configuration (paper
+// §4.1).
+const TokenAttr = "token"
+
+// Token classes for word-view nodes.
+const (
+	// TokenName marks a word holding a directive name.
+	TokenName = "name"
+	// TokenValue marks a word holding (part of) a directive value.
+	TokenValue = "value"
+)
+
+// StructView exposes the system representation directly: sections and
+// directives. Forward clones; Backward returns the mutated tree as-is.
+// This is the view used by the structural-errors plugin — the paper notes
+// the transformation is usually very simple; here it is the identity.
+type StructView struct{}
+
+var _ View = StructView{}
+
+// Name implements View.
+func (StructView) Name() string { return "struct" }
+
+// Forward implements View.
+func (StructView) Forward(sys *confnode.Set) (*confnode.Set, error) {
+	return sys.Clone(), nil
+}
+
+// Backward implements View.
+func (StructView) Backward(mutated, _ *confnode.Set) (*confnode.Set, error) {
+	return mutated.Clone(), nil
+}
+
+// WordView represents every directive as a line of typed word tokens: the
+// directive name (token class "name") followed by the whitespace-separated
+// words of its value (token class "value"). It is the representation used
+// for typo injection (paper Figure 2.c).
+//
+// Section names are not exposed: the paper's spelling plugin targets
+// directive names and values (§5.2).
+type WordView struct{}
+
+var _ View = WordView{}
+
+// Name implements View.
+func (WordView) Name() string { return "word" }
+
+// Forward implements View.
+func (WordView) Forward(sys *confnode.Set) (*confnode.Set, error) {
+	out := confnode.NewSet()
+	sys.Walk(func(file string, root *confnode.Node) {
+		doc := confnode.New(confnode.KindDocument, file)
+		root.Walk(func(n *confnode.Node) bool {
+			if n.Kind != confnode.KindDirective {
+				return true
+			}
+			line := confnode.New(confnode.KindLine, "")
+			line.SetAttr(SrcAttr, template.RefOf(file, n).String())
+			name := confnode.NewValued(confnode.KindWord, "", n.Name)
+			name.SetAttr(TokenAttr, TokenName)
+			line.Append(name)
+			for _, w := range strings.Fields(n.Value) {
+				word := confnode.NewValued(confnode.KindWord, "", w)
+				word.SetAttr(TokenAttr, TokenValue)
+				line.Append(word)
+			}
+			doc.Append(line)
+			return true
+		})
+		out.Put(file, doc)
+	})
+	return out, nil
+}
+
+// Backward implements View. Each line is folded back onto the system
+// directive it came from: the name token becomes the directive name and
+// the value tokens are re-joined with single spaces. A line whose
+// provenance no longer resolves yields an error.
+func (WordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.Clone()
+	var retErr error
+	mutated.Walk(func(file string, root *confnode.Node) {
+		if retErr != nil {
+			return
+		}
+		for _, line := range root.ChildrenByKind(confnode.KindLine) {
+			srcStr, ok := line.Attr(SrcAttr)
+			if !ok {
+				retErr = fmt.Errorf("word view: line without provenance: %w", ErrNotExpressible)
+				return
+			}
+			ref, err := template.ParseRef(srcStr)
+			if err != nil {
+				retErr = err
+				return
+			}
+			dir, err := ref.Resolve(out)
+			if err != nil {
+				retErr = fmt.Errorf("word view: stale provenance %q: %v: %w", srcStr, err, ErrNotExpressible)
+				return
+			}
+			var name string
+			var values []string
+			for _, w := range line.ChildrenByKind(confnode.KindWord) {
+				switch w.AttrDefault(TokenAttr, TokenValue) {
+				case TokenName:
+					name = w.Value
+				default:
+					values = append(values, w.Value)
+				}
+			}
+			dir.Name = name
+			dir.Value = strings.Join(values, " ")
+		}
+	})
+	if retErr != nil {
+		return nil, retErr
+	}
+	return out, nil
+}

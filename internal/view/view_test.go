@@ -1,0 +1,244 @@
+package view
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conferr/internal/confnode"
+)
+
+// sysSet builds a system-representation set resembling a parsed my.cnf:
+//
+//	[mysqld] port=3306, key_buffer_size=16M
+//	[mysqldump] quick (no value)
+//	plus a comment and a blank line for round-trip realism.
+func sysSet() *confnode.Set {
+	doc := confnode.New(confnode.KindDocument, "my.cnf")
+	doc.Append(confnode.NewValued(confnode.KindComment, "", "# default config"))
+	mysqld := confnode.New(confnode.KindSection, "mysqld")
+	mysqld.Append(
+		confnode.NewValued(confnode.KindDirective, "port", "3306"),
+		confnode.NewValued(confnode.KindDirective, "key_buffer_size", "16M"),
+	)
+	dump := confnode.New(confnode.KindSection, "mysqldump")
+	dump.Append(confnode.NewValued(confnode.KindDirective, "quick", ""))
+	doc.Append(mysqld, confnode.New(confnode.KindBlank, ""), dump)
+	set := confnode.NewSet()
+	set.Put("my.cnf", doc)
+	return set
+}
+
+func TestStructViewIdentity(t *testing.T) {
+	v := StructView{}
+	if v.Name() != "struct" {
+		t.Errorf("Name = %q", v.Name())
+	}
+	sys := sysSet()
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Equal(sys) {
+		t.Error("struct forward should be identity")
+	}
+	// Mutating forward must not affect the original.
+	fwd.Get("my.cnf").Child(1).Remove()
+	if fwd.Equal(sys) {
+		t.Error("forward shares nodes with input")
+	}
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(fwd) {
+		t.Error("struct backward should return mutated set")
+	}
+}
+
+func TestWordViewForward(t *testing.T) {
+	v := WordView{}
+	if v.Name() != "word" {
+		t.Errorf("Name = %q", v.Name())
+	}
+	sys := sysSet()
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := fwd.Get("my.cnf")
+	lines := doc.ChildrenByKind(confnode.KindLine)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (one per directive)", len(lines))
+	}
+	// First line: port 3306.
+	words := lines[0].ChildrenByKind(confnode.KindWord)
+	if len(words) != 2 {
+		t.Fatalf("words = %d, want 2", len(words))
+	}
+	if words[0].Value != "port" || words[0].AttrDefault(TokenAttr, "") != TokenName {
+		t.Errorf("name token = %q/%q", words[0].Value, words[0].AttrDefault(TokenAttr, ""))
+	}
+	if words[1].Value != "3306" || words[1].AttrDefault(TokenAttr, "") != TokenValue {
+		t.Errorf("value token = %q/%q", words[1].Value, words[1].AttrDefault(TokenAttr, ""))
+	}
+	// Valueless directive has only the name token.
+	words = lines[2].ChildrenByKind(confnode.KindWord)
+	if len(words) != 1 || words[0].Value != "quick" {
+		t.Errorf("quick line tokens = %v", words)
+	}
+	// Every line has provenance.
+	for _, l := range lines {
+		if _, ok := l.Attr(SrcAttr); !ok {
+			t.Error("line missing provenance")
+		}
+	}
+}
+
+func TestWordViewMultiWordValue(t *testing.T) {
+	doc := confnode.New(confnode.KindDocument, "httpd.conf")
+	doc.Append(confnode.NewValued(confnode.KindDirective, "AddType", "application/x-tar .tgz"))
+	sys := confnode.NewSet()
+	sys.Put("httpd.conf", doc)
+	fwd, err := WordView{}.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := fwd.Get("httpd.conf").Child(0).ChildrenByKind(confnode.KindWord)
+	if len(words) != 3 {
+		t.Fatalf("words = %d, want 3", len(words))
+	}
+	if words[1].Value != "application/x-tar" || words[2].Value != ".tgz" {
+		t.Errorf("value words = %q, %q", words[1].Value, words[2].Value)
+	}
+}
+
+func TestWordViewBackwardAppliesMutation(t *testing.T) {
+	v := WordView{}
+	sys := sysSet()
+	fwd, _ := v.Forward(sys)
+	// Introduce a typo into the "port" name token.
+	fwd.Get("my.cnf").Child(0).Child(0).Value = "porr"
+	// And change the key_buffer_size value.
+	fwd.Get("my.cnf").Child(1).Child(1).Value = "1M0"
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mysqld := back.Get("my.cnf").Child(1) // comment is child 0
+	if got := mysqld.Child(0).Name; got != "porr" {
+		t.Errorf("directive name = %q, want porr", got)
+	}
+	if got := mysqld.Child(1).Value; got != "1M0" {
+		t.Errorf("directive value = %q, want 1M0", got)
+	}
+	// Original untouched.
+	if sys.Get("my.cnf").Child(1).Child(0).Name != "port" {
+		t.Error("backward mutated the original system set")
+	}
+	// Comments/blanks preserved.
+	if back.Get("my.cnf").Child(0).Kind != confnode.KindComment {
+		t.Error("comment lost in backward transform")
+	}
+}
+
+func TestWordViewRoundTripIdentity(t *testing.T) {
+	v := WordView{}
+	sys := sysSet()
+	fwd, _ := v.Forward(sys)
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(sys) {
+		t.Errorf("unmutated round trip should be identity:\nwant:\n%s\ngot:\n%s", sys.Dump(), back.Dump())
+	}
+}
+
+func TestWordViewBackwardErrors(t *testing.T) {
+	v := WordView{}
+	sys := sysSet()
+
+	// Line without provenance.
+	fwd, _ := v.Forward(sys)
+	fwd.Get("my.cnf").Child(0).DelAttr(SrcAttr)
+	if _, err := v.Backward(fwd, sys); !errors.Is(err, ErrNotExpressible) {
+		t.Errorf("missing provenance: err = %v", err)
+	}
+
+	// Malformed provenance.
+	fwd2, _ := v.Forward(sys)
+	fwd2.Get("my.cnf").Child(0).SetAttr(SrcAttr, "no-separator")
+	if _, err := v.Backward(fwd2, sys); err == nil {
+		t.Error("malformed provenance should error")
+	}
+
+	// Stale provenance (system node gone).
+	fwd3, _ := v.Forward(sys)
+	fwd3.Get("my.cnf").Child(0).SetAttr(SrcAttr, "my.cnf#9.9")
+	if _, err := v.Backward(fwd3, sys); !errors.Is(err, ErrNotExpressible) {
+		t.Errorf("stale provenance: err = %v", err)
+	}
+}
+
+func TestWordViewValueRejoining(t *testing.T) {
+	// Multi-space values are normalized to single spaces on the way back;
+	// directive semantics are whitespace-insensitive in all target formats.
+	doc := confnode.New(confnode.KindDocument, "a.conf")
+	doc.Append(confnode.NewValued(confnode.KindDirective, "opts", "a   b\tc"))
+	sys := confnode.NewSet()
+	sys.Put("a.conf", doc)
+	v := WordView{}
+	fwd, _ := v.Forward(sys)
+	back, err := v.Backward(fwd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Get("a.conf").Child(0).Value; got != "a b c" {
+		t.Errorf("rejoined value = %q", got)
+	}
+	if !strings.Contains(fwd.Get("a.conf").Child(0).AttrDefault(SrcAttr, ""), "#") {
+		t.Error("provenance format changed")
+	}
+}
+
+// TestPropertyWordViewRoundTrip: for arbitrary generated configurations,
+// an unmutated Forward∘Backward pass is the identity — mutations are the
+// ONLY difference campaigns introduce.
+func TestPropertyWordViewRoundTrip(t *testing.T) {
+	names := []string{"port", "key_buffer_size", "Listen", "a", "x-y"}
+	values := []string{"", "3306", "16M", "a b c", "text/html .shtml", "'quoted'"}
+	f := func(picks []uint16) bool {
+		doc := confnode.New(confnode.KindDocument, "f.conf")
+		sec := doc
+		for _, p := range picks {
+			n := int(p)
+			switch n % 4 {
+			case 0:
+				sec = confnode.New(confnode.KindSection, names[n%len(names)])
+				doc.Append(sec)
+			default:
+				sec.Append(confnode.NewValued(confnode.KindDirective,
+					names[n%len(names)], values[n%len(values)]))
+			}
+		}
+		sys := confnode.NewSet()
+		sys.Put("f.conf", doc)
+		v := WordView{}
+		fwd, err := v.Forward(sys)
+		if err != nil {
+			return false
+		}
+		back, err := v.Backward(fwd, sys)
+		if err != nil {
+			return false
+		}
+		// Values with irregular internal whitespace normalize; our
+		// generated values use single spaces, so identity must hold.
+		return back.Equal(sys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
