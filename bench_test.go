@@ -14,10 +14,14 @@ package conferr
 // reported for completeness as injection ns/op.
 
 import (
+	"context"
+	"fmt"
 	"testing"
+	"time"
 
 	"conferr/internal/plugins/semantic"
 	"conferr/internal/profile"
+	"conferr/internal/suts"
 )
 
 // benchTable1System runs one Table 1 column and reports its row values.
@@ -236,4 +240,96 @@ func BenchmarkEditBenchmark(b *testing.B) {
 	}
 	b.ReportMetric(res.Rates["Postgres"]*100, "pg-det-%")
 	b.ReportMetric(res.Rates["MySQL"]*100, "mysql-det-%")
+}
+
+// Parallel-runner throughput benches: the same campaign at increasing
+// worker counts. The profile is identical at every width (the runner's
+// determinism contract); only wall-clock changes.
+
+// Fixed primary ports for this file, distinct from every other fixed port
+// in the repo.
+const (
+	benchSimPort  = 23920
+	benchSlowPort = 23921
+)
+
+// benchCampaignWorkers runs one campaign per iteration at the given width
+// and reports experiments per second.
+func benchCampaignWorkers(b *testing.B, factory TargetFactory, gen func() Generator, port, workers int) {
+	b.Helper()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		r := &Runner{Factory: factory, Generator: gen(), Port: port}
+		p, err := r.Run(context.Background(), WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = len(p.Records)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(records*b.N)/sec, "experiments/s")
+	}
+}
+
+// BenchmarkCampaignThroughput_Sim measures the in-process simulators,
+// where one experiment costs tens of microseconds of CPU. Parallel gains
+// here track the machine's core count.
+func BenchmarkCampaignThroughput_Sim(b *testing.B) {
+	gen := func() Generator { return TypoGenerator(TypoOptions{Seed: DefaultSeed}) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchCampaignWorkers(b, MySQLTargetAt, gen, benchSimPort, workers)
+		})
+	}
+}
+
+// slowSystem adds a fixed start latency to a SUT, modeling the regime the
+// paper reports for real server binaries (1.1–6 s per injection, §5.2) at
+// a benchmark-friendly scale. This is where the parallel runner pays off
+// regardless of core count: workers overlap the waiting.
+type slowSystem struct {
+	suts.System
+	delay time.Duration
+}
+
+// Start implements suts.System.
+func (s slowSystem) Start(files suts.Files) error {
+	time.Sleep(s.delay)
+	return s.System.Start(files)
+}
+
+// DefaultPort keeps the wrapped system eligible for per-worker port
+// remapping.
+func (s slowSystem) DefaultPort() int {
+	if dp, ok := s.System.(interface{ DefaultPort() int }); ok {
+		return dp.DefaultPort()
+	}
+	return 0
+}
+
+// slowFactory wraps the Postgres target with the given start latency.
+func slowFactory(delay time.Duration) TargetFactory {
+	return func(port int) (*SystemTarget, error) {
+		st, err := PostgresTargetAt(port)
+		if err != nil {
+			return nil, err
+		}
+		sys := slowSystem{System: st.Target.System, delay: delay}
+		t := *st.Target
+		t.System = sys
+		return &SystemTarget{System: sys, Target: &t}, nil
+	}
+}
+
+// BenchmarkCampaignThroughput_SlowSUT measures a SUT with 500µs startup
+// latency — a 2000x-scaled-down stand-in for the paper's real servers.
+// N workers deliver close to N-fold throughput here even on one core.
+func BenchmarkCampaignThroughput_SlowSUT(b *testing.B) {
+	factory := slowFactory(500 * time.Microsecond)
+	gen := func() Generator { return TypoGenerator(TypoOptions{Seed: DefaultSeed, PerModel: 10}) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchCampaignWorkers(b, factory, gen, benchSlowPort, workers)
+		})
+	}
 }

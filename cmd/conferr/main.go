@@ -1,32 +1,42 @@
 // Command conferr runs ConfErr campaigns and the paper's evaluation
 // experiments against the built-in simulated systems.
 //
-//	conferr table1 [-seed N]          reproduce Table 1 (typo resilience)
-//	conferr table2 [-seed N] [-n N]   reproduce Table 2 (structural variations)
-//	conferr table3 [-extended]        reproduce Table 3 (DNS semantic errors)
-//	conferr figure3 [-seed N] [-n N]  reproduce Figure 3 (MySQL vs Postgres)
-//	conferr campaign -system S -plugin P [-seed N] [-records]
-//	                                  run one custom campaign and summarize
-//	conferr all [-seed N]             run every experiment
+//	conferr table1 [-seed N] [-workers N]   reproduce Table 1 (typo resilience)
+//	conferr table2 [-seed N] [-n N] [-workers N]
+//	                                        reproduce Table 2 (structural variations)
+//	conferr table3 [-extended] [-workers N] reproduce Table 3 (DNS semantic errors)
+//	conferr figure3 [-seed N] [-n N] [-workers N]
+//	                                        reproduce Figure 3 (MySQL vs Postgres)
+//	conferr campaign -system S -plugin P [-seed N] [-workers N] [-records]
+//	                                        run one custom campaign and summarize
+//	conferr list                            list registered systems and plugins
+//	conferr all [-seed N] [-workers N]      run every experiment
 //
-// Systems: mysql, postgres, apache, bind, djbdns. Plugins: typo,
-// structural, variations, semantic (semantic applies to bind/djbdns only).
+// Systems and plugins are resolved from the conferr registry; -workers
+// fans the faultload out over N parallel workers, each with its own SUT
+// instance, without changing the profile.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"conferr"
 	"conferr/internal/profile"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:]))
 }
 
-func run(args []string) int {
+func run(ctx context.Context, args []string) int {
 	if len(args) == 0 {
 		usage()
 		return 2
@@ -35,21 +45,23 @@ func run(args []string) int {
 	var err error
 	switch cmd {
 	case "table1":
-		err = cmdTable1(rest)
+		err = cmdTable1(ctx, rest)
 	case "table2":
-		err = cmdTable2(rest)
+		err = cmdTable2(ctx, rest)
 	case "table3":
-		err = cmdTable3(rest)
+		err = cmdTable3(ctx, rest)
 	case "figure3":
-		err = cmdFigure3(rest)
+		err = cmdFigure3(ctx, rest)
 	case "campaign":
-		err = cmdCampaign(rest)
+		err = cmdCampaign(ctx, rest)
 	case "editbench":
-		err = cmdEditBench(rest)
+		err = cmdEditBench(ctx, rest)
 	case "compare":
-		err = cmdCompare(rest)
+		err = cmdCompare(ctx, rest)
+	case "list":
+		err = cmdList(rest)
 	case "all":
-		err = cmdAll(rest)
+		err = cmdAll(ctx, rest)
 	case "help", "-h", "--help":
 		usage()
 		return 0
@@ -66,25 +78,36 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: conferr <command> [flags]
+	fmt.Fprintf(os.Stderr, `usage: conferr <command> [flags]
 
 commands:
   table1    reproduce Table 1: resilience to typos (MySQL, Postgres, Apache)
   table2    reproduce Table 2: resilience to structural errors
   table3    reproduce Table 3: resilience to semantic errors (BIND, djbdns)
   figure3   reproduce Figure 3: MySQL vs Postgres value-typo comparison
-  campaign  run one campaign: -system mysql|postgres|apache|bind|djbdns
-            -plugin typo|structural|variations|semantic
+  campaign  run one campaign: -system <name> -plugin <name> [-workers N]
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
-  all       run every experiment`)
+  list      list registered systems and plugins
+  all       run every experiment
+
+registered systems: %s
+registered plugins: %s
+`, strings.Join(conferr.RegisteredTargets(), ", "),
+		strings.Join(conferr.RegisteredGenerators(), ", "))
 }
 
-func cmdTable1(args []string) error {
+// workersFlag adds the shared -workers flag to a flag set.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 1, "parallel campaign workers (0 = GOMAXPROCS)")
+}
+
+func cmdTable1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	res, err := conferr.RunTable1(*seed)
+	res, err := conferr.RunTable1Ctx(ctx, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -93,12 +116,13 @@ func cmdTable1(args []string) error {
 	return nil
 }
 
-func cmdTable2(args []string) error {
+func cmdTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "variation seed")
 	n := fs.Int("n", 10, "variant configurations per class")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	res, err := conferr.RunTable2(*seed, *n)
+	res, err := conferr.RunTable2Ctx(ctx, *seed, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -107,11 +131,12 @@ func cmdTable2(args []string) error {
 	return nil
 }
 
-func cmdTable3(args []string) error {
+func cmdTable3(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ExitOnError)
 	extended := fs.Bool("extended", false, "include extension fault classes")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	res, err := conferr.RunTable3(*extended)
+	res, err := conferr.RunTable3Ctx(ctx, *extended, *workers)
 	if err != nil {
 		return err
 	}
@@ -120,12 +145,13 @@ func cmdTable3(args []string) error {
 	return nil
 }
 
-func cmdFigure3(args []string) error {
+func cmdFigure3(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figure3", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	n := fs.Int("n", 20, "typo experiments per directive")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	res, err := conferr.RunFigure3(*seed, *n)
+	res, err := conferr.RunFigure3Ctx(ctx, *seed, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -134,12 +160,13 @@ func cmdFigure3(args []string) error {
 	return nil
 }
 
-func cmdEditBench(args []string) error {
+func cmdEditBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("editbench", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	n := fs.Int("n", 20, "typo variants per edit")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	res, err := conferr.RunEditBenchmark(*seed, *n)
+	res, err := conferr.RunEditBenchmarkCtx(ctx, *seed, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -150,31 +177,30 @@ func cmdEditBench(args []string) error {
 // cmdCompare runs the development-feedback comparison: the same typo
 // faultload against MySQL with and without the simple checks the paper's
 // profile suggests, diffing the two resilience profiles.
-func cmdCompare(args []string) error {
+func cmdCompare(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	n := fs.Int("n", 15, "value typos per directive")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
 
 	const port = 23467
-	campaign := func(newTarget func(int) (*conferr.SystemTarget, error)) (*conferr.Profile, error) {
-		tgt, err := newTarget(port)
+	campaign := func(system string) (*conferr.Profile, error) {
+		factory, err := conferr.LookupTarget(system)
 		if err != nil {
 			return nil, err
 		}
-		c := &conferr.Campaign{
-			Target: tgt.Target,
-			Generator: conferr.TypoGenerator(conferr.TypoOptions{
-				Seed: *seed, ValuesOnly: true, PerDirective: *n,
-			}),
-		}
-		return c.Run()
+		r := conferr.NewRunner(factory, conferr.TypoGenerator(conferr.TypoOptions{
+			Seed: *seed, ValuesOnly: true, PerDirective: *n,
+		}))
+		r.Port = port
+		return r.Run(ctx, conferr.WithParallelism(*workers))
 	}
-	before, err := campaign(conferr.MySQLTargetAt)
+	before, err := campaign("mysql")
 	if err != nil {
 		return err
 	}
-	after, err := campaign(conferr.MySQLStrictTargetAt)
+	after, err := campaign("mysql-strict")
 	if err != nil {
 		return err
 	}
@@ -188,34 +214,33 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
-func cmdCampaign(args []string) error {
+func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	system := fs.String("system", "", "target system")
-	plugin := fs.String("plugin", "typo", "error generator plugin")
+	system := fs.String("system", "", "target system (see: conferr list)")
+	plugin := fs.String("plugin", "typo", "error generator plugin (see: conferr list)")
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	perModel := fs.Int("per-model", 0, "typo scenarios per submodel (0 = all)")
 	records := fs.Bool("records", false, "print the full resilience profile")
 	jsonOut := fs.String("json", "", "write the profile as JSON to this file")
+	port := fs.Int("port", 23901, "primary target port; the faultload embeds it, so a fixed port keeps campaigns reproducible across invocations (0 = allocate)")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
 
-	tgt, err := makeTarget(*system)
+	runner, err := conferr.NewRunnerFor(*system, *plugin, conferr.GeneratorOptions{
+		Seed: *seed, PerModel: *perModel,
+	})
 	if err != nil {
 		return err
 	}
-	gen, err := makeGenerator(*system, *plugin, *seed, *perModel)
-	if err != nil {
-		return err
-	}
-	c := &conferr.Campaign{Target: tgt.Target, Generator: gen}
-	if err := c.Baseline(); err != nil {
-		return fmt.Errorf("baseline failed: %w", err)
-	}
-	prof, err := c.Run()
+	runner.Port = *port
+	prof, err := runner.Run(ctx,
+		conferr.WithParallelism(*workers),
+		conferr.WithBaselineCheck())
 	if err != nil {
 		return err
 	}
 	s := prof.Summarize()
-	fmt.Printf("system=%s generator=%s\n", prof.System, prof.Generator)
+	fmt.Printf("system=%s generator=%s workers=%d\n", prof.System, prof.Generator, *workers)
 	fmt.Print(profile.FormatTable1(s))
 	fmt.Println()
 	fmt.Println("Per-class detection:")
@@ -238,66 +263,39 @@ func cmdCampaign(args []string) error {
 	return nil
 }
 
-func cmdAll(args []string) error {
+func cmdList(args []string) error {
+	fmt.Println("systems:")
+	for _, name := range conferr.RegisteredTargets() {
+		fmt.Println(" ", name)
+	}
+	fmt.Println("plugins:")
+	for _, name := range conferr.RegisteredGenerators() {
+		fmt.Println(" ", name)
+	}
+	return nil
+}
+
+func cmdAll(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	workers := workersFlag(fs)
 	_ = fs.Parse(args)
-	if err := cmdTable1([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+	w := fmt.Sprint(*workers)
+	if err := cmdTable1(ctx, []string{"-seed", fmt.Sprint(*seed), "-workers", w}); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := cmdTable2([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+	if err := cmdTable2(ctx, []string{"-seed", fmt.Sprint(*seed), "-workers", w}); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := cmdTable3(nil); err != nil {
+	if err := cmdTable3(ctx, []string{"-workers", w}); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := cmdFigure3([]string{"-seed", fmt.Sprint(*seed)}); err != nil {
+	if err := cmdFigure3(ctx, []string{"-seed", fmt.Sprint(*seed), "-workers", w}); err != nil {
 		return err
 	}
 	fmt.Println()
-	return cmdEditBench([]string{"-seed", fmt.Sprint(*seed)})
-}
-
-func makeTarget(system string) (*conferr.SystemTarget, error) {
-	switch system {
-	case "mysql":
-		return conferr.MySQLTarget()
-	case "postgres":
-		return conferr.PostgresTarget()
-	case "apache":
-		return conferr.ApacheTarget()
-	case "bind":
-		return conferr.BINDTarget()
-	case "djbdns":
-		return conferr.DjbdnsTarget()
-	case "":
-		return nil, fmt.Errorf("-system is required")
-	default:
-		return nil, fmt.Errorf("unknown system %q", system)
-	}
-}
-
-func makeGenerator(system, plugin string, seed int64, perModel int) (conferr.Generator, error) {
-	switch plugin {
-	case "typo":
-		return conferr.TypoGenerator(conferr.TypoOptions{Seed: seed, PerModel: perModel}), nil
-	case "structural":
-		return conferr.StructuralGenerator(conferr.StructuralOptions{Seed: seed, Sections: true}), nil
-	case "variations":
-		return conferr.VariationsGenerator(seed, 10, nil), nil
-	case "semantic":
-		switch system {
-		case "bind":
-			return conferr.SemanticDNSGenerator(conferr.BINDRecordView(), nil), nil
-		case "djbdns":
-			return conferr.SemanticDNSGenerator(conferr.DjbdnsRecordView(), nil), nil
-		default:
-			return nil, fmt.Errorf("semantic plugin applies to bind or djbdns, not %q", system)
-		}
-	default:
-		return nil, fmt.Errorf("unknown plugin %q", plugin)
-	}
+	return cmdEditBench(ctx, []string{"-seed", fmt.Sprint(*seed), "-workers", w})
 }

@@ -1,45 +1,116 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"conferr"
 )
 
+func runT(args ...string) int {
+	return run(context.Background(), args)
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
 func TestRunUsage(t *testing.T) {
-	if got := run(nil); got != 2 {
+	if got := runT(); got != 2 {
 		t.Errorf("no args: exit = %d, want 2", got)
 	}
-	if got := run([]string{"help"}); got != 0 {
+	if got := runT("help"); got != 0 {
 		t.Errorf("help: exit = %d, want 0", got)
 	}
-	if got := run([]string{"bogus"}); got != 2 {
+	if got := runT("bogus"); got != 2 {
 		t.Errorf("unknown command: exit = %d, want 2", got)
 	}
 }
 
 func TestRunTable3Command(t *testing.T) {
-	if got := run([]string{"table3"}); got != 0 {
+	if got := runT("table3"); got != 0 {
 		t.Errorf("table3: exit = %d", got)
 	}
-	if got := run([]string{"table3", "-extended"}); got != 0 {
-		t.Errorf("table3 -extended: exit = %d", got)
+	if got := runT("table3", "-extended", "-workers", "4"); got != 0 {
+		t.Errorf("table3 -extended -workers 4: exit = %d", got)
 	}
 }
 
 func TestRunEditBenchCommand(t *testing.T) {
-	if got := run([]string{"editbench", "-n", "5"}); got != 0 {
+	if got := runT("editbench", "-n", "5"); got != 0 {
 		t.Errorf("editbench: exit = %d", got)
 	}
 }
 
+func TestRunListCommand(t *testing.T) {
+	out := capture(t, func() {
+		if got := runT("list"); got != 0 {
+			t.Errorf("list: exit = %d", got)
+		}
+	})
+	for _, want := range []string{"mysql", "postgres", "apache", "bind", "djbdns", "typo", "semantic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
 func TestRunCampaignCommand(t *testing.T) {
-	if got := run([]string{"campaign", "-system", "djbdns", "-plugin", "semantic"}); got != 0 {
+	if got := runT("campaign", "-system", "djbdns", "-plugin", "semantic"); got != 0 {
 		t.Errorf("campaign semantic: exit = %d", got)
 	}
-	if got := run([]string{"campaign", "-system", "postgres", "-plugin", "typo", "-per-model", "3", "-records"}); got != 0 {
+	if got := runT("campaign", "-system", "postgres", "-plugin", "typo", "-per-model", "3", "-records"); got != 0 {
 		t.Errorf("campaign typo: exit = %d", got)
+	}
+}
+
+// TestRunCampaignWorkersDeterministic is the CLI form of the acceptance
+// criterion: -workers 8 must print the identical summary (same scenario
+// IDs, same detection counts) as -workers 1.
+func TestRunCampaignWorkersDeterministic(t *testing.T) {
+	summary := func(workers string) string {
+		return capture(t, func() {
+			if got := runT("campaign", "-system", "mysql", "-plugin", "typo",
+				"-per-model", "10", "-records", "-workers", workers); got != 0 {
+				t.Errorf("workers=%s: exit = %d", workers, got)
+			}
+		})
+	}
+	seq := summary("1")
+	par := summary("8")
+	// The only allowed difference is the workers=N banner line.
+	canon := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var keep []string
+		for _, l := range lines {
+			if strings.HasPrefix(l, "system=") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if canon(seq) != canon(par) {
+		t.Errorf("parallel output diverged from sequential\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
 	}
 }
 
@@ -51,16 +122,21 @@ func TestRunCampaignErrors(t *testing.T) {
 		{"campaign", "-system", "mysql", "-plugin", "semantic"}, // wrong pairing
 	}
 	for _, args := range cases {
-		if got := run(args); got != 1 {
+		if got := runT(args...); got != 1 {
 			t.Errorf("run(%v) = %d, want 1", args, got)
 		}
 	}
 }
 
-func TestMakeTargetAll(t *testing.T) {
+func TestRegisteredTargetsResolve(t *testing.T) {
 	for _, sys := range []string{"mysql", "postgres", "apache", "bind", "djbdns"} {
-		if _, err := makeTarget(sys); err != nil {
-			t.Errorf("makeTarget(%s): %v", sys, err)
+		factory, err := conferr.LookupTarget(sys)
+		if err != nil {
+			t.Errorf("LookupTarget(%s): %v", sys, err)
+			continue
+		}
+		if _, err := factory(0); err != nil {
+			t.Errorf("factory(%s): %v", sys, err)
 		}
 	}
 }
@@ -70,12 +146,12 @@ func TestRunExperimentCommands(t *testing.T) {
 		t.Skip("full experiments in -short mode")
 	}
 	cases := [][]string{
-		{"table1"},
+		{"table1", "-workers", "4"},
 		{"table2", "-n", "2"},
-		{"figure3", "-n", "3"},
+		{"figure3", "-n", "3", "-workers", "4"},
 	}
 	for _, args := range cases {
-		if got := run(args); got != 0 {
+		if got := runT(args...); got != 0 {
 			t.Errorf("run(%v) = %d, want 0", args, got)
 		}
 	}
@@ -83,7 +159,7 @@ func TestRunExperimentCommands(t *testing.T) {
 
 func TestRunCampaignJSONOutput(t *testing.T) {
 	out := t.TempDir() + "/profile.json"
-	if got := run([]string{"campaign", "-system", "bind", "-plugin", "semantic", "-json", out}); got != 0 {
+	if got := runT("campaign", "-system", "bind", "-plugin", "semantic", "-json", out); got != 0 {
 		t.Fatalf("exit = %d", got)
 	}
 	f, err := os.Open(out)
@@ -101,7 +177,7 @@ func TestRunCampaignJSONOutput(t *testing.T) {
 }
 
 func TestRunCompareCommand(t *testing.T) {
-	if got := run([]string{"compare", "-n", "4"}); got != 0 {
+	if got := runT("compare", "-n", "4"); got != 0 {
 		t.Errorf("compare: exit = %d", got)
 	}
 }

@@ -19,14 +19,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 
+	"conferr"
 	"conferr/internal/suts"
-	"conferr/internal/suts/bind"
-	"conferr/internal/suts/djbdns"
-	"conferr/internal/suts/httpd"
-	"conferr/internal/suts/mysqld"
-	"conferr/internal/suts/postgres"
 )
 
 func main() {
@@ -35,10 +33,11 @@ func main() {
 
 func run() int {
 	var (
-		system = flag.String("system", "", "system to host: mysql|postgres|apache|bind|djbdns")
-		dir    = flag.String("dir", ".", "directory holding the configuration files")
-		port   = flag.Int("port", 0, "default port the system advertises (0 = allocate)")
-		write  = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
+		system = flag.String("system", "",
+			"system to host: "+strings.Join(conferr.RegisteredTargets(), "|"))
+		dir   = flag.String("dir", ".", "directory holding the configuration files")
+		port  = flag.Int("port", 0, "default port the system advertises (0 = allocate)")
+		write = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
 	)
 	flag.Parse()
 
@@ -88,28 +87,22 @@ func run() int {
 	return 0
 }
 
-// makeSystem constructs the selected simulator and lists the file names it
-// reads from -dir.
+// makeSystem constructs the selected system from the conferr registry and
+// lists the configuration file names it reads from -dir (the keys of the
+// target's format map).
 func makeSystem(name string, port int) (suts.System, []string, error) {
-	switch name {
-	case "mysql":
-		s, err := mysqld.New(port)
-		return s, []string{mysqld.ConfigFile}, err
-	case "postgres":
-		s, err := postgres.New(port)
-		return s, []string{postgres.ConfigFile}, err
-	case "apache":
-		s, err := httpd.New(port)
-		return s, []string{httpd.ConfigFile}, err
-	case "bind":
-		s, err := bind.New(port)
-		return s, []string{bind.ConfigFile, bind.ForwardZoneFile, bind.ReverseZoneFile}, err
-	case "djbdns":
-		s, err := djbdns.New(port)
-		return s, []string{djbdns.DataFile}, err
-	case "":
-		return nil, nil, fmt.Errorf("-system is required (mysql|postgres|apache|bind|djbdns)")
-	default:
-		return nil, nil, fmt.Errorf("unknown system %q", name)
+	factory, err := conferr.LookupTarget(name)
+	if err != nil {
+		return nil, nil, err
 	}
+	tgt, err := factory(port)
+	if err != nil {
+		return nil, nil, err
+	}
+	files := make([]string, 0, len(tgt.Target.Formats))
+	for f := range tgt.Target.Formats {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	return tgt.System, files, nil
 }

@@ -10,20 +10,21 @@
 // each fault, starts the system under test, runs functional tests, and
 // records the outcome of every injection in a resilience profile.
 //
-// This package is the public facade: it re-exports the engine types and
-// provides ready-made targets for the five simulated systems of the
-// paper's evaluation (MySQL, Postgres, Apache, BIND, djbdns) and
-// constructors for the three error-generator plugins.
+// This package is the public facade. Targets and plugins live in a
+// name-based registry (RegisterTarget, RegisterGenerator, LookupTarget,
+// LookupGenerator), pre-populated with the five simulated systems of the
+// paper's evaluation (MySQL, Postgres, Apache, BIND, djbdns) and the three
+// error-generator plugins. Campaigns run through a context-aware Runner
+// that fans the faultload out over N workers — each owning its own SUT
+// instance — and merges the results into a deterministic,
+// scenario-ordered Profile, identical to the sequential run's.
 //
-// A minimal campaign:
+// A minimal parallel campaign:
 //
-//	tgt, err := conferr.PostgresTarget()
+//	runner, err := conferr.NewRunnerFor("postgres", "typo",
+//	    conferr.GeneratorOptions{Seed: 1, PerModel: 10})
 //	// handle err
-//	campaign := &conferr.Campaign{
-//	    Target:    tgt.Target,
-//	    Generator: conferr.TypoGenerator(conferr.TypoOptions{Seed: 1, PerModel: 10}),
-//	}
-//	prof, err := campaign.Run()
+//	prof, err := runner.Run(ctx, conferr.WithParallelism(8))
 //	// handle err
 //	fmt.Println(prof.FormatRecords())
 package conferr
@@ -35,13 +36,6 @@ import (
 
 	"conferr/internal/confnode"
 	"conferr/internal/core"
-	"conferr/internal/dnsmodel"
-	"conferr/internal/formats"
-	"conferr/internal/formats/apacheconf"
-	"conferr/internal/formats/ini"
-	"conferr/internal/formats/kv"
-	"conferr/internal/formats/tinydns"
-	"conferr/internal/formats/zonefile"
 	"conferr/internal/keyboard"
 	"conferr/internal/plugins/editsim"
 	"conferr/internal/plugins/semantic"
@@ -50,12 +44,6 @@ import (
 	"conferr/internal/proc"
 	"conferr/internal/profile"
 	"conferr/internal/suts"
-	"conferr/internal/suts/bind"
-	"conferr/internal/suts/djbdns"
-	"conferr/internal/suts/dnscheck"
-	"conferr/internal/suts/httpd"
-	"conferr/internal/suts/mysqld"
-	"conferr/internal/suts/postgres"
 	"conferr/internal/view"
 )
 
@@ -102,191 +90,6 @@ const (
 	Good      = profile.Good
 	Excellent = profile.Excellent
 )
-
-// SystemTarget is a ready-made target: the engine Target plus the concrete
-// simulator, for callers that need SUT-specific hooks.
-type SystemTarget struct {
-	// Target is what a Campaign consumes.
-	Target *core.Target
-	// System is the simulator behind the target.
-	System suts.System
-}
-
-// MySQLTarget returns a campaign target for the simulated MySQL server
-// with its paper-style functional tests (create/populate/query a
-// database), on a freshly allocated port.
-func MySQLTarget() (*SystemTarget, error) { return MySQLTargetAt(0) }
-
-// MySQLTargetAt is MySQLTarget on a fixed port (0 allocates one). The
-// experiment harness uses fixed ports so that faultloads — which include
-// typos in the port digits — are reproducible across runs.
-func MySQLTargetAt(port int) (*SystemTarget, error) {
-	s, err := mysqld.New(port)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: mysql target: %w", err)
-	}
-	return &SystemTarget{
-		System: s,
-		Target: &core.Target{
-			System:  s,
-			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
-			Tests:   mysqld.Tests(s),
-		},
-	}, nil
-}
-
-// PostgresTarget returns a campaign target for the simulated PostgreSQL
-// server, on a freshly allocated port.
-func PostgresTarget() (*SystemTarget, error) { return PostgresTargetAt(0) }
-
-// PostgresTargetAt is PostgresTarget on a fixed port (0 allocates one).
-func PostgresTargetAt(port int) (*SystemTarget, error) {
-	s, err := postgres.New(port)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: postgres target: %w", err)
-	}
-	return &SystemTarget{
-		System: s,
-		Target: &core.Target{
-			System:  s,
-			Formats: map[string]formats.Format{postgres.ConfigFile: kv.Format{}},
-			Tests:   postgres.Tests(s),
-		},
-	}, nil
-}
-
-// postgresFullSystem wraps the Postgres simulator so that its default
-// configuration is the §5.5 full parameter listing instead of the stock
-// 8-directive file.
-type postgresFullSystem struct {
-	*postgres.Server
-}
-
-// DefaultConfig implements suts.System.
-func (s postgresFullSystem) DefaultConfig() suts.Files { return s.FullConfig() }
-
-// PostgresFullTarget is PostgresTarget with the full §5.5 configuration
-// (every modeled parameter with its default, booleans excluded) as the
-// campaign's initial configuration — the Figure 3 faultload.
-func PostgresFullTarget() (*SystemTarget, error) { return PostgresFullTargetAt(0) }
-
-// PostgresFullTargetAt is PostgresFullTarget on a fixed port.
-func PostgresFullTargetAt(port int) (*SystemTarget, error) {
-	s, err := postgres.New(port)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: postgres full target: %w", err)
-	}
-	sys := postgresFullSystem{Server: s}
-	return &SystemTarget{
-		System: sys,
-		Target: &core.Target{
-			System:  sys,
-			Formats: map[string]formats.Format{postgres.ConfigFile: kv.Format{}},
-			Tests:   postgres.Tests(s),
-		},
-	}, nil
-}
-
-// mysqlFullSystem mirrors postgresFullSystem for MySQL.
-type mysqlFullSystem struct {
-	*mysqld.Server
-}
-
-// DefaultConfig implements suts.System.
-func (s mysqlFullSystem) DefaultConfig() suts.Files { return s.FullConfig() }
-
-// MySQLFullTarget is MySQLTarget with a configuration listing every
-// modeled server variable with its default — the Figure 3 faultload.
-func MySQLFullTarget() (*SystemTarget, error) { return MySQLFullTargetAt(0) }
-
-// MySQLFullTargetAt is MySQLFullTarget on a fixed port.
-func MySQLFullTargetAt(port int) (*SystemTarget, error) {
-	s, err := mysqld.New(port)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: mysql full target: %w", err)
-	}
-	sys := mysqlFullSystem{Server: s}
-	return &SystemTarget{
-		System: sys,
-		Target: &core.Target{
-			System:  sys,
-			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
-			Tests:   mysqld.Tests(s),
-		},
-	}, nil
-}
-
-// ApacheTarget returns a campaign target for the simulated Apache httpd
-// with the paper's HTTP GET functional test, on a freshly allocated port.
-func ApacheTarget() (*SystemTarget, error) { return ApacheTargetAt(0) }
-
-// ApacheTargetAt is ApacheTarget on a fixed port (0 allocates one).
-func ApacheTargetAt(port int) (*SystemTarget, error) {
-	s, err := httpd.New(port)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: apache target: %w", err)
-	}
-	return &SystemTarget{
-		System: s,
-		Target: &core.Target{
-			System:  s,
-			Formats: map[string]formats.Format{httpd.ConfigFile: apacheconf.Format{}},
-			Tests:   httpd.Tests(s),
-		},
-	}, nil
-}
-
-// BINDTarget returns a campaign target for the simulated BIND name server
-// with the paper's zone-liveness functional tests.
-func BINDTarget() (*SystemTarget, error) {
-	s, err := bind.New(0)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: bind target: %w", err)
-	}
-	addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
-	return &SystemTarget{
-		System: s,
-		Target: &core.Target{
-			System: s,
-			Formats: map[string]formats.Format{
-				bind.ConfigFile:      formats.Raw{},
-				bind.ForwardZoneFile: zonefile.Format{},
-				bind.ReverseZoneFile: zonefile.Format{},
-			},
-			Tests: dnscheck.ZoneLivenessTests(addr, []string{"example.com", "2.0.192.in-addr.arpa"}),
-		},
-	}, nil
-}
-
-// BINDRecordView returns the record view matching BINDTarget's zones, for
-// use with SemanticDNSGenerator.
-func BINDRecordView() view.View {
-	return dnsmodel.ZoneRecordView{Origins: bind.Origins()}
-}
-
-// DjbdnsTarget returns a campaign target for the simulated djbdns
-// (tinydns) server.
-func DjbdnsTarget() (*SystemTarget, error) {
-	s, err := djbdns.New(0)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: djbdns target: %w", err)
-	}
-	addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
-	return &SystemTarget{
-		System: s,
-		Target: &core.Target{
-			System:  s,
-			Formats: map[string]formats.Format{djbdns.DataFile: tinydns.Format{}},
-			Tests:   dnscheck.ZoneLivenessTests(addr, []string{"example.com", "2.0.192.in-addr.arpa"}),
-		},
-	}, nil
-}
-
-// DjbdnsRecordView returns the record view matching DjbdnsTarget's data
-// file, for use with SemanticDNSGenerator.
-func DjbdnsRecordView() view.View {
-	return dnsmodel.TinyRecordView{File: djbdns.DataFile}
-}
 
 // TypoOptions configures the spelling-mistakes generator.
 type TypoOptions struct {
@@ -444,66 +247,9 @@ func ReadProfileJSON(r io.Reader) (*Profile, error) {
 	return profile.ReadJSON(r)
 }
 
-// MySQLStrictTargetAt is MySQLTargetAt with the simulator's strict mode
-// enabled: the silent acceptances the paper flags as flaws (clamping,
-// multiplier trailing junk, valueless directives) become startup errors.
-// Comparing a campaign's profile against the default target's quantifies
-// the resilience improvement those simple checks buy — the paper's
-// development-feedback use case (§1).
-func MySQLStrictTargetAt(port int) (*SystemTarget, error) {
-	tgt, err := MySQLTargetAt(port)
-	if err != nil {
-		return nil, err
-	}
-	tgt.System.(*mysqld.Server).Strict = true
-	return tgt, nil
-}
-
 // CompareProfiles diffs two profiles of the same faultload by scenario
 // ID, classifying shared scenarios as improved (now detected), regressed
 // (no longer detected) or unchanged.
 func CompareProfiles(before, after *Profile) profile.Comparison {
 	return profile.Compare(before, after)
-}
-
-// mysqlSharedSystem serves the shared my.cnf (server plus auxiliary tool
-// groups) as the default configuration.
-type mysqlSharedSystem struct {
-	*mysqld.Server
-}
-
-// DefaultConfig implements suts.System.
-func (s mysqlSharedSystem) DefaultConfig() suts.Files { return s.SharedConfig() }
-
-// MySQLSharedTarget returns a MySQL target whose configuration is the
-// shared my.cnf (server group plus [mysqldump] and [myisamchk] groups).
-// When withToolChecks is true, the functional tests also run the
-// auxiliary tools — which is when errors in their groups finally surface.
-// Comparing campaigns with and without the tool checks quantifies the
-// §5.2 latent-error design flaw: the difference is exactly the faults an
-// administrator would not learn about until a nightly cron job fails.
-func MySQLSharedTarget(withToolChecks bool) (*SystemTarget, error) {
-	s, err := mysqld.New(0)
-	if err != nil {
-		return nil, fmt.Errorf("conferr: mysql shared target: %w", err)
-	}
-	sys := mysqlSharedSystem{Server: s}
-	tests := mysqld.Tests(s)
-	if withToolChecks {
-		for _, group := range []string{"mysqldump", "myisamchk"} {
-			group := group
-			tests = append(tests, Test{
-				Name: "tool-run/" + group,
-				Run:  func() error { return s.CheckTool(group) },
-			})
-		}
-	}
-	return &SystemTarget{
-		System: sys,
-		Target: &core.Target{
-			System:  sys,
-			Formats: map[string]formats.Format{mysqld.ConfigFile: ini.Format{}},
-			Tests:   tests,
-		},
-	}, nil
 }

@@ -1,15 +1,36 @@
 package conferr_test
 
 import (
+	"context"
 	"fmt"
 
 	"conferr"
 )
 
 // The smallest campaign: spelling mistakes against the simulated
-// PostgreSQL, with a deterministic faultload.
+// PostgreSQL, resolved from the registry and fanned out over four
+// workers. The profile is identical to a sequential run's.
 func Example() {
-	tgt, err := conferr.PostgresTarget()
+	runner, err := conferr.NewRunnerFor("postgres", "typo",
+		conferr.GeneratorOptions{Seed: 1, PerModel: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	prof, err := runner.Run(context.Background(), conferr.WithParallelism(4))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("records:", len(prof.Records) > 0)
+	// Output:
+	// records: true
+}
+
+// The explicit Campaign form is still available for callers that build
+// their own targets; Run is the sequential shorthand for RunContext.
+func ExampleCampaign() {
+	tgt, err := conferr.PostgresTargetAt(0)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -26,6 +47,24 @@ func Example() {
 	fmt.Println("records:", len(prof.Records) > 0)
 	// Output:
 	// records: true
+}
+
+// Targets and plugins are registered by name; unknown names fail with the
+// available alternatives.
+func ExampleLookupTarget() {
+	factory, err := conferr.LookupTarget("mysql")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	tgt, err := factory(0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(tgt.System.Name())
+	// Output:
+	// mysql-sim
 }
 
 // Restricting typos to directive names only (the §5.2 faultload slice all

@@ -8,10 +8,11 @@
 // detected), fair, good and excellent (75–100%), yielding the figure's
 // distribution.
 //
-//	go run ./examples/dbcompare [-seed N] [-n perDirective]
+//	go run ./examples/dbcompare [-seed N] [-n perDirective] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +23,10 @@ import (
 func main() {
 	seed := flag.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	n := flag.Int("n", 20, "typo experiments per directive")
+	workers := flag.Int("workers", 4, "parallel campaign workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	res, err := conferr.RunFigure3(*seed, *n)
+	res, err := conferr.RunFigure3Ctx(context.Background(), *seed, *n, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbcompare:", err)
 		os.Exit(1)

@@ -6,13 +6,15 @@
 // says MySQL's profile reveals it is missing: rejecting out-of-range
 // values instead of clamping them, rejecting trailing junk after a size
 // multiplier ("1M0"), and rejecting directives without values. The
-// simulator implements them behind a strict flag; this example runs the
-// identical typo faultload against both builds and diffs the profiles.
+// simulator implements them behind a strict flag, registered as the
+// "mysql-strict" target; this example runs the identical typo faultload
+// against both registry targets in parallel and diffs the profiles.
 //
-//	go run ./examples/devfeedback [-seed N]
+//	go run ./examples/devfeedback [-seed N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,33 +27,32 @@ const port = 23466
 
 func main() {
 	seed := flag.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	workers := flag.Int("workers", 4, "parallel campaign workers (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*seed); err != nil {
+	if err := run(*seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "devfeedback:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64) error {
-	campaign := func(newTarget func(int) (*conferr.SystemTarget, error)) (*conferr.Profile, error) {
-		tgt, err := newTarget(port)
+func run(seed int64, workers int) error {
+	campaign := func(system string) (*conferr.Profile, error) {
+		factory, err := conferr.LookupTarget(system)
 		if err != nil {
 			return nil, err
 		}
-		c := &conferr.Campaign{
-			Target: tgt.Target,
-			Generator: conferr.TypoGenerator(conferr.TypoOptions{
-				Seed: seed, ValuesOnly: true, PerDirective: 15,
-			}),
-		}
-		return c.Run()
+		r := conferr.NewRunner(factory, conferr.TypoGenerator(conferr.TypoOptions{
+			Seed: seed, ValuesOnly: true, PerDirective: 15,
+		}))
+		r.Port = port
+		return r.Run(context.Background(), conferr.WithParallelism(workers))
 	}
 
-	before, err := campaign(conferr.MySQLTargetAt)
+	before, err := campaign("mysql")
 	if err != nil {
 		return err
 	}
-	after, err := campaign(conferr.MySQLStrictTargetAt)
+	after, err := campaign("mysql-strict")
 	if err != nil {
 		return err
 	}

@@ -13,10 +13,11 @@
 //     its data file (the table's "N/A") — while its loader performs no
 //     consistency checks at all for the faults that can be expressed.
 //
-//     go run ./examples/dnssemantic [-extended]
+//     go run ./examples/dnssemantic [-extended] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +27,10 @@ import (
 
 func main() {
 	extended := flag.Bool("extended", false, "include extension fault classes beyond the paper's four")
+	workers := flag.Int("workers", 4, "parallel campaign workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	res, err := conferr.RunTable3(*extended)
+	res, err := conferr.RunTable3Ctx(context.Background(), *extended, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnssemantic:", err)
 		os.Exit(1)

@@ -15,11 +15,16 @@
 // A configuration the daemon rejects makes it exit non-zero with the
 // complaint on stderr, which ConfErr records as detected-at-startup.
 //
+// The target is registered under the name "postgres-external", showing how
+// external code extends the conferr registry; the campaign then runs
+// through the same NewRunnerFor entry point the CLI uses.
+//
 //	go run ./examples/external
 package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -58,42 +63,52 @@ max_fsm_pages = 153600
 log_destination = 'stderr'
 `, port)
 
-	sys, err := conferr.ProcessSystem(conferr.ProcessOptions{
-		Name:    "postgres-external",
-		Command: bin,
-		Args:    []string{"-system", "postgres", "-dir", "{dir}", "-port", fmt.Sprint(port)},
-		DefaultFiles: map[string][]byte{
-			"postgresql.conf": []byte(defaultConf),
-		},
-		ReadyProbe:   tcpProbe(fmt.Sprintf("127.0.0.1:%d", port)),
-		ReadyTimeout: 3 * time.Second,
-		StopGrace:    time.Second,
+	// Register the process-backed target under its own name. The factory
+	// builds a fresh daemon definition per call, the contract that lets a
+	// registered target also serve parallel workers; here each instance
+	// shares one fixed port, so the campaign runs sequentially.
+	conferr.RegisterTarget("postgres-external", func(p int) (*conferr.SystemTarget, error) {
+		if p == 0 {
+			p = port
+		}
+		sys, err := conferr.ProcessSystem(conferr.ProcessOptions{
+			Name:    "postgres-external",
+			Command: bin,
+			Args:    []string{"-system", "postgres", "-dir", "{dir}", "-port", fmt.Sprint(p)},
+			DefaultFiles: map[string][]byte{
+				"postgresql.conf": []byte(defaultConf),
+			},
+			ReadyProbe:   tcpProbe(fmt.Sprintf("127.0.0.1:%d", p)),
+			ReadyTimeout: 3 * time.Second,
+			StopGrace:    time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmtTgt, err := conferr.PostgresTargetAt(p) // only for the format mapping
+		if err != nil {
+			return nil, err
+		}
+		return &conferr.SystemTarget{
+			System: sys,
+			Target: &conferr.Target{
+				System:  sys,
+				Formats: fmtTgt.Target.Formats,
+				Tests: []conferr.Test{{
+					Name: "db-roundtrip",
+					Run:  func() error { return dbRoundTrip(fmt.Sprintf("127.0.0.1:%d", p)) },
+				}},
+			},
+		}, nil
 	})
+
+	runner, err := conferr.NewRunnerFor("postgres-external", "typo",
+		conferr.GeneratorOptions{Seed: 7, PerModel: 4})
 	if err != nil {
 		return err
 	}
-
-	tgt, err := conferr.PostgresTarget() // only for the format mapping
-	if err != nil {
-		return err
-	}
-	target := &conferr.Target{
-		System:  sys,
-		Formats: tgt.Target.Formats,
-		Tests: []conferr.Test{{
-			Name: "db-roundtrip",
-			Run:  func() error { return dbRoundTrip(fmt.Sprintf("127.0.0.1:%d", port)) },
-		}},
-	}
-
-	campaign := &conferr.Campaign{
-		Target:    target,
-		Generator: conferr.TypoGenerator(conferr.TypoOptions{Seed: 7, PerModel: 4}),
-	}
-	if err := campaign.Baseline(); err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-	prof, err := campaign.Run()
+	runner.Port = port
+	prof, err := runner.Run(context.Background(), conferr.WithBaselineCheck())
 	if err != nil {
 		return err
 	}

@@ -1,14 +1,18 @@
-// Quickstart: the smallest complete ConfErr campaign.
+// Quickstart: the smallest complete ConfErr campaign, run in parallel.
 //
 // It injects keyboard-realistic spelling mistakes into the simulated
 // PostgreSQL server's configuration, runs the database functional tests
 // after each injection, and prints the resulting resilience profile — the
-// paper's §3.1 loop end to end.
+// paper's §3.1 loop end to end. The target and plugin are resolved from
+// the registry by name, and the faultload is fanned out over four workers
+// (each with its own SUT instance); the profile is identical to a
+// sequential run's, just produced faster.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -23,27 +27,22 @@ func main() {
 }
 
 func run() error {
-	// 1. A ready-made target: the simulated Postgres with its config
-	// format and the create/populate/query functional test.
-	tgt, err := conferr.PostgresTarget()
+	// 1. Resolve the target and the error generator from the registry:
+	// the simulated Postgres with its config format and functional test,
+	// and the typo plugin with all five §2.1 submodels, capped at 8
+	// scenarios per submodel for a quick run.
+	runner, err := conferr.NewRunnerFor("postgres", "typo",
+		conferr.GeneratorOptions{Seed: 42, PerModel: 8})
 	if err != nil {
 		return err
 	}
 
-	// 2. The error generator: all five typo submodels (omission,
-	// insertion, substitution, case alteration, transposition), capped at
-	// 8 scenarios per submodel for a quick run.
-	gen := conferr.TypoGenerator(conferr.TypoOptions{Seed: 42, PerModel: 8})
-
-	campaign := &conferr.Campaign{Target: tgt.Target, Generator: gen}
-
-	// 3. Sanity: the unmutated configuration must work.
-	if err := campaign.Baseline(); err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-
-	// 4. Inject every scenario and collect the resilience profile.
-	prof, err := campaign.Run()
+	// 2. Run every scenario over 4 workers. WithBaselineCheck first
+	// verifies the unmutated configuration starts and passes the tests —
+	// a campaign is meaningless without that invariant.
+	prof, err := runner.Run(context.Background(),
+		conferr.WithParallelism(4),
+		conferr.WithBaselineCheck())
 	if err != nil {
 		return err
 	}

@@ -2,11 +2,14 @@
 // simulated Apache httpd: omissions, copy-paste duplications, and
 // directives moved into the wrong section — plus the Table 2
 // structure-preserving variations that an ideal server should accept.
+// Both campaigns resolve their target from the registry and fan out over
+// parallel workers.
 //
-//	go run ./examples/webstructural [-seed N]
+//	go run ./examples/webstructural [-seed N] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,29 +19,27 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	workers := flag.Int("workers", 4, "parallel campaign workers (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*seed); err != nil {
+	if err := run(*seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "webstructural:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64) error {
+func run(seed int64, workers int) error {
+	ctx := context.Background()
+
 	// Part 1: structural faults. Misplaced directives hit Apache's context
 	// checks ("AllowOverride not allowed here"); harmless duplications are
 	// silently absorbed; omissions mostly fall back to defaults — except
 	// Listen, without which the server has no sockets.
-	tgt, err := conferr.ApacheTarget()
+	faults, err := conferr.NewRunnerFor("apache", "structural",
+		conferr.GeneratorOptions{Seed: seed, PerClass: 20})
 	if err != nil {
 		return err
 	}
-	faults := &conferr.Campaign{
-		Target: tgt.Target,
-		Generator: conferr.StructuralGenerator(conferr.StructuralOptions{
-			Seed: seed, Sections: true, PerClass: 20,
-		}),
-	}
-	prof, err := faults.Run()
+	prof, err := faults.Run(ctx, conferr.WithParallelism(workers))
 	if err != nil {
 		return err
 	}
@@ -47,15 +48,12 @@ func run(seed int64) error {
 	fmt.Println()
 
 	// Part 2: structure-preserving variations (Table 2 rows for Apache).
-	tgt2, err := conferr.ApacheTarget()
+	variations, err := conferr.NewRunnerFor("apache", "variations",
+		conferr.GeneratorOptions{Seed: seed, PerClass: 10})
 	if err != nil {
 		return err
 	}
-	variations := &conferr.Campaign{
-		Target:    tgt2.Target,
-		Generator: conferr.VariationsGenerator(seed, 10, nil),
-	}
-	vprof, err := variations.Run()
+	vprof, err := variations.Run(ctx, conferr.WithParallelism(workers))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package conferr
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -19,7 +20,11 @@ import (
 
 // This file implements the paper's evaluation experiments (§5): one entry
 // point per table and figure, shared by the CLI, the examples and the
-// benchmark harness.
+// benchmark harness. Every experiment has a context-aware form taking a
+// worker count (RunTable1Ctx, ...); the plain forms are sequential
+// shorthands. Whatever the worker count, each experiment injects the
+// identical faultload and produces the identical profile — parallelism
+// only changes wall-clock time.
 
 // DefaultSeed is the canonical faultload seed used by the CLI, the
 // examples and the benchmark harness. The qualitative Table 1 shape
@@ -87,19 +92,21 @@ func (g sampledGen) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 	return scenario.RandomSubset(rand.New(rand.NewSource(g.seed)), scens, g.n), nil
 }
 
-// runMerged runs one campaign per generator against the target and merges
-// the profiles.
-func runMerged(tgt *SystemTarget, label string, gens ...core.Generator) (*Profile, error) {
+// runMerged runs one campaign per generator against the target family and
+// merges the profiles.
+func runMerged(ctx context.Context, factory TargetFactory, port int, label string, workers int, gens ...core.Generator) (*Profile, error) {
 	var parts []*Profile
+	system := ""
 	for _, gen := range gens {
-		c := &core.Campaign{Target: tgt.Target, Generator: gen}
-		p, err := c.Run()
+		r := &Runner{Factory: factory, Generator: gen, Port: port}
+		p, err := r.Run(ctx, WithParallelism(workers))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: %s campaign (%s): %w", label, gen.Name(), err)
 		}
+		system = p.System
 		parts = append(parts, p)
 	}
-	return MergeProfiles(tgt.System.Name(), label, parts...), nil
+	return MergeProfiles(system, label, parts...), nil
 }
 
 // Table1Spec sets the §5.2 faultload sizes for one system: every directive
@@ -109,8 +116,11 @@ func runMerged(tgt *SystemTarget, label string, gens ...core.Generator) (*Profil
 // own injection counts — 327/98/120 for 14/8/98 directives — imply
 // non-uniform faultloads); see EXPERIMENTS.md.
 type Table1Spec struct {
-	// NewTarget constructs the system target.
-	NewTarget func() (*SystemTarget, error)
+	// Factory constructs the system target; parallel runs call it once per
+	// worker.
+	Factory TargetFactory
+	// Port is the fixed primary port the faultload embeds.
+	Port int
 	// NamesPerDirective is the number of name typos per directive.
 	NamesPerDirective int
 	// ValuesPerDirective is the number of value typos per directive.
@@ -128,25 +138,28 @@ type Table1Spec struct {
 func Table1Specs() map[string]Table1Spec {
 	return map[string]Table1Spec{
 		// 14 deletions + 14×16 name + 14×6 value ≈ 322.
-		"MySQL": {NewTarget: func() (*SystemTarget, error) { return MySQLTargetAt(table1MySQLPort) },
+		"MySQL": {Factory: MySQLTargetAt, Port: table1MySQLPort,
 			NamesPerDirective: 16, ValuesPerDirective: 6},
 		// 8 deletions + 8×6 + 8×6 = 104.
-		"Postgres": {NewTarget: func() (*SystemTarget, error) { return PostgresTargetAt(table1PostgresPort) },
+		"Postgres": {Factory: PostgresTargetAt, Port: table1PostgresPort,
 			NamesPerDirective: 6, ValuesPerDirective: 6},
 		// 20 deletions + 25 name + 75 value = 120 (Apache's faultload is
 		// value-heavy: most of its 98 directives are freeform-valued).
-		"Apache": {NewTarget: func() (*SystemTarget, error) { return ApacheTargetAt(table1ApachePort) },
+		"Apache": {Factory: ApacheTargetAt, Port: table1ApachePort,
 			NamesPerDirective: 1, ValuesPerDirective: 1,
 			DeleteCap: 20, NameCap: 25, ValueCap: 75},
 	}
 }
 
-// RunTable1System runs the §5.2 typo-resilience experiment for one system.
+// RunTable1System runs the §5.2 typo-resilience experiment for one system,
+// sequentially.
 func RunTable1System(spec Table1Spec, seed int64) (*Profile, error) {
-	tgt, err := spec.NewTarget()
-	if err != nil {
-		return nil, err
-	}
+	return RunTable1SystemCtx(context.Background(), spec, seed, 1)
+}
+
+// RunTable1SystemCtx is RunTable1System under a context, fanned out over
+// the given number of workers.
+func RunTable1SystemCtx(ctx context.Context, spec Table1Spec, seed int64, workers int) (*Profile, error) {
 	var del core.Generator = deleteGen{}
 	if spec.DeleteCap > 0 {
 		del = sampledGen{inner: del, n: spec.DeleteCap, seed: seed}
@@ -163,7 +176,7 @@ func RunTable1System(spec Table1Spec, seed int64) (*Profile, error) {
 	if spec.ValueCap > 0 {
 		values = sampledGen{inner: values, n: spec.ValueCap, seed: seed + 4}
 	}
-	return runMerged(tgt, "table1", del, names, values)
+	return runMerged(ctx, spec.Factory, spec.Port, "table1", workers, del, names, values)
 }
 
 // Table1Result holds the per-system profiles and summaries of Table 1.
@@ -177,8 +190,14 @@ type Table1Result struct {
 }
 
 // RunTable1 reproduces Table 1 ("Resilience to typos") for MySQL,
-// Postgres and Apache.
+// Postgres and Apache, sequentially.
 func RunTable1(seed int64) (*Table1Result, error) {
+	return RunTable1Ctx(context.Background(), seed, 1)
+}
+
+// RunTable1Ctx is RunTable1 under a context, with each system's campaigns
+// fanned out over the given number of workers.
+func RunTable1Ctx(ctx context.Context, seed int64, workers int) (*Table1Result, error) {
 	res := &Table1Result{
 		Order:     []string{"MySQL", "Postgres", "Apache"},
 		Profiles:  make(map[string]*Profile),
@@ -186,7 +205,7 @@ func RunTable1(seed int64) (*Table1Result, error) {
 	}
 	specs := Table1Specs()
 	for _, label := range res.Order {
-		p, err := RunTable1System(specs[label], seed)
+		p, err := RunTable1SystemCtx(ctx, specs[label], seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -241,6 +260,12 @@ func table2Applicable(system, class string) bool {
 // each system and variation class, PerClass variant configurations are
 // generated; the class is supported when the system accepts every one.
 func RunTable2(seed int64, perClass int) (*Table2Result, error) {
+	return RunTable2Ctx(context.Background(), seed, perClass, 1)
+}
+
+// RunTable2Ctx is RunTable2 under a context, with each class's campaign
+// fanned out over the given number of workers.
+func RunTable2Ctx(ctx context.Context, seed int64, perClass, workers int) (*Table2Result, error) {
 	if perClass == 0 {
 		perClass = 10
 	}
@@ -249,10 +274,10 @@ func RunTable2(seed int64, perClass int) (*Table2Result, error) {
 		Classes: structural.AllVariationClasses(),
 		Support: make(map[string]map[string]string),
 	}
-	targets := map[string]func() (*SystemTarget, error){
-		"MySQL":    MySQLTarget,
-		"Postgres": PostgresTarget,
-		"Apache":   ApacheTarget,
+	targets := map[string]TargetFactory{
+		"MySQL":    MySQLTargetAt,
+		"Postgres": PostgresTargetAt,
+		"Apache":   ApacheTargetAt,
 	}
 	for _, label := range res.Order {
 		res.Support[label] = make(map[string]string)
@@ -261,15 +286,11 @@ func RunTable2(seed int64, perClass int) (*Table2Result, error) {
 				res.Support[label][class] = SupportNA
 				continue
 			}
-			tgt, err := targets[label]()
-			if err != nil {
-				return nil, err
-			}
-			c := &core.Campaign{
-				Target:    tgt.Target,
+			r := &Runner{
+				Factory:   targets[label],
 				Generator: VariationsGenerator(seed, perClass, []string{class}),
 			}
-			p, err := c.Run()
+			p, err := r.Run(ctx, WithParallelism(workers))
 			if err != nil {
 				return nil, fmt.Errorf("conferr: table2 %s/%s: %w", label, class, err)
 			}
@@ -365,6 +386,13 @@ type Table3Result struct {
 // and djbdns, using the four fault classes of the paper plus the
 // extension classes when extended is true.
 func RunTable3(extended bool) (*Table3Result, error) {
+	return RunTable3Ctx(context.Background(), extended, 1)
+}
+
+// RunTable3Ctx is RunTable3 under a context, with each system's campaign
+// fanned out over the given number of workers. Targets and the semantic
+// generator are resolved from the registry.
+func RunTable3Ctx(ctx context.Context, extended bool, workers int) (*Table3Result, error) {
 	classes := []string{
 		semantic.ClassMissingPTR,
 		semantic.ClassPTRToCNAME,
@@ -380,25 +408,13 @@ func RunTable3(extended bool) (*Table3Result, error) {
 		Cells:    make(map[string]map[string]string),
 		Profiles: make(map[string]*Profile),
 	}
-	type sysDef struct {
-		newTarget func() (*SystemTarget, error)
-		view      view.View
-	}
-	systems := map[string]sysDef{
-		"BIND":   {newTarget: BINDTarget, view: BINDRecordView()},
-		"djbdns": {newTarget: DjbdnsTarget, view: DjbdnsRecordView()},
-	}
+	systems := map[string]string{"BIND": "bind", "djbdns": "djbdns"}
 	for _, label := range res.Order {
-		def := systems[label]
-		tgt, err := def.newTarget()
+		r, err := NewRunnerFor(systems[label], "semantic", GeneratorOptions{Classes: classes})
 		if err != nil {
 			return nil, err
 		}
-		c := &core.Campaign{
-			Target:    tgt.Target,
-			Generator: SemanticDNSGenerator(def.view, classes),
-		}
-		p, err := c.Run()
+		p, err := r.Run(ctx, WithParallelism(workers))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: table3 %s: %w", label, err)
 		}
@@ -486,29 +502,33 @@ type Figure3Result struct {
 // most available directives with defaults (booleans excluded), with
 // perDirective experiments per directive (the paper used 20).
 func RunFigure3(seed int64, perDirective int) (*Figure3Result, error) {
+	return RunFigure3Ctx(context.Background(), seed, perDirective, 1)
+}
+
+// RunFigure3Ctx is RunFigure3 under a context, with each system's campaign
+// fanned out over the given number of workers.
+func RunFigure3Ctx(ctx context.Context, seed int64, perDirective, workers int) (*Figure3Result, error) {
 	if perDirective == 0 {
 		perDirective = 20
 	}
 	res := &Figure3Result{Profiles: make(map[string]*Profile)}
 	systems := []struct {
-		label     string
-		newTarget func() (*SystemTarget, error)
+		label   string
+		factory TargetFactory
+		port    int
 	}{
-		{"Postgresql", func() (*SystemTarget, error) { return PostgresFullTargetAt(figure3PostgresPort) }},
-		{"MySQL", func() (*SystemTarget, error) { return MySQLFullTargetAt(figure3MySQLPort) }},
+		{"Postgresql", PostgresFullTargetAt, figure3PostgresPort},
+		{"MySQL", MySQLFullTargetAt, figure3MySQLPort},
 	}
 	for _, sys := range systems {
-		tgt, err := sys.newTarget()
-		if err != nil {
-			return nil, err
-		}
-		c := &core.Campaign{
-			Target: tgt.Target,
+		r := &Runner{
+			Factory: sys.factory,
+			Port:    sys.port,
 			Generator: TypoGenerator(TypoOptions{
 				Seed: seed, ValuesOnly: true, PerDirective: perDirective,
 			}),
 		}
-		p, err := c.Run()
+		p, err := r.Run(ctx, WithParallelism(workers))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: figure3 %s: %w", sys.label, err)
 		}
@@ -541,18 +561,25 @@ type EditBenchmarkResult struct {
 // connection limit, grow the main buffer, retune a capacity knob), with
 // perEdit typo variants injected right where each edit happened.
 func RunEditBenchmark(seed int64, perEdit int) (*EditBenchmarkResult, error) {
+	return RunEditBenchmarkCtx(context.Background(), seed, perEdit, 1)
+}
+
+// RunEditBenchmarkCtx is RunEditBenchmark under a context, with each
+// system's campaign fanned out over the given number of workers.
+func RunEditBenchmarkCtx(ctx context.Context, seed int64, perEdit, workers int) (*EditBenchmarkResult, error) {
 	res := &EditBenchmarkResult{
 		Order:    []string{"Postgres", "MySQL"},
 		Rates:    make(map[string]float64),
 		Profiles: make(map[string]*Profile),
 	}
 	type task struct {
-		newTarget func() (*SystemTarget, error)
-		edits     []Edit
+		factory TargetFactory
+		port    int
+		edits   []Edit
 	}
 	tasks := map[string]task{
 		"Postgres": {
-			newTarget: func() (*SystemTarget, error) { return PostgresTargetAt(table1PostgresPort) },
+			factory: PostgresTargetAt, port: table1PostgresPort,
 			edits: []Edit{
 				{Directive: "max_connections", NewValue: "200"},
 				{Directive: "shared_buffers", NewValue: "64MB"},
@@ -560,7 +587,7 @@ func RunEditBenchmark(seed int64, perEdit int) (*EditBenchmarkResult, error) {
 			},
 		},
 		"MySQL": {
-			newTarget: func() (*SystemTarget, error) { return MySQLTargetAt(table1MySQLPort) },
+			factory: MySQLTargetAt, port: table1MySQLPort,
 			edits: []Edit{
 				{Directive: "max_connections", NewValue: "200"},
 				{Directive: "key_buffer_size", NewValue: "32M"},
@@ -570,15 +597,12 @@ func RunEditBenchmark(seed int64, perEdit int) (*EditBenchmarkResult, error) {
 	}
 	for _, label := range res.Order {
 		tk := tasks[label]
-		tgt, err := tk.newTarget()
-		if err != nil {
-			return nil, err
-		}
-		c := &core.Campaign{
-			Target:    tgt.Target,
+		r := &Runner{
+			Factory:   tk.factory,
+			Port:      tk.port,
 			Generator: EditBenchmarkGenerator(tk.edits, seed, perEdit),
 		}
-		p, err := c.Run()
+		p, err := r.Run(ctx, WithParallelism(workers))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: edit benchmark %s: %w", label, err)
 		}

@@ -1,0 +1,3 @@
+module conferr
+
+go 1.24

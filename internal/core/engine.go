@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"conferr/internal/confnode"
@@ -53,47 +55,52 @@ type Campaign struct {
 	// KeepGoing controls behaviour on infrastructure errors (not SUT
 	// detections): when false (default) the campaign aborts; when true the
 	// scenario is recorded as not-applicable and the campaign continues.
+	// RunContext's WithKeepGoing overrides it per run.
 	KeepGoing bool
 	// Observer, when non-nil, is called after every experiment with the
-	// record just added; used for progress reporting.
+	// record just added; used for progress reporting. RunContext's
+	// WithObserver overrides it per run.
 	Observer func(profile.Record)
 }
 
-// Run executes the campaign: every scenario produced by the generator is
-// injected into a fresh clone of the initial configuration and the outcome
-// recorded. The returned profile is complete even when an error is
-// returned (it covers the experiments run so far).
+// Run executes the campaign sequentially: every scenario produced by the
+// generator is injected into a fresh clone of the initial configuration
+// and the outcome recorded. The returned profile is complete even when an
+// error is returned (it covers the experiments run so far). Run is
+// equivalent to RunContext(context.Background()).
 func (c *Campaign) Run() (*profile.Profile, error) {
-	prof := &profile.Profile{
-		System:    c.Target.System.Name(),
-		Generator: c.Generator.Name(),
-	}
+	return c.RunContext(context.Background())
+}
 
+// faultload is the immutable outcome of the campaign's generation phase:
+// the view, both representations of the initial configuration, and the
+// scenario list. Workers share it read-only.
+type faultload struct {
+	view    view.View
+	viewSet *confnode.Set
+	sysSet  *confnode.Set
+	scens   []scenario.Scenario
+}
+
+// generate parses the initial configuration, maps it into the plugin view
+// and enumerates the fault scenarios. It is executed once per campaign,
+// regardless of parallelism, so every worker injects the identical
+// faultload.
+func (c *Campaign) generate() (*faultload, error) {
 	sysSet, err := c.parseInitial()
 	if err != nil {
-		return prof, fmt.Errorf("core: parsing initial configuration: %w", err)
+		return nil, fmt.Errorf("core: parsing initial configuration: %w", err)
 	}
 	v := c.Generator.View()
 	viewSet, err := v.Forward(sysSet)
 	if err != nil {
-		return prof, fmt.Errorf("core: forward transform (%s): %w", v.Name(), err)
+		return nil, fmt.Errorf("core: forward transform (%s): %w", v.Name(), err)
 	}
 	scens, err := c.Generator.Generate(viewSet)
 	if err != nil {
-		return prof, fmt.Errorf("core: generating scenarios: %w", err)
+		return nil, fmt.Errorf("core: generating scenarios: %w", err)
 	}
-
-	for _, sc := range scens {
-		rec, err := c.runOne(sc, v, viewSet, sysSet)
-		prof.Add(rec)
-		if c.Observer != nil {
-			c.Observer(rec)
-		}
-		if err != nil && !c.KeepGoing {
-			return prof, fmt.Errorf("core: scenario %s: %w", sc.ID, err)
-		}
-	}
-	return prof, nil
+	return &faultload{view: v, viewSet: viewSet, sysSet: sysSet, scens: scens}, nil
 }
 
 // parseInitial parses the SUT's default configuration files into the
@@ -116,9 +123,10 @@ func (c *Campaign) parseInitial() (*confnode.Set, error) {
 	return set, nil
 }
 
-// runOne performs a single injection experiment. The returned error is an
-// infrastructure failure; SUT detections are encoded in the record.
-func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *confnode.Set) (profile.Record, error) {
+// runOne performs a single injection experiment against the given target
+// (the campaign's own, or a worker's private instance). The returned error
+// is an infrastructure failure; SUT detections are encoded in the record.
+func runOne(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confnode.Set) (profile.Record, error) {
 	start := time.Now()
 	rec := profile.Record{
 		ScenarioID:  sc.ID,
@@ -154,7 +162,7 @@ func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *co
 	// 3. Serialize to native file formats.
 	files := make(suts.Files, mutatedSys.Len())
 	for _, name := range mutatedSys.Names() {
-		f := c.Target.Formats[name]
+		f := t.Formats[name]
 		data, serr := f.Serialize(mutatedSys.Get(name))
 		if serr != nil {
 			return finish(profile.NotExpressible, serr.Error()), nil
@@ -163,10 +171,17 @@ func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *co
 	}
 
 	// 4. Start the SUT with the faulty configuration.
-	if err := c.Target.System.Start(files); err != nil {
-		stopErr := c.Target.System.Stop()
+	if err := t.System.Start(files); err != nil {
+		stopErr := t.System.Stop()
 		if suts.IsStartupError(err) {
-			return finish(profile.DetectedAtStartup, err.Error()), stopErr
+			// The experiment succeeded: the SUT detected the fault. A
+			// failed cleanup after that is worth recording but must not
+			// abort the campaign.
+			detail := err.Error()
+			if stopErr != nil {
+				detail += "; stop after rejected start: " + stopErr.Error()
+			}
+			return finish(profile.DetectedAtStartup, detail), nil
 		}
 		// Non-startup failures (e.g. port in use) are infrastructure
 		// problems, not SUT detections.
@@ -175,14 +190,14 @@ func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *co
 
 	// 5. Run the functional tests.
 	outcome, detail := profile.Ignored, ""
-	for _, t := range c.Target.Tests {
-		if terr := t.Run(); terr != nil {
+	for _, test := range t.Tests {
+		if terr := test.Run(); terr != nil {
 			outcome = profile.DetectedByTest
-			detail = fmt.Sprintf("%s: %v", t.Name, terr)
+			detail = fmt.Sprintf("%s: %v", test.Name, terr)
 			break
 		}
 	}
-	if err := c.Target.System.Stop(); err != nil {
+	if err := t.System.Stop(); err != nil {
 		return finish(outcome, detail), fmt.Errorf("stopping SUT: %w", err)
 	}
 	return finish(outcome, detail), nil
@@ -192,14 +207,20 @@ func (c *Campaign) runOne(sc scenario.Scenario, v view.View, viewSet, sysSet *co
 // SUT and passes all functional tests; campaigns are meaningless without
 // this invariant (a failing test would count every scenario as detected).
 func (c *Campaign) Baseline() error {
-	files := c.Target.System.DefaultConfig()
-	// Round-trip the default configuration through parse+serialize so the
-	// baseline exercises the exact bytes mutated runs will produce.
 	sysSet, err := c.parseInitial()
 	if err != nil {
 		return fmt.Errorf("core: baseline parse: %w", err)
 	}
-	rt := make(suts.Files, len(files))
+	return c.baselineOn(sysSet)
+}
+
+// baselineOn is Baseline over an already-parsed initial configuration,
+// letting RunContext share one parse between the baseline check and
+// faultload generation. It round-trips the configuration through
+// serialize so the baseline exercises the exact bytes mutated runs will
+// produce.
+func (c *Campaign) baselineOn(sysSet *confnode.Set) error {
+	rt := make(suts.Files, sysSet.Len())
 	for _, name := range sysSet.Names() {
 		data, err := c.Target.Formats[name].Serialize(sysSet.Get(name))
 		if err != nil {
@@ -225,10 +246,6 @@ func sortedNames(files suts.Files) []string {
 	for n := range files {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }

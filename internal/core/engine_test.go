@@ -312,6 +312,48 @@ func (s *stopFailSystem) Stop() error {
 	return errors.New("stop failed")
 }
 
+// rejectStopFailSystem rejects every configuration and then fails to
+// stop.
+type rejectStopFailSystem struct {
+	stopFailSystem
+}
+
+func (s *rejectStopFailSystem) Start(suts.Files) error {
+	return &suts.StartupError{System: "fake", Msg: "rejected"}
+}
+
+// TestRunStopFailureAfterDetectionIsDetail: a failing Stop after the SUT
+// already rejected the configuration is cleanup noise, not an
+// infrastructure error — the experiment succeeded. It must be recorded in
+// the detail and never abort the campaign.
+func TestRunStopFailureAfterDetectionIsDetail(t *testing.T) {
+	sys := &rejectStopFailSystem{}
+	tgt := &Target{
+		System:  sys,
+		Formats: map[string]formats.Format{"fake.conf": kv.Format{}},
+	}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "s1", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+		{ID: "s2", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: tgt, Generator: g} // KeepGoing defaults to false
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign aborted on post-detection stop failure: %v", err)
+	}
+	if len(prof.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(prof.Records))
+	}
+	for _, r := range prof.Records {
+		if r.Outcome != profile.DetectedAtStartup {
+			t.Errorf("%s outcome = %v, want detected-at-startup", r.ScenarioID, r.Outcome)
+		}
+		if !strings.Contains(r.Detail, "stop after rejected start") {
+			t.Errorf("%s detail = %q, want the stop failure recorded", r.ScenarioID, r.Detail)
+		}
+	}
+}
+
 func TestRunStopFailureSurfaces(t *testing.T) {
 	sys := &stopFailSystem{}
 	tgt := &Target{

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"conferr/internal/profile"
+)
+
+// TargetFactory constructs a fresh, independent Target for one campaign
+// worker. Parallel runs call it once per additional worker so that every
+// worker owns its own SUT instance: start/stop cycles and port bindings of
+// concurrent experiments never collide.
+type TargetFactory func() (*Target, error)
+
+// runConfig collects the per-run settings of RunContext.
+type runConfig struct {
+	parallelism int
+	observer    func(profile.Record)
+	keepGoing   bool
+	baseline    bool
+	factory     TargetFactory
+}
+
+// RunOption configures a single RunContext invocation.
+type RunOption func(*runConfig)
+
+// WithParallelism sets the number of campaign workers. n <= 0 selects
+// GOMAXPROCS. Any value above 1 requires a target factory (see
+// WithTargetFactory); the default is 1, the sequential engine of the
+// paper.
+func WithParallelism(n int) RunOption {
+	return func(cfg *runConfig) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		cfg.parallelism = n
+	}
+}
+
+// WithObserver streams every record to fn as experiments complete,
+// overriding Campaign.Observer for this run. Under parallelism the calls
+// are serialized (fn needs no locking) but arrive in completion order, not
+// scenario order; the returned profile is always scenario-ordered.
+func WithObserver(fn func(profile.Record)) RunOption {
+	return func(cfg *runConfig) { cfg.observer = fn }
+}
+
+// WithKeepGoing overrides Campaign.KeepGoing for this run: when true,
+// infrastructure errors are recorded as not-applicable and the campaign
+// continues instead of aborting.
+func WithKeepGoing(keep bool) RunOption {
+	return func(cfg *runConfig) { cfg.keepGoing = keep }
+}
+
+// WithBaselineCheck verifies, before any injection, that the unmutated
+// configuration starts the SUT and passes every functional test — the
+// invariant that makes a resilience profile meaningful.
+func WithBaselineCheck() RunOption {
+	return func(cfg *runConfig) { cfg.baseline = true }
+}
+
+// WithTargetFactory supplies the per-worker target constructor parallel
+// runs need. The factory must produce targets that inject the same
+// faultload as the campaign's primary target (same formats, equivalent
+// functional tests). Every worker — including the first — runs on a
+// factory-built target; the campaign's primary target serves faultload
+// generation and the baseline check, and sequential runs.
+func WithTargetFactory(f TargetFactory) RunOption {
+	return func(cfg *runConfig) { cfg.factory = f }
+}
+
+// RunContext executes the campaign under a context. The faultload is
+// generated exactly once — from the campaign's primary target — and then
+// fanned out over WithParallelism workers, each owning its own SUT
+// instance. Whatever the parallelism, the returned profile lists records
+// in scenario order and is deterministic for a fixed faultload.
+//
+// On cancellation, RunContext returns ctx.Err() together with the profile
+// of every experiment that completed. On an infrastructure error without
+// WithKeepGoing, the campaign aborts: in-flight experiments finish, no new
+// ones start, and the error of the earliest failing scenario is returned.
+func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.Profile, error) {
+	cfg := runConfig{
+		parallelism: 1,
+		observer:    c.Observer,
+		keepGoing:   c.KeepGoing,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	prof := &profile.Profile{
+		System:    c.Target.System.Name(),
+		Generator: c.Generator.Name(),
+	}
+	if err := ctx.Err(); err != nil {
+		return prof, err
+	}
+
+	fl, err := c.generate()
+	if err != nil {
+		return prof, err
+	}
+	if cfg.baseline {
+		if err := c.baselineOn(fl.sysSet); err != nil {
+			return prof, err
+		}
+	}
+
+	workers := cfg.parallelism
+	if workers > len(fl.scens) {
+		workers = len(fl.scens)
+	}
+	if workers <= 1 {
+		return c.runSequential(ctx, cfg, prof, fl)
+	}
+	return c.runParallel(ctx, cfg, prof, fl, workers)
+}
+
+// runSequential is the single-worker path: the paper's original engine,
+// plus cancellation between experiments.
+func (c *Campaign) runSequential(ctx context.Context, cfg runConfig, prof *profile.Profile, fl *faultload) (*profile.Profile, error) {
+	for _, sc := range fl.scens {
+		if err := ctx.Err(); err != nil {
+			return prof, err
+		}
+		rec, err := runOne(c.Target, sc, fl.view, fl.viewSet, fl.sysSet)
+		prof.Add(rec)
+		if cfg.observer != nil {
+			cfg.observer(rec)
+		}
+		if err != nil && !cfg.keepGoing {
+			return prof, fmt.Errorf("core: scenario %s: %w", sc.ID, err)
+		}
+	}
+	return prof, nil
+}
+
+// runParallel fans the faultload out over a worker pool. Each worker owns
+// a private Target; results land in a slot per scenario index and are
+// merged in scenario order, so the profile is deterministic regardless of
+// scheduling.
+func (c *Campaign) runParallel(ctx context.Context, cfg runConfig, prof *profile.Profile, fl *faultload, workers int) (*profile.Profile, error) {
+	if cfg.factory == nil {
+		return prof, errors.New("core: parallel run requires a target factory (WithTargetFactory)")
+	}
+
+	// Every worker gets its own factory-built target (the primary only
+	// generated the faultload), built up front so a failing factory
+	// aborts before any experiment starts.
+	targets := make([]*Target, workers)
+	for w := range targets {
+		t, err := cfg.factory()
+		if err != nil {
+			return prof, fmt.Errorf("core: building worker %d target: %w", w, err)
+		}
+		targets[w] = t
+	}
+
+	type slot struct {
+		rec  profile.Record
+		err  error
+		done bool
+	}
+	results := make([]slot, len(fl.scens))
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range fl.scens {
+			select {
+			case jobs <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex // guards results and the observer stream
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(t *Target) {
+			defer wg.Done()
+			for i := range jobs {
+				if runCtx.Err() != nil {
+					return
+				}
+				rec, err := runOne(t, fl.scens[i], fl.view, fl.viewSet, fl.sysSet)
+				mu.Lock()
+				results[i] = slot{rec: rec, err: err, done: true}
+				if cfg.observer != nil {
+					cfg.observer(rec)
+				}
+				mu.Unlock()
+				if err != nil && !cfg.keepGoing {
+					cancel()
+					return
+				}
+			}
+		}(targets[w])
+	}
+	wg.Wait()
+
+	// Deterministic merge: scenario order, skipping slots the abort or
+	// cancellation left unprocessed. The earliest failing scenario wins
+	// the returned error, mirroring the sequential engine.
+	var firstErr error
+	for i, r := range results {
+		if !r.done {
+			continue
+		}
+		prof.Add(r.rec)
+		if r.err != nil && !cfg.keepGoing && firstErr == nil {
+			firstErr = fmt.Errorf("core: scenario %s: %w", fl.scens[i].ID, r.err)
+		}
+	}
+	if firstErr != nil {
+		return prof, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return prof, err
+	}
+	return prof, nil
+}

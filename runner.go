@@ -1,0 +1,93 @@
+package conferr
+
+import (
+	"context"
+	"fmt"
+
+	"conferr/internal/core"
+	"conferr/internal/profile"
+)
+
+// RunOption configures one Runner.Run (or Campaign.RunContext) call.
+type RunOption = core.RunOption
+
+// WithParallelism sets the number of campaign workers; each worker owns
+// its own SUT instance built from the Runner's factory. n <= 0 selects
+// GOMAXPROCS; the default is 1, the paper's sequential engine.
+func WithParallelism(n int) RunOption { return core.WithParallelism(n) }
+
+// WithObserver streams every record to fn as experiments complete. Calls
+// are serialized, but under parallelism they arrive in completion order;
+// the returned profile is always scenario-ordered.
+func WithObserver(fn func(Record)) RunOption { return core.WithObserver(fn) }
+
+// WithKeepGoing makes infrastructure errors non-fatal: the scenario is
+// recorded as not-applicable and the campaign continues.
+func WithKeepGoing(keep bool) RunOption { return core.WithKeepGoing(keep) }
+
+// WithBaselineCheck verifies the unmutated configuration starts the SUT
+// and passes all functional tests before any injection.
+func WithBaselineCheck() RunOption { return core.WithBaselineCheck() }
+
+// Runner executes campaigns of one generator against one target family,
+// sequentially or in parallel. The zero value is not usable; construct it
+// with NewRunner or NewRunnerFor.
+//
+// The faultload is generated once, from the primary target (built at Port)
+// — so scenario IDs, mutated bytes and profiles are identical whatever the
+// parallelism — and then fanned out over the workers, each running its own
+// SUT instance from the same factory.
+type Runner struct {
+	// Factory builds the target; once for the primary plus once per
+	// additional worker.
+	Factory TargetFactory
+	// Generator is the error-generator plugin.
+	Generator Generator
+	// Port is where the primary target listens (0 = allocate). Experiments
+	// pin it so faultloads that typo the port digits stay reproducible.
+	Port int
+}
+
+// NewRunner returns a Runner for the given target factory and generator.
+func NewRunner(factory TargetFactory, gen Generator) *Runner {
+	return &Runner{Factory: factory, Generator: gen}
+}
+
+// NewRunnerFor resolves the target and generator from the registry by
+// name. opts.System is overwritten with the system name so that
+// system-specific generators resolve their view against the right target.
+func NewRunnerFor(system, plugin string, opts GeneratorOptions) (*Runner, error) {
+	tf, err := LookupTarget(system)
+	if err != nil {
+		return nil, err
+	}
+	gf, err := LookupGenerator(plugin)
+	if err != nil {
+		return nil, err
+	}
+	opts.System = system
+	gen, err := gf(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Factory: tf, Generator: gen}, nil
+}
+
+// Run executes the campaign under ctx. See Campaign.RunContext for the
+// cancellation and error contract; the returned profile is scenario-
+// ordered and deterministic for a fixed faultload whatever the worker
+// count.
+func (r *Runner) Run(ctx context.Context, opts ...RunOption) (*Profile, error) {
+	primary, err := r.Factory(r.Port)
+	if err != nil {
+		return &profile.Profile{}, fmt.Errorf("conferr: building primary target: %w", err)
+	}
+	c := &core.Campaign{
+		Target:    primary.Target,
+		Generator: r.Generator,
+	}
+	coreOpts := make([]RunOption, 0, len(opts)+1)
+	coreOpts = append(coreOpts, core.WithTargetFactory(workerFactory(r.Factory, primary)))
+	coreOpts = append(coreOpts, opts...)
+	return c.RunContext(ctx, coreOpts...)
+}

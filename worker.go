@@ -1,0 +1,172 @@
+package conferr
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+
+	"conferr/internal/core"
+	"conferr/internal/suts"
+)
+
+// This file adapts a facade TargetFactory into the per-worker
+// core.TargetFactory parallel campaigns need.
+//
+// The faultload of a campaign is generated once, from the primary target,
+// so every mutated configuration embeds the primary's port. If workers
+// started their SUTs on those bytes verbatim they would all contend for
+// the one port; if they ran on private ports the mutated bytes, error
+// messages and functional-test dials would differ from the sequential run
+// and the profile would no longer be deterministic. The wrapper squares
+// the circle: each worker SUT runs on its own port, the primary port is
+// rewritten to the worker's in the config bytes on the way in, and the
+// worker's port is rewritten back to the primary's in every error message
+// on the way out. Typo'd port values are left untouched in both
+// directions, so port-fault scenarios keep their exact sequential
+// behaviour.
+
+// defaultPorter is implemented by every built-in simulator.
+type defaultPorter interface {
+	DefaultPort() int
+}
+
+// workerFactory converts a facade factory into the core per-worker
+// factory, wiring in the port remap against the primary target.
+func workerFactory(f TargetFactory, primary *SystemTarget) core.TargetFactory {
+	from := 0
+	if dp, ok := primary.System.(defaultPorter); ok {
+		from = dp.DefaultPort()
+	}
+	return func() (*core.Target, error) {
+		st, err := f(0)
+		if err != nil {
+			return nil, err
+		}
+		to := 0
+		if dp, ok := st.System.(defaultPorter); ok {
+			to = dp.DefaultPort()
+		}
+		t := *st.Target
+		if from != 0 && to != 0 && from != to {
+			fromS, toS := strconv.Itoa(from), strconv.Itoa(to)
+			t.System = &portMappedSystem{System: t.System, from: fromS, to: toS}
+			t.Tests = remapTests(t.Tests, toS, fromS)
+		} else {
+			// Same port space (or none): still guard against transient
+			// bind collisions with other workers' typo'd ports.
+			t.System = &portMappedSystem{System: t.System}
+		}
+		return &t, nil
+	}
+}
+
+// portMappedSystem runs a worker's SUT on its own port while presenting
+// the primary port to the rest of the engine. With from == to == "" it
+// only adds the bind-collision retry.
+type portMappedSystem struct {
+	suts.System
+	from string // primary port decimal, "" for no remap
+	to   string // this worker's port decimal
+}
+
+// bindRetry bounds how long a worker waits out another worker holding a
+// (typo'd) port it needs. Experiments against the simulators complete in
+// well under a millisecond, so a few milliseconds of budget covers deep
+// pile-ups while keeping a genuinely occupied port's failure prompt.
+const (
+	bindRetries = 100
+	bindBackoff = 2 * time.Millisecond
+)
+
+// Start implements suts.System: it rewrites the primary port to the
+// worker's, starts the inner SUT (waiting out transient cross-worker bind
+// collisions), and maps the worker's port back to the primary's in any
+// resulting error — startup rejections and infrastructure failures alike
+// end up in the recorded detail, which must match the sequential run.
+func (s *portMappedSystem) Start(files suts.Files) error {
+	if s.from != "" {
+		remapped := make(suts.Files, len(files))
+		for name, data := range files {
+			remapped[name] = []byte(replaceNumber(string(data), s.from, s.to))
+		}
+		files = remapped
+	}
+	var err error
+	for attempt := 0; attempt < bindRetries; attempt++ {
+		err = s.System.Start(files)
+		if err == nil || !strings.Contains(err.Error(), "address already in use") {
+			break
+		}
+		_ = s.System.Stop()
+		time.Sleep(bindBackoff)
+	}
+	if err == nil || s.from == "" {
+		return err
+	}
+	var se *suts.StartupError
+	if errors.As(err, &se) {
+		return &suts.StartupError{System: se.System, Msg: replaceNumber(se.Msg, s.to, s.from)}
+	}
+	return &remappedError{msg: replaceNumber(err.Error(), s.to, s.from), cause: err}
+}
+
+// remapTests rewrites the worker's port back to the primary's in
+// functional-test failure messages, keeping DetectedByTest details
+// byte-identical to the sequential run.
+func remapTests(tests []suts.Test, workerPort, primaryPort string) []suts.Test {
+	out := make([]suts.Test, len(tests))
+	for i, t := range tests {
+		run := t.Run
+		out[i] = suts.Test{
+			Name: t.Name,
+			Run: func() error {
+				err := run()
+				if err == nil {
+					return err
+				}
+				return &remappedError{msg: replaceNumber(err.Error(), workerPort, primaryPort), cause: err}
+			},
+		}
+	}
+	return out
+}
+
+// remappedError rewords an error while keeping the original in the chain.
+type remappedError struct {
+	msg   string
+	cause error
+}
+
+func (e *remappedError) Error() string { return e.msg }
+func (e *remappedError) Unwrap() error { return e.cause }
+
+// replaceNumber replaces standalone decimal occurrences of from with to:
+// matches are rejected when flanked by another digit, so a port embedded
+// in a larger number (for example a typo'd duplication of its digits)
+// stays untouched.
+func replaceNumber(s, from, to string) string {
+	if from == "" || from == to {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		j := strings.Index(s[i:], from)
+		if j < 0 {
+			b.WriteString(s[i:])
+			break
+		}
+		j += i
+		end := j + len(from)
+		digitBefore := j > 0 && s[j-1] >= '0' && s[j-1] <= '9'
+		digitAfter := end < len(s) && s[end] >= '0' && s[end] <= '9'
+		b.WriteString(s[i:j])
+		if digitBefore || digitAfter {
+			b.WriteString(from)
+		} else {
+			b.WriteString(to)
+		}
+		i = end
+	}
+	return b.String()
+}
