@@ -8,9 +8,28 @@ import (
 // Set is an ordered collection of configuration trees keyed by logical file
 // name. A fault scenario mutates an entire Set, which is what allows
 // ConfErr to inject cross-file errors (paper §3.1).
+//
+// A Set can either own its trees outright (the normal case) or be a
+// copy-on-write view of a base Set produced by Tracked. Tracked sets power
+// the engine's incremental injection pipeline: a scenario applied to a
+// tracked set only clones the file trees it actually reaches, and the set
+// records exactly those files as dirty.
 type Set struct {
 	order []string
 	trees map[string]*Node
+
+	// base, when non-nil, makes this Set a copy-on-write overlay: reads of
+	// files absent from trees fall through to base, and mutating accessors
+	// (Get, Walk, Put) first materialize a private clone into trees. A
+	// file is dirty exactly when trees holds an entry for it — i.e. when
+	// its tree pointer no longer equals the base's (pointer equality is
+	// the generation test: untouched files still share the base tree).
+	base *Set
+	// sealed stops materialization: reads return the overlay tree when
+	// present and the shared base tree otherwise. The engine seals a
+	// tracked set after the scenario's Apply so the backward transform can
+	// read it without inflating the dirty set.
+	sealed bool
 }
 
 // NewSet returns an empty configuration set.
@@ -18,24 +37,120 @@ func NewSet() *Set {
 	return &Set{trees: make(map[string]*Node)}
 }
 
+// Tracked returns a copy-on-write wrapper of the set. Mutating the wrapper
+// (through Get, Walk, Put and the node APIs of the trees they return)
+// never touches the receiver: the first access to a file clones that
+// file's tree into the wrapper and marks the file dirty. DirtyFiles (or
+// Seal) then reports which files a scenario touched, which is what lets
+// the engine re-serialize only those. Tracking is conservative: a file
+// that was merely read through Get or Walk counts as dirty, because the
+// caller could have mutated the returned nodes.
+//
+// The receiver must not be mutated while wrappers of it are alive.
+func (s *Set) Tracked() *Set {
+	order := make([]string, len(s.order))
+	copy(order, s.order)
+	return &Set{order: order, trees: make(map[string]*Node), base: s}
+}
+
+// IsTracked reports whether the set is a copy-on-write wrapper from
+// Tracked.
+func (s *Set) IsTracked() bool { return s.base != nil }
+
+// Seal ends the mutation phase of a tracked set and returns its dirty
+// files (see DirtyFiles). After Seal, reads return shared base trees for
+// clean files instead of materializing clones; callers must treat the
+// returned trees as read-only.
+func (s *Set) Seal() []string {
+	s.sealed = true
+	return s.DirtyFiles()
+}
+
+// DirtyFiles returns, in set order, the files whose trees may differ from
+// the base set: every file that was materialized by an access or replaced
+// by Put. For a set that is not tracked there is no base to compare
+// against, so all files are reported dirty — the conservative fallback for
+// raw sets and tree surgery performed outside the tracking API.
+func (s *Set) DirtyFiles() []string {
+	out := make([]string, 0, len(s.trees))
+	for _, name := range s.order {
+		if _, ok := s.trees[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// IsDirty reports whether DirtyFiles would list the file: its tree was
+// materialized or replaced on a tracked set, or — conservatively — it is
+// simply present on an untracked one.
+func (s *Set) IsDirty(name string) bool {
+	if _, ok := s.trees[name]; ok {
+		return true
+	}
+	return s.base == nil && s.contains(name)
+}
+
+// tree returns the tree for name without materializing: the overlay entry
+// when present, the base's otherwise.
+func (s *Set) tree(name string) *Node {
+	if t, ok := s.trees[name]; ok {
+		return t
+	}
+	if s.base != nil {
+		return s.base.tree(name)
+	}
+	return nil
+}
+
+// contains reports whether the set (overlay or base) holds the file.
+func (s *Set) contains(name string) bool {
+	if _, ok := s.trees[name]; ok {
+		return true
+	}
+	return s.base != nil && s.base.contains(name)
+}
+
+// materialize clones the base tree for name into the overlay, marking the
+// file dirty, and returns the private clone.
+func (s *Set) materialize(name string) *Node {
+	if t, ok := s.trees[name]; ok {
+		return t
+	}
+	bt := s.base.tree(name)
+	if bt == nil {
+		return nil
+	}
+	c := bt.Clone()
+	s.trees[name] = c
+	return c
+}
+
 // Put adds or replaces the tree for the given logical file name. Insertion
-// order of first occurrence is preserved by Names.
+// order of first occurrence is preserved by Names. On a tracked set the
+// file is marked dirty.
 func (s *Set) Put(name string, root *Node) {
 	if s.trees == nil {
 		s.trees = make(map[string]*Node)
 	}
-	if _, exists := s.trees[name]; !exists {
+	if !s.contains(name) {
 		s.order = append(s.order, name)
 	}
 	s.trees[name] = root
 }
 
-// Get returns the tree for the given file name, or nil when absent.
+// Get returns the tree for the given file name, or nil when absent. On an
+// unsealed tracked set the returned tree is a private clone and the file
+// is marked dirty (the caller may mutate it freely); on a sealed tracked
+// set clean files return the shared base tree, which must not be mutated.
 func (s *Set) Get(name string) *Node {
 	if s == nil {
 		return nil
 	}
-	return s.trees[name]
+	if s.base != nil && !s.sealed {
+		return s.materialize(name)
+	}
+	return s.tree(name)
 }
 
 // Names returns the logical file names in insertion order. The slice is a
@@ -49,11 +164,12 @@ func (s *Set) Names() []string {
 // Len returns the number of files in the set.
 func (s *Set) Len() int { return len(s.order) }
 
-// Clone deep-copies the set and every tree in it.
+// Clone deep-copies the set and every tree in it. Cloning a tracked set
+// flattens it: the copy owns all its trees and tracks nothing.
 func (s *Set) Clone() *Set {
 	c := NewSet()
 	for _, name := range s.order {
-		c.Put(name, s.trees[name].Clone())
+		c.Put(name, s.tree(name).Clone())
 	}
 	return c
 }
@@ -68,17 +184,26 @@ func (s *Set) Equal(o *Set) bool {
 		if o.order[i] != name {
 			return false
 		}
-		if !s.trees[name].Equal(o.trees[name]) {
+		if !s.tree(name).Equal(o.tree(name)) {
 			return false
 		}
 	}
 	return true
 }
 
-// Walk visits every tree in the set in order.
+// Walk visits every tree in the set in order. On an unsealed tracked set
+// every visited tree is materialized first — the visitor may mutate — so a
+// whole-set Walk dirties every file; scenarios that only need one file
+// should use Get.
 func (s *Set) Walk(visit func(file string, root *Node)) {
 	for _, name := range s.order {
-		visit(name, s.trees[name])
+		var root *Node
+		if s.base != nil && !s.sealed {
+			root = s.materialize(name)
+		} else {
+			root = s.tree(name)
+		}
+		visit(name, root)
 	}
 }
 
@@ -88,7 +213,7 @@ func (s *Set) Dump() string {
 	sort.Strings(names)
 	out := ""
 	for _, name := range names {
-		out += fmt.Sprintf("=== %s ===\n%s", name, s.trees[name].Dump())
+		out += fmt.Sprintf("=== %s ===\n%s", name, s.tree(name).Dump())
 	}
 	return out
 }

@@ -1,0 +1,187 @@
+package confnode
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// trackedFixture builds a small deterministic multi-file set.
+func trackedFixture(files, directives int) *Set {
+	s := NewSet()
+	for f := 0; f < files; f++ {
+		doc := New(KindDocument, fmt.Sprintf("f%02d.conf", f))
+		for d := 0; d < directives; d++ {
+			n := NewValued(KindDirective, fmt.Sprintf("key%d", d), fmt.Sprintf("value%d", d))
+			n.SetAttr("sep", " = ")
+			doc.Append(n)
+		}
+		s.Put(doc.Name, doc)
+	}
+	return s
+}
+
+func TestTrackedBasics(t *testing.T) {
+	base := trackedFixture(3, 4)
+	snap := base.Clone()
+	tr := base.Tracked()
+	if !tr.IsTracked() || base.IsTracked() {
+		t.Fatal("tracking flags wrong")
+	}
+	if got := len(tr.DirtyFiles()); got != 0 {
+		t.Fatalf("fresh tracked set has %d dirty files", got)
+	}
+
+	// Mutating through Get dirties exactly that file and leaves the base
+	// untouched.
+	doc := tr.Get("f01.conf")
+	doc.Child(0).Value = "mutated"
+	dirty := tr.Seal()
+	if len(dirty) != 1 || dirty[0] != "f01.conf" {
+		t.Fatalf("dirty = %v, want [f01.conf]", dirty)
+	}
+	if !base.Equal(snap) {
+		t.Fatal("baseline mutated through tracked wrapper")
+	}
+	// Clean files share the base tree after sealing (pointer equality is
+	// the cleanness test).
+	if tr.Get("f00.conf") != base.Get("f00.conf") {
+		t.Error("sealed clean file does not share the base tree")
+	}
+	if tr.Get("f01.conf") == base.Get("f01.conf") {
+		t.Error("dirty file still shares the base tree")
+	}
+	if tr.Get("f01.conf").Child(0).Value != "mutated" {
+		t.Error("mutation lost")
+	}
+}
+
+func TestTrackedPutNewFile(t *testing.T) {
+	base := trackedFixture(2, 2)
+	tr := base.Tracked()
+	tr.Put("new.conf", New(KindDocument, "new.conf"))
+	dirty := tr.Seal()
+	if len(dirty) != 1 || dirty[0] != "new.conf" {
+		t.Fatalf("dirty = %v, want [new.conf]", dirty)
+	}
+	if tr.Len() != 3 || base.Len() != 2 {
+		t.Fatalf("len tracked=%d base=%d", tr.Len(), base.Len())
+	}
+	if tr.Names()[2] != "new.conf" {
+		t.Errorf("Names = %v", tr.Names())
+	}
+}
+
+func TestTrackedWalkDirtiesEverything(t *testing.T) {
+	base := trackedFixture(3, 2)
+	tr := base.Tracked()
+	tr.Walk(func(_ string, root *Node) { root.Append(New(KindBlank, "")) })
+	if got, want := len(tr.Seal()), 3; got != want {
+		t.Fatalf("dirty count = %d, want %d", got, want)
+	}
+}
+
+func TestUntrackedSetReportsAllDirty(t *testing.T) {
+	s := trackedFixture(2, 2)
+	if got := len(s.DirtyFiles()); got != 2 {
+		t.Fatalf("untracked DirtyFiles = %d files, want all (2)", got)
+	}
+}
+
+func TestTrackedCloneFlattens(t *testing.T) {
+	base := trackedFixture(2, 2)
+	tr := base.Tracked()
+	tr.Get("f00.conf").Child(0).Value = "x"
+	c := tr.Clone()
+	if c.IsTracked() {
+		t.Fatal("clone is still tracked")
+	}
+	if !c.Equal(tr) {
+		t.Fatal("clone differs from source")
+	}
+	if c.Get("f01.conf") == base.Get("f01.conf") {
+		t.Fatal("clone shares a tree with the base")
+	}
+}
+
+// applyRandomOps drives a pseudo-random mutation program against the set
+// through the public API, the way scenario Apply implementations do. The
+// ops byte stream makes the same generator usable from the fuzzer.
+func applyRandomOps(s *Set, ops []byte) {
+	names := s.Names()
+	for i := 0; i+2 < len(ops); i += 3 {
+		op, fi, ni := ops[i], ops[i+1], ops[i+2]
+		if len(names) == 0 {
+			return
+		}
+		name := names[int(fi)%len(names)]
+		switch op % 7 {
+		case 0: // modify a directive value
+			if doc := s.Get(name); doc != nil && doc.NumChildren() > 0 {
+				doc.Child(int(ni) % doc.NumChildren()).Value = fmt.Sprintf("mut%d", i)
+			}
+		case 1: // set an attribute
+			if doc := s.Get(name); doc != nil && doc.NumChildren() > 0 {
+				doc.Child(int(ni)%doc.NumChildren()).SetAttr("k", fmt.Sprintf("v%d", i))
+			}
+		case 2: // remove a node
+			if doc := s.Get(name); doc != nil && doc.NumChildren() > 0 {
+				doc.Child(int(ni) % doc.NumChildren()).Remove()
+			}
+		case 3: // append a node
+			if doc := s.Get(name); doc != nil {
+				doc.Append(NewValued(KindDirective, fmt.Sprintf("extra%d", i), "1"))
+			}
+		case 4: // replace a whole file
+			s.Put(name, New(KindDocument, name))
+		case 5: // add a new file
+			s.Put(fmt.Sprintf("added%d.conf", int(ni)%4), New(KindDocument, "added"))
+			names = s.Names()
+		case 6: // read without mutating (still conservatively dirty)
+			_ = s.Get(name)
+		}
+	}
+}
+
+// checkDirtyNotUnderInclusive is the tracker's core soundness property: a
+// file whose tracked tree differs from the baseline MUST be reported
+// dirty. (Over-inclusion — reporting an untouched file dirty — costs only
+// speed; under-inclusion would make the engine serve stale cached bytes.)
+func checkDirtyNotUnderInclusive(t *testing.T, base *Set, ops []byte) {
+	t.Helper()
+	snap := base.Clone()
+	tr := base.Tracked()
+	applyRandomOps(tr, ops)
+	dirty := map[string]bool{}
+	for _, name := range tr.Seal() {
+		dirty[name] = true
+	}
+	if !base.Equal(snap) {
+		t.Fatalf("ops %v: baseline mutated through tracked wrapper", ops)
+	}
+	for _, name := range tr.Names() {
+		trTree, baseTree := tr.Get(name), base.Get(name)
+		if !trTree.Equal(baseTree) && !dirty[name] {
+			t.Fatalf("ops %v: file %s changed but was not reported dirty", ops, name)
+		}
+	}
+}
+
+func TestTrackedDirtyNeverUnderInclusive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 500; iter++ {
+		base := trackedFixture(1+rng.Intn(5), 1+rng.Intn(5))
+		ops := make([]byte, 3*(1+rng.Intn(10)))
+		rng.Read(ops)
+		checkDirtyNotUnderInclusive(t, base, ops)
+	}
+}
+
+func FuzzTrackedDirty(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{2, 1, 0, 4, 0, 0, 0, 1, 1})
+	f.Add([]byte{5, 0, 3, 0, 3, 0, 6, 1, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		checkDirtyNotUnderInclusive(t, trackedFixture(3, 3), ops)
+	})
+}

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -73,13 +75,24 @@ func (c *Campaign) Run() (*profile.Profile, error) {
 }
 
 // faultload is the immutable outcome of the campaign's generation phase:
-// the view, both representations of the initial configuration, and the
-// scenario list. Workers share it read-only.
+// the view, both representations of the initial configuration, the
+// scenario list, and the precomputed fast-path state. Workers share it
+// read-only.
 type faultload struct {
 	view    view.View
 	viewSet *confnode.Set
 	sysSet  *confnode.Set
 	scens   []scenario.Scenario
+
+	// inc and baseBytes enable the incremental injection pipeline. inc is
+	// the view's incremental back-transform, nil when unsupported.
+	// baseBytes caches, once per campaign, the serialized bytes of the
+	// baseline round trip (Backward over the unmutated view): per
+	// scenario, only the files the mutation dirtied are re-serialized and
+	// every clean file reuses its cached slice. Both are nil when the
+	// baseline round trip fails, which forces the reference path.
+	inc       view.Incremental
+	baseBytes map[string][]byte
 }
 
 // generate parses the initial configuration, maps it into the plugin view
@@ -100,7 +113,66 @@ func (c *Campaign) generate() (*faultload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: generating scenarios: %w", err)
 	}
-	return &faultload{view: v, viewSet: viewSet, sysSet: sysSet, scens: scens}, nil
+	fl := &faultload{view: v, viewSet: viewSet, sysSet: sysSet, scens: scens}
+	fl.prepareFastPath(c.Target)
+	return fl, nil
+}
+
+// prepareFastPath caches the baseline round-trip bytes when the view
+// supports incremental back-transformation. Any failure — an error from
+// the unmutated Backward, a missing format, a serializer error — leaves
+// the fast path disabled rather than the campaign broken: runOne then
+// behaves exactly like the paper's full-clone engine.
+func (fl *faultload) prepareFastPath(t *Target) {
+	inc, ok := fl.view.(view.Incremental)
+	if !ok {
+		return
+	}
+	// Clone defensively: Backward's historical contract lets a view
+	// mutate the passed-in set, and this one is the campaign-wide
+	// baseline every scenario is tracked against.
+	baseSys, err := fl.view.Backward(fl.viewSet.Clone(), fl.sysSet)
+	if err != nil {
+		return
+	}
+	baseBytes := make(map[string][]byte, baseSys.Len())
+	for _, name := range baseSys.Names() {
+		f := t.Formats[name]
+		if f == nil {
+			return
+		}
+		data, err := f.Serialize(baseSys.Get(name))
+		if err != nil {
+			return
+		}
+		baseBytes[name] = data
+	}
+	fl.inc, fl.baseBytes = inc, baseBytes
+}
+
+// scratch is per-worker reusable state: one serialization buffer shared
+// across all of a worker's injections. Workers never share a scratch.
+type scratch struct {
+	buf bytes.Buffer
+}
+
+// serialize renders one file tree, reusing the scratch buffer for formats
+// that support it. The returned slice is always freshly allocated — SUTs
+// may hold onto the config bytes across Start/Stop — but the serializer's
+// intermediate growth happens in the pooled buffer.
+func (s *scratch) serialize(f formats.Format, root *confnode.Node) ([]byte, error) {
+	if s != nil {
+		if bf, ok := f.(formats.BufferedFormat); ok {
+			s.buf.Reset()
+			if err := bf.SerializeTo(&s.buf, root); err != nil {
+				return nil, err
+			}
+			out := make([]byte, s.buf.Len())
+			copy(out, s.buf.Bytes())
+			return out, nil
+		}
+	}
+	return f.Serialize(root)
 }
 
 // parseInitial parses the SUT's default configuration files into the
@@ -126,7 +198,100 @@ func (c *Campaign) parseInitial() (*confnode.Set, error) {
 // runOne performs a single injection experiment against the given target
 // (the campaign's own, or a worker's private instance). The returned error
 // is an infrastructure failure; SUT detections are encoded in the record.
-func runOne(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confnode.Set) (profile.Record, error) {
+//
+// This is the incremental pipeline: the scenario mutates a copy-on-write
+// wrapper of the view, so only the files it actually touches are cloned;
+// the backward transform folds only those files; and serialization runs
+// only over the system files the fold rewrote, with every clean file
+// reusing its cached baseline bytes. When the view has no incremental
+// back-transform (or the baseline round trip failed at campaign start)
+// the per-scenario cost degrades gracefully to the reference behaviour —
+// full Backward over the tracked set — which runOneReference preserves
+// verbatim for equivalence tests and benchmarks.
+func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profile.Record, error) {
+	start := time.Now()
+	rec := profile.Record{
+		ScenarioID:  sc.ID,
+		Class:       sc.Class,
+		Description: sc.Description,
+	}
+	finish := func(o profile.Outcome, detail string) profile.Record {
+		rec.Outcome = o
+		rec.Detail = detail
+		rec.Duration = time.Since(start)
+		return rec
+	}
+
+	// 1. Mutate a copy-on-write wrapper of the view: Apply may mutate
+	// freely, and the wrapper records which files it reached.
+	mutated := fl.viewSet.Tracked()
+	if err := sc.Apply(mutated); err != nil {
+		if errors.Is(err, scenario.ErrNotApplicable) {
+			return finish(profile.NotApplicable, err.Error()), nil
+		}
+		return finish(profile.NotApplicable, err.Error()), err
+	}
+	viewDirty := mutated.Seal()
+
+	// 2. Map back to the system representation; expressiveness gaps are a
+	// first-class outcome (paper §5.4). The incremental transform folds
+	// only the dirty files and reports which system files it rewrote.
+	fast := fl.inc != nil && fl.baseBytes != nil
+	var (
+		mutatedSys *confnode.Set
+		sysDirty   []string
+		err        error
+	)
+	if fast {
+		mutatedSys, err = fl.inc.IncrementalBackward(viewDirty, mutated, fl.sysSet)
+	} else {
+		// Flatten the tracked set first: Backward's historical contract
+		// hands the view a private set it could mutate in place, and the
+		// sealed wrapper's clean files alias the shared baseline.
+		mutatedSys, err = fl.view.Backward(mutated.Clone(), fl.sysSet)
+	}
+	if err != nil {
+		if errors.Is(err, view.ErrNotExpressible) {
+			return finish(profile.NotExpressible, err.Error()), nil
+		}
+		return finish(profile.NotApplicable, err.Error()), err
+	}
+	if fast {
+		sysDirty = mutatedSys.Seal()
+	}
+
+	// 3. Serialize to native file formats — only the dirty ones on the
+	// fast path; clean files reuse the campaign's cached baseline bytes.
+	files := make(suts.Files, mutatedSys.Len())
+	for _, name := range mutatedSys.Names() {
+		if fast && !slices.Contains(sysDirty, name) {
+			if data, ok := fl.baseBytes[name]; ok {
+				files[name] = data
+				continue
+			}
+		}
+		f := t.Formats[name]
+		if f == nil {
+			// A scenario introduced a file no registered format can
+			// express — an expressiveness gap, not a crash.
+			return finish(profile.NotExpressible,
+				fmt.Sprintf("no format registered for file %q", name)), nil
+		}
+		data, serr := scr.serialize(f, mutatedSys.Get(name))
+		if serr != nil {
+			return finish(profile.NotExpressible, serr.Error()), nil
+		}
+		files[name] = data
+	}
+
+	return runOnFiles(t, files, finish)
+}
+
+// runOneReference is the pre-incremental engine — deep-clone the whole
+// view, full Backward, re-serialize every file — kept as the behavioural
+// reference: equivalence tests prove runOne produces byte-identical
+// profiles, and the benchmark family measures the win against it.
+func runOneReference(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confnode.Set) (profile.Record, error) {
 	start := time.Now()
 	rec := profile.Record{
 		ScenarioID:  sc.ID,
@@ -149,8 +314,7 @@ func runOne(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confn
 		return finish(profile.NotApplicable, err.Error()), err
 	}
 
-	// 2. Map back to the system representation; expressiveness gaps are a
-	// first-class outcome (paper §5.4).
+	// 2. Map back to the system representation.
 	mutatedSys, err := v.Backward(mutated, sysSet)
 	if err != nil {
 		if errors.Is(err, view.ErrNotExpressible) {
@@ -163,6 +327,10 @@ func runOne(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confn
 	files := make(suts.Files, mutatedSys.Len())
 	for _, name := range mutatedSys.Names() {
 		f := t.Formats[name]
+		if f == nil {
+			return finish(profile.NotExpressible,
+				fmt.Sprintf("no format registered for file %q", name)), nil
+		}
 		data, serr := f.Serialize(mutatedSys.Get(name))
 		if serr != nil {
 			return finish(profile.NotExpressible, serr.Error()), nil
@@ -170,6 +338,13 @@ func runOne(t *Target, sc scenario.Scenario, v view.View, viewSet, sysSet *confn
 		files[name] = data
 	}
 
+	return runOnFiles(t, files, finish)
+}
+
+// runOnFiles drives steps 4 and 5 — start the SUT on the mutated bytes,
+// run the functional tests, stop — shared by the incremental and
+// reference pipelines.
+func runOnFiles(t *Target, files suts.Files, finish func(profile.Outcome, string) profile.Record) (profile.Record, error) {
 	// 4. Start the SUT with the faulty configuration.
 	if err := t.System.Start(files); err != nil {
 		stopErr := t.System.Stop()
@@ -211,17 +386,23 @@ func (c *Campaign) Baseline() error {
 	if err != nil {
 		return fmt.Errorf("core: baseline parse: %w", err)
 	}
-	return c.baselineOn(sysSet)
+	return c.baselineOn(sysSet, nil)
 }
 
 // baselineOn is Baseline over an already-parsed initial configuration,
 // letting RunContext share one parse between the baseline check and
 // faultload generation. It round-trips the configuration through
 // serialize so the baseline exercises the exact bytes mutated runs will
-// produce.
-func (c *Campaign) baselineOn(sysSet *confnode.Set) error {
+// produce: when the campaign cached baseline bytes for the fast path,
+// those — the bytes every clean file of every experiment reuses — are
+// what the baseline starts the SUT on.
+func (c *Campaign) baselineOn(sysSet *confnode.Set, baseBytes map[string][]byte) error {
 	rt := make(suts.Files, sysSet.Len())
 	for _, name := range sysSet.Names() {
+		if data, ok := baseBytes[name]; ok {
+			rt[name] = data
+			continue
+		}
 		data, err := c.Target.Formats[name].Serialize(sysSet.Get(name))
 		if err != nil {
 			return fmt.Errorf("core: baseline serialize %s: %w", name, err)

@@ -261,6 +261,36 @@ func TestRunNonStartupErrorIsInfrastructure(t *testing.T) {
 	}
 }
 
+// TestRunScenarioAddsFileWithoutFormat: a scenario that introduces a file
+// no format is registered for used to deref a nil formats.Format in
+// serialization; it must instead be recorded as NotExpressible and the
+// campaign must carry on.
+func TestRunScenarioAddsFileWithoutFormat(t *testing.T) {
+	sys := &fakeSystem{}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "orphan-file", Class: "c", Apply: func(s *confnode.Set) error {
+			s.Put("orphan.xyz", confnode.New(confnode.KindDocument, "orphan.xyz"))
+			return nil
+		}},
+		{ID: "after", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: target(sys), Generator: g}
+	prof, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(prof.Records))
+	}
+	r := prof.Records[0]
+	if r.Outcome != profile.NotExpressible {
+		t.Errorf("outcome = %v, want not-expressible", r.Outcome)
+	}
+	if !strings.Contains(r.Detail, "no format registered") || !strings.Contains(r.Detail, "orphan.xyz") {
+		t.Errorf("detail = %q, want missing-format explanation", r.Detail)
+	}
+}
+
 func TestRunMissingFormat(t *testing.T) {
 	sys := &fakeSystem{}
 	c := &Campaign{

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/formats"
+	"conferr/internal/formats/kv"
+	"conferr/internal/plugins/typo"
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+	"conferr/internal/suts"
+	"conferr/internal/template"
+	"conferr/internal/view"
+)
+
+// digestSystem rejects every configuration with a startup error carrying a
+// digest of the exact bytes it was handed. Each profile record's detail
+// therefore fingerprints the serialized configuration of that experiment:
+// equal profiles mean byte-identical mutated configurations, which is the
+// equivalence the fast path owes the reference path.
+type digestSystem struct{}
+
+func (digestSystem) Name() string { return "digest" }
+
+func (digestSystem) DefaultConfig() suts.Files {
+	return suts.Files{
+		"a.conf": []byte("alpha = 1\nbravo = two words\n# comment\n"),
+		"b.conf": []byte("charlie = 3\ndelta = 4\n"),
+		"c.conf": []byte("echo = 5\nfoxtrot = 6\ngolf = 7\n"),
+	}
+}
+
+func (digestSystem) Start(files suts.Files) error {
+	h := fnv.New64a()
+	for _, name := range sortedNames(files) {
+		fmt.Fprintf(h, "%s=%q;", name, files[name])
+	}
+	return &suts.StartupError{System: "digest", Msg: fmt.Sprintf("digest %x", h.Sum64())}
+}
+
+func (digestSystem) Stop() error { return nil }
+
+func digestTarget() *Target {
+	return &Target{
+		System: digestSystem{},
+		Formats: map[string]formats.Format{
+			"a.conf": kv.Format{},
+			"b.conf": kv.Format{},
+			"c.conf": kv.Format{},
+			// Registered so scenarios can introduce it; *.zzz stays
+			// unregistered to exercise the no-format outcome.
+			"extra.conf": kv.Format{},
+		},
+	}
+}
+
+// refProfile runs the campaign through the reference pipeline: full view
+// clone, full Backward, full re-serialization, sequentially.
+func refProfile(t *testing.T, c *Campaign) *profile.Profile {
+	t.Helper()
+	fl, err := c.generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &profile.Profile{System: c.Target.System.Name(), Generator: c.Generator.Name()}
+	for _, sc := range fl.scens {
+		rec, err := runOneReference(c.Target, sc, fl.view, fl.viewSet, fl.sysSet)
+		prof.Add(rec)
+		if err != nil && !c.KeepGoing {
+			t.Fatalf("reference scenario %s: %v", sc.ID, err)
+		}
+	}
+	return prof
+}
+
+// mixGen exercises the fast path's corner cases on the struct view: a
+// single-file mutation, a cross-set no-op read, a scenario that introduces
+// a new file with a registered format, one that introduces a file without
+// a format, one that replaces a whole tree via Put, and a Walk-based
+// whole-set rewrite (the conservative all-dirty fallback).
+type mixGen struct{}
+
+func (mixGen) Name() string    { return "mix" }
+func (mixGen) View() view.View { return view.StructView{} }
+func (mixGen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
+	var out []scenario.Scenario
+	add := func(id string, apply func(*confnode.Set) error) {
+		out = append(out, scenario.Scenario{ID: id, Class: "mix", Description: id, Apply: apply})
+	}
+	tpl := &template.DeleteTemplate{Targets: cpath.MustCompile("//directive")}
+	dels, err := tpl.Generate(s)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, dels...)
+	add("mutate-one", func(s *confnode.Set) error {
+		s.Get("b.conf").Child(0).Value = "333"
+		return nil
+	})
+	add("read-only", func(s *confnode.Set) error {
+		_ = s.Get("a.conf")
+		return nil
+	})
+	add("new-file-known-format", func(s *confnode.Set) error {
+		doc := confnode.New(confnode.KindDocument, "extra.conf")
+		doc.Append(confnode.NewValued(confnode.KindDirective, "hotel", "8"))
+		s.Put("extra.conf", doc)
+		return nil
+	})
+	add("new-file-no-format", func(s *confnode.Set) error {
+		s.Put("mystery.zzz", confnode.New(confnode.KindDocument, "mystery.zzz"))
+		return nil
+	})
+	add("replace-tree", func(s *confnode.Set) error {
+		doc := confnode.New(confnode.KindDocument, "c.conf")
+		doc.Append(confnode.NewValued(confnode.KindDirective, "echo", "50"))
+		s.Put("c.conf", doc)
+		return nil
+	})
+	add("walk-rewrite", func(s *confnode.Set) error {
+		s.Walk(func(_ string, root *confnode.Node) {
+			for _, d := range root.FindKind(confnode.KindDirective) {
+				d.Value += "!"
+			}
+		})
+		return nil
+	})
+	return out, nil
+}
+
+// TestFastPathMatchesReference is the pipeline's equivalence contract:
+// for word-view and struct-view faultloads over a multi-file target, the
+// incremental engine must produce profiles record-for-record identical to
+// the reference full-clone engine at every worker count.
+func TestFastPathMatchesReference(t *testing.T) {
+	gens := map[string]Generator{
+		"typo-wordview":  &typo.Plugin{},
+		"mix-structview": mixGen{},
+	}
+	for label, gen := range gens {
+		t.Run(label, func(t *testing.T) {
+			want := refProfile(t, &Campaign{Target: digestTarget(), Generator: gen})
+			if len(want.Records) == 0 {
+				t.Fatal("empty reference faultload")
+			}
+			for _, workers := range []int{1, 4} {
+				c := &Campaign{Target: digestTarget(), Generator: gen}
+				opts := []RunOption{}
+				if workers > 1 {
+					opts = append(opts,
+						WithParallelism(workers),
+						WithTargetFactory(func() (*Target, error) { return digestTarget(), nil }))
+				}
+				got, err := c.RunContext(context.Background(), opts...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if canonical(got) != canonical(want) {
+					t.Errorf("workers=%d: fast path diverged from reference\ngot:\n%s\nwant:\n%s",
+						workers, canonical(got), canonical(want))
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathEnabledForBuiltinViews guards the plumbing: the built-in
+// views must actually take the incremental path (a silently disabled fast
+// path would pass every equivalence test while optimizing nothing).
+func TestFastPathEnabledForBuiltinViews(t *testing.T) {
+	for label, gen := range map[string]Generator{
+		"word":   &typo.Plugin{},
+		"struct": mixGen{},
+	} {
+		c := &Campaign{Target: digestTarget(), Generator: gen}
+		fl, err := c.generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl.inc == nil || fl.baseBytes == nil {
+			t.Errorf("%s view: fast path not enabled", label)
+		}
+		if len(fl.baseBytes) != fl.sysSet.Len() {
+			t.Errorf("%s view: baseBytes covers %d files, want %d",
+				label, len(fl.baseBytes), fl.sysSet.Len())
+		}
+	}
+}

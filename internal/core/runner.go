@@ -106,7 +106,7 @@ func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.
 		return prof, err
 	}
 	if cfg.baseline {
-		if err := c.baselineOn(fl.sysSet); err != nil {
+		if err := c.baselineOn(fl.sysSet, fl.baseBytes); err != nil {
 			return prof, err
 		}
 	}
@@ -124,11 +124,12 @@ func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.
 // runSequential is the single-worker path: the paper's original engine,
 // plus cancellation between experiments.
 func (c *Campaign) runSequential(ctx context.Context, cfg runConfig, prof *profile.Profile, fl *faultload) (*profile.Profile, error) {
+	scr := &scratch{}
 	for _, sc := range fl.scens {
 		if err := ctx.Err(); err != nil {
 			return prof, err
 		}
-		rec, err := runOne(c.Target, sc, fl.view, fl.viewSet, fl.sysSet)
+		rec, err := runOne(c.Target, sc, fl, scr)
 		prof.Add(rec)
 		if cfg.observer != nil {
 			cfg.observer(rec)
@@ -138,6 +139,22 @@ func (c *Campaign) runSequential(ctx context.Context, cfg runConfig, prof *profi
 		}
 	}
 	return prof, nil
+}
+
+// batchSize picks how many scenario indices one channel operation hands a
+// worker: enough to amortize channel synchronization on million-scenario
+// faultloads, small enough that every worker still gets several batches
+// (so a straggler cannot strand a long tail) and cancellation stays
+// responsive.
+func batchSize(scenarios, workers int) int {
+	b := scenarios / (workers * 8)
+	if b < 1 {
+		return 1
+	}
+	if b > 256 {
+		return 256
+	}
+	return b
 }
 
 // runParallel fans the faultload out over a worker pool. Each worker owns
@@ -166,17 +183,28 @@ func (c *Campaign) runParallel(ctx context.Context, cfg runConfig, prof *profile
 		err  error
 		done bool
 	}
+	// Result slots are index-disjoint — each scenario index is handed to
+	// exactly one worker — so slot writes need no lock; wg.Wait()
+	// publishes them to the merging goroutine.
 	results := make([]slot, len(fl.scens))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan int)
+	// Dispatch index batches instead of single indices: one channel
+	// operation per batchSize experiments.
+	type span struct{ lo, hi int }
+	chunk := batchSize(len(fl.scens), workers)
+	jobs := make(chan span, workers)
 	go func() {
 		defer close(jobs)
-		for i := range fl.scens {
+		for lo := 0; lo < len(fl.scens); lo += chunk {
+			hi := lo + chunk
+			if hi > len(fl.scens) {
+				hi = len(fl.scens)
+			}
 			select {
-			case jobs <- i:
+			case jobs <- span{lo, hi}:
 			case <-runCtx.Done():
 				return
 			}
@@ -184,27 +212,33 @@ func (c *Campaign) runParallel(ctx context.Context, cfg runConfig, prof *profile
 	}()
 
 	var (
-		wg sync.WaitGroup
-		mu sync.Mutex // guards results and the observer stream
+		wg    sync.WaitGroup
+		obsMu sync.Mutex // serializes the observer stream, nothing else
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(t *Target) {
 			defer wg.Done()
-			for i := range jobs {
-				if runCtx.Err() != nil {
-					return
-				}
-				rec, err := runOne(t, fl.scens[i], fl.view, fl.viewSet, fl.sysSet)
-				mu.Lock()
-				results[i] = slot{rec: rec, err: err, done: true}
-				if cfg.observer != nil {
-					cfg.observer(rec)
-				}
-				mu.Unlock()
-				if err != nil && !cfg.keepGoing {
-					cancel()
-					return
+			scr := &scratch{}
+			for sp := range jobs {
+				for i := sp.lo; i < sp.hi; i++ {
+					if runCtx.Err() != nil {
+						return
+					}
+					rec, err := runOne(t, fl.scens[i], fl, scr)
+					results[i] = slot{rec: rec, err: err, done: true}
+					if cfg.observer != nil {
+						// The observer contract serializes calls, but a
+						// slow observer must only stall the stream — not
+						// the result slots of the other workers.
+						obsMu.Lock()
+						cfg.observer(rec)
+						obsMu.Unlock()
+					}
+					if err != nil && !cfg.keepGoing {
+						cancel()
+						return
+					}
 				}
 			}
 		}(targets[w])

@@ -1,0 +1,145 @@
+package dnsmodel
+
+import (
+	"errors"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/view"
+)
+
+// TestZoneViewIncrementalBackward mutates one zone and checks the fast
+// path against the full Backward: the touched zone folds identically, the
+// untouched zone and the pass-through named.conf keep sharing the
+// baseline trees.
+func TestZoneViewIncrementalBackward(t *testing.T) {
+	v := zoneView()
+	sys := zoneSysSet(t)
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(s *confnode.Set) {
+		recs := s.Get("example.zone").ChildrenByKind(confnode.KindRecord)
+		for _, r := range recs {
+			if r.AttrDefault(AttrType, "") == "CNAME" {
+				r.Value = "mail.example.com"
+			}
+		}
+	}
+
+	refMutated := fwd.Clone()
+	mutate(refMutated)
+	want, err := v.Backward(refMutated, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracked := fwd.Tracked()
+	mutate(tracked)
+	out, err := v.IncrementalBackward(tracked.Seal(), tracked, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := out.Seal()
+	if len(dirty) != 1 || dirty[0] != "example.zone" {
+		t.Fatalf("sys dirty = %v, want [example.zone]", dirty)
+	}
+	if !out.Get("example.zone").Equal(want.Get("example.zone")) {
+		t.Errorf("folded zone diverges from full Backward:\nfast:\n%s\nreference:\n%s",
+			out.Get("example.zone").Dump(), want.Get("example.zone").Dump())
+	}
+	if out.Get("reverse.zone") != sys.Get("reverse.zone") {
+		t.Error("untouched zone was rebuilt")
+	}
+	if out.Get("named.conf") != sys.Get("named.conf") {
+		t.Error("pass-through file was rebuilt")
+	}
+}
+
+// TestTinyViewIncrementalBackward deletes a whole A/PTR pair — an
+// expressible mutation — and checks fold parity with the full Backward.
+func TestTinyViewIncrementalBackward(t *testing.T) {
+	doc, err := (tinydns.Format{}).Parse("data", []byte(tinyData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := confnode.NewSet()
+	sys.Put("data", doc)
+	v := TinyRecordView{File: "data"}
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(s *confnode.Set) {
+		for _, r := range s.Get("data").ChildrenByKind(confnode.KindRecord) {
+			if r.Name == Canon("www.example.com") || r.Value == "www.example.com" {
+				r.Remove()
+			}
+		}
+	}
+
+	refMutated := fwd.Clone()
+	mutate(refMutated)
+	want, err := v.Backward(refMutated, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracked := fwd.Tracked()
+	mutate(tracked)
+	out, err := v.IncrementalBackward(tracked.Seal(), tracked, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty := out.Seal(); len(dirty) != 1 || dirty[0] != "data" {
+		t.Fatalf("sys dirty = %v, want [data]", dirty)
+	}
+	if !out.Get("data").Equal(want.Get("data")) {
+		t.Errorf("folded data diverges:\nfast:\n%s\nreference:\n%s",
+			out.Get("data").Dump(), want.Get("data").Dump())
+	}
+}
+
+// TestTinyViewIncrementalNotExpressibleParity removes only the PTR half of
+// a combined "=" directive: both paths must reject it the same way.
+func TestTinyViewIncrementalNotExpressibleParity(t *testing.T) {
+	doc, err := (tinydns.Format{}).Parse("data", []byte(tinyData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := confnode.NewSet()
+	sys.Put("data", doc)
+	v := TinyRecordView{File: "data"}
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(s *confnode.Set) {
+		for _, r := range s.Get("data").ChildrenByKind(confnode.KindRecord) {
+			if r.AttrDefault(AttrType, "") == "PTR" && r.Value == "www.example.com" {
+				r.Remove()
+				return
+			}
+		}
+	}
+
+	refMutated := fwd.Clone()
+	mutate(refMutated)
+	_, refErr := v.Backward(refMutated, sys)
+
+	tracked := fwd.Tracked()
+	mutate(tracked)
+	_, fastErr := v.IncrementalBackward(tracked.Seal(), tracked, sys)
+
+	if !errors.Is(refErr, view.ErrNotExpressible) || !errors.Is(fastErr, view.ErrNotExpressible) {
+		t.Fatalf("errors = %v / %v, want both ErrNotExpressible", refErr, fastErr)
+	}
+	if refErr.Error() != fastErr.Error() {
+		t.Errorf("error text diverges:\nfast: %s\nreference: %s", fastErr, refErr)
+	}
+}

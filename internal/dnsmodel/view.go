@@ -60,7 +60,7 @@ type ZoneRecordView struct {
 	Origins map[string]string
 }
 
-var _ view.View = ZoneRecordView{}
+var _ view.Incremental = ZoneRecordView{}
 
 // Name implements view.View.
 func (ZoneRecordView) Name() string { return "zone-records" }
@@ -104,49 +104,73 @@ func (v ZoneRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 		if retErr != nil {
 			return
 		}
-		sysDoc := out.Get(file)
-		if sysDoc == nil {
-			retErr = fmt.Errorf("zone view: no system file %q: %w", file, view.ErrNotExpressible)
-			return
-		}
-		// Capture refs before any structural change (removals shift
-		// sibling indices).
-		type keyed struct {
-			node *confnode.Node
-			key  string
-		}
-		var originals []keyed
-		for _, n := range sysDoc.ChildrenByKind(confnode.KindRecord) {
-			originals = append(originals, keyed{node: n, key: template.RefOf(file, n).String()})
-		}
-		bySrc := make(map[string]*confnode.Node)
-		var inserts []*confnode.Node
-		for _, n := range viewDoc.ChildrenByKind(confnode.KindRecord) {
-			if src, ok := n.Attr(view.SrcAttr); ok {
-				bySrc[src] = n
-			} else {
-				inserts = append(inserts, n)
-			}
-		}
-		for _, o := range originals {
-			vn, ok := bySrc[o.key]
-			if !ok {
-				o.node.Remove()
-				continue
-			}
-			writeZoneRecord(o.node, nodeRecord(vn))
-		}
-		for _, vn := range inserts {
-			rec := nodeRecord(vn)
-			n := confnode.New(confnode.KindRecord, "")
-			writeZoneRecord(n, rec)
-			sysDoc.Append(n)
-		}
+		retErr = backwardZoneFile(out, file, viewDoc)
 	})
 	if retErr != nil {
 		return nil, retErr
 	}
 	return out, nil
+}
+
+// IncrementalBackward implements view.Incremental: only dirty zone files
+// are folded back; every other file — zone or pass-through — keeps
+// sharing the baseline system tree.
+func (v ZoneRecordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.Tracked()
+	for _, file := range dirty {
+		viewDoc := mutated.Get(file)
+		if viewDoc == nil {
+			continue
+		}
+		if err := backwardZoneFile(out, file, viewDoc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// backwardZoneFile folds one mutated record-view document back onto the
+// zone file it came from inside out (fetching the system document through
+// out.Get, which on a tracked set materializes a private clone).
+func backwardZoneFile(out *confnode.Set, file string, viewDoc *confnode.Node) error {
+	sysDoc := out.Get(file)
+	if sysDoc == nil {
+		return fmt.Errorf("zone view: no system file %q: %w", file, view.ErrNotExpressible)
+	}
+	// Capture refs before any structural change (removals shift
+	// sibling indices).
+	type keyed struct {
+		node *confnode.Node
+		key  string
+	}
+	var originals []keyed
+	for _, n := range sysDoc.ChildrenByKind(confnode.KindRecord) {
+		originals = append(originals, keyed{node: n, key: template.RefOf(file, n).String()})
+	}
+	bySrc := make(map[string]*confnode.Node)
+	var inserts []*confnode.Node
+	for _, n := range viewDoc.ChildrenByKind(confnode.KindRecord) {
+		if src, ok := n.Attr(view.SrcAttr); ok {
+			bySrc[src] = n
+		} else {
+			inserts = append(inserts, n)
+		}
+	}
+	for _, o := range originals {
+		vn, ok := bySrc[o.key]
+		if !ok {
+			o.node.Remove()
+			continue
+		}
+		writeZoneRecord(o.node, nodeRecord(vn))
+	}
+	for _, vn := range inserts {
+		rec := nodeRecord(vn)
+		n := confnode.New(confnode.KindRecord, "")
+		writeZoneRecord(n, rec)
+		sysDoc.Append(n)
+	}
+	return nil
 }
 
 // writeZoneRecord rewrites a zone-file record node from a canonical record
@@ -171,7 +195,7 @@ type TinyRecordView struct {
 	File string
 }
 
-var _ view.View = TinyRecordView{}
+var _ view.Incremental = TinyRecordView{}
 
 // Name implements view.View.
 func (TinyRecordView) Name() string { return "tinydns-records" }
@@ -205,7 +229,39 @@ func (v TinyRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 		return nil, fmt.Errorf("tinydns view: mutated set lost file %q: %w", v.File, view.ErrNotExpressible)
 	}
 	out := sys.Clone()
-	sysDoc := out.Get(v.File)
+	if err := backwardTinyFile(out, v.File, viewDoc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IncrementalBackward implements view.Incremental. The view exposes a
+// single data file, so either that file is dirty and gets folded onto a
+// materialized clone, or nothing in the system set changed at all.
+func (v TinyRecordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.Tracked()
+	for _, file := range dirty {
+		if file != v.File {
+			// Files a scenario added beside the data file have no tinydns
+			// equivalent; the full Backward ignores them too.
+			continue
+		}
+		viewDoc := mutated.Get(v.File)
+		if viewDoc == nil {
+			return nil, fmt.Errorf("tinydns view: mutated set lost file %q: %w", v.File, view.ErrNotExpressible)
+		}
+		if err := backwardTinyFile(out, v.File, viewDoc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// backwardTinyFile folds the mutated record view back onto the tinydns
+// data file inside out (fetching the system document through out.Get,
+// which on a tracked set materializes a private clone).
+func backwardTinyFile(out *confnode.Set, file string, viewDoc *confnode.Node) error {
+	sysDoc := out.Get(file)
 
 	type keyed struct {
 		node *confnode.Node
@@ -213,7 +269,7 @@ func (v TinyRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 	}
 	var originals []keyed
 	for _, n := range sysDoc.ChildrenByKind(confnode.KindRecord) {
-		originals = append(originals, keyed{node: n, key: template.RefOf(v.File, n).String()})
+		originals = append(originals, keyed{node: n, key: template.RefOf(file, n).String()})
 	}
 	bySrc := make(map[string]map[string]*confnode.Node)
 	var inserts []*confnode.Node
@@ -233,17 +289,17 @@ func (v TinyRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 	for _, o := range originals {
 		parts := bySrc[o.key]
 		if err := writeTinyLine(o.node, parts); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, vn := range inserts {
 		line, err := tinyLineFor(nodeRecord(vn))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sysDoc.Append(line)
 	}
-	return out, nil
+	return nil
 }
 
 // writeTinyLine folds the surviving view parts back onto one tinydns data

@@ -16,7 +16,7 @@ import (
 // Format implements formats.Format for Apache httpd configuration.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "apacheconf" }
@@ -107,6 +107,12 @@ func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
 	writeItems(&b, root.Children(), 0)
 	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
+	writeItems(b, root.Children(), 0)
+	return nil
 }
 
 func writeItems(b *bytes.Buffer, items []*confnode.Node, depth int) {

@@ -9,6 +9,7 @@
 package formats
 
 import (
+	"bytes"
 	"fmt"
 
 	"conferr/internal/confnode"
@@ -30,6 +31,16 @@ type Format interface {
 	// Serialize converts a system-representation tree back to native file
 	// content.
 	Serialize(root *confnode.Node) ([]byte, error)
+}
+
+// BufferedFormat is an optional Format extension for serialization hot
+// paths: SerializeTo appends the native file content to buf instead of
+// allocating a fresh buffer per call, letting the engine reuse one
+// per-worker buffer across thousands of injections. Implementations must
+// produce exactly the bytes Serialize would.
+type BufferedFormat interface {
+	Format
+	SerializeTo(buf *bytes.Buffer, root *confnode.Node) error
 }
 
 // ParseError describes a configuration file parse failure.

@@ -16,7 +16,7 @@ import (
 // Format implements formats.Format for INI files.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "ini" }
@@ -96,6 +96,12 @@ func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
 	writeItems(&b, root.Children(), true)
 	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
+	writeItems(b, root.Children(), true)
+	return nil
 }
 
 func writeItems(b *bytes.Buffer, items []*confnode.Node, topLevel bool) {

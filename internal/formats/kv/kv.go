@@ -16,7 +16,7 @@ import (
 // Format implements formats.Format for flat key-value files.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "kv" }
@@ -102,6 +102,14 @@ func splitTrailingComment(s string) (body, trailing string) {
 // Serialize implements formats.Format.
 func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
 	for _, n := range root.Children() {
 		switch n.Kind {
 		case confnode.KindBlank:
@@ -145,7 +153,7 @@ func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 			b.WriteByte('\n')
 		}
 	}
-	return b.Bytes(), nil
+	return nil
 }
 
 func leadingWS(s string) string {

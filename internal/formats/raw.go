@@ -1,6 +1,10 @@
 package formats
 
-import "conferr/internal/confnode"
+import (
+	"bytes"
+
+	"conferr/internal/confnode"
+)
 
 // Raw is a pass-through format for configuration files that campaigns
 // carry along but do not mutate (e.g. named.conf in the DNS semantic
@@ -8,7 +12,7 @@ import "conferr/internal/confnode"
 // file content is stored in the document node's Value.
 type Raw struct{}
 
-var _ Format = Raw{}
+var _ BufferedFormat = Raw{}
 
 // Name implements Format.
 func (Raw) Name() string { return "raw" }
@@ -23,4 +27,10 @@ func (Raw) Parse(file string, data []byte) (*confnode.Node, error) {
 // Serialize implements Format.
 func (Raw) Serialize(root *confnode.Node) ([]byte, error) {
 	return []byte(root.Value), nil
+}
+
+// SerializeTo implements BufferedFormat.
+func (Raw) SerializeTo(buf *bytes.Buffer, root *confnode.Node) error {
+	buf.WriteString(root.Value)
+	return nil
 }

@@ -29,7 +29,7 @@ const TypeChars = "=+^C@&.'Z"
 // Format implements formats.Format for tinydns-data files.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "tinydns" }
@@ -61,6 +61,14 @@ func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
 // Serialize implements formats.Format.
 func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
 	for _, n := range root.Children() {
 		switch n.Kind {
 		case confnode.KindBlank:
@@ -77,7 +85,7 @@ func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 			b.WriteByte('\n')
 		}
 	}
-	return b.Bytes(), nil
+	return nil
 }
 
 func splitLines(data []byte) []string {

@@ -28,7 +28,7 @@ const attrPrefix = "xml:"
 // Format implements formats.Format for generic XML configuration files.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "xmlconf" }
@@ -93,12 +93,20 @@ func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
 // Serialize implements formats.Format, emitting two-space indentation.
 func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
-	for _, c := range root.Children() {
-		if err := writeNode(&b, c, 0); err != nil {
-			return nil, err
-		}
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
 	}
 	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
+	for _, c := range root.Children() {
+		if err := writeNode(b, c, 0); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func writeNode(b *bytes.Buffer, n *confnode.Node, depth int) error {

@@ -34,7 +34,7 @@ var recordTypes = map[string]bool{
 // Format implements formats.Format for zone master files.
 type Format struct{}
 
-var _ formats.Format = Format{}
+var _ formats.BufferedFormat = Format{}
 
 // Name implements formats.Format.
 func (Format) Name() string { return "zonefile" }
@@ -116,6 +116,14 @@ func parseRecord(line string) (*confnode.Node, error) {
 // configurations round-trip byte-identically.
 func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
 	for _, n := range root.Children() {
 		switch n.Kind {
 		case confnode.KindBlank:
@@ -148,7 +156,7 @@ func (Format) Serialize(root *confnode.Node) ([]byte, error) {
 			b.WriteByte('\n')
 		}
 	}
-	return b.Bytes(), nil
+	return nil
 }
 
 func splitLines(data []byte) []string {

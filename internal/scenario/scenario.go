@@ -65,17 +65,34 @@ func Union(sets ...[]Scenario) []Scenario {
 // using the provided source of randomness. When n >= len(scenarios) a copy
 // of the full set is returned. It corresponds to the paper's random-subset
 // template used to limit the number of faults a model can return.
+//
+// The draw is a partial Fisher–Yates with the displaced positions kept in
+// a map, so selecting a few scenarios from a huge faultload costs O(n)
+// time and memory instead of copying and shuffling the full slice.
 func RandomSubset(rng *rand.Rand, scenarios []Scenario, n int) []Scenario {
 	if n < 0 {
 		n = 0
 	}
-	cp := make([]Scenario, len(scenarios))
-	copy(cp, scenarios)
-	if n >= len(cp) {
+	if n >= len(scenarios) {
+		cp := make([]Scenario, len(scenarios))
+		copy(cp, scenarios)
 		return cp
 	}
-	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
-	return cp[:n]
+	displaced := make(map[int]int, n)
+	at := func(i int) int {
+		if v, ok := displaced[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]Scenario, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(scenarios)-i)
+		vi, vj := at(i), at(j)
+		displaced[i], displaced[j] = vj, vi
+		out[i] = scenarios[vj]
+	}
+	return out
 }
 
 // Filter returns the scenarios for which keep returns true.

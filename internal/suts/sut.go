@@ -15,7 +15,10 @@ import (
 )
 
 // Files maps logical configuration file names to their serialized content,
-// as delivered to a SUT at startup.
+// as delivered to a SUT at startup. The content slices are read-only: the
+// engine's incremental pipeline hands the same cached baseline bytes to
+// every experiment of a campaign (and, under parallelism, to every
+// worker), so a SUT that needs to rewrite file content must copy it first.
 type Files map[string][]byte
 
 // System is a system under test. Implementations must be restartable: the
@@ -29,7 +32,9 @@ type System interface {
 	DefaultConfig() Files
 	// Start parses the given configuration and brings the system up. A
 	// returned error means the SUT detected a problem at startup; the
-	// error text is recorded in the resilience profile.
+	// error text is recorded in the resilience profile. The files' byte
+	// slices are shared with other experiments and must not be mutated
+	// (see Files).
 	Start(files Files) error
 	// Stop shuts the system down and releases its resources. It must be
 	// safe to call after a failed Start.

@@ -1,0 +1,156 @@
+package view
+
+import (
+	"testing"
+
+	"conferr/internal/confnode"
+)
+
+// multiSysSet is sysSet plus a second, independent file, so incremental
+// tests can tell "untouched file shared" apart from "whole set rebuilt".
+func multiSysSet() *confnode.Set {
+	set := sysSet()
+	other := confnode.New(confnode.KindDocument, "other.conf")
+	other.Append(
+		confnode.NewValued(confnode.KindDirective, "alpha", "1"),
+		confnode.NewValued(confnode.KindDirective, "beta", "2 3"),
+	)
+	set.Put("other.conf", other)
+	return set
+}
+
+// checkIncremental applies mutate to a tracked forward view and verifies
+// the incremental backward result against the full Backward reference:
+// dirty files must be structurally identical, clean files must share the
+// baseline system trees by pointer.
+func checkIncremental(t *testing.T, v Incremental, sys *confnode.Set, mutate func(*confnode.Set)) {
+	t.Helper()
+	fwd, err := v.Forward(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refMutated := fwd.Clone()
+	mutate(refMutated)
+	want, err := v.Backward(refMutated, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracked := fwd.Tracked()
+	mutate(tracked)
+	viewDirty := tracked.Seal()
+	out, err := v.IncrementalBackward(viewDirty, tracked, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysDirty := map[string]bool{}
+	for _, name := range out.Seal() {
+		sysDirty[name] = true
+	}
+
+	for _, name := range want.Names() {
+		if !sysDirty[name] {
+			continue
+		}
+		if !out.Get(name).Equal(want.Get(name)) {
+			t.Errorf("dirty file %s diverges from full Backward:\nfast:\n%s\nreference:\n%s",
+				name, out.Get(name).Dump(), want.Get(name).Dump())
+		}
+	}
+	for _, name := range out.Names() {
+		if sysDirty[name] {
+			continue
+		}
+		if out.Get(name) != sys.Get(name) {
+			t.Errorf("clean file %s does not share the baseline tree", name)
+		}
+	}
+}
+
+func TestStructViewIncrementalBackward(t *testing.T) {
+	sys := multiSysSet()
+	checkIncremental(t, StructView{}, sys, func(s *confnode.Set) {
+		s.Get("my.cnf").ChildByName("mysqld").Child(0).Value = "3307"
+	})
+	// The untouched file must stay clean.
+	fwd, _ := StructView{}.Forward(sys)
+	tr := fwd.Tracked()
+	tr.Get("my.cnf").ChildByName("mysqld").Child(0).Value = "3307"
+	out, err := StructView{}.IncrementalBackward(tr.Seal(), tr, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out.Seal(); len(d) != 1 || d[0] != "my.cnf" {
+		t.Errorf("sys dirty = %v, want [my.cnf]", d)
+	}
+}
+
+func TestWordViewIncrementalBackward(t *testing.T) {
+	sys := multiSysSet()
+	checkIncremental(t, WordView{}, sys, func(s *confnode.Set) {
+		// Typo a word in my.cnf only.
+		line := s.Get("my.cnf").ChildrenByKind(confnode.KindLine)[0]
+		line.ChildrenByKind(confnode.KindWord)[0].Value = "prt"
+	})
+}
+
+func TestWordViewIncrementalDirtiesOnlyTouchedSysFile(t *testing.T) {
+	sys := multiSysSet()
+	v := WordView{}
+	fwd, _ := v.Forward(sys)
+	tr := fwd.Tracked()
+	line := tr.Get("other.conf").ChildrenByKind(confnode.KindLine)[1]
+	line.ChildrenByKind(confnode.KindWord)[1].Value = "99"
+	out, err := v.IncrementalBackward(tr.Seal(), tr, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out.Seal(); len(d) != 1 || d[0] != "other.conf" {
+		t.Fatalf("sys dirty = %v, want [other.conf]", d)
+	}
+	if out.Get("my.cnf") != sys.Get("my.cnf") {
+		t.Error("my.cnf was rebuilt despite being clean")
+	}
+	if got := out.Get("other.conf").ChildByName("beta"); got == nil || got.Value != "99 3" {
+		t.Errorf("folded beta = %v", got)
+	}
+}
+
+func TestWordViewIncrementalCrossFileProvenance(t *testing.T) {
+	// A line whose provenance is redirected into another file must
+	// materialize — and dirty — that file instead of mutating the shared
+	// baseline tree, and the result must still match the full Backward
+	// fold for fold (in the full path the redirected write into a clean
+	// file is overwritten again when that file's own lines are folded).
+	redirect := func(s *confnode.Set) {
+		otherSrc, _ := s.Get("other.conf").ChildrenByKind(confnode.KindLine)[0].Attr(SrcAttr)
+		s.Get("my.cnf").ChildrenByKind(confnode.KindLine)[0].SetAttr(SrcAttr, otherSrc)
+	}
+
+	sys := multiSysSet()
+	snapshot := sys.Clone()
+	checkIncremental(t, WordView{}, sys, redirect)
+	if !sys.Equal(snapshot) {
+		t.Fatal("baseline system set mutated by cross-file fold")
+	}
+
+	// The fold target itself must be reported system-dirty.
+	v := WordView{}
+	fwd, _ := v.Forward(sys)
+	tr := fwd.Tracked()
+	redirect(tr)
+	out, err := v.IncrementalBackward(tr.Seal(), tr, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range out.Seal() {
+		if name == "other.conf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cross-file fold target not reported dirty")
+	}
+}

@@ -36,8 +36,34 @@ type View interface {
 	// Backward folds a (possibly mutated) plugin-view set back onto the
 	// original system set, returning a new system set. It returns an error
 	// wrapping ErrNotExpressible when the view state has no system-format
-	// equivalent.
+	// equivalent. sys must not be mutated; the engine owns mutated, and
+	// Backward should treat it as read-only too (clone before any
+	// in-place folding, as the built-in views do).
 	Backward(mutated, sys *confnode.Set) (*confnode.Set, error)
+}
+
+// Incremental is an optional View extension used by the engine's fast
+// injection path. IncrementalBackward is Backward restricted to the files
+// a scenario dirtied: implementations build the result as sys.Tracked()
+// and fold only the dirty view files onto it, so untouched files share the
+// baseline trees and the returned (tracked) set reports exactly the system
+// files the back-transform rewrote. The engine serializes those and reuses
+// cached baseline bytes for the rest; views that do not implement
+// Incremental simply fall back to the full Backward.
+//
+// Contract notes:
+//   - dirty lists the mutated view files in set order; mutated is sealed
+//     (reads are safe, clean files share baseline trees).
+//   - The result may adopt mutated's dirty trees without cloning; callers
+//     must not reuse mutated afterwards.
+//   - Errors must match what Backward would return for the same mutation,
+//     so the fast and reference paths stay record-for-record identical.
+//   - A view that embeds an Incremental implementation but overrides
+//     Backward MUST also override (or shadow) IncrementalBackward:
+//     inheriting one without the other desynchronizes the two paths.
+type Incremental interface {
+	View
+	IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error)
 }
 
 // SrcAttr is the provenance attribute linking a view node to the system
@@ -64,7 +90,7 @@ const (
 // the transformation is usually very simple; here it is the identity.
 type StructView struct{}
 
-var _ View = StructView{}
+var _ Incremental = StructView{}
 
 // Name implements View.
 func (StructView) Name() string { return "struct" }
@@ -79,6 +105,17 @@ func (StructView) Backward(mutated, _ *confnode.Set) (*confnode.Set, error) {
 	return mutated.Clone(), nil
 }
 
+// IncrementalBackward implements Incremental: the identity transform only
+// has to adopt the dirty view trees; clean files keep sharing the system
+// baseline.
+func (StructView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.Tracked()
+	for _, file := range dirty {
+		out.Put(file, mutated.Get(file))
+	}
+	return out, nil
+}
+
 // WordView represents every directive as a line of typed word tokens: the
 // directive name (token class "name") followed by the whitespace-separated
 // words of its value (token class "value"). It is the representation used
@@ -88,7 +125,7 @@ func (StructView) Backward(mutated, _ *confnode.Set) (*confnode.Set, error) {
 // directive names and values (§5.2).
 type WordView struct{}
 
-var _ View = WordView{}
+var _ Incremental = WordView{}
 
 // Name implements View.
 func (WordView) Name() string { return "word" }
@@ -131,38 +168,73 @@ func (WordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, error) {
 		if retErr != nil {
 			return
 		}
-		for _, line := range root.ChildrenByKind(confnode.KindLine) {
-			srcStr, ok := line.Attr(SrcAttr)
-			if !ok {
-				retErr = fmt.Errorf("word view: line without provenance: %w", ErrNotExpressible)
-				return
-			}
-			ref, err := template.ParseRef(srcStr)
-			if err != nil {
-				retErr = err
-				return
-			}
-			dir, err := ref.Resolve(out)
-			if err != nil {
-				retErr = fmt.Errorf("word view: stale provenance %q: %v: %w", srcStr, err, ErrNotExpressible)
-				return
-			}
-			var name string
-			var values []string
-			for _, w := range line.ChildrenByKind(confnode.KindWord) {
-				switch w.AttrDefault(TokenAttr, TokenValue) {
-				case TokenName:
-					name = w.Value
-				default:
-					values = append(values, w.Value)
-				}
-			}
-			dir.Name = name
-			dir.Value = strings.Join(values, " ")
-		}
+		retErr = backwardWordFile(out, root)
 	})
 	if retErr != nil {
 		return nil, retErr
 	}
 	return out, nil
+}
+
+// IncrementalBackward implements Incremental: only the dirty files' lines
+// are folded back. Folding resolves provenance against the tracked output
+// set, so whatever system file a line's ref points at — normally its own
+// file, but cross-file after exotic attribute mutations — is materialized
+// (and thereby reported dirty) before being rewritten. To stay
+// fold-for-fold identical with the full Backward, files are visited in
+// set order and a clean file is re-folded once an earlier cross-file
+// write has materialized its system file: in the full path that clean
+// fold runs unconditionally and overwrites such a write with the
+// baseline tokens.
+func (WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	isDirty := make(map[string]bool, len(dirty))
+	for _, file := range dirty {
+		isDirty[file] = true
+	}
+	out := sys.Tracked()
+	for _, file := range mutated.Names() {
+		if !isDirty[file] && !out.IsDirty(file) {
+			continue
+		}
+		root := mutated.Get(file)
+		if root == nil {
+			continue
+		}
+		if err := backwardWordFile(out, root); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// backwardWordFile folds one word-view document's lines onto the system
+// directives they came from.
+func backwardWordFile(out *confnode.Set, root *confnode.Node) error {
+	for _, line := range root.ChildrenByKind(confnode.KindLine) {
+		srcStr, ok := line.Attr(SrcAttr)
+		if !ok {
+			return fmt.Errorf("word view: line without provenance: %w", ErrNotExpressible)
+		}
+		ref, err := template.ParseRef(srcStr)
+		if err != nil {
+			return err
+		}
+		dir, err := ref.Resolve(out)
+		if err != nil {
+			return fmt.Errorf("word view: stale provenance %q: %v: %w", srcStr, err, ErrNotExpressible)
+		}
+		var name string
+		var values []string
+		for _, w := range line.ChildrenByKind(confnode.KindWord) {
+			switch w.AttrDefault(TokenAttr, TokenValue) {
+			case TokenName:
+				name = w.Value
+			default:
+				values = append(values, w.Value)
+			}
+		}
+		dir.Name = name
+		dir.Value = strings.Join(values, " ")
+	}
+	return nil
 }

@@ -243,9 +243,9 @@ func TestNewRunnerForSemanticCampaign(t *testing.T) {
 func TestReplaceNumber(t *testing.T) {
 	cases := []struct{ s, from, to, want string }{
 		{"port = 23306", "23306", "54012", "port = 54012"},
-		{"port = 2330", "23306", "54012", "port = 2330"},          // typo'd prefix
-		{"port = 233066", "23306", "54012", "port = 233066"},      // typo'd duplication
-		{"port = 123306", "23306", "54012", "port = 123306"},      // embedded
+		{"port = 2330", "23306", "54012", "port = 2330"},     // typo'd prefix
+		{"port = 233066", "23306", "54012", "port = 233066"}, // typo'd duplication
+		{"port = 123306", "23306", "54012", "port = 123306"}, // embedded
 		{"dial 127.0.0.1:23306: refused", "23306", "54012", "dial 127.0.0.1:54012: refused"},
 		{"23306 and 23306", "23306", "54012", "54012 and 54012"},
 		{"", "23306", "54012", ""},

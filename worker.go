@@ -68,6 +68,49 @@ type portMappedSystem struct {
 	suts.System
 	from string // primary port decimal, "" for no remap
 	to   string // this worker's port decimal
+
+	// memo caches the port rewrite per input slice. The engine's
+	// incremental pipeline hands every clean file's cached baseline bytes
+	// to Start unchanged scenario after scenario, so keying on the slice
+	// identity turns their rewrite into a lookup. Entries are never
+	// evicted: per-scenario dirty-file slices that land in the memo stay
+	// there (bounded by the cap; once it is full, further misses simply
+	// recompute), and keys hold their backing arrays alive, so an
+	// address can never be recycled for different content while its
+	// entry exists. Start is only called from this worker's goroutine,
+	// so no locking.
+	memo map[remapKey][]byte
+}
+
+// remapKey identifies an input slice by backing array and length.
+type remapKey struct {
+	p *byte
+	n int
+}
+
+// remapMemoCap bounds the memo: comfortably above any real
+// configuration's file count even after early scenarios' dirty-file
+// slices claim slots, small enough that the pinned bytes stay cheap.
+const remapMemoCap = 256
+
+// remap rewrites the primary port to the worker's in one file's bytes,
+// memoizing per input slice.
+func (s *portMappedSystem) remap(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	k := remapKey{&data[0], len(data)}
+	if out, ok := s.memo[k]; ok {
+		return out
+	}
+	out := []byte(replaceNumber(string(data), s.from, s.to))
+	if s.memo == nil {
+		s.memo = make(map[remapKey][]byte, remapMemoCap)
+	}
+	if len(s.memo) < remapMemoCap {
+		s.memo[k] = out
+	}
+	return out
 }
 
 // bindRetry bounds how long a worker waits out another worker holding a
@@ -88,7 +131,7 @@ func (s *portMappedSystem) Start(files suts.Files) error {
 	if s.from != "" {
 		remapped := make(suts.Files, len(files))
 		for name, data := range files {
-			remapped[name] = []byte(replaceNumber(string(data), s.from, s.to))
+			remapped[name] = s.remap(data)
 		}
 		files = remapped
 	}
