@@ -9,6 +9,7 @@
 //	                                        reproduce Figure 3 (MySQL vs Postgres)
 //	conferr campaign -system S -plugin P [-seed N] [-workers N] [-records]
 //	                                        run one custom campaign and summarize
+//	                                        (-target is an alias for -system)
 //	conferr list                            list registered systems and plugins
 //	conferr all [-seed N] [-workers N]      run every experiment
 //
@@ -85,7 +86,7 @@ commands:
   table2    reproduce Table 2: resilience to structural errors
   table3    reproduce Table 3: resilience to semantic errors (BIND, djbdns)
   figure3   reproduce Figure 3: MySQL vs Postgres value-typo comparison
-  campaign  run one campaign: -system <name> -plugin <name> [-workers N]
+  campaign  run one campaign: -system <name> (alias -target) -plugin <name> [-workers N]
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
   list      list registered systems and plugins
@@ -216,7 +217,9 @@ func cmdCompare(ctx context.Context, args []string) error {
 
 func cmdCampaign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
-	system := fs.String("system", "", "target system (see: conferr list)")
+	var system string
+	fs.StringVar(&system, "system", "", "target system (see: conferr list)")
+	fs.StringVar(&system, "target", "", "alias for -system")
 	plugin := fs.String("plugin", "typo", "error generator plugin (see: conferr list)")
 	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
 	perModel := fs.Int("per-model", 0, "typo scenarios per submodel (0 = all)")
@@ -226,7 +229,7 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	workers := workersFlag(fs)
 	_ = fs.Parse(args)
 
-	runner, err := conferr.NewRunnerFor(*system, *plugin, conferr.GeneratorOptions{
+	runner, err := conferr.NewRunnerFor(system, *plugin, conferr.GeneratorOptions{
 		Seed: *seed, PerModel: *perModel,
 	})
 	if err != nil {

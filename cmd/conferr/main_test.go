@@ -67,7 +67,7 @@ func TestRunListCommand(t *testing.T) {
 			t.Errorf("list: exit = %d", got)
 		}
 	})
-	for _, want := range []string{"mysql", "postgres", "apache", "bind", "djbdns", "typo", "semantic"} {
+	for _, want := range []string{"mysql", "postgres", "apache", "nginx", "redisd", "bind", "djbdns", "typo", "semantic"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("list output missing %q", want)
 		}
@@ -128,8 +128,20 @@ func TestRunCampaignErrors(t *testing.T) {
 	}
 }
 
+// TestRunCampaignNewTargets drives the two extension systems end-to-end
+// through the CLI: a nested-block nginx campaign and a redis campaign on
+// the reused kv codec, via the -target alias for -system.
+func TestRunCampaignNewTargets(t *testing.T) {
+	if got := runT("campaign", "-target", "nginx", "-plugin", "typo", "-per-model", "3", "-workers", "4"); got != 0 {
+		t.Errorf("campaign -target nginx: exit = %d", got)
+	}
+	if got := runT("campaign", "-target", "redisd", "-plugin", "typo", "-per-model", "3", "-workers", "4"); got != 0 {
+		t.Errorf("campaign -target redisd: exit = %d", got)
+	}
+}
+
 func TestRegisteredTargetsResolve(t *testing.T) {
-	for _, sys := range []string{"mysql", "postgres", "apache", "bind", "djbdns"} {
+	for _, sys := range []string{"mysql", "postgres", "apache", "nginx", "redisd", "bind", "djbdns"} {
 		factory, err := conferr.LookupTarget(sys)
 		if err != nil {
 			t.Errorf("LookupTarget(%s): %v", sys, err)

@@ -113,6 +113,15 @@ func (c *Campaign) generate() (*faultload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: generating scenarios: %w", err)
 	}
+	// Fail fast on malformed scenarios: a plugin emitting, say, an empty
+	// Class would otherwise corrupt every per-class profile table with a
+	// silent "" bucket thousands of experiments later.
+	for i, sc := range scens {
+		if verr := sc.Validate(); verr != nil {
+			return nil, fmt.Errorf("core: plugin %s emitted invalid scenario #%d: %w",
+				c.Generator.Name(), i, verr)
+		}
+	}
 	fl := &faultload{view: v, viewSet: viewSet, sysSet: sysSet, scens: scens}
 	fl.prepareFastPath(c.Target)
 	return fl, nil

@@ -443,3 +443,25 @@ func TestRunDurationRecorded(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateRejectsInvalidScenario: a plugin emitting a malformed
+// scenario (here: an empty Class, which would corrupt every per-class
+// profile table with a "" bucket) must abort the campaign at generation
+// time, before any experiment runs.
+func TestGenerateRejectsInvalidScenario(t *testing.T) {
+	sys := &fakeSystem{}
+	g := badGen{scens: []scenario.Scenario{
+		{ID: "classless", Apply: func(*confnode.Set) error { return nil }},
+	}}
+	c := &Campaign{Target: target(sys), Generator: g}
+	prof, err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "empty Class") {
+		t.Fatalf("err = %v, want invalid-scenario abort", err)
+	}
+	if len(prof.Records) != 0 {
+		t.Errorf("records = %d, want 0 (no experiment may run)", len(prof.Records))
+	}
+	if sys.started != 0 {
+		t.Errorf("SUT started %d times for an invalid faultload", sys.started)
+	}
+}

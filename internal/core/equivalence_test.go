@@ -9,7 +9,15 @@ import (
 	"conferr/internal/confnode"
 	"conferr/internal/cpath"
 	"conferr/internal/formats"
+	"conferr/internal/formats/apacheconf"
+	"conferr/internal/formats/ini"
+	"conferr/internal/formats/jsonconf"
 	"conferr/internal/formats/kv"
+	"conferr/internal/formats/nginxconf"
+	"conferr/internal/formats/tinydns"
+	"conferr/internal/formats/xmlconf"
+	"conferr/internal/formats/yamlconf"
+	"conferr/internal/formats/zonefile"
 	"conferr/internal/plugins/typo"
 	"conferr/internal/profile"
 	"conferr/internal/scenario"
@@ -32,6 +40,20 @@ func (digestSystem) DefaultConfig() suts.Files {
 		"a.conf": []byte("alpha = 1\nbravo = two words\n# comment\n"),
 		"b.conf": []byte("charlie = 3\ndelta = 4\n"),
 		"c.conf": []byte("echo = 5\nfoxtrot = 6\ngolf = 7\n"),
+		// One file per remaining registered codec, so the equivalence
+		// contract covers the whole format matrix. d.nginx and e.json add
+		// the recursive shapes (directives inside nested sections and
+		// arrays), exercising dirty-file tracking and per-file
+		// re-serialization on trees the seed's flat formats never built.
+		"d.nginx": []byte("events {\n    worker_connections 64;\n}\nhttp {\n    server {\n        listen 8080;\n        location / {\n            root /srv;\n        }\n    }\n}\n"),
+		"e.json":  []byte("{\n  \"name\": \"digest\",\n  \"nested\": {\n    \"flag\": true\n  },\n  \"list\": [\n    1,\n    2\n  ]\n}\n"),
+		"f.ini":   []byte("[server]\nhotel = 8\n[client]\nindia = 9\n"),
+		"g.httpd": []byte("Listen 1234\n<Files x>\nJuliet 10\n</Files>\n"),
+		"h.zone":  []byte("$TTL 3600\nexample.com.\tIN\tNS\tns.example.com.\nwww\tA\t192.0.2.1\n"),
+		"i.tiny":  []byte("# tinydns\n=www.example.com:192.0.2.1:86400\n"),
+		"j.xml":   []byte("<config>\n  <kilo>11</kilo>\n</config>\n"),
+		"k.yaml":  []byte("lima: 12\nmike:\n  november: 13\n"),
+		"l.raw":   []byte("opaque passthrough bytes\n"),
 	}
 }
 
@@ -49,9 +71,18 @@ func digestTarget() *Target {
 	return &Target{
 		System: digestSystem{},
 		Formats: map[string]formats.Format{
-			"a.conf": kv.Format{},
-			"b.conf": kv.Format{},
-			"c.conf": kv.Format{},
+			"a.conf":  kv.Format{},
+			"b.conf":  kv.Format{},
+			"c.conf":  kv.Format{},
+			"d.nginx": nginxconf.Format{},
+			"e.json":  jsonconf.Format{},
+			"f.ini":   ini.Format{},
+			"g.httpd": apacheconf.Format{},
+			"h.zone":  zonefile.Format{},
+			"i.tiny":  tinydns.Format{},
+			"j.xml":   xmlconf.Format{},
+			"k.yaml":  yamlconf.Format{},
+			"l.raw":   formats.Raw{},
 			// Registered so scenarios can introduce it; *.zzz stays
 			// unregistered to exercise the no-format outcome.
 			"extra.conf": kv.Format{},
@@ -100,6 +131,19 @@ func (mixGen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
 	out = append(out, dels...)
 	add("mutate-one", func(s *confnode.Set) error {
 		s.Get("b.conf").Child(0).Value = "333"
+		return nil
+	})
+	add("mutate-nginx-nested", func(s *confnode.Set) error {
+		// Reach through http > server > location and rewrite a leaf, so
+		// only d.nginx is re-serialized and its nested sections survive
+		// the incremental fold.
+		loc := s.Get("d.nginx").ChildByName("http").ChildByName("server").ChildByName("location")
+		loc.ChildByName("root").Value = "/data"
+		return nil
+	})
+	add("mutate-json-array", func(s *confnode.Set) error {
+		list := s.Get("e.json").ChildByName("list")
+		list.Child(1).Value = "22"
 		return nil
 	})
 	add("read-only", func(s *confnode.Set) error {

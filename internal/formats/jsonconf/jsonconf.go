@@ -1,0 +1,337 @@
+// Package jsonconf parses and serializes JSON configuration files whose
+// top-level value is an object — the shape of virtually every
+// application's config.json.
+//
+// Tokens are preserved raw: a directive's Name is the key text between
+// its quotes (escapes untouched) and its Value is the value token exactly
+// as written, quotes included — so a typo can corrupt a quote or a digit
+// of a number literal, exactly as in a real file. Inter-token whitespace
+// is preserved in attributes (AttrIndent before each member, AttrSep
+// between key and value including the colon, AttrClose before a closing
+// bracket), which makes unmutated input round-trip byte-identically.
+//
+// Tree shape: object members with scalar values become KindDirective
+// nodes; members with object or array values become KindSection nodes
+// (arrays carry AttrArray). Array elements are anonymous members with an
+// empty Name and no separator.
+package jsonconf
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// Attribute keys used to preserve the lexical details of a JSON file.
+const (
+	// AttrArray marks a section that serializes as "[…]" instead of "{…}".
+	AttrArray = "array"
+	// AttrClose preserves the whitespace before a container's closing
+	// bracket (on the document node: before the top-level object's '}').
+	AttrClose = "close"
+	// AttrLead preserves, on the document node, the whitespace before the
+	// top-level '{'.
+	AttrLead = "lead"
+	// AttrPost preserves the whitespace between a member's value and the
+	// comma that follows it ("1 , " keeps its space).
+	AttrPost = "post"
+	// AttrTrail preserves, on the document node, the trailing whitespace
+	// after the top-level '}' (conventionally "\n").
+	AttrTrail = "trail"
+)
+
+// MaxDepth bounds container nesting, keeping the recursive parser and
+// serializer safe on adversarial input.
+const MaxDepth = 128
+
+// Format implements formats.Format for JSON configuration files.
+type Format struct{}
+
+var _ formats.BufferedFormat = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "jsonconf" }
+
+// Parse implements formats.Format.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	p := &parser{file: file, in: string(data)}
+	doc := confnode.New(confnode.KindDocument, file)
+	lead := p.ws()
+	doc.SetAttr(AttrLead, lead)
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	if err := p.object(doc, 1); err != nil {
+		return nil, err
+	}
+	trail := p.ws()
+	if p.pos != len(p.in) {
+		return nil, p.errorf("trailing data after top-level object")
+	}
+	doc.SetAttr(AttrTrail, trail)
+	return doc, nil
+}
+
+// parser is a cursor over the input bytes.
+type parser struct {
+	file string
+	in   string
+	pos  int
+}
+
+func (p *parser) errorf(msg string) error {
+	// An escape sequence cut off by EOF can leave the cursor one past the
+	// end of the input; clamp before slicing for the line count.
+	at := min(p.pos, len(p.in))
+	line := 1 + strings.Count(p.in[:at], "\n")
+	return &formats.ParseError{File: p.file, Line: line, Msg: msg}
+}
+
+// ws consumes and returns a run of whitespace.
+func (p *parser) ws() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return p.in[start:p.pos]
+		}
+	}
+	return p.in[start:p.pos]
+}
+
+// expect consumes one required character.
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.in) || p.in[p.pos] != c {
+		return p.errorf("expected '" + string(c) + "'")
+	}
+	p.pos++
+	return nil
+}
+
+// object parses the members of an object (the opening '{' is consumed)
+// into parent's children and records the closing whitespace.
+func (p *parser) object(parent *confnode.Node, depth int) error {
+	if depth > MaxDepth {
+		return p.errorf("containers nested too deeply")
+	}
+	var prev *confnode.Node
+	for {
+		gap := p.ws()
+		if p.pos >= len(p.in) {
+			return p.errorf("unterminated object")
+		}
+		if p.in[p.pos] == '}' {
+			p.pos++
+			parent.SetAttr(AttrClose, gap)
+			return nil
+		}
+		if prev != nil {
+			if gap != "" {
+				prev.SetAttr(AttrPost, gap)
+			}
+			if err := p.expect(','); err != nil {
+				return err
+			}
+			gap = p.ws()
+		}
+		if p.pos >= len(p.in) || p.in[p.pos] != '"' {
+			return p.errorf("expected member key string")
+		}
+		key, err := p.stringToken()
+		if err != nil {
+			return err
+		}
+		sepStart := p.pos
+		p.ws()
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		p.ws()
+		sep := p.in[sepStart:p.pos]
+		node, err := p.value(key[1:len(key)-1], depth)
+		if err != nil {
+			return err
+		}
+		node.SetAttr(formats.AttrIndent, gap)
+		node.SetAttr(formats.AttrSep, sep)
+		parent.Append(node)
+		prev = node
+	}
+}
+
+// array parses the elements of an array (the opening '[' is consumed).
+func (p *parser) array(parent *confnode.Node, depth int) error {
+	if depth > MaxDepth {
+		return p.errorf("containers nested too deeply")
+	}
+	var prev *confnode.Node
+	for {
+		gap := p.ws()
+		if p.pos >= len(p.in) {
+			return p.errorf("unterminated array")
+		}
+		if p.in[p.pos] == ']' {
+			p.pos++
+			parent.SetAttr(AttrClose, gap)
+			return nil
+		}
+		if prev != nil {
+			if gap != "" {
+				prev.SetAttr(AttrPost, gap)
+			}
+			if err := p.expect(','); err != nil {
+				return err
+			}
+			gap = p.ws()
+		}
+		node, err := p.value("", depth)
+		if err != nil {
+			return err
+		}
+		node.SetAttr(formats.AttrIndent, gap)
+		parent.Append(node)
+		prev = node
+	}
+}
+
+// value parses one JSON value into a node named key: scalars become
+// directives holding the raw token, containers become sections.
+func (p *parser) value(key string, depth int) (*confnode.Node, error) {
+	if p.pos >= len(p.in) {
+		return nil, p.errorf("expected value")
+	}
+	switch c := p.in[p.pos]; {
+	case c == '{':
+		p.pos++
+		sec := confnode.New(confnode.KindSection, key)
+		if err := p.object(sec, depth+1); err != nil {
+			return nil, err
+		}
+		return sec, nil
+	case c == '[':
+		p.pos++
+		sec := confnode.New(confnode.KindSection, key)
+		sec.SetAttr(AttrArray, "1")
+		if err := p.array(sec, depth+1); err != nil {
+			return nil, err
+		}
+		return sec, nil
+	case c == '"':
+		tok, err := p.stringToken()
+		if err != nil {
+			return nil, err
+		}
+		return confnode.NewValued(confnode.KindDirective, key, tok), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return confnode.NewValued(confnode.KindDirective, key, p.numberToken()), nil
+	case c >= 'a' && c <= 'z':
+		start := p.pos
+		for p.pos < len(p.in) && p.in[p.pos] >= 'a' && p.in[p.pos] <= 'z' {
+			p.pos++
+		}
+		tok := p.in[start:p.pos]
+		if tok != "true" && tok != "false" && tok != "null" {
+			return nil, p.errorf("invalid literal")
+		}
+		return confnode.NewValued(confnode.KindDirective, key, tok), nil
+	default:
+		return nil, p.errorf("unexpected character in value")
+	}
+}
+
+// stringToken consumes a quoted string and returns it raw, quotes
+// included; escape sequences are kept as written.
+func (p *parser) stringToken() (string, error) {
+	start := p.pos
+	p.pos++ // opening quote
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case '\\':
+			p.pos += 2
+		case '"':
+			p.pos++
+			return p.in[start:p.pos], nil
+		case '\n':
+			return "", p.errorf("newline in string")
+		default:
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated string")
+}
+
+// numberToken consumes a maximal run of number characters. The grammar is
+// deliberately loose — the token is preserved raw, so anything accepted
+// here reproduces itself exactly.
+func (p *parser) numberToken() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		switch c := p.in[p.pos]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.pos++
+		default:
+			return p.in[start:p.pos]
+		}
+	}
+	return p.in[start:p.pos]
+}
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
+	b.WriteString(root.AttrDefault(AttrLead, ""))
+	b.WriteByte('{')
+	writeMembers(b, root, 0, false)
+	b.WriteByte('}')
+	b.WriteString(root.AttrDefault(AttrTrail, "\n"))
+	return nil
+}
+
+// writeMembers emits a container's children followed by its closing
+// whitespace. Members created by mutations (no indent attribute) get a
+// newline plus two spaces per depth level.
+func writeMembers(b *bytes.Buffer, parent *confnode.Node, depth int, inArray bool) {
+	children := parent.Children()
+	for i, n := range children {
+		if i > 0 {
+			b.WriteString(children[i-1].AttrDefault(AttrPost, ""))
+			b.WriteByte(',')
+		}
+		b.WriteString(n.AttrDefault(formats.AttrIndent, "\n"+strings.Repeat("  ", depth+1)))
+		if !inArray {
+			b.WriteByte('"')
+			b.WriteString(n.Name)
+			b.WriteByte('"')
+			b.WriteString(n.AttrDefault(formats.AttrSep, ": "))
+		}
+		switch {
+		case n.Kind == confnode.KindSection && n.AttrDefault(AttrArray, "") != "":
+			b.WriteByte('[')
+			writeMembers(b, n, depth+1, true)
+			b.WriteByte(']')
+		case n.Kind == confnode.KindSection:
+			b.WriteByte('{')
+			writeMembers(b, n, depth+1, false)
+			b.WriteByte('}')
+		default:
+			b.WriteString(n.Value)
+		}
+	}
+	def := ""
+	if len(children) > 0 {
+		def = "\n" + strings.Repeat("  ", depth)
+	}
+	b.WriteString(parent.AttrDefault(AttrClose, def))
+}

@@ -1,0 +1,157 @@
+package jsonconf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+)
+
+const sample = `{
+  "port": 8080,
+  "hostname": "app.example.com",
+  "debug": false,
+  "database": {
+    "driver": "postgres",
+    "dsn": "host=localhost dbname=app",
+    "pool": {
+      "max_open": 25,
+      "max_idle": 5
+    }
+  },
+  "listeners": [
+    "127.0.0.1:8080",
+    "127.0.0.1:8443"
+  ],
+  "log_level": "info"
+}
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("config.json", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.ChildByName("port").Value; got != "8080" {
+		t.Errorf("port = %q", got)
+	}
+	if got := doc.ChildByName("hostname").Value; got != `"app.example.com"` {
+		t.Errorf("hostname = %q (raw token must keep its quotes)", got)
+	}
+	db := doc.ChildByName("database")
+	if db == nil || db.Kind != confnode.KindSection {
+		t.Fatalf("database is not a section:\n%s", doc.Dump())
+	}
+	pool := db.ChildByName("pool")
+	if pool == nil || pool.ChildByName("max_open").Value != "25" {
+		t.Fatalf("nested pool section missing:\n%s", doc.Dump())
+	}
+	lst := doc.ChildByName("listeners")
+	if lst == nil || lst.AttrDefault(AttrArray, "") == "" {
+		t.Fatalf("listeners is not an array section:\n%s", doc.Dump())
+	}
+	if lst.NumChildren() != 2 || lst.Child(1).Value != `"127.0.0.1:8443"` {
+		t.Errorf("listeners children = %v", lst.Children())
+	}
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	doc, err := Format{}.Parse("config.json", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+func TestSerializeToMatchesSerialize(t *testing.T) {
+	doc, err := Format{}.Parse("config.json", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("SerializeTo diverged from Serialize")
+	}
+}
+
+func TestCompactAndEmptyContainers(t *testing.T) {
+	for _, in := range []string{
+		`{}`,
+		`{"a":1}`,
+		`{"a":{},"b":[]}`,
+		`{"a":[1,2,[3]],"b":{"c":null}}` + "\n",
+		// Whitespace before commas once vanished in the round trip.
+		`{"a": 1 , "b": 2}`,
+		`{"l": [1 ,2]}`,
+		"{\"a\": 1\n,\"b\": 2}",
+	} {
+		doc, err := Format{}.Parse("config.json", []byte(in))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize(%q): %v", in, err)
+		}
+		if string(out) != in {
+			t.Errorf("round trip of %q = %q", in, out)
+		}
+	}
+}
+
+func TestMutationCreatedNodesGetDefaults(t *testing.T) {
+	doc, err := Format{}.Parse("config.json", []byte("{\n  \"a\": 1\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Append(confnode.NewValued(confnode.KindDirective, "b", "2"))
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"a\": 1,\n  \"b\": 2\n}\n"
+	if string(out) != want {
+		t.Errorf("serialize with injected member:\nwant %q\ngot  %q", want, out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":      "",
+		"non-object root":  "[1]",
+		"bare scalar root": "42",
+		"trailing data":    "{} {}",
+		"missing colon":    `{"a" 1}`,
+		"unquoted key":     `{a: 1}`,
+		"bad literal":      `{"a": nul}`,
+		"unclosed object":  `{"a": 1`,
+		"unclosed string":  `{"a": "x`,
+		"newline string":   "{\"a\": \"x\ny\"}",
+		"too deep":         strings.Repeat(`{"a":`, MaxDepth+2) + "1" + strings.Repeat("}", MaxDepth+2),
+	}
+	for name, in := range cases {
+		if _, err := (Format{}).Parse("config.json", []byte(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := (Format{}).Name(); got != "jsonconf" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,161 @@
+package nginxconf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# nginx configuration
+user nginx;
+worker_processes auto;
+
+events {
+    worker_connections 1024;
+}
+
+http {
+    default_type application/octet-stream;
+    sendfile on; # zero-copy
+    server {
+        listen 8080;
+        server_name www.example.com;
+        location / {
+            root /var/www/html;
+        }
+        location /static/ {
+            root /var/www/static;
+            expires 30d;
+        }
+    }
+}
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("nginx.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	http := doc.ChildByName("http")
+	if http == nil || http.Kind != confnode.KindSection {
+		t.Fatalf("no http section:\n%s", doc.Dump())
+	}
+	server := http.ChildByName("server")
+	if server == nil || server.Kind != confnode.KindSection {
+		t.Fatalf("no server section inside http:\n%s", doc.Dump())
+	}
+	locs := server.ChildrenByKind(confnode.KindSection)
+	if len(locs) != 2 {
+		t.Fatalf("locations = %d, want 2", len(locs))
+	}
+	if arg, _ := locs[1].Attr(formats.AttrArg); arg != "/static/" {
+		t.Errorf("second location arg = %q, want /static/", arg)
+	}
+	if got := locs[1].ChildByName("expires").Value; got != "30d" {
+		t.Errorf("expires = %q", got)
+	}
+	listen := server.ChildByName("listen")
+	if listen == nil || listen.Value != "8080" {
+		t.Errorf("listen = %v", listen)
+	}
+	sendfile := http.ChildByName("sendfile")
+	if tr, _ := sendfile.Attr(formats.AttrTrailing); tr != " # zero-copy" {
+		t.Errorf("sendfile trailing = %q", tr)
+	}
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	doc, err := Format{}.Parse("nginx.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+// TestBraceLineLexicalFidelity is the regression test for brace-line
+// detail the parser once discarded: trailing comments on "{" and "}"
+// lines and a hand-indented closing brace must survive byte-identically.
+func TestBraceLineLexicalFidelity(t *testing.T) {
+	for _, in := range []string{
+		"http { # begin\n    x 1;\n} # end http\n",
+		"a {\n  x 1;\n    }\n",
+		"a { # open\n  b {\n  x 1;\n\t} # close b\n}\n",
+	} {
+		doc, err := Format{}.Parse("nginx.conf", []byte(in))
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize(%q): %v", in, err)
+		}
+		if string(out) != in {
+			t.Errorf("round trip of %q = %q", in, out)
+		}
+	}
+}
+
+func TestSerializeToMatchesSerialize(t *testing.T) {
+	doc, err := Format{}.Parse("nginx.conf", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("SerializeTo diverged from Serialize")
+	}
+}
+
+func TestMutationCreatedNodesGetDefaults(t *testing.T) {
+	doc, err := Format{}.Parse("nginx.conf", []byte("http {\n    server {\n        listen 80;\n    }\n}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := doc.ChildByName("http").ChildByName("server")
+	server.Append(confnode.NewValued(confnode.KindDirective, "server_name", "example.org"))
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "http {\n    server {\n        listen 80;\n        server_name example.org;\n    }\n}\n"
+	if string(out) != want {
+		t.Errorf("serialize with injected directive:\nwant:\n%s\ngot:\n%s", want, out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon": "worker_processes 4\n",
+		"unexpected close":  "}\n",
+		"unclosed block":    "http {\n",
+		"nameless block":    "{\n}\n",
+		"too deep":          strings.Repeat("a {\n", MaxDepth+1),
+	}
+	for name, in := range cases {
+		if _, err := (Format{}).Parse("nginx.conf", []byte(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := (Format{}).Name(); got != "nginxconf" {
+		t.Errorf("Name = %q", got)
+	}
+}

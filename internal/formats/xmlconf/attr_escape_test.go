@@ -1,0 +1,37 @@
+package xmlconf
+
+import "testing"
+
+// TestAttrEscapingRoundTrip is the regression test for the serializer's
+// old %q attribute quoting, which turned a backslash, newline or tab
+// inside an attribute value into Go escape sequences the XML decoder then
+// read back as literal characters — parse∘serialize was unstable for any
+// such value. Attribute values must survive a full round trip unchanged.
+func TestAttrEscapingRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"<a x=\"l1\nl2\">v</a>",
+		`<a x="back\slash">v</a>`,
+		"<a x=\"tab\there\">v</a>",
+		"<a x=\"&#10;\">v</a>",
+		"<a x='mixed \"quotes\"'>v</a>",
+	} {
+		doc, err := Format{}.Parse("f", []byte(in))
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize(%q): %v", in, err)
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			t.Errorf("re-Parse of %q -> %q: %v", in, out, err)
+			continue
+		}
+		if !doc.Equal(doc2) {
+			t.Errorf("unstable round trip:\nin:  %q\nout: %q\nfirst:\n%s\nsecond:\n%s",
+				in, out, doc.Dump(), doc2.Dump())
+		}
+	}
+}

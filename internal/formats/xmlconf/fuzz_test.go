@@ -1,0 +1,30 @@
+package xmlconf
+
+import "testing"
+
+// FuzzParseSerialize checks parse∘serialize stability on arbitrary input.
+func FuzzParseSerialize(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("<config><server port=\"8080\">x</server></config>"))
+	f.Add([]byte("<a><!-- c --><b/></a>"))
+	f.Add([]byte("<a x=\"1&amp;2\">v</a>"))
+	f.Add([]byte("<a x=\"l1\nl2\">v</a>"))
+	f.Add([]byte(`<a x="back\slash">v</a>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Format{}.Parse("f", data)
+		if err != nil {
+			return
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize after successful Parse: %v", err)
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			t.Fatalf("re-Parse: %v\n%q", err, out)
+		}
+		if !doc.Equal(doc2) {
+			t.Fatalf("unstable:\nin: %q\nout: %q", data, out)
+		}
+	})
+}

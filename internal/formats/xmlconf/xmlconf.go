@@ -132,7 +132,7 @@ func writeNode(b *bytes.Buffer, n *confnode.Node, depth int) error {
 			continue
 		}
 		v, _ := n.Attr(k)
-		fmt.Fprintf(b, " %s=%q", strings.TrimPrefix(k, attrPrefix), escape(v))
+		fmt.Fprintf(b, " %s=\"%s\"", strings.TrimPrefix(k, attrPrefix), escapeAttr(v))
 	}
 	if n.Kind == confnode.KindDirective {
 		if n.Value == "" && n.NumChildren() == 0 {
@@ -155,5 +155,16 @@ func writeNode(b *bytes.Buffer, n *confnode.Node, depth int) error {
 // escape applies minimal XML text escaping.
 func escape(s string) string {
 	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;")
+	return r.Replace(s)
+}
+
+// escapeAttr escapes an attribute value for a double-quoted attribute.
+// Unlike Go's %q — which the serializer once used, corrupting any value
+// holding a backslash or control character — whitespace is written as XML
+// character references, so the decoder restores the exact original bytes.
+func escapeAttr(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", "\"", "&quot;",
+		"\n", "&#xA;", "\t", "&#x9;", "\r", "&#xD;")
 	return r.Replace(s)
 }

@@ -1,0 +1,233 @@
+// Package yamlconf parses and serializes a pragmatic subset of YAML —
+// the block-style slice that configuration files actually use: nested
+// maps ("key:" with deeper-indented children), scalar entries
+// ("key: value"), sequences of scalars ("- value"), whole-line and
+// trailing '#' comments, and blank lines. Flow style, anchors, multi-line
+// scalars and documents ("---") are out of scope; lines using them are
+// parse errors, never silent misreads.
+//
+// Mapping keys with scalar values become KindDirective nodes; keys with
+// nothing after the colon become KindSection nodes whose children are the
+// more-deeply-indented lines below. Sequence items become KindDirective
+// nodes named "-". Scalars are preserved raw (quotes included), and the
+// lexical details — indentation, the separator around the colon, trailing
+// comments — live in attributes, so unmutated input round-trips
+// byte-identically.
+package yamlconf
+
+import (
+	"bytes"
+	"strings"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+// SeqName is the Name of sequence-item directives.
+const SeqName = "-"
+
+// Format implements formats.Format for block-style YAML subset files.
+type Format struct{}
+
+var _ formats.BufferedFormat = Format{}
+
+// Name implements formats.Format.
+func (Format) Name() string { return "yamlconf" }
+
+// frame is one open mapping on the indentation stack.
+type frame struct {
+	node   *confnode.Node
+	indent int // -1 for the document root
+}
+
+// Parse implements formats.Format.
+func (Format) Parse(file string, data []byte) (*confnode.Node, error) {
+	doc := confnode.New(confnode.KindDocument, file)
+	stack := []frame{{node: doc, indent: -1}}
+	for i, line := range splitLines(data) {
+		indent := leadingWS(line)
+		rest := line[len(indent):]
+		switch {
+		case strings.TrimSpace(rest) == "":
+			// Blank lines and comments attach to the innermost open
+			// mapping without affecting the indentation stack.
+			stack[len(stack)-1].node.Append(confnode.New(confnode.KindBlank, ""))
+			continue
+		case strings.HasPrefix(rest, "#"):
+			stack[len(stack)-1].node.Append(confnode.NewValued(confnode.KindComment, "", line))
+			continue
+		}
+
+		// Entry lines pop the stack to the mapping they belong to.
+		for len(stack) > 1 && len(indent) <= stack[len(stack)-1].indent {
+			stack = stack[:len(stack)-1]
+		}
+		top := stack[len(stack)-1].node
+
+		body, trailing := splitTrailing(rest)
+		wsEnd := body[len(strings.TrimRight(body, " \t")):]
+		body = strings.TrimRight(body, " \t")
+		if trailing != "" || wsEnd != "" {
+			trailing = wsEnd + trailing
+		}
+
+		n, err := parseEntry(body)
+		if err != nil {
+			return nil, &formats.ParseError{File: file, Line: i + 1, Msg: err.Error()}
+		}
+		n.SetAttr(formats.AttrIndent, indent)
+		if trailing != "" {
+			n.SetAttr(formats.AttrTrailing, trailing)
+		}
+		top.Append(n)
+		if n.Kind == confnode.KindSection {
+			stack = append(stack, frame{node: n, indent: len(indent)})
+		}
+	}
+	return doc, nil
+}
+
+// parseEntry parses one structural line (indent and trailing comment
+// already stripped): a sequence item, a scalar mapping entry, or a
+// section opener.
+func parseEntry(body string) (*confnode.Node, error) {
+	if body == SeqName || strings.HasPrefix(body, "- ") || strings.HasPrefix(body, "-\t") {
+		value := strings.TrimLeft(body[1:], " \t")
+		n := confnode.NewValued(confnode.KindDirective, SeqName, value)
+		n.SetAttr(formats.AttrSep, body[1:len(body)-len(value)])
+		return n, nil
+	}
+	ci := mappingColon(body)
+	if ci < 0 {
+		return nil, &yamlError{"line is neither a mapping entry nor a sequence item (flow YAML is not supported)"}
+	}
+	key := strings.TrimRight(body[:ci], " \t")
+	value := strings.TrimLeft(body[ci+1:], " \t")
+	sep := body[len(key) : len(body)-len(value)]
+	if value == "" {
+		n := confnode.New(confnode.KindSection, key)
+		n.SetAttr(formats.AttrSep, sep)
+		return n, nil
+	}
+	n := confnode.NewValued(confnode.KindDirective, key, value)
+	n.SetAttr(formats.AttrSep, sep)
+	return n, nil
+}
+
+// mappingColon returns the index of the first ':' that separates a key
+// from its value — a colon followed by whitespace or end of line, the
+// YAML rule that lets values like "127.0.0.1:6379" stay uncut.
+func mappingColon(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ':' {
+			continue
+		}
+		if i+1 == len(s) || s[i+1] == ' ' || s[i+1] == '\t' {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitTrailing separates a trailing '#' comment: a '#' preceded by
+// whitespace opens a comment (the YAML rule), anything else — e.g. an
+// anchor-free "a#b" — is scalar content. The returned trailing part
+// includes the '#' and the whitespace immediately before it.
+func splitTrailing(s string) (body, trailing string) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '#' && (s[i-1] == ' ' || s[i-1] == '\t') {
+			start := i
+			for start > 0 && (s[start-1] == ' ' || s[start-1] == '\t') {
+				start--
+			}
+			return s[:start], s[start:]
+		}
+	}
+	return s, ""
+}
+
+// yamlError is a plain-message error for parseEntry.
+type yamlError struct{ msg string }
+
+func (e *yamlError) Error() string { return e.msg }
+
+// Serialize implements formats.Format.
+func (Format) Serialize(root *confnode.Node) ([]byte, error) {
+	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// SerializeTo implements formats.BufferedFormat.
+func (Format) SerializeTo(b *bytes.Buffer, root *confnode.Node) error {
+	writeItems(b, root.Children(), 0)
+	return nil
+}
+
+func writeItems(b *bytes.Buffer, items []*confnode.Node, depth int) {
+	for _, n := range items {
+		switch n.Kind {
+		case confnode.KindBlank:
+			b.WriteByte('\n')
+		case confnode.KindComment:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		case confnode.KindSection:
+			b.WriteString(n.AttrDefault(formats.AttrIndent, strings.Repeat("  ", depth)))
+			b.WriteString(n.Name)
+			b.WriteString(n.AttrDefault(formats.AttrSep, ":"))
+			b.WriteString(n.AttrDefault(formats.AttrTrailing, ""))
+			b.WriteByte('\n')
+			writeItems(b, n.Children(), depth+1)
+		case confnode.KindDirective:
+			b.WriteString(n.AttrDefault(formats.AttrIndent, strings.Repeat("  ", depth)))
+			b.WriteString(n.Name)
+			if n.Value != "" {
+				sep := n.AttrDefault(formats.AttrSep, defaultSep(n.Name))
+				if sep == "" {
+					sep = defaultSep(n.Name)
+				}
+				b.WriteString(sep)
+				b.WriteString(n.Value)
+			} else if sep, ok := n.Attr(formats.AttrSep); ok && strings.Contains(sep, ":") {
+				b.WriteString(sep)
+			}
+			b.WriteString(n.AttrDefault(formats.AttrTrailing, ""))
+			b.WriteByte('\n')
+		default:
+			b.WriteString(n.Value)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// defaultSep is the separator for mutation-created directives: sequence
+// items take a plain space after the dash, mapping entries ": ".
+func defaultSep(name string) string {
+	if name == SeqName {
+		return " "
+	}
+	return ": "
+}
+
+func leadingWS(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func splitLines(data []byte) []string {
+	if len(data) == 0 {
+		return nil
+	}
+	s := strings.TrimSuffix(string(data), "\n")
+	if s == "" {
+		return []string{""}
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,128 @@
+package yamlconf
+
+import (
+	"bytes"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/formats"
+)
+
+const sample = `# application configuration
+port: 6380
+hostname: app.example.com
+
+logging:
+  level: info # keep prod quiet
+  file: /var/log/app.log
+  rotate:
+    size: 10mb
+    keep: 7
+
+servers:
+  - 127.0.0.1:8080
+  - 127.0.0.1:8443
+
+debug: false
+`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := Format{}.Parse("app.yaml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.ChildByName("port").Value; got != "6380" {
+		t.Errorf("port = %q", got)
+	}
+	if got := doc.ChildByName("hostname").Value; got != "app.example.com" {
+		t.Errorf("hostname = %q (the mapping colon must not cut the value)", got)
+	}
+	logging := doc.ChildByName("logging")
+	if logging == nil || logging.Kind != confnode.KindSection {
+		t.Fatalf("logging is not a section:\n%s", doc.Dump())
+	}
+	level := logging.ChildByName("level")
+	if level.Value != "info" {
+		t.Errorf("level = %q", level.Value)
+	}
+	if tr, _ := level.Attr(formats.AttrTrailing); tr != " # keep prod quiet" {
+		t.Errorf("level trailing = %q", tr)
+	}
+	rotate := logging.ChildByName("rotate")
+	if rotate == nil || rotate.ChildByName("keep").Value != "7" {
+		t.Fatalf("nested rotate section missing:\n%s", doc.Dump())
+	}
+	servers := doc.ChildByName("servers")
+	items := servers.ChildrenByKind(confnode.KindDirective)
+	if len(items) != 2 || items[0].Name != SeqName || items[1].Value != "127.0.0.1:8443" {
+		t.Errorf("sequence items = %v", items)
+	}
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	doc, err := Format{}.Parse("app.yaml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != sample {
+		t.Errorf("round trip mismatch:\nwant:\n%s\ngot:\n%s", sample, out)
+	}
+}
+
+func TestSerializeToMatchesSerialize(t *testing.T) {
+	doc, err := Format{}.Parse("app.yaml", []byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := (Format{}).SerializeTo(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("SerializeTo diverged from Serialize")
+	}
+}
+
+func TestMutationCreatedNodesGetDefaults(t *testing.T) {
+	doc, err := Format{}.Parse("app.yaml", []byte("a:\n  x: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.ChildByName("a").Append(confnode.NewValued(confnode.KindDirective, "y", "2"))
+	doc.Append(confnode.NewValued(confnode.KindDirective, SeqName, "z"))
+	out, err := Format{}.Serialize(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a:\n  x: 1\n  y: 2\n- z\n"
+	if string(out) != want {
+		t.Errorf("serialize with injected nodes:\nwant %q\ngot  %q", want, out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bare scalar":    "just a scalar\n",
+		"ini directive":  "a: 1\nx = 2\n",
+		"no mapping sep": "key:value\n",
+	}
+	for name, in := range cases {
+		if _, err := (Format{}).Parse("app.yaml", []byte(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := (Format{}).Name(); got != "yamlconf" {
+		t.Errorf("Name = %q", got)
+	}
+}

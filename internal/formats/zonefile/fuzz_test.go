@@ -1,0 +1,28 @@
+package zonefile
+
+import "testing"
+
+// FuzzParseSerialize checks parse∘serialize stability on arbitrary input.
+func FuzzParseSerialize(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("$TTL 3600\nexample.com. 600 IN A 192.0.2.1\n"))
+	f.Add([]byte("a MX 10 mail.example.com.\n"))
+	f.Add([]byte("; just a comment\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Format{}.Parse("f", data)
+		if err != nil {
+			return
+		}
+		out, err := Format{}.Serialize(doc)
+		if err != nil {
+			t.Fatalf("Serialize after successful Parse: %v", err)
+		}
+		doc2, err := Format{}.Parse("f", out)
+		if err != nil {
+			t.Fatalf("re-Parse: %v\n%q", err, out)
+		}
+		if !doc.Equal(doc2) {
+			t.Fatalf("unstable:\nin: %q\nout: %q", data, out)
+		}
+	})
+}

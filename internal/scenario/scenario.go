@@ -36,10 +36,16 @@ type Scenario struct {
 	Apply func(set *confnode.Set) error
 }
 
-// Validate reports whether the scenario is well-formed.
+// Validate reports whether the scenario is well-formed. An empty Class
+// is rejected: profiles aggregate by class, so a classless scenario would
+// silently land in a "" bucket of every ByClass / DetectionByClass table
+// instead of failing where the plugin is wrong.
 func (s Scenario) Validate() error {
 	if s.ID == "" {
 		return errors.New("scenario: empty ID")
+	}
+	if s.Class == "" {
+		return fmt.Errorf("scenario %s: empty Class", s.ID)
 	}
 	if s.Apply == nil {
 		return fmt.Errorf("scenario %s: nil Apply", s.ID)

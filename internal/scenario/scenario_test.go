@@ -30,15 +30,20 @@ func ids(s []Scenario) []string {
 }
 
 func TestValidate(t *testing.T) {
-	good := Scenario{ID: "x", Apply: func(*confnode.Set) error { return nil }}
+	good := Scenario{ID: "x", Class: "c", Apply: func(*confnode.Set) error { return nil }}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid scenario rejected: %v", err)
 	}
-	if err := (Scenario{Apply: good.Apply}).Validate(); err == nil {
+	if err := (Scenario{Class: "c", Apply: good.Apply}).Validate(); err == nil {
 		t.Error("empty ID accepted")
 	}
-	if err := (Scenario{ID: "x"}).Validate(); err == nil {
+	if err := (Scenario{ID: "x", Class: "c"}).Validate(); err == nil {
 		t.Error("nil Apply accepted")
+	}
+	// An empty Class would silently become a "" bucket in every per-class
+	// profile table; it must be rejected instead.
+	if err := (Scenario{ID: "x", Apply: good.Apply}).Validate(); err == nil {
+		t.Error("empty Class accepted")
 	}
 }
 

@@ -1,0 +1,183 @@
+package nginx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// context is the configuration block a directive appears in.
+type context int
+
+const (
+	ctxMain context = 1 << iota
+	ctxEvents
+	ctxHTTP
+	ctxServer
+	ctxLocation
+)
+
+// argKind selects the argument validation a directive gets, mirroring
+// nginx's ngx_conf_set_*_slot handler families.
+type argKind int
+
+const (
+	// argAny accepts any argument text.
+	argAny argKind = iota
+	// argFlag accepts exactly "on" or "off".
+	argFlag
+	// argNum accepts a non-negative decimal integer.
+	argNum
+	// argNumOrAuto accepts argNum or the literal "auto".
+	argNumOrAuto
+	// argSize accepts a number with an optional k/m/g suffix.
+	argSize
+	// argTime accepts a number with an optional ms/s/m/h/d suffix.
+	argTime
+	// argListen accepts "port", "address:port" or "*:port".
+	argListen
+	// argBlock marks a block directive ("http { … }").
+	argBlock
+)
+
+// directive is one entry of the simulator's directive table.
+type directive struct {
+	name     string
+	contexts context
+	min, max int // argument count range; max -1 means unbounded
+	kind     argKind
+}
+
+// directiveTable models the subset of nginx's module directives the
+// stock nginx.conf uses, with their real context and argument-count
+// constraints. Lookup is case-sensitive, as in nginx.
+var directiveTable = []directive{
+	// Core (main context).
+	{"user", ctxMain, 1, 2, argAny},
+	{"worker_processes", ctxMain, 1, 1, argNumOrAuto},
+	{"worker_rlimit_nofile", ctxMain, 1, 1, argNum},
+	{"pid", ctxMain, 1, 1, argAny},
+	{"error_log", ctxMain | ctxHTTP | ctxServer, 1, 2, argAny},
+
+	// Blocks.
+	{"events", ctxMain, 0, 0, argBlock},
+	{"http", ctxMain, 0, 0, argBlock},
+	{"server", ctxHTTP, 0, 0, argBlock},
+	{"location", ctxServer | ctxLocation, 1, 2, argBlock},
+
+	// Events.
+	{"worker_connections", ctxEvents, 1, 1, argNum},
+	{"multi_accept", ctxEvents, 1, 1, argFlag},
+	{"use", ctxEvents, 1, 1, argAny},
+
+	// HTTP.
+	{"include", ctxHTTP, 1, 1, argAny},
+	{"default_type", ctxHTTP, 1, 1, argAny},
+	{"log_format", ctxHTTP, 2, -1, argAny},
+	{"access_log", ctxHTTP | ctxServer | ctxLocation, 1, 2, argAny},
+	{"sendfile", ctxHTTP | ctxServer | ctxLocation, 1, 1, argFlag},
+	{"tcp_nopush", ctxHTTP, 1, 1, argFlag},
+	{"tcp_nodelay", ctxHTTP, 1, 1, argFlag},
+	{"keepalive_timeout", ctxHTTP | ctxServer, 1, 2, argTime},
+	{"types_hash_max_size", ctxHTTP, 1, 1, argNum},
+	{"client_max_body_size", ctxHTTP | ctxServer | ctxLocation, 1, 1, argSize},
+	{"gzip", ctxHTTP | ctxServer | ctxLocation, 1, 1, argFlag},
+	{"server_tokens", ctxHTTP | ctxServer | ctxLocation, 1, 1, argFlag},
+	{"root", ctxHTTP | ctxServer | ctxLocation, 1, 1, argAny},
+	{"index", ctxHTTP | ctxServer | ctxLocation, 1, -1, argAny},
+
+	// Server.
+	{"listen", ctxServer, 1, 2, argListen},
+	{"server_name", ctxServer, 1, -1, argAny},
+	{"error_page", ctxServer | ctxLocation, 2, -1, argAny},
+	{"return", ctxServer | ctxLocation, 1, 2, argAny},
+
+	// Location.
+	{"try_files", ctxLocation, 2, -1, argAny},
+	{"autoindex", ctxHTTP | ctxServer | ctxLocation, 1, 1, argFlag},
+	{"expires", ctxHTTP | ctxServer | ctxLocation, 1, 1, argAny},
+	{"proxy_pass", ctxLocation, 1, 1, argAny},
+}
+
+// lookupDirective returns the table entry for name, or nil.
+func lookupDirective(name string) *directive {
+	for i := range directiveTable {
+		if directiveTable[i].name == name {
+			return &directiveTable[i]
+		}
+	}
+	return nil
+}
+
+// checkArgs validates argument count and per-kind argument syntax,
+// wording errors the way nginx's config module does. For argListen it
+// also returns the parsed port.
+func checkArgs(def *directive, args []string) (int, error) {
+	if len(args) < def.min || (def.max >= 0 && len(args) > def.max) {
+		return 0, fmt.Errorf("invalid number of arguments in %q directive", def.name)
+	}
+	if len(args) == 0 {
+		return 0, nil
+	}
+	switch def.kind {
+	case argFlag:
+		if args[0] != "on" && args[0] != "off" {
+			return 0, fmt.Errorf("invalid value %q in %q directive, it must be \"on\" or \"off\"", args[0], def.name)
+		}
+	case argNum:
+		if _, err := strconv.Atoi(args[0]); err != nil || strings.HasPrefix(args[0], "-") {
+			return 0, fmt.Errorf("invalid number %q in %q directive", args[0], def.name)
+		}
+	case argNumOrAuto:
+		if args[0] == "auto" {
+			break
+		}
+		if _, err := strconv.Atoi(args[0]); err != nil || strings.HasPrefix(args[0], "-") {
+			return 0, fmt.Errorf("invalid number %q in %q directive", args[0], def.name)
+		}
+	case argSize:
+		if !validSuffixedNumber(args[0], []string{"k", "K", "m", "M", "g", "G"}) {
+			return 0, fmt.Errorf("%q directive invalid value", def.name)
+		}
+	case argTime:
+		if !validSuffixedNumber(args[0], []string{"ms", "s", "m", "h", "d"}) {
+			return 0, fmt.Errorf("%q directive invalid value", def.name)
+		}
+	case argListen:
+		return parseListen(args[0])
+	}
+	return 0, nil
+}
+
+// validSuffixedNumber reports whether s is a non-negative integer with an
+// optional suffix from the given set.
+func validSuffixedNumber(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if len(s) > len(suf) && strings.HasSuffix(s, suf) {
+			s = s[:len(s)-len(suf)]
+			break
+		}
+	}
+	n, err := strconv.Atoi(s)
+	return err == nil && n >= 0
+}
+
+// parseListen extracts the port from a listen argument: "8080",
+// "127.0.0.1:8080" or "*:8080".
+func parseListen(arg string) (int, error) {
+	portText := arg
+	if i := strings.LastIndexByte(arg, ':'); i >= 0 {
+		portText = arg[i+1:]
+		host := arg[:i]
+		switch host {
+		case "", "*", "0.0.0.0", "127.0.0.1", "localhost":
+		default:
+			return 0, fmt.Errorf("host not found in %q of the \"listen\" directive", arg)
+		}
+	}
+	port, err := strconv.Atoi(portText)
+	if err != nil || port < 1 || port > 65535 {
+		return 0, fmt.Errorf("invalid port in %q of the \"listen\" directive", arg)
+	}
+	return port, nil
+}

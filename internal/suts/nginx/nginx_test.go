@@ -1,0 +1,167 @@
+package nginx
+
+import (
+	"strings"
+	"testing"
+
+	"conferr/internal/suts"
+)
+
+// start brings up a server on a fresh port and registers cleanup.
+func start(t *testing.T, mutate func(string) string) *Server {
+	t.Helper()
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.DefaultConfig()
+	if mutate != nil {
+		files = suts.Files{ConfigFile: []byte(mutate(string(files[ConfigFile])))}
+	}
+	if err := s.Start(files); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Stop() })
+	return s
+}
+
+func TestDefaultConfigStartsAndPassesTests(t *testing.T) {
+	s := start(t, nil)
+	for _, test := range Tests(s) {
+		if err := test.Run(); err != nil {
+			t.Errorf("functional test %s: %v", test.Name, err)
+		}
+	}
+}
+
+func TestRestartable(t *testing.T) {
+	s := start(t, nil)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(s.DefaultConfig()); err != nil {
+		t.Fatalf("second Start: %v", err)
+	}
+}
+
+// startErr starts the default configuration with one textual mutation and
+// expects a startup rejection containing want.
+func startErr(t *testing.T, want string, mutate func(string) string) {
+	t.Helper()
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.DefaultConfig()
+	conf := mutate(string(files[ConfigFile]))
+	err = s.Start(suts.Files{ConfigFile: []byte(conf)})
+	defer func() { _ = s.Stop() }()
+	if err == nil {
+		t.Fatalf("Start accepted mutated config (want %q)", want)
+	}
+	if !suts.IsStartupError(err) {
+		t.Fatalf("err = %v, want StartupError", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want substring %q", err, want)
+	}
+}
+
+func TestStartupValidation(t *testing.T) {
+	repl := func(old, new string) func(string) string {
+		return func(conf string) string { return strings.Replace(conf, old, new, 1) }
+	}
+	t.Run("unknown directive", func(t *testing.T) {
+		startErr(t, `unknown directive "snedfile"`, repl("sendfile on;", "snedfile on;"))
+	})
+	t.Run("context violation", func(t *testing.T) {
+		startErr(t, `"listen" directive is not allowed here`, repl("worker_processes auto;", "listen 8080;"))
+	})
+	t.Run("missing semicolon", func(t *testing.T) {
+		startErr(t, `not terminated by ";"`, repl("gzip on;", "gzip on"))
+	})
+	t.Run("bad flag value", func(t *testing.T) {
+		startErr(t, `it must be "on" or "off"`, repl("gzip on;", "gzip yes;"))
+	})
+	t.Run("bad number", func(t *testing.T) {
+		startErr(t, "invalid number", repl("worker_connections 1024;", "worker_connections many;")) //nolint
+	})
+	t.Run("arg count", func(t *testing.T) {
+		startErr(t, "invalid number of arguments", repl("tcp_nopush on;", "tcp_nopush on extra;"))
+	})
+	t.Run("missing events", func(t *testing.T) {
+		startErr(t, `no "events" section`, func(conf string) string {
+			i := strings.Index(conf, "events {")
+			j := strings.Index(conf, "}")
+			return conf[:i] + conf[j+2:]
+		})
+	})
+	t.Run("unexpected close", func(t *testing.T) {
+		startErr(t, `unexpected "}"`, repl("user nginx;", "}"))
+	})
+	t.Run("unclosed block", func(t *testing.T) {
+		startErr(t, "unexpected end of file", func(conf string) string {
+			return strings.TrimSuffix(strings.TrimRight(conf, "\n"), "}") // drop the final closing brace
+		})
+	})
+	t.Run("invalid port", func(t *testing.T) {
+		startErr(t, `invalid port in "8x080" of the "listen" directive`, func(conf string) string {
+			return strings.Replace(conf, "listen ", "listen 8x080; #", 1)
+		})
+	})
+	t.Run("duplicate listen", func(t *testing.T) {
+		startErr(t, "duplicate listen options", repl("server_name www.example.com;",
+			"listen 8081;\n        listen 8081;"))
+	})
+}
+
+// TestOmitListenFallsBackToDefaultPort: a server block without listen
+// must deterministically join the instance's default port (never a fixed
+// real port like :80, whose bindability depends on the environment) — the
+// server stays up, and only the per-host functional tests can tell the
+// hosts were collapsed onto one listener.
+func TestOmitListenFallsBackToDefaultPort(t *testing.T) {
+	s := start(t, func(conf string) string {
+		i := strings.Index(conf, "listen ")
+		j := strings.Index(conf[i:], ";")
+		return conf[:i] + conf[i+j+2:] // drop the www server's listen line
+	})
+	for _, test := range Tests(s) {
+		if err := test.Run(); err != nil {
+			t.Errorf("functional test %s after omit-listen: %v", test.Name, err)
+		}
+	}
+}
+
+// TestVhostMisrouting models the paper's latent-error scenario: removing
+// a virtual host's server_name leaves the server up but silently routes
+// the blog's requests to the default server — only the vhost functional
+// test notices.
+func TestVhostMisrouting(t *testing.T) {
+	s := start(t, func(conf string) string {
+		return strings.Replace(conf, "server_name blog.example.com;", "", 1)
+	})
+	var vhost suts.Test
+	for _, test := range Tests(s) {
+		if test.Name == "vhost-blog" {
+			vhost = test
+		} else if err := test.Run(); err != nil {
+			t.Errorf("unrelated test %s must still pass: %v", test.Name, err)
+		}
+	}
+	if err := vhost.Run(); err == nil {
+		t.Error("vhost-blog passed although the blog server has no server_name")
+	}
+}
+
+func TestMissingConfigFile(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Start(suts.Files{})
+	defer func() { _ = s.Stop() }()
+	if err == nil || !suts.IsStartupError(err) {
+		t.Fatalf("Start without config: %v", err)
+	}
+}

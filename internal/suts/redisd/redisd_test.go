@@ -1,0 +1,186 @@
+package redisd
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+
+	"conferr/internal/suts"
+)
+
+func TestDefaultConfigStartsAndPassesTests(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(s.DefaultConfig()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = s.Stop() }()
+	for _, test := range Tests(s) {
+		if err := test.Run(); err != nil {
+			t.Errorf("functional test %s: %v", test.Name, err)
+		}
+	}
+}
+
+func TestRestartable(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.DefaultConfig()
+	for i := 0; i < 2; i++ {
+		if err := s.Start(files); err != nil {
+			t.Fatalf("Start #%d: %v", i+1, err)
+		}
+		if err := s.Stop(); err != nil {
+			t.Fatalf("Stop #%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestStateDoesNotSurviveRestart guards experiment isolation: keys
+// written during one injection must not leak into the next.
+func TestStateDoesNotSurviveRestart(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.DefaultConfig()
+	if err := s.Start(files); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := dial(s.DefaultPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if _, err := roundTrip(conn, r, "SET leak 1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(files); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Stop() }()
+	conn, err = dial(s.DefaultPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	reply, err := roundTrip(conn, bufio.NewReader(conn), "GET leak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "$-1" {
+		t.Errorf("GET leak after restart = %q, want $-1", reply)
+	}
+}
+
+// startErr starts the default configuration with one textual mutation and
+// expects a startup rejection containing want.
+func startErr(t *testing.T, want string, old, new string) {
+	t.Helper()
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := strings.Replace(string(s.DefaultConfig()[ConfigFile]), old, new, 1)
+	err = s.Start(suts.Files{ConfigFile: []byte(conf)})
+	defer func() { _ = s.Stop() }()
+	if err == nil {
+		t.Fatalf("Start accepted mutated config (want %q)", want)
+	}
+	if !suts.IsStartupError(err) {
+		t.Fatalf("err = %v, want StartupError", err)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %q, want substring %q", err, want)
+	}
+}
+
+func TestStartupValidation(t *testing.T) {
+	t.Run("unknown directive", func(t *testing.T) {
+		startErr(t, "Bad directive or wrong number of arguments", "daemonize no", "daemonise no")
+	})
+	t.Run("bad boolean", func(t *testing.T) {
+		startErr(t, "argument must be 'yes' or 'no'", "appendonly no", "appendonly off")
+	})
+	t.Run("bad loglevel", func(t *testing.T) {
+		startErr(t, "Invalid log level", "loglevel notice", "loglevel chatty")
+	})
+	t.Run("bad appendfsync", func(t *testing.T) {
+		startErr(t, "argument must be 'no', 'always' or 'everysec'", "appendfsync everysec", "appendfsync sometimes")
+	})
+	t.Run("bad memory value", func(t *testing.T) {
+		startErr(t, "argument must be a memory value", "maxmemory 256mb", "maxmemory lots")
+	})
+	t.Run("bad save line", func(t *testing.T) {
+		startErr(t, "Invalid save parameters", "save 900 1", "save 900")
+	})
+	t.Run("bad port", func(t *testing.T) {
+		startErr(t, "Invalid port", "port ", "port 9x")
+	})
+	t.Run("bad policy", func(t *testing.T) {
+		startErr(t, "Invalid maxmemory policy", "maxmemory-policy allkeys-lru", "maxmemory-policy frugal")
+	})
+	t.Run("bad bind", func(t *testing.T) {
+		startErr(t, "Invalid bind address", "bind 127.0.0.1", "bind one-two-seven.example")
+	})
+	t.Run("bad databases", func(t *testing.T) {
+		startErr(t, "Invalid number of databases", "databases 16", "databases 0")
+	})
+}
+
+// TestSelectDetectsShrunkDatabases: shrinking "databases" is accepted at
+// startup (it is a valid setting) but breaks the select-db diagnosis —
+// the DetectedByTest outcome class.
+func TestSelectDetectsShrunkDatabases(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := strings.Replace(string(s.DefaultConfig()[ConfigFile]), "databases 16", "databases 4", 1)
+	if err := s.Start(suts.Files{ConfigFile: []byte(conf)}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = s.Stop() }()
+	for _, test := range Tests(s) {
+		err := test.Run()
+		if test.Name == "select-db" {
+			if err == nil {
+				t.Error("select-db passed although databases was shrunk to 4")
+			}
+		} else if err != nil {
+			t.Errorf("test %s: %v", test.Name, err)
+		}
+	}
+}
+
+// TestBadPortMutationMovesServer: a mutated port keeps startup green but
+// the diagnosis dials the configured primary port and fails — the
+// misconfiguration only a functional test catches.
+func TestBadPortMutationMovesServer(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(0) // just to grab a second free port number
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := strings.Replace(string(s.DefaultConfig()[ConfigFile]),
+		"port "+strconv.Itoa(s.DefaultPort()), "port "+strconv.Itoa(other.DefaultPort()), 1)
+	if err := s.Start(suts.Files{ConfigFile: []byte(conf)}); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = s.Stop() }()
+	if err := Tests(s)[0].Run(); err == nil {
+		t.Error("ping reached the default port although the server moved")
+	}
+}

@@ -132,8 +132,10 @@ func joinNames[V any](m map[string]V) string {
 }
 
 // Built-in registrations: the five simulated systems of the paper's
-// evaluation plus their experiment variants, and the three error-generator
-// plugins (+ the Table 2 variations model).
+// evaluation plus their experiment variants, the two extension systems
+// (nginx on the nested-block nginxconf codec, redisd reusing the kv
+// codec), and the three error-generator plugins (+ the Table 2
+// variations model).
 func init() {
 	RegisterTarget("mysql", MySQLTargetAt)
 	RegisterTarget("mysql-full", MySQLFullTargetAt)
@@ -143,6 +145,8 @@ func init() {
 	RegisterTarget("postgres", PostgresTargetAt)
 	RegisterTarget("postgres-full", PostgresFullTargetAt)
 	RegisterTarget("apache", ApacheTargetAt)
+	RegisterTarget("nginx", NginxTargetAt)
+	RegisterTarget("redisd", RedisdTargetAt)
 	RegisterTarget("bind", BINDTargetAt)
 	RegisterTarget("djbdns", DjbdnsTargetAt)
 

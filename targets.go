@@ -9,6 +9,7 @@ import (
 	"conferr/internal/formats/apacheconf"
 	"conferr/internal/formats/ini"
 	"conferr/internal/formats/kv"
+	"conferr/internal/formats/nginxconf"
 	"conferr/internal/formats/tinydns"
 	"conferr/internal/formats/zonefile"
 	"conferr/internal/suts"
@@ -17,7 +18,9 @@ import (
 	"conferr/internal/suts/dnscheck"
 	"conferr/internal/suts/httpd"
 	"conferr/internal/suts/mysqld"
+	"conferr/internal/suts/nginx"
 	"conferr/internal/suts/postgres"
+	"conferr/internal/suts/redisd"
 	"conferr/internal/view"
 )
 
@@ -203,6 +206,46 @@ func ApacheTargetAt(port int) (*SystemTarget, error) {
 			System:  s,
 			Formats: map[string]formats.Format{httpd.ConfigFile: apacheconf.Format{}},
 			Tests:   httpd.Tests(s),
+		},
+	}, nil
+}
+
+// NginxTargetAt returns a campaign target for the simulated nginx web
+// server on a fixed port (0 allocates one). Its nested-brace nginx.conf
+// rides the nginxconf format — the matrix's first arbitrarily nested
+// codec — and its functional tests exercise default-server, virtual-host
+// and location routing.
+func NginxTargetAt(port int) (*SystemTarget, error) {
+	s, err := nginx.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: nginx target: %w", err)
+	}
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{nginx.ConfigFile: nginxconf.Format{}},
+			Tests:   nginx.Tests(s),
+		},
+	}, nil
+}
+
+// RedisdTargetAt returns a campaign target for the simulated Redis
+// server on a fixed port (0 allocates one). redis.conf is a flat
+// space-separated file, so the target reuses the existing kv codec
+// unchanged — adding the system costs only the SUT adapter, the paper's
+// §3.2 portability claim.
+func RedisdTargetAt(port int) (*SystemTarget, error) {
+	s, err := redisd.New(port)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: redisd target: %w", err)
+	}
+	return &SystemTarget{
+		System: s,
+		Target: &core.Target{
+			System:  s,
+			Formats: map[string]formats.Format{redisd.ConfigFile: kv.Format{}},
+			Tests:   redisd.Tests(s),
 		},
 	}, nil
 }
