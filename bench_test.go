@@ -150,7 +150,7 @@ func BenchmarkFigure3_Compare(b *testing.B) {
 // every other file rides on the campaign's cached baseline bytes.
 func BenchmarkInjectionOverhead(b *testing.B) {
 	b.Run("Postgres", func(b *testing.B) {
-		tgt, err := PostgresTarget()
+		tgt, err := PostgresTargetAt(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +199,7 @@ func BenchmarkInjectionOverhead(b *testing.B) {
 func BenchmarkAblation_TypoSubmodels(b *testing.B) {
 	var prof *Profile
 	for i := 0; i < b.N; i++ {
-		tgt, err := PostgresTarget()
+		tgt, err := PostgresTargetAt(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func BenchmarkAblation_TypoSubmodels(b *testing.B) {
 func BenchmarkAblation_KeyboardLayout(b *testing.B) {
 	var us, ch int
 	for i := 0; i < b.N; i++ {
-		tgt, err := PostgresTarget()
+		tgt, err := PostgresTargetAt(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func BenchmarkAblation_KeyboardLayout(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		tgt2, err := PostgresTarget()
+		tgt2, err := PostgresTargetAt(0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,10 @@
 //	conferr campaign -system S -plugin P [-seed N] [-workers N] [-records]
 //	                                        run one custom campaign and summarize
 //	                                        (-target is an alias for -system)
+//	conferr matrix [-systems a,b] [-plugins x,y] [-workers N] [-limit N]
+//	               [-rounds N] [-sample N] [-stream-out FILE]
+//	                                        run a target × generator suite with
+//	                                        streamed faultloads and JSONL profiles
 //	conferr list                            list registered systems and plugins
 //	conferr all [-seed N] [-workers N]      run every experiment
 //
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"conferr"
 	"conferr/internal/profile"
@@ -55,6 +61,8 @@ func run(ctx context.Context, args []string) int {
 		err = cmdFigure3(ctx, rest)
 	case "campaign":
 		err = cmdCampaign(ctx, rest)
+	case "matrix":
+		err = cmdMatrix(ctx, rest)
 	case "editbench":
 		err = cmdEditBench(ctx, rest)
 	case "compare":
@@ -87,6 +95,8 @@ commands:
   table3    reproduce Table 3: resilience to semantic errors (BIND, djbdns)
   figure3   reproduce Figure 3: MySQL vs Postgres value-typo comparison
   campaign  run one campaign: -system <name> (alias -target) -plugin <name> [-workers N]
+  matrix    run a target × generator suite: -systems a,b -plugins x,y [-workers N]
+            [-limit N] [-rounds N] [-sample N] [-stream-out FILE]
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
   list      list registered systems and plugins
@@ -264,6 +274,137 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		fmt.Println("profile written to", *jsonOut)
 	}
 	return nil
+}
+
+// cmdMatrix runs a target × generator matrix as one streaming campaign
+// suite: every cell's faultload is pulled lazily from its generator and
+// fanned out under a shared worker budget, so neither the scenario lists
+// nor (with -stream-out) the profiles ever materialize in memory —
+// million-scenario faultloads run in bounded space.
+func cmdMatrix(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ExitOnError)
+	systems := fs.String("systems", "", "comma-separated registered systems (empty or \"all\" = every system)")
+	plugins := fs.String("plugins", "typo", "comma-separated registered plugins (\"all\" = every plugin)")
+	seed := fs.Int64("seed", conferr.DefaultSeed, "faultload seed")
+	perModel := fs.Int("per-model", 0, "typo scenarios per submodel (0 = all)")
+	perClass := fs.Int("per-class", 0, "structural/variation scenarios per class (0 = all)")
+	limit := fs.Int("limit", 0, "cap each cell's faultload, lazily (0 = off)")
+	rounds := fs.Int("rounds", 0, "replay each cell's faultload N times with round-prefixed IDs (scale harness)")
+	sample := fs.Int("sample", 0, "reservoir-sample N scenarios per cell (0 = off)")
+	streamOut := fs.String("stream-out", "", "stream records of all cells to this JSONL file instead of keeping profiles in memory")
+	basePort := fs.Int("base-port", 24100, "primary port of cell i is base-port+i, keeping faultloads reproducible (0 = allocate)")
+	keepGoing := fs.Bool("keep-going", false, "keep running remaining cells when one fails")
+	workers := workersFlag(fs)
+	_ = fs.Parse(args)
+
+	sysNames := splitNames(*systems)
+	if isAll(sysNames) {
+		sysNames = conferr.RegisteredTargets()
+	}
+	plugNames := splitNames(*plugins)
+	if isAll(plugNames) {
+		plugNames = conferr.RegisteredGenerators()
+	}
+	entries, skipped, err := conferr.MatrixEntries(sysNames, plugNames, conferr.GeneratorOptions{
+		Seed: *seed, PerModel: *perModel, PerClass: *perClass,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range skipped {
+		fmt.Fprintln(os.Stderr, "conferr: skipping", s)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("matrix is empty (all %d pairs skipped)", len(skipped))
+	}
+
+	mo := conferr.MatrixOptions{
+		Workers:   *workers,
+		BasePort:  *basePort,
+		Limit:     *limit,
+		Rounds:    *rounds,
+		Sample:    *sample,
+		KeepGoing: *keepGoing,
+	}
+	var finishOut func() error
+	if *streamOut != "" {
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		lw := conferr.NewLockedWriter(bw)
+		mo.SinkFor = func(e conferr.MatrixEntry) conferr.Sink {
+			return conferr.NewJSONLSink(lw, e.System, e.Plugin)
+		}
+		finishOut = func() error {
+			// A failed flush must fail the command: up to the buffer size
+			// of records exists nowhere but here.
+			if err := bw.Flush(); err != nil {
+				_ = f.Close()
+				return fmt.Errorf("flushing %s: %w", *streamOut, err)
+			}
+			return f.Close()
+		}
+	}
+
+	res, err := conferr.RunMatrix(ctx, entries, mo)
+	if res != nil {
+		printMatrixResults(res)
+	}
+	if finishOut != nil {
+		if ferr := finishOut(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if *streamOut != "" {
+		fmt.Println("records streamed to", *streamOut)
+	}
+	return nil
+}
+
+// printMatrixResults renders one row per suite cell.
+func printMatrixResults(res *conferr.SuiteResult) {
+	fmt.Printf("%-28s %12s %10s %8s %8s %8s %12s %10s\n",
+		"campaign", "records", "startup", "test", "ignored", "not-exp", "duration", "exp/s")
+	for _, cr := range res.Results {
+		if cr.Err != nil {
+			fmt.Printf("%-28s failed: %v\n", cr.Name, cr.Err)
+			continue
+		}
+		s := cr.Summary
+		rate := ""
+		if sec := cr.Duration.Seconds(); sec > 0 {
+			rate = fmt.Sprintf("%.0f", float64(cr.Records)/sec)
+		}
+		fmt.Printf("%-28s %12d %10d %8d %8d %8d %12s %10s\n",
+			cr.Name, cr.Records, s.AtStartup, s.ByTest, s.Ignored, s.NotExpressible,
+			cr.Duration.Round(time.Millisecond), rate)
+	}
+}
+
+// isAll reports whether a name list means "every registered one": empty,
+// or the single wildcard "all".
+func isAll(names []string) bool {
+	return len(names) == 0 || (len(names) == 1 && names[0] == "all")
+}
+
+// splitNames parses a comma-separated flag value, dropping repeats: a
+// duplicated name would run the same matrix cell twice and, under
+// -stream-out, merge both cells' records into one JSONL profile.
+func splitNames(s string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" && !seen[part] {
+			seen[part] = true
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func cmdList(args []string) error {

@@ -74,6 +74,47 @@ func TestRunListCommand(t *testing.T) {
 	}
 }
 
+// TestRunMatrixCommand drives the suite orchestrator end to end: a 2×2
+// matrix with a lazy limit, streamed to a JSONL file, must report every
+// cell and produce a file that splits back into one profile per cell.
+func TestRunMatrixCommand(t *testing.T) {
+	out := t.TempDir() + "/records.jsonl"
+	stdout := capture(t, func() {
+		if got := runT("matrix", "-systems", "nginx,redisd", "-plugins", "typo,structural",
+			"-per-model", "4", "-per-class", "4", "-limit", "10",
+			"-workers", "4", "-base-port", "24150", "-stream-out", out); got != 0 {
+			t.Errorf("matrix: exit = %d", got)
+		}
+	})
+	for _, cell := range []string{"nginx/typo", "nginx/structural", "redisd/typo", "redisd/structural"} {
+		if !strings.Contains(stdout, cell) {
+			t.Errorf("matrix output missing cell %s:\n%s", cell, stdout)
+		}
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	profs, err := conferr.ReadProfilesJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 4 {
+		t.Fatalf("JSONL split into %d profiles, want 4", len(profs))
+	}
+	for _, p := range profs {
+		if len(p.Records) == 0 || len(p.Records) > 10 {
+			t.Errorf("%s/%s: %d records, want 1..10 (limit)", p.System, p.Generator, len(p.Records))
+		}
+	}
+
+	// The whole-pair matrix must skip incompatible cells rather than fail.
+	if got := runT("matrix", "-systems", "mysql", "-plugins", "semantic"); got != 1 {
+		t.Errorf("all-skipped matrix: exit = %d, want 1", got)
+	}
+}
+
 func TestRunCampaignCommand(t *testing.T) {
 	if got := runT("campaign", "-system", "djbdns", "-plugin", "semantic"); got != 0 {
 		t.Errorf("campaign semantic: exit = %d", got)

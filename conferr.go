@@ -55,6 +55,15 @@ type (
 	Target = core.Target
 	// Generator is an error-generator plugin.
 	Generator = core.Generator
+	// StreamingGenerator is a Generator that emits its faultload lazily.
+	StreamingGenerator = core.StreamingGenerator
+	// Sink consumes injection records as they are produced (streaming
+	// campaigns).
+	Sink = profile.Sink
+	// TallySink folds records into a running Summary in O(1) memory.
+	TallySink = profile.TallySink
+	// MemorySink accumulates records into a Profile.
+	MemorySink = profile.MemorySink
 	// Profile is the resilience profile — ConfErr's output.
 	Profile = profile.Profile
 	// Record is one injection result within a profile.
@@ -245,6 +254,48 @@ func BorrowGenerator(donor *SystemTarget, seed int64, perClass int) (Generator, 
 // with Profile.WriteJSON.
 func ReadProfileJSON(r io.Reader) (*Profile, error) {
 	return profile.ReadJSON(r)
+}
+
+// NewJSONLSink returns a streaming sink writing one self-contained JSON
+// object per record to w, tagged with the campaign identity — the
+// bounded-memory destination for million-scenario campaigns (`conferr
+// matrix -stream-out`).
+func NewJSONLSink(w io.Writer, system, generator string) *profile.JSONLSink {
+	return profile.NewJSONLSink(w, system, generator)
+}
+
+// NewLockedWriter serializes writes to w so the JSONL sinks of
+// concurrently running campaigns can share one output file.
+func NewLockedWriter(w io.Writer) *profile.LockedWriter {
+	return profile.NewLockedWriter(w)
+}
+
+// ReadProfilesJSONL parses a JSON Lines stream written by JSONL sinks,
+// splitting it into one scenario-ordered Profile per campaign.
+func ReadProfilesJSONL(r io.Reader) ([]*Profile, error) {
+	return profile.ReadJSONL(r)
+}
+
+// LimitGenerator caps gen's faultload at n scenarios; on the streaming
+// path generation work past the cap never happens.
+func LimitGenerator(gen Generator, n int) Generator { return core.LimitGenerator(gen, n) }
+
+// SampleGenerator draws n scenarios uniformly from gen's faultload via
+// seeded reservoir sampling, holding only n scenarios in memory.
+func SampleGenerator(gen Generator, seed int64, n int) Generator {
+	return core.SampleGenerator(gen, seed, n)
+}
+
+// RepeatGenerator replays gen's faultload rounds times with round-prefixed
+// scenario IDs — the scale harness for streaming campaigns.
+func RepeatGenerator(gen Generator, rounds int) Generator {
+	return core.RepeatGenerator(gen, rounds)
+}
+
+// MergeGenerators concatenates the faultloads of generators sharing one
+// view into a single streamed campaign.
+func MergeGenerators(name string, gens ...Generator) (Generator, error) {
+	return core.MergeGenerators(name, gens...)
 }
 
 // CompareProfiles diffs two profiles of the same faultload by scenario

@@ -13,18 +13,15 @@ import (
 // functional tests on its unmutated default configuration — the
 // precondition for any campaign to be meaningful.
 func TestBaselines(t *testing.T) {
-	targets := map[string]func() (*SystemTarget, error){
-		"mysql":         MySQLTarget,
-		"mysql-full":    MySQLFullTarget,
-		"postgres":      PostgresTarget,
-		"postgres-full": PostgresFullTarget,
-		"apache":        ApacheTarget,
-		"bind":          BINDTarget,
-		"djbdns":        DjbdnsTarget,
-	}
-	for label, newTarget := range targets {
+	// Every registry entry, so a new target cannot merge with a broken
+	// default configuration.
+	for _, label := range RegisteredTargets() {
 		t.Run(label, func(t *testing.T) {
-			tgt, err := newTarget()
+			factory, err := LookupTarget(label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tgt, err := factory(0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -232,7 +229,7 @@ func TestPaperFindingsInProfiles(t *testing.T) {
 
 // TestDetectionByClassRendering exercises the per-class ablation view.
 func TestDetectionByClassRendering(t *testing.T) {
-	tgt, err := PostgresTarget()
+	tgt, err := PostgresTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +252,7 @@ func TestDetectionByClassRendering(t *testing.T) {
 // detectable ("... not allowed here") while most omissions and
 // duplications are silently absorbed.
 func TestStructuralCampaign(t *testing.T) {
-	tgt, err := ApacheTarget()
+	tgt, err := ApacheTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +297,7 @@ func TestSemanticExtendedClasses(t *testing.T) {
 // TestCampaignObserverIntegration checks the observer hook at the facade
 // level.
 func TestCampaignObserverIntegration(t *testing.T) {
-	tgt, err := DjbdnsTarget()
+	tgt, err := DjbdnsTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +334,7 @@ func TestEditBenchmarkShape(t *testing.T) {
 		t.Errorf("Postgres near-edit detection %.0f%%, implausibly low", pg*100)
 	}
 	// The clean-edit control path: an edit without a typo must be accepted.
-	tgt, err := PostgresTarget()
+	tgt, err := PostgresTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,11 +352,11 @@ func TestEditBenchmarkShape(t *testing.T) {
 // max_connections) slip through — the realistic hazard of transferring a
 // mental model between systems.
 func TestBorrowCampaign(t *testing.T) {
-	donor, err := PostgresTarget()
+	donor, err := PostgresTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tgt, err := MySQLTarget()
+	tgt, err := MySQLTargetAt(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +457,7 @@ func TestStrictModeImprovement(t *testing.T) {
 // the latent-error exposure.
 func TestLatentSharedConfigErrors(t *testing.T) {
 	runShared := func(withToolChecks bool) *Profile {
-		tgt, err := MySQLSharedTarget(withToolChecks)
+		tgt, err := MySQLSharedFactory(withToolChecks)(0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -70,7 +70,10 @@ func (deleteGen) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 }
 
 // sampledGen caps another generator's faultload at n scenarios, drawn
-// uniformly.
+// uniformly. It stays on the eager RandomSubset draw — not the streaming
+// reservoir sampler — because the published Table 1 faultloads pin the
+// exact scenarios each seed selects; streaming campaigns that only need a
+// bounded sample should use SampleGenerator instead.
 type sampledGen struct {
 	inner core.Generator
 	n     int
@@ -94,21 +97,35 @@ func (g sampledGen) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 	return scenario.RandomSubset(rand.New(rand.NewSource(g.seed)), scens, g.n), nil
 }
 
-// runMerged runs one campaign per generator against the target family and
-// merges the profiles.
+// runMerged runs one campaign per generator against the target family —
+// concurrently, as a suite sharing the worker budget — and merges the
+// profiles in generator order.
 func runMerged(ctx context.Context, factory TargetFactory, port int, label string, workers int, gens ...core.Generator) (*Profile, error) {
-	var parts []*Profile
-	system := ""
-	for _, gen := range gens {
-		r := &Runner{Factory: factory, Generator: gen, Port: port}
-		p, err := r.Run(ctx, WithParallelism(workers))
+	campaigns := make([]SuiteCampaign, 0, len(gens))
+	for i, gen := range gens {
+		sc, err := NewSuiteCampaign(fmt.Sprintf("%s/%d/%s", label, i, gen.Name()), factory, port, gen)
 		if err != nil {
 			return nil, fmt.Errorf("conferr: %s campaign (%s): %w", label, gen.Name(), err)
 		}
-		system = p.System
-		parts = append(parts, p)
+		campaigns = append(campaigns, sc)
 	}
-	return MergeProfiles(system, label, parts...), nil
+	res, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: %s: %w", label, err)
+	}
+	return mergeSuiteProfiles(label, res.Results), nil
+}
+
+// mergeSuiteProfiles folds consecutive campaign results into one profile
+// labelled with the experiment name.
+func mergeSuiteProfiles(label string, results []CampaignResult) *Profile {
+	parts := make([]*Profile, 0, len(results))
+	system := ""
+	for _, cr := range results {
+		system = cr.Profile.System
+		parts = append(parts, cr.Profile)
+	}
+	return MergeProfiles(system, label, parts...)
 }
 
 // Table1Spec sets the §5.2 faultload sizes for one system: every directive
@@ -159,9 +176,10 @@ func RunTable1System(spec Table1Spec, seed int64) (*Profile, error) {
 	return RunTable1SystemCtx(context.Background(), spec, seed, 1)
 }
 
-// RunTable1SystemCtx is RunTable1System under a context, fanned out over
-// the given number of workers.
-func RunTable1SystemCtx(ctx context.Context, spec Table1Spec, seed int64, workers int) (*Profile, error) {
+// table1Generators builds the three campaign generators of one system's
+// §5.2 faultload: directive deletions plus name and value typos, each
+// capped per the spec.
+func table1Generators(spec Table1Spec, seed int64) []core.Generator {
 	var del core.Generator = deleteGen{}
 	if spec.DeleteCap > 0 {
 		del = sampledGen{inner: del, n: spec.DeleteCap, seed: seed}
@@ -178,7 +196,13 @@ func RunTable1SystemCtx(ctx context.Context, spec Table1Spec, seed int64, worker
 	if spec.ValueCap > 0 {
 		values = sampledGen{inner: values, n: spec.ValueCap, seed: seed + 4}
 	}
-	return runMerged(ctx, spec.Factory, spec.Port, "table1", workers, del, names, values)
+	return []core.Generator{del, names, values}
+}
+
+// RunTable1SystemCtx is RunTable1System under a context: the system's
+// three campaigns run as a suite sharing the given worker budget.
+func RunTable1SystemCtx(ctx context.Context, spec Table1Spec, seed int64, workers int) (*Profile, error) {
+	return runMerged(ctx, spec.Factory, spec.Port, "table1", workers, table1Generators(spec, seed)...)
 }
 
 // Table1Result holds the per-system profiles and summaries of Table 1.
@@ -197,8 +221,10 @@ func RunTable1(seed int64) (*Table1Result, error) {
 	return RunTable1Ctx(context.Background(), seed, 1)
 }
 
-// RunTable1Ctx is RunTable1 under a context, with each system's campaigns
-// fanned out over the given number of workers.
+// RunTable1Ctx is RunTable1 under a context: the full 3-system × 3-campaign
+// matrix runs as one suite, with the worker budget shared across every
+// campaign. The per-system profiles are identical to sequential runs —
+// only wall-clock time changes with the budget.
 func RunTable1Ctx(ctx context.Context, seed int64, workers int) (*Table1Result, error) {
 	res := &Table1Result{
 		Order:     []string{"MySQL", "Postgres", "Apache"},
@@ -206,11 +232,31 @@ func RunTable1Ctx(ctx context.Context, seed int64, workers int) (*Table1Result, 
 		Summaries: make(map[string]Summary),
 	}
 	specs := Table1Specs()
+	var campaigns []SuiteCampaign
+	// spans[label] is the half-open campaign index range of that system's
+	// cells — recorded while building, so the result grouping cannot drift
+	// from the suite layout.
+	spans := make(map[string][2]int, len(res.Order))
 	for _, label := range res.Order {
-		p, err := RunTable1SystemCtx(ctx, specs[label], seed, workers)
-		if err != nil {
-			return nil, err
+		spec := specs[label]
+		start := len(campaigns)
+		for i, gen := range table1Generators(spec, seed) {
+			sc, err := NewSuiteCampaign(fmt.Sprintf("%s/%d/%s", label, i, gen.Name()),
+				spec.Factory, spec.Port, gen)
+			if err != nil {
+				return nil, fmt.Errorf("conferr: table1 %s: %w", label, err)
+			}
+			campaigns = append(campaigns, sc)
 		}
+		spans[label] = [2]int{start, len(campaigns)}
+	}
+	suiteRes, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: table1: %w", err)
+	}
+	for _, label := range res.Order {
+		span := spans[label]
+		p := mergeSuiteProfiles("table1", suiteRes.Results[span[0]:span[1]])
 		s := p.Summarize()
 		s.System = label
 		res.Profiles[label] = p
@@ -265,8 +311,9 @@ func RunTable2(seed int64, perClass int) (*Table2Result, error) {
 	return RunTable2Ctx(context.Background(), seed, perClass, 1)
 }
 
-// RunTable2Ctx is RunTable2 under a context, with each class's campaign
-// fanned out over the given number of workers.
+// RunTable2Ctx is RunTable2 under a context: the full system × class
+// matrix (minus the paper's n/a cells) runs as one suite sharing the
+// worker budget.
 func RunTable2Ctx(ctx context.Context, seed int64, perClass, workers int) (*Table2Result, error) {
 	if perClass == 0 {
 		perClass = 10
@@ -281,6 +328,9 @@ func RunTable2Ctx(ctx context.Context, seed int64, perClass, workers int) (*Tabl
 		"Postgres": PostgresTargetAt,
 		"Apache":   ApacheTargetAt,
 	}
+	type cell struct{ label, class string }
+	var cells []cell
+	var campaigns []SuiteCampaign
 	for _, label := range res.Order {
 		res.Support[label] = make(map[string]string)
 		for _, class := range res.Classes {
@@ -288,23 +338,28 @@ func RunTable2Ctx(ctx context.Context, seed int64, perClass, workers int) (*Tabl
 				res.Support[label][class] = SupportNA
 				continue
 			}
-			r := &Runner{
-				Factory:   targets[label],
-				Generator: VariationsGenerator(seed, perClass, []string{class}),
-			}
-			p, err := r.Run(ctx, WithParallelism(workers))
+			sc, err := NewSuiteCampaign(label+"/"+class, targets[label], 0,
+				VariationsGenerator(seed, perClass, []string{class}))
 			if err != nil {
 				return nil, fmt.Errorf("conferr: table2 %s/%s: %w", label, class, err)
 			}
-			support := SupportYes
-			for _, rec := range p.Records {
-				if rec.Outcome != profile.Ignored {
-					support = SupportNo
-					break
-				}
-			}
-			res.Support[label][class] = support
+			cells = append(cells, cell{label, class})
+			campaigns = append(campaigns, sc)
 		}
+	}
+	suiteRes, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: table2: %w", err)
+	}
+	for i, c := range cells {
+		support := SupportYes
+		for _, rec := range suiteRes.Results[i].Profile.Records {
+			if rec.Outcome != profile.Ignored {
+				support = SupportNo
+				break
+			}
+		}
+		res.Support[c.label][c.class] = support
 	}
 	return res, nil
 }
@@ -411,15 +466,32 @@ func RunTable3Ctx(ctx context.Context, extended bool, workers int) (*Table3Resul
 		Profiles: make(map[string]*Profile),
 	}
 	systems := map[string]string{"BIND": "bind", "djbdns": "djbdns"}
+	var campaigns []SuiteCampaign
 	for _, label := range res.Order {
-		r, err := NewRunnerFor(systems[label], "semantic", GeneratorOptions{Classes: classes})
+		tf, err := LookupTarget(systems[label])
 		if err != nil {
 			return nil, err
 		}
-		p, err := r.Run(ctx, WithParallelism(workers))
+		gf, err := LookupGenerator("semantic")
+		if err != nil {
+			return nil, err
+		}
+		gen, err := gf(GeneratorOptions{System: systems[label], Classes: classes})
+		if err != nil {
+			return nil, err
+		}
+		sc, err := NewSuiteCampaign(label+"/semantic", tf, 0, gen)
 		if err != nil {
 			return nil, fmt.Errorf("conferr: table3 %s: %w", label, err)
 		}
+		campaigns = append(campaigns, sc)
+	}
+	suiteRes, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: table3: %w", err)
+	}
+	for i, label := range res.Order {
+		p := suiteRes.Results[i].Profile
 		res.Profiles[label] = p
 		byClass := make(map[string][]profile.Record)
 		for _, rec := range p.Records {
@@ -522,18 +594,23 @@ func RunFigure3Ctx(ctx context.Context, seed int64, perDirective, workers int) (
 		{"Postgresql", PostgresFullTargetAt, figure3PostgresPort},
 		{"MySQL", MySQLFullTargetAt, figure3MySQLPort},
 	}
+	var campaigns []SuiteCampaign
 	for _, sys := range systems {
-		r := &Runner{
-			Factory: sys.factory,
-			Port:    sys.port,
-			Generator: TypoGenerator(TypoOptions{
+		sc, err := NewSuiteCampaign(sys.label+"/value-typo", sys.factory, sys.port,
+			TypoGenerator(TypoOptions{
 				Seed: seed, ValuesOnly: true, PerDirective: perDirective,
-			}),
-		}
-		p, err := r.Run(ctx, WithParallelism(workers))
+			}))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: figure3 %s: %w", sys.label, err)
 		}
+		campaigns = append(campaigns, sc)
+	}
+	suiteRes, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: figure3: %w", err)
+	}
+	for i, sys := range systems {
+		p := suiteRes.Results[i].Profile
 		res.Profiles[sys.label] = p
 		banding := p.BandByKey(func(r Record) string { return TypoDirectiveKey(r.ScenarioID) })
 		banding.System = sys.label
@@ -597,17 +674,22 @@ func RunEditBenchmarkCtx(ctx context.Context, seed int64, perEdit, workers int) 
 			},
 		},
 	}
+	var campaigns []SuiteCampaign
 	for _, label := range res.Order {
 		tk := tasks[label]
-		r := &Runner{
-			Factory:   tk.factory,
-			Port:      tk.port,
-			Generator: EditBenchmarkGenerator(tk.edits, seed, perEdit),
-		}
-		p, err := r.Run(ctx, WithParallelism(workers))
+		sc, err := NewSuiteCampaign(label+"/editsim", tk.factory, tk.port,
+			EditBenchmarkGenerator(tk.edits, seed, perEdit))
 		if err != nil {
 			return nil, fmt.Errorf("conferr: edit benchmark %s: %w", label, err)
 		}
+		campaigns = append(campaigns, sc)
+	}
+	suiteRes, err := (&Suite{Campaigns: campaigns, Workers: workers}).Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("conferr: edit benchmark: %w", err)
+	}
+	for i, label := range res.Order {
+		p := suiteRes.Results[i].Profile
 		res.Profiles[label] = p
 		res.Rates[label] = p.DetectionRate()
 	}

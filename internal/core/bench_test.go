@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"conferr/internal/benchfixture"
+	"conferr/internal/profile"
 )
 
 // The InjectionPipeline benchmarks measure the engine's own per-injection
@@ -65,6 +66,41 @@ func BenchmarkInjectionPipeline(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/injection")
 	})
+}
+
+// BenchmarkStreamingDispatch measures the streaming engine end to end —
+// lazy generation, batched dispatch through the bounded queue, sequence-
+// numbered reassembly, sink flush — against the same synthetic faultload
+// the materialized campaign benchmarks run, at 1 and 8 workers. Comparing
+// experiments/s with BenchmarkInjectionPipelineCampaign quantifies the
+// dispatch machinery's overhead over slice indexing.
+func BenchmarkStreamingDispatch(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			records := 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := &Campaign{Target: benchTarget(), Generator: benchfixture.Gen{}}
+				opts := []RunOption{WithParallelism(workers)}
+				if workers > 1 {
+					opts = append(opts,
+						WithTargetFactory(func() (*Target, error) { return benchTarget(), nil }))
+				}
+				tally := &profile.TallySink{}
+				n, err := c.RunStream(context.Background(), tally, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = n
+			}
+			if want := benchfixture.Files * benchfixture.DirsPerFile; records != want {
+				b.Fatalf("streamed %d records, want %d", records, want)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(records*b.N)/sec, "experiments/s")
+			}
+		})
+	}
 }
 
 // BenchmarkInjectionPipelineCampaign runs whole campaigns over the

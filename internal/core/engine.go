@@ -36,6 +36,42 @@ type Generator interface {
 	Generate(viewSet *confnode.Set) ([]scenario.Scenario, error)
 }
 
+// StreamingGenerator is a Generator that can emit its faultload lazily,
+// one scenario at a time, instead of materializing it as a slice. The
+// stream must enumerate exactly the scenarios Generate would return, in
+// the same order: Collect(GenerateStream(set)) ≡ Generate(set). The
+// streaming campaign runner pulls from this stream, so a faultload's size
+// is bounded by patience, not by memory.
+type StreamingGenerator interface {
+	Generator
+	// GenerateStream returns the generator's faultload as a pull stream.
+	// Like Generate, it may consume internal generator state (RNGs), so
+	// call exactly one of the two per campaign.
+	GenerateStream(viewSet *confnode.Set) scenario.Source
+}
+
+// StreamOf returns the generator's faultload as a stream: lazily when the
+// generator implements StreamingGenerator, otherwise by materializing
+// Generate's slice behind a FromSlice adapter — slice-based plugins keep
+// working unchanged on every streaming path.
+func StreamOf(gen Generator, viewSet *confnode.Set) scenario.Source {
+	if sg, ok := gen.(StreamingGenerator); ok {
+		return sg.GenerateStream(viewSet)
+	}
+	return func(yield func(scenario.Scenario, error) bool) {
+		scens, err := gen.Generate(viewSet)
+		if err != nil {
+			yield(scenario.Scenario{}, err)
+			return
+		}
+		for _, sc := range scens {
+			if !yield(sc, nil) {
+				return
+			}
+		}
+	}
+}
+
 // Target bundles everything system-specific: the SUT, the format of each
 // of its configuration files, and the functional tests (paper §5.1's three
 // system-specific components).
@@ -95,11 +131,11 @@ type faultload struct {
 	baseBytes map[string][]byte
 }
 
-// generate parses the initial configuration, maps it into the plugin view
-// and enumerates the fault scenarios. It is executed once per campaign,
-// regardless of parallelism, so every worker injects the identical
-// faultload.
-func (c *Campaign) generate() (*faultload, error) {
+// generateBase parses the initial configuration, maps it into the plugin
+// view and precomputes the fast-path state — everything the campaign needs
+// before the first scenario exists, shared by the materialized and
+// streaming generation paths.
+func (c *Campaign) generateBase() (*faultload, error) {
 	sysSet, err := c.parseInitial()
 	if err != nil {
 		return nil, fmt.Errorf("core: parsing initial configuration: %w", err)
@@ -109,22 +145,75 @@ func (c *Campaign) generate() (*faultload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: forward transform (%s): %w", v.Name(), err)
 	}
-	scens, err := c.Generator.Generate(viewSet)
+	fl := &faultload{view: v, viewSet: viewSet, sysSet: sysSet}
+	fl.prepareFastPath(c.Target)
+	return fl, nil
+}
+
+// generate is the materialized generation path: the whole faultload is
+// enumerated and validated before the first injection. It is executed once
+// per campaign, regardless of parallelism, so every worker injects the
+// identical faultload.
+func (c *Campaign) generate() (*faultload, error) {
+	fl, err := c.generateBase()
+	if err != nil {
+		return nil, err
+	}
+	scens, err := c.Generator.Generate(fl.viewSet)
 	if err != nil {
 		return nil, fmt.Errorf("core: generating scenarios: %w", err)
 	}
 	// Fail fast on malformed scenarios: a plugin emitting, say, an empty
 	// Class would otherwise corrupt every per-class profile table with a
-	// silent "" bucket thousands of experiments later.
+	// silent "" bucket thousands of experiments later. Duplicate IDs are
+	// rejected for the same reason: two scenarios sharing an ID silently
+	// collide in per-scenario reporting (Compare, FormatRecords sorting)
+	// and would corrupt JSONL dedup or resume keyed on the ID.
+	seen := make(map[string]struct{}, len(scens))
 	for i, sc := range scens {
 		if verr := sc.Validate(); verr != nil {
 			return nil, fmt.Errorf("core: plugin %s emitted invalid scenario #%d: %w",
 				c.Generator.Name(), i, verr)
 		}
+		if _, dup := seen[sc.ID]; dup {
+			return nil, fmt.Errorf("core: plugin %s emitted duplicate ScenarioID %q (scenario #%d)",
+				c.Generator.Name(), sc.ID, i)
+		}
+		seen[sc.ID] = struct{}{}
 	}
-	fl := &faultload{view: v, viewSet: viewSet, sysSet: sysSet, scens: scens}
-	fl.prepareFastPath(c.Target)
+	fl.scens = scens
 	return fl, nil
+}
+
+// generateStream is the streaming generation path: the faultload is pulled
+// from the generator one scenario at a time and never materialized. Each
+// scenario is shape-validated as it streams past; global duplicate-ID
+// detection is not performed here (it would grow with the faultload) —
+// compose scenario.Source.DedupByID upstream when merged sources may
+// collide.
+func (c *Campaign) generateStream() (*faultload, scenario.Source, error) {
+	fl, err := c.generateBase()
+	if err != nil {
+		return nil, nil, err
+	}
+	inner := StreamOf(c.Generator, fl.viewSet)
+	src := scenario.Source(func(yield func(scenario.Scenario, error) bool) {
+		i := 0
+		inner(func(sc scenario.Scenario, serr error) bool {
+			if serr != nil {
+				yield(sc, fmt.Errorf("core: generating scenarios: %w", serr))
+				return false
+			}
+			if verr := sc.Validate(); verr != nil {
+				yield(scenario.Scenario{}, fmt.Errorf("core: plugin %s emitted invalid scenario #%d: %w",
+					c.Generator.Name(), i, verr))
+				return false
+			}
+			i++
+			return yield(sc, nil)
+		})
+	})
+	return fl, src, nil
 }
 
 // prepareFastPath caches the baseline round-trip bytes when the view
@@ -412,7 +501,14 @@ func (c *Campaign) baselineOn(sysSet *confnode.Set, baseBytes map[string][]byte)
 			rt[name] = data
 			continue
 		}
-		data, err := c.Target.Formats[name].Serialize(sysSet.Get(name))
+		f := c.Target.Formats[name]
+		if f == nil {
+			// A Target whose Formats map lost (or never had) an entry for a
+			// parsed file must fail diagnosably, not panic on the nil
+			// interface.
+			return fmt.Errorf("core: baseline: no format registered for file %q", name)
+		}
+		data, err := f.Serialize(sysSet.Get(name))
 		if err != nil {
 			return fmt.Errorf("core: baseline serialize %s: %w", name, err)
 		}

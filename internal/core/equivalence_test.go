@@ -213,6 +213,49 @@ func TestFastPathMatchesReference(t *testing.T) {
 	}
 }
 
+// TestStreamingMatchesMaterialized is the streaming pipeline's equivalence
+// contract on the full fixture: for word-view and struct-view faultloads
+// over the multi-codec digest target, the lazy streaming runner (pull from
+// the generator, sequence-numbered reassembly, sink flush) must produce
+// profiles record-for-record identical to the materialized RunContext path
+// — and hence to the reference full-clone engine — at workers 1 and 4.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	gens := map[string]func() Generator{
+		"typo-wordview":  func() Generator { return &typo.Plugin{} },
+		"mix-structview": func() Generator { return mixGen{} },
+	}
+	for label, mkGen := range gens {
+		t.Run(label, func(t *testing.T) {
+			ref := refProfile(t, &Campaign{Target: digestTarget(), Generator: mkGen()})
+			materialized, err := (&Campaign{Target: digestTarget(), Generator: mkGen()}).
+				RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if canonical(materialized) != canonical(ref) {
+				t.Fatal("materialized path diverged from reference")
+			}
+			for _, workers := range []int{1, 4} {
+				prof := &profile.Profile{System: materialized.System, Generator: materialized.Generator}
+				c := &Campaign{Target: digestTarget(), Generator: mkGen()}
+				opts := []RunOption{WithParallelism(workers),
+					WithTargetFactory(func() (*Target, error) { return digestTarget(), nil })}
+				n, err := c.RunStream(context.Background(), &profile.MemorySink{Profile: prof}, opts...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if n != len(materialized.Records) {
+					t.Errorf("workers=%d: streamed %d records, want %d", workers, n, len(materialized.Records))
+				}
+				if canonical(prof) != canonical(materialized) {
+					t.Errorf("workers=%d: streaming path diverged from materialized\ngot:\n%s\nwant:\n%s",
+						workers, canonical(prof), canonical(materialized))
+				}
+			}
+		})
+	}
+}
+
 // TestFastPathEnabledForBuiltinViews guards the plumbing: the built-in
 // views must actually take the incremental path (a silently disabled fast
 // path would pass every equivalence test while optimizing nothing).

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"conferr/internal/confnode"
+	"conferr/internal/scenario"
+	"conferr/internal/view"
+)
+
+// This file provides generator combinators: wrappers that reshape another
+// generator's faultload — capping, sampling, merging or replicating it —
+// while implementing both the slice and the streaming contract. Each
+// wrapper's Generate is defined as Collect over its own stream, so the two
+// paths cannot drift apart.
+
+// streamFunc builds a Generator+StreamingGenerator pair from a stream
+// constructor; Generate materializes the identical stream.
+type streamFunc struct {
+	name string
+	view view.View
+	src  func(viewSet *confnode.Set) scenario.Source
+}
+
+var _ StreamingGenerator = streamFunc{}
+
+// Name implements Generator.
+func (g streamFunc) Name() string { return g.name }
+
+// View implements Generator.
+func (g streamFunc) View() view.View { return g.view }
+
+// Generate implements Generator.
+func (g streamFunc) Generate(viewSet *confnode.Set) ([]scenario.Scenario, error) {
+	return scenario.Collect(g.src(viewSet))
+}
+
+// GenerateStream implements StreamingGenerator.
+func (g streamFunc) GenerateStream(viewSet *confnode.Set) scenario.Source {
+	return g.src(viewSet)
+}
+
+// LimitGenerator caps gen's faultload at n scenarios. On the streaming
+// path the cap stops the pull: generation work past n never happens.
+func LimitGenerator(gen Generator, n int) Generator {
+	return streamFunc{
+		name: gen.Name(),
+		view: gen.View(),
+		src: func(viewSet *confnode.Set) scenario.Source {
+			return StreamOf(gen, viewSet).Limit(n)
+		},
+	}
+}
+
+// SampleGenerator draws n scenarios uniformly from gen's faultload via
+// seeded reservoir sampling: the whole faultload streams past, but only n
+// scenarios are ever resident.
+func SampleGenerator(gen Generator, seed int64, n int) Generator {
+	return streamFunc{
+		name: gen.Name(),
+		view: gen.View(),
+		src: func(viewSet *confnode.Set) scenario.Source {
+			return StreamOf(gen, viewSet).SampleN(seed, n)
+		},
+	}
+}
+
+// MergeGenerators concatenates the faultloads of several generators that
+// share one view — the streaming form of running them as separate merged
+// campaigns. All generators must declare the same view; the first one's is
+// used.
+func MergeGenerators(name string, gens ...Generator) (Generator, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("core: MergeGenerators needs at least one generator")
+	}
+	v := gens[0].View()
+	for _, g := range gens[1:] {
+		if g.View().Name() != v.Name() {
+			return nil, fmt.Errorf("core: MergeGenerators: %s uses view %s, want %s",
+				g.Name(), g.View().Name(), v.Name())
+		}
+	}
+	return streamFunc{
+		name: name,
+		view: v,
+		src: func(viewSet *confnode.Set) scenario.Source {
+			sources := make([]scenario.Source, len(gens))
+			for i, g := range gens {
+				sources[i] = StreamOf(g, viewSet)
+			}
+			return scenario.Concat(sources...)
+		},
+	}, nil
+}
+
+// RepeatGenerator replays gen's faultload rounds times, prefixing every
+// scenario ID with its round ("r003/typo/...") so IDs stay campaign-unique
+// — the stress harness for driving the streaming runner far past what one
+// enumeration of a configuration yields. Each round pulls a fresh stream
+// from gen, so stateful generators (seeded samplers) vary per round while
+// stateless ones repeat their enumeration exactly.
+func RepeatGenerator(gen Generator, rounds int) Generator {
+	return streamFunc{
+		name: gen.Name(),
+		view: gen.View(),
+		src: func(viewSet *confnode.Set) scenario.Source {
+			sources := make([]scenario.Source, rounds)
+			for r := 0; r < rounds; r++ {
+				prefix := fmt.Sprintf("r%03d/", r)
+				sources[r] = StreamOf(gen, viewSet).Map(func(sc scenario.Scenario) scenario.Scenario {
+					sc.ID = prefix + sc.ID
+					return sc
+				})
+			}
+			return scenario.Concat(sources...)
+		},
+	}
+}

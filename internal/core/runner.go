@@ -8,12 +8,14 @@ import (
 	"sync"
 
 	"conferr/internal/profile"
+	"conferr/internal/scenario"
 )
 
 // TargetFactory constructs a fresh, independent Target for one campaign
-// worker. Parallel runs call it once per additional worker so that every
-// worker owns its own SUT instance: start/stop cycles and port bindings of
-// concurrent experiments never collide.
+// worker. Runs with a factory execute every experiment on factory-built
+// targets so that start/stop cycles and port bindings of concurrent
+// experiments — within one campaign or across campaigns of a suite —
+// never collide.
 type TargetFactory func() (*Target, error)
 
 // runConfig collects the per-run settings of RunContext.
@@ -42,9 +44,10 @@ func WithParallelism(n int) RunOption {
 }
 
 // WithObserver streams every record to fn as experiments complete,
-// overriding Campaign.Observer for this run. Under parallelism the calls
-// are serialized (fn needs no locking) but arrive in completion order, not
-// scenario order; the returned profile is always scenario-ordered.
+// overriding Campaign.Observer for this run. Calls are serialized (fn
+// needs no locking) and arrive in scenario order: under parallelism the
+// reassembly stage invokes fn as each record is flushed to its slot in the
+// deterministic, generator-ordered profile.
 func WithObserver(fn func(profile.Record)) RunOption {
 	return func(cfg *runConfig) { cfg.observer = fn }
 }
@@ -63,36 +66,32 @@ func WithBaselineCheck() RunOption {
 	return func(cfg *runConfig) { cfg.baseline = true }
 }
 
-// WithTargetFactory supplies the per-worker target constructor parallel
-// runs need. The factory must produce targets that inject the same
-// faultload as the campaign's primary target (same formats, equivalent
-// functional tests). Every worker — including the first — runs on a
-// factory-built target; the campaign's primary target serves faultload
-// generation and the baseline check, and sequential runs.
+// WithTargetFactory supplies the per-worker target constructor. The
+// factory must produce targets that inject the same faultload as the
+// campaign's primary target (same formats, equivalent functional tests).
+// When a factory is present, every worker — sequential runs included —
+// runs on a factory-built target; the campaign's primary target serves
+// faultload generation and the baseline check only, which is what lets a
+// Suite run several campaigns of one system family concurrently without
+// their experiments contending for the primary port.
 func WithTargetFactory(f TargetFactory) RunOption {
 	return func(cfg *runConfig) { cfg.factory = f }
 }
 
 // RunContext executes the campaign under a context. The faultload is
-// generated exactly once — from the campaign's primary target — and then
-// fanned out over WithParallelism workers, each owning its own SUT
-// instance. Whatever the parallelism, the returned profile lists records
-// in scenario order and is deterministic for a fixed faultload.
+// generated exactly once — materialized and validated up front — and then
+// fed through the streaming dispatch engine over WithParallelism workers,
+// each owning its own SUT instance. Whatever the parallelism, the returned
+// profile lists records in scenario order and is deterministic for a fixed
+// faultload.
 //
 // On cancellation, RunContext returns ctx.Err() together with the profile
-// of every experiment that completed. On an infrastructure error without
-// WithKeepGoing, the campaign aborts: in-flight experiments finish, no new
-// ones start, and the error of the earliest failing scenario is returned.
+// of every experiment that completed and flushed in order. On an
+// infrastructure error without WithKeepGoing, the campaign aborts:
+// in-flight experiments finish, no new ones start, and the error of the
+// earliest failing scenario is returned.
 func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.Profile, error) {
-	cfg := runConfig{
-		parallelism: 1,
-		observer:    c.Observer,
-		keepGoing:   c.KeepGoing,
-	}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-
+	cfg := c.config(opts)
 	prof := &profile.Profile{
 		System:    c.Target.System.Name(),
 		Generator: c.Generator.Name(),
@@ -100,7 +99,6 @@ func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.
 	if err := ctx.Err(); err != nil {
 		return prof, err
 	}
-
 	fl, err := c.generate()
 	if err != nil {
 		return prof, err
@@ -110,132 +108,240 @@ func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.
 			return prof, err
 		}
 	}
-
-	workers := cfg.parallelism
-	if workers > len(fl.scens) {
-		workers = len(fl.scens)
+	if cfg.parallelism > len(fl.scens) {
+		cfg.parallelism = len(fl.scens)
 	}
-	if workers <= 1 {
-		return c.runSequential(ctx, cfg, prof, fl)
-	}
-	return c.runParallel(ctx, cfg, prof, fl, workers)
+	_, err = c.runStream(ctx, cfg, fl, scenario.FromSlice(fl.scens), &profile.MemorySink{Profile: prof})
+	return prof, err
 }
 
-// runSequential is the single-worker path: the paper's original engine,
-// plus cancellation between experiments.
-func (c *Campaign) runSequential(ctx context.Context, cfg runConfig, prof *profile.Profile, fl *faultload) (*profile.Profile, error) {
-	scr := &scratch{}
-	for _, sc := range fl.scens {
-		if err := ctx.Err(); err != nil {
-			return prof, err
+// RunStream executes the campaign's faultload as a pull stream: scenarios
+// are drawn lazily from the generator (see StreamingGenerator), dispatched
+// to the workers through a bounded queue, and every record is flushed to
+// the sink in scenario order as soon as its predecessors have completed.
+// Nothing grows with the faultload — not a scenario slice, not a profile —
+// so a campaign's size is bounded by the stream, not by memory.
+//
+// It returns the number of records flushed to the sink. The error contract
+// matches RunContext; a mid-stream generation error additionally arrives
+// after the records preceding it have been flushed.
+func (c *Campaign) RunStream(ctx context.Context, sink profile.Sink, opts ...RunOption) (int, error) {
+	cfg := c.config(opts)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	fl, src, err := c.generateStream()
+	if err != nil {
+		return 0, err
+	}
+	if cfg.baseline {
+		if err := c.baselineOn(fl.sysSet, fl.baseBytes); err != nil {
+			return 0, err
 		}
-		rec, err := runOne(c.Target, sc, fl, scr)
-		prof.Add(rec)
+	}
+	return c.runStream(ctx, cfg, fl, src, sink)
+}
+
+// config folds the campaign defaults and the run options.
+func (c *Campaign) config(opts []RunOption) runConfig {
+	cfg := runConfig{
+		parallelism: 1,
+		observer:    c.Observer,
+		keepGoing:   c.KeepGoing,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// runStream is the dispatch engine shared by RunContext and RunStream:
+// sequential in-line when one worker suffices, fan-out with sequence-
+// numbered reassembly otherwise.
+func (c *Campaign) runStream(ctx context.Context, cfg runConfig, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
+	if cfg.parallelism > 1 && cfg.factory == nil {
+		return 0, errors.New("core: parallel run requires a target factory (WithTargetFactory)")
+	}
+	if cfg.parallelism <= 1 {
+		t := c.Target
+		if cfg.factory != nil {
+			// A factory-built target even for the single worker: see
+			// WithTargetFactory.
+			ft, err := cfg.factory()
+			if err != nil {
+				return 0, fmt.Errorf("core: building worker target: %w", err)
+			}
+			t = ft
+		}
+		return runStreamSequential(ctx, cfg, t, fl, src, sink)
+	}
+	return runStreamParallel(ctx, cfg, fl, src, sink)
+}
+
+// runStreamSequential pulls scenarios one at a time and runs them in
+// line — the paper's original engine, plus cancellation between
+// experiments.
+func runStreamSequential(ctx context.Context, cfg runConfig, t *Target, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
+	scr := &scratch{}
+	n := 0
+	var firstErr error
+	src(func(sc scenario.Scenario, serr error) bool {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			return false
+		}
+		if serr != nil {
+			firstErr = serr
+			return false
+		}
+		rec, err := runOne(t, sc, fl, scr)
+		if werr := sink.Write(rec); werr != nil {
+			firstErr = werr
+			return false
+		}
+		n++
 		if cfg.observer != nil {
 			cfg.observer(rec)
 		}
 		if err != nil && !cfg.keepGoing {
-			return prof, fmt.Errorf("core: scenario %s: %w", sc.ID, err)
+			firstErr = fmt.Errorf("core: scenario %s: %w", sc.ID, err)
+			return false
+		}
+		return true
+	})
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return n, err
 		}
 	}
-	return prof, nil
+	return n, firstErr
 }
 
-// batchSize picks how many scenario indices one channel operation hands a
-// worker: enough to amortize channel synchronization on million-scenario
-// faultloads, small enough that every worker still gets several batches
-// (so a straggler cannot strand a long tail) and cancellation stays
-// responsive.
-func batchSize(scenarios, workers int) int {
-	b := scenarios / (workers * 8)
-	if b < 1 {
-		return 1
+// Dispatch tuning. Batches ramp from 1 to maxStreamBatch: small faultloads
+// spread scenario-by-scenario across the workers, while long streams
+// amortize channel synchronization over 64 scenarios per operation. The
+// window caps how many scenarios may be in flight — dispatched but not yet
+// flushed to the sink in order — which bounds the reassembly buffer and,
+// with it, the engine's memory footprint on unbounded streams.
+const maxStreamBatch = 64
+
+// streamWindow sizes the in-flight window for a worker count.
+func streamWindow(workers int) int {
+	w := workers * maxStreamBatch * 4
+	if w < 256 {
+		w = 256
 	}
-	if b > 256 {
-		return 256
-	}
-	return b
+	return w
 }
 
-// runParallel fans the faultload out over a worker pool. Each worker owns
-// a private Target; results land in a slot per scenario index and are
-// merged in scenario order, so the profile is deterministic regardless of
-// scheduling.
-func (c *Campaign) runParallel(ctx context.Context, cfg runConfig, prof *profile.Profile, fl *faultload, workers int) (*profile.Profile, error) {
-	if cfg.factory == nil {
-		return prof, errors.New("core: parallel run requires a target factory (WithTargetFactory)")
-	}
+// runStreamParallel fans the stream out over a worker pool. A dispatcher
+// goroutine pulls scenarios from the source, tags each with its sequence
+// number and hands the workers batches through a bounded queue; workers
+// own private targets and emit (seq, record) results; the reassembly loop
+// flushes records to the sink in exact sequence order, so the output is
+// deterministic regardless of worker scheduling.
+func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
+	workers := cfg.parallelism
 
-	// Every worker gets its own factory-built target (the primary only
-	// generated the faultload), built up front so a failing factory
-	// aborts before any experiment starts.
+	// Every worker gets its own factory-built target, built up front so a
+	// failing factory aborts before any experiment starts.
 	targets := make([]*Target, workers)
 	for w := range targets {
 		t, err := cfg.factory()
 		if err != nil {
-			return prof, fmt.Errorf("core: building worker %d target: %w", w, err)
+			return 0, fmt.Errorf("core: building worker %d target: %w", w, err)
 		}
 		targets[w] = t
 	}
 
-	type slot struct {
-		rec  profile.Record
-		err  error
-		done bool
-	}
-	// Result slots are index-disjoint — each scenario index is handed to
-	// exactly one worker — so slot writes need no lock; wg.Wait()
-	// publishes them to the merging goroutine.
-	results := make([]slot, len(fl.scens))
-
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Dispatch index batches instead of single indices: one channel
-	// operation per batchSize experiments.
-	type span struct{ lo, hi int }
-	chunk := batchSize(len(fl.scens), workers)
-	jobs := make(chan span, workers)
+	type job struct {
+		seq int
+		sc  scenario.Scenario
+	}
+	type result struct {
+		seq int
+		rec profile.Record
+		err error
+	}
+
+	window := streamWindow(workers)
+	jobs := make(chan []job, workers)
+	results := make(chan result, window)
+	// tokens bounds the scenarios in flight: the dispatcher acquires one
+	// per scenario, the reassembly loop releases it when the record is
+	// flushed in order. A straggling worker can therefore delay the flush
+	// front, but never let the reassembly buffer grow past the window.
+	tokens := make(chan struct{}, window)
+
+	var genErr error // written by the dispatcher, read after dispatchDone
+	dispatchDone := make(chan struct{})
 	go func() {
 		defer close(jobs)
-		for lo := 0; lo < len(fl.scens); lo += chunk {
-			hi := lo + chunk
-			if hi > len(fl.scens) {
-				hi = len(fl.scens)
+		defer close(dispatchDone)
+		batchSize := 1
+		batch := make([]job, 0, maxStreamBatch)
+		seq := 0
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			out := batch
+			batch = make([]job, 0, maxStreamBatch)
+			if batchSize < maxStreamBatch {
+				batchSize *= 2
 			}
 			select {
-			case jobs <- span{lo, hi}:
+			case jobs <- out:
+				return true
 			case <-runCtx.Done():
-				return
+				return false
 			}
 		}
+		src(func(sc scenario.Scenario, err error) bool {
+			if err != nil {
+				genErr = err
+				return false
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-runCtx.Done():
+				return false
+			}
+			batch = append(batch, job{seq, sc})
+			seq++
+			if len(batch) >= batchSize {
+				return flush()
+			}
+			return true
+		})
+		flush()
 	}()
 
-	var (
-		wg    sync.WaitGroup
-		obsMu sync.Mutex // serializes the observer stream, nothing else
-	)
+	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(t *Target) {
 			defer wg.Done()
 			scr := &scratch{}
-			for sp := range jobs {
-				for i := sp.lo; i < sp.hi; i++ {
+			for batch := range jobs {
+				for _, j := range batch {
 					if runCtx.Err() != nil {
 						return
 					}
-					rec, err := runOne(t, fl.scens[i], fl, scr)
-					results[i] = slot{rec: rec, err: err, done: true}
-					if cfg.observer != nil {
-						// The observer contract serializes calls, but a
-						// slow observer must only stall the stream — not
-						// the result slots of the other workers.
-						obsMu.Lock()
-						cfg.observer(rec)
-						obsMu.Unlock()
-					}
+					rec, err := runOne(t, j.sc, fl, scr)
+					// The send never blocks: every in-flight scenario holds
+					// a window token, so at most `window` results are ever
+					// outstanding — exactly the channel's capacity. Sending
+					// unconditionally (no Done branch) guarantees a
+					// completed experiment's record is never dropped, which
+					// the abort error below depends on.
+					results <- result{j.seq, rec, err}
 					if err != nil && !cfg.keepGoing {
+						// Abort: in-flight experiments on other workers
+						// finish, no new ones start.
 						cancel()
 						return
 					}
@@ -243,26 +349,80 @@ func (c *Campaign) runParallel(ctx context.Context, cfg runConfig, prof *profile
 			}
 		}(targets[w])
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
 
-	// Deterministic merge: scenario order, skipping slots the abort or
-	// cancellation left unprocessed. The earliest failing scenario wins
-	// the returned error, mirroring the sequential engine.
+	// Reassembly: records are flushed to the sink in exact sequence order;
+	// anything stranded past a gap by an abort or cancellation is dropped,
+	// mirroring the sequential engine's contiguous-prefix profile.
+	pending := make(map[int]result, window)
+	next, flushed := 0, 0
 	var firstErr error
-	for i, r := range results {
-		if !r.done {
-			continue
-		}
-		prof.Add(r.rec)
-		if r.err != nil && !cfg.keepGoing && firstErr == nil {
-			firstErr = fmt.Errorf("core: scenario %s: %w", fl.scens[i].ID, r.err)
+	firstErrSeq := -1
+	noteErr := func(seq int, err error) {
+		if firstErrSeq < 0 || seq < firstErrSeq {
+			firstErrSeq, firstErr = seq, err
 		}
 	}
+	stopFlush := false
+	for r := range results {
+		// Infrastructure errors are noted at receive time, not flush time:
+		// the abort may strand the failing record behind a sequence gap
+		// (an earlier scenario cancelled before completing), and the
+		// earliest failing scenario must still win the returned error.
+		if r.err != nil && !cfg.keepGoing {
+			noteErr(r.seq, fmt.Errorf("core: scenario %s: %w", r.rec.ScenarioID, r.err))
+		}
+		pending[r.seq] = r
+		for {
+			pr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if !stopFlush {
+				if werr := sink.Write(pr.rec); werr != nil {
+					stopFlush = true
+					noteErr(pr.seq, werr)
+					cancel()
+				} else {
+					flushed++
+					if cfg.observer != nil {
+						cfg.observer(pr.rec)
+					}
+					// A caller-side cancellation (the parent context,
+					// typically triggered from an observer) also stops the
+					// flush front, not just the dispatch: a fast faultload
+					// can be fully in flight when the cancel lands, and the
+					// contract is a profile cut short at the cancellation
+					// point, not whatever happened to finish. An internal
+					// abort (a worker's infrastructure error cancelling
+					// runCtx) deliberately does NOT stop the flush: records
+					// keep flushing to the natural sequence gap, so —
+					// as in the sequential engine — the failing scenario's
+					// own record reaches the profile. Results keep draining
+					// below so the workers and dispatcher can exit.
+					if ctx.Err() != nil {
+						stopFlush = true
+					}
+				}
+			}
+			next++
+			<-tokens
+		}
+	}
+	<-dispatchDone
+
 	if firstErr != nil {
-		return prof, firstErr
+		return flushed, firstErr
+	}
+	if genErr != nil {
+		return flushed, genErr
 	}
 	if err := ctx.Err(); err != nil {
-		return prof, err
+		return flushed, err
 	}
-	return prof, nil
+	return flushed, nil
 }

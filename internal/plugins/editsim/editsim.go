@@ -63,60 +63,76 @@ func (p *Plugin) View() view.View { return view.WordView{} }
 // Generate enumerates the faultload over the word view of the initial
 // configuration.
 func (p *Plugin) Generate(wordSet *confnode.Set) ([]scenario.Scenario, error) {
-	if p.Rng == nil {
-		return nil, fmt.Errorf("editsim: Rng is required")
-	}
-	perEdit := p.PerEdit
-	if perEdit == 0 {
-		perEdit = 20
-	}
-	models := []template.Mutator{
-		typo.Omission{},
-		typo.Insertion{Layout: p.Layout},
-		typo.Substitution{Layout: p.Layout},
-		typo.CaseAlteration{},
-		typo.Transposition{},
-	}
+	return scenario.Collect(p.GenerateStream(wordSet))
+}
 
-	var out []scenario.Scenario
-	for _, edit := range p.Edits {
-		lineRef, err := findDirectiveLine(wordSet, edit.Directive)
-		if err != nil {
-			return nil, err
+// GenerateStream yields the faultload lazily, edit by edit: only one
+// edit's shuffled variant pool is ever resident, and the Rng draws happen
+// in the same order as the eager path, so both enumerate the identical
+// faultload.
+func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
+	return func(yield func(scenario.Scenario, error) bool) {
+		if p.Rng == nil {
+			yield(scenario.Scenario{}, fmt.Errorf("editsim: Rng is required"))
+			return
 		}
-		// The typo corrupts the value the administrator just typed.
-		probe := confnode.NewValued(confnode.KindWord, "", edit.NewValue)
-		type variant struct {
-			model string
-			v     template.Variant
+		perEdit := p.PerEdit
+		if perEdit == 0 {
+			perEdit = 20
 		}
-		var variants []variant
-		for _, m := range models {
-			for _, v := range m.Variants(probe) {
-				variants = append(variants, variant{model: m.Name(), v: v})
+		models := []template.Mutator{
+			typo.Omission{},
+			typo.Insertion{Layout: p.Layout},
+			typo.Substitution{Layout: p.Layout},
+			typo.CaseAlteration{},
+			typo.Transposition{},
+		}
+
+		for _, edit := range p.Edits {
+			lineRef, err := findDirectiveLine(wordSet, edit.Directive)
+			if err != nil {
+				yield(scenario.Scenario{}, err)
+				return
+			}
+			// The typo corrupts the value the administrator just typed.
+			probe := confnode.NewValued(confnode.KindWord, "", edit.NewValue)
+			type variant struct {
+				model string
+				v     template.Variant
+			}
+			var variants []variant
+			for _, m := range models {
+				for _, v := range m.Variants(probe) {
+					variants = append(variants, variant{model: m.Name(), v: v})
+				}
+			}
+			if len(variants) == 0 {
+				yield(scenario.Scenario{}, fmt.Errorf("editsim: no typo variants for value %q", edit.NewValue))
+				return
+			}
+			p.Rng.Shuffle(len(variants), func(i, j int) {
+				variants[i], variants[j] = variants[j], variants[i]
+			})
+			n := perEdit
+			if n > len(variants) {
+				n = len(variants)
+			}
+			if p.IncludeCleanEdit {
+				sc := p.editScenario(edit, lineRef, "clean", -1, template.Variant{
+					Description: "apply edit without typo",
+					Apply:       func(*confnode.Node) {},
+				})
+				if !yield(sc, nil) {
+					return
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !yield(p.editScenario(edit, lineRef, variants[i].model, i, variants[i].v), nil) {
+					return
+				}
 			}
 		}
-		if len(variants) == 0 {
-			return nil, fmt.Errorf("editsim: no typo variants for value %q", edit.NewValue)
-		}
-		p.Rng.Shuffle(len(variants), func(i, j int) {
-			variants[i], variants[j] = variants[j], variants[i]
-		})
-		n := perEdit
-		if n > len(variants) {
-			n = len(variants)
-		}
-		if p.IncludeCleanEdit {
-			out = append(out, p.editScenario(edit, lineRef, "clean", -1, template.Variant{
-				Description: "apply edit without typo",
-				Apply:       func(*confnode.Node) {},
-			}))
-		}
-		for i := 0; i < n; i++ {
-			out = append(out, p.editScenario(edit, lineRef, variants[i].model, i, variants[i].v))
-		}
 	}
-	return out, nil
 }
 
 // editScenario builds one scenario: apply the edit, then the typo variant.

@@ -1,0 +1,41 @@
+package editsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"conferr/internal/scenario"
+)
+
+// TestGenerateStreamParity proves the streaming faultload enumerates
+// exactly Generate's scenarios — fresh plugin instances with the same
+// seed, because both forms consume the Rng.
+func TestGenerateStreamParity(t *testing.T) {
+	mk := func() *Plugin {
+		return &Plugin{
+			Edits: []Edit{
+				{Directive: "shared_buffers", NewValue: "64MB"},
+				{Directive: "port", NewValue: "6543"},
+			},
+			PerEdit:          5,
+			IncludeCleanEdit: true,
+			Rng:              rand.New(rand.NewSource(11)),
+		}
+	}
+	eager, err := mk().Generate(wordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := scenario.Collect(mk().GenerateStream(wordSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eager) == 0 || len(eager) != len(streamed) {
+		t.Fatalf("eager %d scenarios, streamed %d", len(eager), len(streamed))
+	}
+	for i := range eager {
+		if eager[i].ID != streamed[i].ID || eager[i].Description != streamed[i].Description {
+			t.Fatalf("scenario %d: %s vs %s", i, eager[i].ID, streamed[i].ID)
+		}
+	}
+}

@@ -96,20 +96,32 @@ func ofType(recs []viewRecord, typ string) []viewRecord {
 // Generate enumerates the semantic fault scenarios for the record view of
 // the initial configuration.
 func (p *Plugin) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
-	classes := p.Classes
-	if classes == nil {
-		classes = AllClasses()
-	}
-	recs := collect(set)
-	var out []scenario.Scenario
-	for _, class := range classes {
-		gen, ok := generators[class]
-		if !ok {
-			return nil, fmt.Errorf("semantic: unknown fault class %q", class)
+	return scenario.Collect(p.GenerateStream(set))
+}
+
+// GenerateStream yields the semantic faultload lazily, class by class: the
+// record index is built once (bounded by the zone data), and each class's
+// scenarios stream out before the next class is synthesized.
+func (p *Plugin) GenerateStream(set *confnode.Set) scenario.Source {
+	return func(yield func(scenario.Scenario, error) bool) {
+		classes := p.Classes
+		if classes == nil {
+			classes = AllClasses()
 		}
-		out = append(out, gen(recs)...)
+		recs := collect(set)
+		for _, class := range classes {
+			gen, ok := generators[class]
+			if !ok {
+				yield(scenario.Scenario{}, fmt.Errorf("semantic: unknown fault class %q", class))
+				return
+			}
+			for _, sc := range gen(recs) {
+				if !yield(sc, nil) {
+					return
+				}
+			}
+		}
 	}
-	return out, nil
 }
 
 var generators = map[string]func([]viewRecord) []scenario.Scenario{

@@ -1,0 +1,69 @@
+package structural
+
+import (
+	"math/rand"
+	"testing"
+
+	"conferr/internal/confnode"
+	"conferr/internal/scenario"
+)
+
+func assertParity(t *testing.T, set *confnode.Set, eager func() ([]scenario.Scenario, error), stream func() scenario.Source) {
+	t.Helper()
+	want, err := eager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.Collect(stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || len(want) != len(got) {
+		t.Fatalf("eager %d scenarios, streamed %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Class != got[i].Class {
+			t.Fatalf("scenario %d: %s vs %s", i, want[i].ID, got[i].ID)
+		}
+	}
+}
+
+func TestPluginStreamParity(t *testing.T) {
+	set := iniSet(t)
+	assertParity(t, set,
+		func() ([]scenario.Scenario, error) { return (&Plugin{Sections: true}).Generate(set) },
+		func() scenario.Source { return (&Plugin{Sections: true}).GenerateStream(set) })
+	assertParity(t, set,
+		func() ([]scenario.Scenario, error) {
+			return (&Plugin{Sections: true, PerClass: 2, Rng: rand.New(rand.NewSource(5))}).Generate(set)
+		},
+		func() scenario.Source {
+			return (&Plugin{Sections: true, PerClass: 2, Rng: rand.New(rand.NewSource(5))}).GenerateStream(set)
+		})
+}
+
+func TestVariationsStreamParity(t *testing.T) {
+	set := iniSet(t)
+	assertParity(t, set,
+		func() ([]scenario.Scenario, error) {
+			return (&Variations{PerClass: 3, Rng: rand.New(rand.NewSource(5))}).Generate(set)
+		},
+		func() scenario.Source {
+			return (&Variations{PerClass: 3, Rng: rand.New(rand.NewSource(5))}).GenerateStream(set)
+		})
+}
+
+func TestBorrowStreamParity(t *testing.T) {
+	set := iniSet(t)
+	donor := iniSet(t)
+	assertParity(t, set,
+		func() ([]scenario.Scenario, error) { return (&Borrow{Donor: donor}).Generate(set) },
+		func() scenario.Source { return (&Borrow{Donor: donor}).GenerateStream(set) })
+	assertParity(t, set,
+		func() ([]scenario.Scenario, error) {
+			return (&Borrow{Donor: donor, PerClass: 3, Rng: rand.New(rand.NewSource(5))}).Generate(set)
+		},
+		func() scenario.Source {
+			return (&Borrow{Donor: donor, PerClass: 3, Rng: rand.New(rand.NewSource(5))}).GenerateStream(set)
+		})
+}

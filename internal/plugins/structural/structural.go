@@ -38,11 +38,53 @@ func (p *Plugin) Name() string { return "structural" }
 // View returns the configuration view the plugin's scenarios apply to.
 func (p *Plugin) View() view.View { return view.StructView{} }
 
-// Generate enumerates the structural fault scenarios.
+// Generate enumerates the structural fault scenarios. It materializes
+// GenerateStream, so the slice and streaming paths enumerate the identical
+// faultload.
 func (p *Plugin) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return scenario.Collect(p.GenerateStream(set))
+}
+
+// GenerateStream yields the structural faultload lazily, class by class.
+// Without PerClass sampling every template's (target × destination)
+// fan-out — quadratic for misplacements — streams one scenario at a time;
+// with sampling, each class pool materializes internally and the draws
+// stay identical to the historical eager path.
+func (p *Plugin) GenerateStream(set *confnode.Set) scenario.Source {
 	if p.PerClass > 0 && p.Rng == nil {
-		return nil, fmt.Errorf("structural: PerClass sampling requires Rng")
+		return scenario.Fail(fmt.Errorf("structural: PerClass sampling requires Rng"))
 	}
+	classes := p.templates()
+	sources := make([]scenario.Source, len(classes))
+	for i, tpl := range classes {
+		tpl := tpl
+		wrap := func(err error) error {
+			return fmt.Errorf("structural: %s: %w", tpl.Name(), err)
+		}
+		if p.PerClass > 0 {
+			// Sampling needs the class pool; the pool materializes when
+			// the class is reached, and the Rng draws stay in class order.
+			sources[i] = scenario.Source(func(yield func(scenario.Scenario, error) bool) {
+				scens, err := tpl.Generate(set)
+				if err != nil {
+					yield(scenario.Scenario{}, wrap(err))
+					return
+				}
+				for _, sc := range scenario.RandomSubset(p.Rng, scens, p.PerClass) {
+					if !yield(sc, nil) {
+						return
+					}
+				}
+			})
+			continue
+		}
+		sources[i] = tpl.GenerateStream(set).MapErr(wrap)
+	}
+	return scenario.Concat(sources...)
+}
+
+// templates lists the fault-class templates the plugin composes.
+func (p *Plugin) templates() []template.Template {
 	classes := []template.Template{
 		&template.DeleteTemplate{
 			Targets: cpath.MustCompile("//directive"),
@@ -70,18 +112,7 @@ func (p *Plugin) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 			},
 		)
 	}
-	var all []scenario.Scenario
-	for _, tpl := range classes {
-		scens, err := tpl.Generate(set)
-		if err != nil {
-			return nil, fmt.Errorf("structural: %s: %w", tpl.Name(), err)
-		}
-		if p.PerClass > 0 {
-			scens = scenario.RandomSubset(p.Rng, scens, p.PerClass)
-		}
-		all = append(all, scens...)
-	}
-	return all, nil
+	return classes
 }
 
 // Variation classes for the §5.3 experiment (Table 2 rows).
@@ -132,37 +163,49 @@ func (v *Variations) View() view.View { return view.StructView{} }
 // Generate enumerates variation scenarios. Each scenario captures a seed
 // so it is replayable.
 func (v *Variations) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
-	if v.Rng == nil {
-		return nil, fmt.Errorf("structural: Variations requires Rng")
-	}
-	classes := v.Classes
-	if classes == nil {
-		classes = AllVariationClasses()
-	}
-	per := v.PerClass
-	if per == 0 {
-		per = 10
-	}
-	var out []scenario.Scenario
-	for _, class := range classes {
-		rewrite, ok := rewriters[class]
-		if !ok {
-			return nil, fmt.Errorf("structural: unknown variation class %q", class)
+	return scenario.Collect(v.GenerateStream(set))
+}
+
+// GenerateStream yields variation scenarios lazily; the per-scenario
+// rewrite seeds are drawn from the generator Rng in the same order as the
+// eager path, so both enumerate the identical faultload.
+func (v *Variations) GenerateStream(set *confnode.Set) scenario.Source {
+	return func(yield func(scenario.Scenario, error) bool) {
+		if v.Rng == nil {
+			yield(scenario.Scenario{}, fmt.Errorf("structural: Variations requires Rng"))
+			return
 		}
-		for i := 0; i < per; i++ {
-			seed := v.Rng.Int63()
-			out = append(out, scenario.Scenario{
-				ID:          fmt.Sprintf("%s/%d", class, i),
-				Class:       class,
-				Description: fmt.Sprintf("%s rewrite #%d", class, i),
-				Apply: func(s *confnode.Set) error {
-					rewrite(rand.New(rand.NewSource(seed)), s)
-					return nil
-				},
-			})
+		classes := v.Classes
+		if classes == nil {
+			classes = AllVariationClasses()
+		}
+		per := v.PerClass
+		if per == 0 {
+			per = 10
+		}
+		for _, class := range classes {
+			rewrite, ok := rewriters[class]
+			if !ok {
+				yield(scenario.Scenario{}, fmt.Errorf("structural: unknown variation class %q", class))
+				return
+			}
+			for i := 0; i < per; i++ {
+				seed := v.Rng.Int63()
+				sc := scenario.Scenario{
+					ID:          fmt.Sprintf("%s/%d", class, i),
+					Class:       class,
+					Description: fmt.Sprintf("%s rewrite #%d", class, i),
+					Apply: func(s *confnode.Set) error {
+						rewrite(rand.New(rand.NewSource(seed)), s)
+						return nil
+					},
+				}
+				if !yield(sc, nil) {
+					return
+				}
+			}
 		}
 	}
-	return out, nil
 }
 
 // rewriters maps each variation class to its whole-configuration rewrite.
@@ -317,12 +360,40 @@ func (b *Borrow) View() view.View { return view.StructView{} }
 // point) pair; insertion points are the document roots and sections of
 // the target configuration.
 func (b *Borrow) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return scenario.Collect(b.GenerateStream(set))
+}
+
+// GenerateStream yields the borrow faultload lazily: the donor directives
+// and insertion points are collected up front (bounded by the two
+// configurations), while their cross product streams pair by pair. With
+// PerClass sampling the pool materializes internally, keeping the draws
+// identical to the eager path.
+func (b *Borrow) GenerateStream(set *confnode.Set) scenario.Source {
 	if b.Donor == nil {
-		return nil, fmt.Errorf("structural: Borrow requires a Donor configuration")
+		return scenario.Fail(fmt.Errorf("structural: Borrow requires a Donor configuration"))
 	}
 	if b.PerClass > 0 && b.Rng == nil {
-		return nil, fmt.Errorf("structural: Borrow sampling requires Rng")
+		return scenario.Fail(fmt.Errorf("structural: Borrow sampling requires Rng"))
 	}
+	if b.PerClass > 0 {
+		return func(yield func(scenario.Scenario, error) bool) {
+			all, err := scenario.Collect(b.pairStream(set))
+			if err != nil {
+				yield(scenario.Scenario{}, err)
+				return
+			}
+			for _, sc := range scenario.RandomSubset(b.Rng, all, b.PerClass) {
+				if !yield(sc, nil) {
+					return
+				}
+			}
+		}
+	}
+	return b.pairStream(set)
+}
+
+// pairStream enumerates every (foreign directive, insertion point) pair.
+func (b *Borrow) pairStream(set *confnode.Set) scenario.Source {
 	// Collect the foreign directives (clones detached from the donor).
 	var foreign []*confnode.Node
 	b.Donor.Walk(func(_ string, root *confnode.Node) {
@@ -353,30 +424,30 @@ func (b *Borrow) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 	})
 
 	const class = "structural/borrow-directive"
-	var out []scenario.Scenario
-	seq := 0
-	for _, f := range foreign {
-		for _, d := range dests {
-			f, d := f, d
-			out = append(out, scenario.Scenario{
-				ID:    fmt.Sprintf("%s/%s/%d", class, d.ref, seq),
-				Class: class,
-				Description: fmt.Sprintf("borrow foreign directive %s=%s into %s",
-					f.Name, f.Value, d.desc),
-				Apply: func(s *confnode.Set) error {
-					target, err := d.ref.Resolve(s)
-					if err != nil {
-						return err
-					}
-					target.Append(f.Clone())
-					return nil
-				},
-			})
-			seq++
+	return func(yield func(scenario.Scenario, error) bool) {
+		seq := 0
+		for _, f := range foreign {
+			for _, d := range dests {
+				f, d := f, d
+				sc := scenario.Scenario{
+					ID:    fmt.Sprintf("%s/%s/%d", class, d.ref, seq),
+					Class: class,
+					Description: fmt.Sprintf("borrow foreign directive %s=%s into %s",
+						f.Name, f.Value, d.desc),
+					Apply: func(s *confnode.Set) error {
+						target, err := d.ref.Resolve(s)
+						if err != nil {
+							return err
+						}
+						target.Append(f.Clone())
+						return nil
+					},
+				}
+				if !yield(sc, nil) {
+					return
+				}
+				seq++
+			}
 		}
 	}
-	if b.PerClass > 0 {
-		out = scenario.RandomSubset(b.Rng, out, b.PerClass)
-	}
-	return out, nil
 }

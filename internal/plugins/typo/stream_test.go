@@ -1,0 +1,68 @@
+package typo
+
+import (
+	"math/rand"
+	"testing"
+
+	"conferr/internal/scenario"
+)
+
+// assertStreamParity proves the plugin's two faultload forms enumerate
+// identical scenarios: a fresh instance's Generate versus another fresh
+// instance's collected GenerateStream (fresh because both consume the
+// plugin Rng).
+func assertStreamParity(t *testing.T, mk func() *Plugin) {
+	t.Helper()
+	eager, err := mk().Generate(wordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := scenario.Collect(mk().GenerateStream(wordSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eager) == 0 || len(eager) != len(streamed) {
+		t.Fatalf("eager %d scenarios, streamed %d", len(eager), len(streamed))
+	}
+	for i := range eager {
+		if eager[i].ID != streamed[i].ID || eager[i].Class != streamed[i].Class {
+			t.Fatalf("scenario %d: %s/%s vs %s/%s",
+				i, eager[i].ID, eager[i].Class, streamed[i].ID, streamed[i].Class)
+		}
+	}
+}
+
+func TestGenerateStreamParityUnsampled(t *testing.T) {
+	assertStreamParity(t, func() *Plugin { return &Plugin{} })
+}
+
+func TestGenerateStreamParitySampled(t *testing.T) {
+	assertStreamParity(t, func() *Plugin {
+		return &Plugin{PerModel: 3, Rng: rand.New(rand.NewSource(9))}
+	})
+	assertStreamParity(t, func() *Plugin {
+		return &Plugin{PerDirective: 4, Rng: rand.New(rand.NewSource(9))}
+	})
+}
+
+// TestGenerateStreamLazyPull: on the unsampled path, stopping the pull
+// after three scenarios must not enumerate the rest of the faultload.
+func TestGenerateStreamLazyPull(t *testing.T) {
+	p := &Plugin{}
+	got, err := scenario.Collect(p.GenerateStream(wordSet()).Limit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("limited stream yielded %d scenarios", len(got))
+	}
+	full, err := (&Plugin{}).Generate(wordSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].ID != full[i].ID {
+			t.Errorf("prefix diverged at %d: %s vs %s", i, got[i].ID, full[i].ID)
+		}
+	}
+}

@@ -270,35 +270,76 @@ func (p *Plugin) models() []template.Mutator {
 // PerModel is set, each class is independently down-sampled, which
 // preserves variety across classes while bounding the faultload (paper
 // §5.1: the plugins "declaratively specify broad fault classes and then
-// select one element of each class").
+// select one element of each class"). It materializes GenerateStream, so
+// the slice and streaming paths enumerate the identical faultload.
 func (p *Plugin) Generate(wordSet *confnode.Set) ([]scenario.Scenario, error) {
-	if (p.PerModel > 0 || p.PerDirective > 0) && p.Rng == nil {
-		return nil, fmt.Errorf("typo: sampling requires Rng")
+	return scenario.Collect(p.GenerateStream(wordSet))
+}
+
+// GenerateStream yields the faultload lazily: without sampling options the
+// submodels' (token × variant) fan-out is pulled one scenario at a time
+// and the full faultload never exists in memory. When PerModel or
+// PerDirective is set, sampling needs the candidate pools, so the stream
+// materializes internally — the draws stay identical to the historical
+// eager path (RandomSubset over each class in model order), keeping
+// published experiment faultloads stable.
+func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
+	if p.PerModel > 0 || p.PerDirective > 0 {
+		if p.Rng == nil {
+			return scenario.Fail(fmt.Errorf("typo: sampling requires Rng"))
+		}
+		return p.sampledStream(wordSet)
 	}
-	var all []scenario.Scenario
-	for _, m := range p.models() {
-		var classScens []scenario.Scenario
-		for _, expr := range p.targetExprs() {
-			tpl := &template.ModifyTemplate{
-				Targets: expr,
-				Mutator: m,
-				Class:   "typo/" + m.Name(),
-			}
-			s, err := tpl.Generate(wordSet)
+	models := p.models()
+	sources := make([]scenario.Source, len(models))
+	for i, m := range models {
+		sources[i] = p.modelStream(m, wordSet)
+	}
+	return scenario.Concat(sources...)
+}
+
+// modelStream chains one submodel's streams across the target
+// expressions.
+func (p *Plugin) modelStream(m template.Mutator, wordSet *confnode.Set) scenario.Source {
+	exprs := p.targetExprs()
+	sources := make([]scenario.Source, len(exprs))
+	for i, expr := range exprs {
+		tpl := &template.ModifyTemplate{
+			Targets: expr,
+			Mutator: m,
+			Class:   "typo/" + m.Name(),
+		}
+		sources[i] = tpl.GenerateStream(wordSet)
+	}
+	return scenario.Concat(sources...)
+}
+
+// sampledStream is the bounded-faultload path: each submodel's candidate
+// pool is collected, down-sampled with the plugin Rng, and the survivors
+// streamed out.
+func (p *Plugin) sampledStream(wordSet *confnode.Set) scenario.Source {
+	return func(yield func(scenario.Scenario, error) bool) {
+		var all []scenario.Scenario
+		for _, m := range p.models() {
+			classScens, err := scenario.Collect(p.modelStream(m, wordSet))
 			if err != nil {
-				return nil, fmt.Errorf("typo: %s: %w", m.Name(), err)
+				yield(scenario.Scenario{}, fmt.Errorf("typo: %s: %w", m.Name(), err))
+				return
 			}
-			classScens = append(classScens, s...)
+			if p.PerModel > 0 {
+				classScens = scenario.RandomSubset(p.Rng, classScens, p.PerModel)
+			}
+			all = append(all, classScens...)
 		}
-		if p.PerModel > 0 {
-			classScens = scenario.RandomSubset(p.Rng, classScens, p.PerModel)
+		if p.PerDirective > 0 {
+			all = samplePerDirective(p.Rng, all, p.PerDirective)
 		}
-		all = append(all, classScens...)
+		for _, sc := range all {
+			if !yield(sc, nil) {
+				return
+			}
+		}
 	}
-	if p.PerDirective > 0 {
-		all = samplePerDirective(p.Rng, all, p.PerDirective)
-	}
-	return all, nil
 }
 
 // samplePerDirective groups scenarios by the directive (line) they target

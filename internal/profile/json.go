@@ -7,7 +7,8 @@ import (
 	"time"
 )
 
-// jsonRecord is the serialized form of a Record.
+// jsonRecord is the serialized form of a Record, shared by the indented
+// profile documents (WriteJSON) and the streaming JSONL lines (JSONLSink).
 type jsonRecord struct {
 	ScenarioID  string `json:"scenario_id"`
 	Class       string `json:"class"`
@@ -15,6 +16,34 @@ type jsonRecord struct {
 	Outcome     string `json:"outcome"`
 	Detail      string `json:"detail,omitempty"`
 	DurationNS  int64  `json:"duration_ns,omitempty"`
+}
+
+// toJSONRecord converts a Record to its serialized form.
+func toJSONRecord(r Record) jsonRecord {
+	return jsonRecord{
+		ScenarioID:  r.ScenarioID,
+		Class:       r.Class,
+		Description: r.Description,
+		Outcome:     r.Outcome.String(),
+		Detail:      r.Detail,
+		DurationNS:  r.Duration.Nanoseconds(),
+	}
+}
+
+// record converts the serialized form back, resolving the outcome name.
+func (jr jsonRecord) record() (Record, error) {
+	outcome, err := outcomeFromString(jr.Outcome)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		ScenarioID:  jr.ScenarioID,
+		Class:       jr.Class,
+		Description: jr.Description,
+		Outcome:     outcome,
+		Detail:      jr.Detail,
+		Duration:    time.Duration(jr.DurationNS),
+	}, nil
 }
 
 // jsonProfile is the serialized form of a Profile.
@@ -32,14 +61,7 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		Records:   make([]jsonRecord, 0, len(p.Records)),
 	}
 	for _, r := range p.Records {
-		out.Records = append(out.Records, jsonRecord{
-			ScenarioID:  r.ScenarioID,
-			Class:       r.Class,
-			Description: r.Description,
-			Outcome:     r.Outcome.String(),
-			Detail:      r.Detail,
-			DurationNS:  r.Duration.Nanoseconds(),
-		})
+		out.Records = append(out.Records, toJSONRecord(r))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -57,18 +79,11 @@ func ReadJSON(r io.Reader) (*Profile, error) {
 	}
 	p := &Profile{System: in.System, Generator: in.Generator}
 	for _, jr := range in.Records {
-		outcome, err := outcomeFromString(jr.Outcome)
+		r, err := jr.record()
 		if err != nil {
 			return nil, err
 		}
-		p.Add(Record{
-			ScenarioID:  jr.ScenarioID,
-			Class:       jr.Class,
-			Description: jr.Description,
-			Outcome:     outcome,
-			Detail:      jr.Detail,
-			Duration:    time.Duration(jr.DurationNS),
-		})
+		p.Add(r)
 	}
 	return p, nil
 }

@@ -160,25 +160,31 @@ type Summary struct {
 	NotExpressible int
 }
 
+// Add folds one record's outcome into the summary — the single fold
+// shared by Profile.Summarize and the streaming TallySink.
+func (s *Summary) Add(r Record) {
+	switch r.Outcome {
+	case DetectedAtStartup:
+		s.Injected++
+		s.AtStartup++
+	case DetectedByTest:
+		s.Injected++
+		s.ByTest++
+	case Ignored:
+		s.Injected++
+		s.Ignored++
+	case NotExpressible:
+		s.NotExpressible++
+	case NotApplicable:
+		// Excluded from all counts.
+	}
+}
+
 // Summarize computes the Table 1 style summary of the profile.
 func (p *Profile) Summarize() Summary {
 	s := Summary{System: p.System}
 	for _, r := range p.Records {
-		switch r.Outcome {
-		case DetectedAtStartup:
-			s.Injected++
-			s.AtStartup++
-		case DetectedByTest:
-			s.Injected++
-			s.ByTest++
-		case Ignored:
-			s.Injected++
-			s.Ignored++
-		case NotExpressible:
-			s.NotExpressible++
-		case NotApplicable:
-			// Excluded from all counts.
-		}
+		s.Add(r)
 	}
 	return s
 }

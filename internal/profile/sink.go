@@ -1,0 +1,207 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sink consumes injection records as the engine produces them — the
+// streaming counterpart of accumulating a Profile. The runner calls Write
+// from a single goroutine, in scenario order; sinks need no locking of
+// their own. Writing to a shared destination from several concurrent
+// campaigns is the caller's problem (see LockedWriter).
+type Sink interface {
+	// Write records one completed experiment. A non-nil error aborts the
+	// campaign.
+	Write(Record) error
+}
+
+// MemorySink accumulates records into the wrapped Profile — the sink
+// behind the slice-returning campaign API.
+type MemorySink struct {
+	// Profile receives every record.
+	Profile *Profile
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(r Record) error {
+	s.Profile.Add(r)
+	return nil
+}
+
+// TallySink folds records into a running Summary without retaining them —
+// O(1) memory whatever the faultload size, the companion of a JSONL sink
+// on million-scenario campaigns.
+type TallySink struct {
+	summary Summary
+	records int
+}
+
+// Write implements Sink.
+func (s *TallySink) Write(r Record) error {
+	s.records++
+	s.summary.Add(r)
+	return nil
+}
+
+// Summary returns the totals folded so far.
+func (s *TallySink) Summary() Summary { return s.summary }
+
+// Records returns how many records have been written.
+func (s *TallySink) Records() int { return s.records }
+
+// MultiSink fans every record out to each member, in order, stopping at
+// the first error.
+type MultiSink []Sink
+
+// Write implements Sink.
+func (m MultiSink) Write(r Record) error {
+	for _, s := range m {
+		if err := s.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlRecord is the schema of one JSONL profile line: the jsonRecord
+// fields (shared with Profile.WriteJSON) plus the campaign identity and
+// the record's sequence number, so a single file can carry interleaved
+// records of a whole campaign suite and still be split back into
+// per-campaign, scenario-ordered profiles.
+type jsonlRecord struct {
+	System    string `json:"system"`
+	Generator string `json:"generator"`
+	Seq       int    `json:"seq"`
+	jsonRecord
+}
+
+// JSONLSink streams records as JSON Lines: one self-contained object per
+// record, flushed as it is written, so a campaign's profile lands on disk
+// incrementally instead of materializing in memory. Each line is emitted
+// with a single Write call on the underlying writer, keeping lines atomic
+// when several campaigns share a LockedWriter.
+type JSONLSink struct {
+	system    string
+	generator string
+	w         io.Writer
+	seq       int
+}
+
+// NewJSONLSink returns a sink writing the campaign's records to w, tagged
+// with the campaign identity.
+func NewJSONLSink(w io.Writer, system, generator string) *JSONLSink {
+	return &JSONLSink{system: system, generator: generator, w: w}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(r Record) error {
+	line, err := json.Marshal(jsonlRecord{
+		System:     s.system,
+		Generator:  s.generator,
+		Seq:        s.seq,
+		jsonRecord: toJSONRecord(r),
+	})
+	if err != nil {
+		return fmt.Errorf("profile: encoding JSONL record: %w", err)
+	}
+	s.seq++
+	line = append(line, '\n')
+	if _, err := s.w.Write(line); err != nil {
+		return fmt.Errorf("profile: writing JSONL record: %w", err)
+	}
+	return nil
+}
+
+// LockedWriter serializes Write calls to an underlying writer, letting the
+// JSONL sinks of concurrently running campaigns share one output file with
+// line-granularity interleaving.
+type LockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLockedWriter wraps w.
+func NewLockedWriter(w io.Writer) *LockedWriter { return &LockedWriter{w: w} }
+
+// Write implements io.Writer.
+func (l *LockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// ReadJSONL parses a JSON Lines profile stream written by JSONLSink,
+// splitting it back into one Profile per (system, generator) campaign, in
+// order of first appearance. Within each profile, records are ordered by
+// their sequence numbers, so interleaved suite output round-trips to the
+// deterministic per-campaign profiles. The (system, generator) pair is
+// the only campaign identity in the schema: records of two campaigns
+// tagged identically (a deliberately duplicated matrix cell) merge into
+// one profile, seq ties broken by file order.
+func ReadJSONL(r io.Reader) ([]*Profile, error) {
+	type keyed struct {
+		prof *Profile
+		seqs []int
+	}
+	var order []string
+	byKey := make(map[string]*keyed)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var jr jsonlRecord
+		if err := json.Unmarshal(line, &jr); err != nil {
+			return nil, fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+		}
+		rec, err := jr.record()
+		if err != nil {
+			return nil, fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+		}
+		key := jr.System + "\x00" + jr.Generator
+		k, ok := byKey[key]
+		if !ok {
+			k = &keyed{prof: &Profile{System: jr.System, Generator: jr.Generator}}
+			byKey[key] = k
+			order = append(order, key)
+		}
+		k.prof.Add(rec)
+		k.seqs = append(k.seqs, jr.Seq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: reading JSONL: %w", err)
+	}
+	out := make([]*Profile, 0, len(order))
+	for _, key := range order {
+		k := byKey[key]
+		sortBySeq(k.prof.Records, k.seqs)
+		out = append(out, k.prof)
+	}
+	return out, nil
+}
+
+// sortBySeq stably orders records by their parallel seq slice. A stable
+// O(n log n) sort, not an insertion sort: same-tagged campaigns merged
+// into one profile concatenate their seq runs ([0..N, 0..N]), which would
+// degrade a nearly-sorted-input sort to quadratic at streaming scale.
+func sortBySeq(recs []Record, seqs []int) {
+	idx := make([]int, len(seqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return seqs[idx[a]] < seqs[idx[b]] })
+	outRecs := make([]Record, len(recs))
+	for i, j := range idx {
+		outRecs[i] = recs[j]
+	}
+	copy(recs, outRecs)
+}

@@ -1,0 +1,166 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sinkRecords() []Record {
+	return []Record{
+		{ScenarioID: "s/0", Class: "c", Description: "d0", Outcome: DetectedAtStartup, Detail: "bad", Duration: time.Millisecond},
+		{ScenarioID: "s/1", Class: "c", Outcome: DetectedByTest, Detail: "t: fail"},
+		{ScenarioID: "s/2", Class: "c2", Outcome: Ignored},
+		{ScenarioID: "s/3", Class: "c2", Outcome: NotExpressible},
+		{ScenarioID: "s/4", Class: "c2", Outcome: NotApplicable},
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	prof := &Profile{System: "sys", Generator: "gen"}
+	s := &MemorySink{Profile: prof}
+	for _, r := range sinkRecords() {
+		if err := s.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(prof.Records) != 5 || prof.Records[2].ScenarioID != "s/2" {
+		t.Errorf("memory sink records = %+v", prof.Records)
+	}
+}
+
+func TestTallySinkMatchesSummarize(t *testing.T) {
+	prof := &Profile{}
+	tally := &TallySink{}
+	for _, r := range sinkRecords() {
+		prof.Add(r)
+		if err := tally.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := prof.Summarize()
+	got := tally.Summary()
+	got.System = want.System
+	if got != want {
+		t.Errorf("tally = %+v, want %+v", got, want)
+	}
+	if tally.Records() != 5 {
+		t.Errorf("records = %d, want 5", tally.Records())
+	}
+}
+
+type failSink struct{ err error }
+
+func (s failSink) Write(Record) error { return s.err }
+
+func TestMultiSinkStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	prof := &Profile{}
+	m := MultiSink{&MemorySink{Profile: prof}, failSink{boom}, &TallySink{}}
+	if err := m.Write(Record{ScenarioID: "x"}); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if len(prof.Records) != 1 {
+		t.Errorf("first member saw %d records, want 1", len(prof.Records))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf, "sys", "gen")
+	for _, r := range sinkRecords() {
+		if err := s.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 5 {
+		t.Fatalf("wrote %d lines, want 5", got)
+	}
+	profs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(profs))
+	}
+	p := profs[0]
+	if p.System != "sys" || p.Generator != "gen" {
+		t.Errorf("identity = %s/%s", p.System, p.Generator)
+	}
+	want := sinkRecords()
+	if len(p.Records) != len(want) {
+		t.Fatalf("records = %d, want %d", len(p.Records), len(want))
+	}
+	for i, r := range p.Records {
+		if r != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestJSONLInterleavedCampaignsSplitAndReorder(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLockedWriter(&buf)
+	a := NewJSONLSink(lw, "sysA", "gen")
+	b := NewJSONLSink(lw, "sysB", "gen")
+	// Interleave two campaigns' records into one shared file.
+	_ = a.Write(Record{ScenarioID: "a/0", Class: "c", Outcome: Ignored})
+	_ = b.Write(Record{ScenarioID: "b/0", Class: "c", Outcome: Ignored})
+	_ = a.Write(Record{ScenarioID: "a/1", Class: "c", Outcome: Ignored})
+	_ = b.Write(Record{ScenarioID: "b/1", Class: "c", Outcome: Ignored})
+	profs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profs))
+	}
+	if profs[0].System != "sysA" || profs[1].System != "sysB" {
+		t.Errorf("order = %s, %s", profs[0].System, profs[1].System)
+	}
+	for i, p := range profs {
+		if len(p.Records) != 2 {
+			t.Errorf("profile %d has %d records, want 2", i, len(p.Records))
+		}
+	}
+	if profs[1].Records[0].ScenarioID != "b/0" || profs[1].Records[1].ScenarioID != "b/1" {
+		t.Errorf("sysB records out of order: %+v", profs[1].Records)
+	}
+}
+
+func TestLockedWriterConcurrentLines(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLockedWriter(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewJSONLSink(lw, "sys", "gen")
+			for i := 0; i < 50; i++ {
+				if err := s.Write(Record{ScenarioID: "x", Class: "c", Outcome: Ignored}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d torn: %q", i, line)
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"system":"s","generator":"g","scenario_id":"x","outcome":"nope"}` + "\n")); err == nil {
+		t.Error("unknown outcome accepted")
+	}
+}

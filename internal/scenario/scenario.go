@@ -53,20 +53,6 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
-// Union concatenates scenario sets, preserving order. It corresponds to the
-// paper's union template for composing error models.
-func Union(sets ...[]Scenario) []Scenario {
-	var total int
-	for _, s := range sets {
-		total += len(s)
-	}
-	out := make([]Scenario, 0, total)
-	for _, s := range sets {
-		out = append(out, s...)
-	}
-	return out
-}
-
 // RandomSubset returns n scenarios drawn uniformly without replacement,
 // using the provided source of randomness. When n >= len(scenarios) a copy
 // of the full set is returned. It corresponds to the paper's random-subset

@@ -47,20 +47,6 @@ func TestValidate(t *testing.T) {
 	}
 }
 
-func TestUnion(t *testing.T) {
-	a, b := mkScenarios(2), mkScenarios(3)
-	u := Union(a, b)
-	if len(u) != 5 {
-		t.Fatalf("len = %d", len(u))
-	}
-	if !reflect.DeepEqual(ids(u), []string{"a", "b", "a", "b", "c"}) {
-		t.Errorf("order = %v", ids(u))
-	}
-	if got := Union(); len(got) != 0 {
-		t.Error("empty union should be empty")
-	}
-}
-
 func TestRandomSubset(t *testing.T) {
 	s := mkScenarios(10)
 	rng := rand.New(rand.NewSource(42))

@@ -25,6 +25,18 @@ type Template interface {
 	// Generate enumerates the scenarios this template yields for the given
 	// initial configuration.
 	Generate(set *confnode.Set) ([]scenario.Scenario, error)
+	// GenerateStream yields the same scenarios as Generate, in the same
+	// order, as a lazy pull stream: target selection walks the (small)
+	// configuration up front, but the per-target scenario fan-out — the
+	// part that grows with the faultload — happens one scenario at a time.
+	GenerateStream(set *confnode.Set) scenario.Source
+}
+
+// collectStream implements the slice form of a template in terms of its
+// stream; every template's Generate delegates here so the two forms cannot
+// drift apart.
+func collectStream(t Template, set *confnode.Set) ([]scenario.Scenario, error) {
+	return scenario.Collect(t.GenerateStream(set))
 }
 
 // Ref is a stable reference to a node inside a configuration set: the
@@ -154,31 +166,39 @@ func (t *DeleteTemplate) Name() string { return "delete" }
 
 // Generate implements Template.
 func (t *DeleteTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return collectStream(t, set)
+}
+
+// GenerateStream implements Template.
+func (t *DeleteTemplate) GenerateStream(set *confnode.Set) scenario.Source {
 	class := t.Class
 	if class == "" {
 		class = "delete"
 	}
-	var out []scenario.Scenario
-	for i, tn := range targets(set, t.Targets) {
-		ref := tn.ref
-		out = append(out, scenario.Scenario{
-			ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
-			Class:       class,
-			Description: "delete " + describe(tn.node),
-			Apply: func(s *confnode.Set) error {
-				n, err := ref.Resolve(s)
-				if err != nil {
-					return err
-				}
-				if n.Parent() == nil {
-					return fmt.Errorf("cannot delete root: %w", scenario.ErrNotApplicable)
-				}
-				n.Remove()
-				return nil
-			},
-		})
+	return func(yield func(scenario.Scenario, error) bool) {
+		for i, tn := range targets(set, t.Targets) {
+			ref := tn.ref
+			sc := scenario.Scenario{
+				ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
+				Class:       class,
+				Description: "delete " + describe(tn.node),
+				Apply: func(s *confnode.Set) error {
+					n, err := ref.Resolve(s)
+					if err != nil {
+						return err
+					}
+					if n.Parent() == nil {
+						return fmt.Errorf("cannot delete root: %w", scenario.ErrNotApplicable)
+					}
+					n.Remove()
+					return nil
+				},
+			}
+			if !yield(sc, nil) {
+				return
+			}
+		}
 	}
-	return out, nil
 }
 
 // DuplicateTemplate generates one scenario per target node, each inserting
@@ -198,32 +218,40 @@ func (t *DuplicateTemplate) Name() string { return "duplicate" }
 
 // Generate implements Template.
 func (t *DuplicateTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return collectStream(t, set)
+}
+
+// GenerateStream implements Template.
+func (t *DuplicateTemplate) GenerateStream(set *confnode.Set) scenario.Source {
 	class := t.Class
 	if class == "" {
 		class = "duplicate"
 	}
-	var out []scenario.Scenario
-	for i, tn := range targets(set, t.Targets) {
-		ref := tn.ref
-		out = append(out, scenario.Scenario{
-			ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
-			Class:       class,
-			Description: "duplicate " + describe(tn.node),
-			Apply: func(s *confnode.Set) error {
-				n, err := ref.Resolve(s)
-				if err != nil {
-					return err
-				}
-				p := n.Parent()
-				if p == nil {
-					return fmt.Errorf("cannot duplicate root: %w", scenario.ErrNotApplicable)
-				}
-				p.InsertAt(n.Index()+1, n.Clone())
-				return nil
-			},
-		})
+	return func(yield func(scenario.Scenario, error) bool) {
+		for i, tn := range targets(set, t.Targets) {
+			ref := tn.ref
+			sc := scenario.Scenario{
+				ID:          fmt.Sprintf("%s/%s/%d", class, ref, i),
+				Class:       class,
+				Description: "duplicate " + describe(tn.node),
+				Apply: func(s *confnode.Set) error {
+					n, err := ref.Resolve(s)
+					if err != nil {
+						return err
+					}
+					p := n.Parent()
+					if p == nil {
+						return fmt.Errorf("cannot duplicate root: %w", scenario.ErrNotApplicable)
+					}
+					p.InsertAt(n.Index()+1, n.Clone())
+					return nil
+				},
+			}
+			if !yield(sc, nil) {
+				return
+			}
+		}
 	}
-	return out, nil
 }
 
 // MoveTemplate generates one scenario per (target, destination) pair,
@@ -247,49 +275,58 @@ func (t *MoveTemplate) Name() string { return "move" }
 
 // Generate implements Template.
 func (t *MoveTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return collectStream(t, set)
+}
+
+// GenerateStream implements Template. The (target × destination) cross
+// product — quadratic in the configuration size — is enumerated lazily.
+func (t *MoveTemplate) GenerateStream(set *confnode.Set) scenario.Source {
 	class := t.Class
 	if class == "" {
 		class = "move"
 	}
-	tgts := targets(set, t.Targets)
-	dsts := targets(set, t.Destinations)
-	var out []scenario.Scenario
-	seq := 0
-	for _, tn := range tgts {
-		for _, dn := range dsts {
-			if dn.node == tn.node || dn.node == tn.node.Parent() || isInside(dn.node, tn.node) {
-				continue
+	return func(yield func(scenario.Scenario, error) bool) {
+		tgts := targets(set, t.Targets)
+		dsts := targets(set, t.Destinations)
+		seq := 0
+		for _, tn := range tgts {
+			for _, dn := range dsts {
+				if dn.node == tn.node || dn.node == tn.node.Parent() || isInside(dn.node, tn.node) {
+					continue
+				}
+				tref, dref := tn.ref, dn.ref
+				sc := scenario.Scenario{
+					ID:    fmt.Sprintf("%s/%s->%s/%d", class, tref, dref, seq),
+					Class: class,
+					Description: fmt.Sprintf("move %s into %s",
+						describe(tn.node), describe(dn.node)),
+					Apply: func(s *confnode.Set) error {
+						// Resolve the destination first: moving the target
+						// changes sibling indices, which would invalidate a
+						// destination ref passing through the same parent.
+						d, err := dref.Resolve(s)
+						if err != nil {
+							return err
+						}
+						n, err := tref.Resolve(s)
+						if err != nil {
+							return err
+						}
+						if d == n || isInside(d, n) {
+							return fmt.Errorf("destination inside target: %w", scenario.ErrNotApplicable)
+						}
+						n.Remove()
+						d.Append(n)
+						return nil
+					},
+				}
+				if !yield(sc, nil) {
+					return
+				}
+				seq++
 			}
-			tref, dref := tn.ref, dn.ref
-			out = append(out, scenario.Scenario{
-				ID:    fmt.Sprintf("%s/%s->%s/%d", class, tref, dref, seq),
-				Class: class,
-				Description: fmt.Sprintf("move %s into %s",
-					describe(tn.node), describe(dn.node)),
-				Apply: func(s *confnode.Set) error {
-					// Resolve the destination first: moving the target
-					// changes sibling indices, which would invalidate a
-					// destination ref passing through the same parent.
-					d, err := dref.Resolve(s)
-					if err != nil {
-						return err
-					}
-					n, err := tref.Resolve(s)
-					if err != nil {
-						return err
-					}
-					if d == n || isInside(d, n) {
-						return fmt.Errorf("destination inside target: %w", scenario.ErrNotApplicable)
-					}
-					n.Remove()
-					d.Append(n)
-					return nil
-				},
-			})
-			seq++
 		}
 	}
-	return out, nil
 }
 
 // isInside reports whether n is a strict descendant of root.
@@ -340,33 +377,43 @@ func (t *ModifyTemplate) Name() string { return "modify/" + t.Mutator.Name() }
 
 // Generate implements Template.
 func (t *ModifyTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
+	return collectStream(t, set)
+}
+
+// GenerateStream implements Template. Variants are expanded one target
+// node at a time: at any moment only a single node's variant list is
+// resident, however large the (targets × variants) faultload grows.
+func (t *ModifyTemplate) GenerateStream(set *confnode.Set) scenario.Source {
 	class := t.Class
 	if class == "" {
 		class = t.Name()
 	}
-	var out []scenario.Scenario
-	seq := 0
-	for _, tn := range targets(set, t.Targets) {
-		ref := tn.ref
-		for _, v := range t.Mutator.Variants(tn.node) {
-			apply := v.Apply
-			out = append(out, scenario.Scenario{
-				ID:          fmt.Sprintf("%s/%s/%d", class, ref, seq),
-				Class:       class,
-				Description: fmt.Sprintf("%s on %s", v.Description, describe(tn.node)),
-				Apply: func(s *confnode.Set) error {
-					n, err := ref.Resolve(s)
-					if err != nil {
-						return err
-					}
-					apply(n)
-					return nil
-				},
-			})
-			seq++
+	return func(yield func(scenario.Scenario, error) bool) {
+		seq := 0
+		for _, tn := range targets(set, t.Targets) {
+			ref := tn.ref
+			for _, v := range t.Mutator.Variants(tn.node) {
+				apply := v.Apply
+				sc := scenario.Scenario{
+					ID:          fmt.Sprintf("%s/%s/%d", class, ref, seq),
+					Class:       class,
+					Description: fmt.Sprintf("%s on %s", v.Description, describe(tn.node)),
+					Apply: func(s *confnode.Set) error {
+						n, err := ref.Resolve(s)
+						if err != nil {
+							return err
+						}
+						apply(n)
+						return nil
+					},
+				}
+				if !yield(sc, nil) {
+					return
+				}
+				seq++
+			}
 		}
 	}
-	return out, nil
 }
 
 // UnionTemplate composes templates: its scenarios are the concatenation of
@@ -383,13 +430,18 @@ func (t *UnionTemplate) Name() string { return "union" }
 
 // Generate implements Template.
 func (t *UnionTemplate) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
-	var all [][]scenario.Scenario
-	for _, p := range t.Parts {
-		s, err := p.Generate(set)
-		if err != nil {
-			return nil, fmt.Errorf("union part %s: %w", p.Name(), err)
-		}
-		all = append(all, s)
+	return collectStream(t, set)
+}
+
+// GenerateStream implements Template: the parts' streams are chained
+// lazily, in order.
+func (t *UnionTemplate) GenerateStream(set *confnode.Set) scenario.Source {
+	sources := make([]scenario.Source, len(t.Parts))
+	for i, p := range t.Parts {
+		part := p
+		sources[i] = part.GenerateStream(set).MapErr(func(err error) error {
+			return fmt.Errorf("union part %s: %w", part.Name(), err)
+		})
 	}
-	return scenario.Union(all...), nil
+	return scenario.Concat(sources...)
 }

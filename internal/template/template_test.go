@@ -303,6 +303,9 @@ func (errTemplate) Name() string { return "boom" }
 func (errTemplate) Generate(*confnode.Set) ([]scenario.Scenario, error) {
 	return nil, fmt.Errorf("boom")
 }
+func (errTemplate) GenerateStream(*confnode.Set) scenario.Source {
+	return scenario.Fail(fmt.Errorf("boom"))
+}
 
 func TestUnionTemplatePropagatesError(t *testing.T) {
 	u := &UnionTemplate{Parts: []Template{errTemplate{}}}

@@ -17,8 +17,9 @@ type RunOption = core.RunOption
 func WithParallelism(n int) RunOption { return core.WithParallelism(n) }
 
 // WithObserver streams every record to fn as experiments complete. Calls
-// are serialized, but under parallelism they arrive in completion order;
-// the returned profile is always scenario-ordered.
+// are serialized and arrive in scenario order — under parallelism the
+// reassembly stage invokes fn as each record flushes into the
+// deterministic, generator-ordered profile.
 func WithObserver(fn func(Record)) RunOption { return core.WithObserver(fn) }
 
 // WithKeepGoing makes infrastructure errors non-fatal: the scenario is
@@ -78,9 +79,33 @@ func NewRunnerFor(system, plugin string, opts GeneratorOptions) (*Runner, error)
 // ordered and deterministic for a fixed faultload whatever the worker
 // count.
 func (r *Runner) Run(ctx context.Context, opts ...RunOption) (*Profile, error) {
+	c, coreOpts, err := r.campaign(opts)
+	if err != nil {
+		return &profile.Profile{}, err
+	}
+	return c.RunContext(ctx, coreOpts...)
+}
+
+// RunStream executes the campaign with the faultload pulled lazily from
+// the generator and every record flushed to sink in scenario order as it
+// completes — no scenario slice, no in-memory profile, so campaign size is
+// bounded by the stream rather than by RAM. It returns the number of
+// records flushed; see Campaign.RunStream for the full contract.
+func (r *Runner) RunStream(ctx context.Context, sink Sink, opts ...RunOption) (int, error) {
+	c, coreOpts, err := r.campaign(opts)
+	if err != nil {
+		return 0, err
+	}
+	return c.RunStream(ctx, sink, coreOpts...)
+}
+
+// campaign builds the core campaign around a fresh primary target, wiring
+// the per-worker factory with port remapping in front of the caller's
+// options.
+func (r *Runner) campaign(opts []RunOption) (*core.Campaign, []RunOption, error) {
 	primary, err := r.Factory(r.Port)
 	if err != nil {
-		return &profile.Profile{}, fmt.Errorf("conferr: building primary target: %w", err)
+		return nil, nil, fmt.Errorf("conferr: building primary target: %w", err)
 	}
 	c := &core.Campaign{
 		Target:    primary.Target,
@@ -89,5 +114,5 @@ func (r *Runner) Run(ctx context.Context, opts ...RunOption) (*Profile, error) {
 	coreOpts := make([]RunOption, 0, len(opts)+1)
 	coreOpts = append(coreOpts, core.WithTargetFactory(workerFactory(r.Factory, primary)))
 	coreOpts = append(coreOpts, opts...)
-	return c.RunContext(ctx, coreOpts...)
+	return c, coreOpts, nil
 }

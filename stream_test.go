@@ -1,0 +1,219 @@
+package conferr
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"conferr/internal/profile"
+)
+
+// TestStreamingEquivalenceAllRegisteredTargets is the facade half of the
+// streaming equivalence contract: for every target in the registry, the
+// streaming runner (lazy faultload, bounded dispatch, ordered sink flush)
+// must produce a record stream byte-identical to the materialized
+// profile, at workers 1 and 4.
+func TestStreamingEquivalenceAllRegisteredTargets(t *testing.T) {
+	for i, system := range RegisteredTargets() {
+		// A fixed primary port per subtest: the faultload typos the port
+		// digits, so reruns must embed identical ports to produce
+		// identical profiles.
+		port := 23960 + i
+		t.Run(system, func(t *testing.T) {
+			mkRunner := func() *Runner {
+				r, err := NewRunnerFor(system, "typo", GeneratorOptions{Seed: DefaultSeed, PerModel: 6})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r.Port = port
+				return r
+			}
+			want, err := mkRunner().Run(context.Background())
+			if err != nil {
+				t.Fatalf("materialized: %v", err)
+			}
+			// Some pairings (djbdns's tinydns data under the word view)
+			// legitimately yield no typo scenarios; the contract is
+			// equality, including equality of emptiness.
+			if len(want.Records) == 0 {
+				t.Logf("%s: empty typo faultload", system)
+			}
+			for _, workers := range []int{1, 4} {
+				prof := &Profile{System: want.System, Generator: want.Generator}
+				n, err := mkRunner().RunStream(context.Background(),
+					&MemorySink{Profile: prof}, WithParallelism(workers))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if n != len(want.Records) {
+					t.Errorf("workers=%d: streamed %d records, want %d", workers, n, len(want.Records))
+				}
+				if canonicalProfile(prof) != canonicalProfile(want) {
+					t.Errorf("workers=%d: streaming diverged from materialized:\n%s",
+						workers, firstDiff(canonicalProfile(prof), canonicalProfile(want)))
+				}
+			}
+		})
+	}
+}
+
+// TestRunMatrixStreamsJSONL runs a 2-system × 2-plugin suite with every
+// cell streaming to one shared JSONL file, then splits the file back into
+// per-campaign profiles and checks them against solo runs.
+func TestRunMatrixStreamsJSONL(t *testing.T) {
+	entries, skipped, err := MatrixEntries(
+		[]string{"postgres", "redisd"},
+		[]string{"typo", "structural"},
+		GeneratorOptions{Seed: DefaultSeed, PerModel: 4, PerClass: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 || len(entries) != 4 {
+		t.Fatalf("entries = %d, skipped = %v", len(entries), skipped)
+	}
+	// Fixed primary ports so the solo comparison runs below inject the
+	// byte-identical faultloads.
+	for i := range entries {
+		entries[i].Port = 23975 + i
+	}
+
+	var buf bytes.Buffer
+	lw := NewLockedWriter(&buf)
+	res, err := RunMatrix(context.Background(), entries, MatrixOptions{
+		Workers: 4,
+		SinkFor: func(e MatrixEntry) Sink { return NewJSONLSink(lw, e.System, e.Plugin) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(res.Results))
+	}
+	for _, cr := range res.Results {
+		if cr.Err != nil {
+			t.Fatalf("campaign %s: %v", cr.Name, cr.Err)
+		}
+		if cr.Profile != nil {
+			t.Errorf("campaign %s retained an in-memory profile despite its sink", cr.Name)
+		}
+		if cr.Records == 0 || cr.Summary.Injected == 0 {
+			t.Errorf("campaign %s: records=%d injected=%d", cr.Name, cr.Records, cr.Summary.Injected)
+		}
+	}
+
+	profs, err := ReadProfilesJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 4 {
+		t.Fatalf("JSONL split into %d profiles, want 4", len(profs))
+	}
+	// Each JSONL profile must match a solo materialized run of its cell.
+	byKey := map[string]*Profile{}
+	for _, p := range profs {
+		byKey[p.System+"/"+p.Generator] = p
+	}
+	for _, e := range entries {
+		got := byKey[e.System+"/"+e.Plugin]
+		if got == nil {
+			t.Fatalf("no JSONL profile for %s/%s", e.System, e.Plugin)
+		}
+		r, err := NewRunnerFor(e.System, e.Plugin, e.Options)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Port = e.Port
+		want, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identity fields differ (registry name vs simulator name); compare
+		// the records.
+		got.System, got.Generator = want.System, want.Generator
+		if canonicalProfile(got) != canonicalProfile(want) {
+			t.Errorf("%s/%s: JSONL profile diverged from solo run:\n%s",
+				e.System, e.Plugin, firstDiff(canonicalProfile(got), canonicalProfile(want)))
+		}
+	}
+}
+
+// TestMatrixEntriesSkipsIncompatiblePairs: the semantic plugin only pairs
+// with DNS targets; the matrix must skip, not fail.
+func TestMatrixEntriesSkipsIncompatiblePairs(t *testing.T) {
+	entries, skipped, err := MatrixEntries(
+		[]string{"mysql", "bind"}, []string{"semantic"}, GeneratorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].System != "bind" {
+		t.Errorf("entries = %+v, want only bind/semantic", entries)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "mysql/semantic") {
+		t.Errorf("skipped = %v, want mysql/semantic", skipped)
+	}
+	if _, _, err := MatrixEntries([]string{"nope"}, []string{"typo"}, GeneratorOptions{}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// TestRunMatrixRoundsAndLimit: the scale options compose — rounds multiply
+// the faultload with unique IDs, the limit caps it lazily.
+func TestRunMatrixRoundsAndLimit(t *testing.T) {
+	entries := []MatrixEntry{{System: "postgres", Plugin: "typo",
+		Options: GeneratorOptions{Seed: 1, PerModel: 3}}}
+	res, err := RunMatrix(context.Background(), entries, MatrixOptions{
+		Workers: 2,
+		Rounds:  50,
+		Limit:   120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Results[0]
+	if cr.Records != 120 {
+		t.Fatalf("records = %d, want the 120-cap", cr.Records)
+	}
+	ids := map[string]bool{}
+	for _, rec := range cr.Profile.Records {
+		if ids[rec.ScenarioID] {
+			t.Fatalf("duplicate scenario ID %s across rounds", rec.ScenarioID)
+		}
+		ids[rec.ScenarioID] = true
+	}
+	if !strings.HasPrefix(cr.Profile.Records[0].ScenarioID, "r000/") {
+		t.Errorf("first record %s lacks round prefix", cr.Profile.Records[0].ScenarioID)
+	}
+}
+
+// TestTallySinkMatchesProfileOnStream: the O(1)-memory summary of a
+// streamed campaign equals the materialized profile's Summarize.
+func TestTallySinkMatchesProfileOnStream(t *testing.T) {
+	r, err := NewRunnerFor("apache", "typo", GeneratorOptions{Seed: DefaultSeed, PerModel: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Port = 23985
+	want, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := &TallySink{}
+	r2, err := NewRunnerFor("apache", "typo", GeneratorOptions{Seed: DefaultSeed, PerModel: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Port = 23985
+	if _, err := r2.RunStream(context.Background(), tally, WithParallelism(4)); err != nil {
+		t.Fatal(err)
+	}
+	got := tally.Summary()
+	wantSum := want.Summarize()
+	got.System = wantSum.System
+	if got != wantSum {
+		t.Errorf("tally = %+v, want %+v", got, wantSum)
+	}
+}
+
+var _ Sink = (*profile.JSONLSink)(nil)

@@ -1,0 +1,157 @@
+package conferr
+
+import (
+	"context"
+	"fmt"
+
+	"conferr/internal/core"
+)
+
+// This file wires the core campaign-suite orchestrator to the registry:
+// suites of named campaigns with a shared worker budget, and the target ×
+// generator matrix the `conferr matrix` subcommand runs.
+
+// Suite types, re-exported for API users.
+type (
+	// Suite runs a set of campaigns concurrently under one context with a
+	// shared worker budget.
+	Suite = core.Suite
+	// SuiteCampaign is one suite cell: a named campaign plus options.
+	SuiteCampaign = core.SuiteCampaign
+	// SuiteResult aggregates a suite run.
+	SuiteResult = core.SuiteResult
+	// CampaignResult is the outcome of one suite cell.
+	CampaignResult = core.CampaignResult
+)
+
+// NewSuiteCampaign builds one suite cell from a target family and a
+// generator: the primary target (built at port; 0 allocates) serves
+// faultload generation, and every worker runs its own factory-built SUT
+// instance with port remapping — which is what lets several campaigns of
+// one system family run concurrently in a suite without colliding.
+func NewSuiteCampaign(name string, factory TargetFactory, port int, gen Generator) (SuiteCampaign, error) {
+	primary, err := factory(port)
+	if err != nil {
+		return SuiteCampaign{}, fmt.Errorf("conferr: building %s primary target: %w", name, err)
+	}
+	return SuiteCampaign{
+		Name: name,
+		Campaign: &core.Campaign{
+			Target:    primary.Target,
+			Generator: gen,
+		},
+		Options: []core.RunOption{core.WithTargetFactory(workerFactory(factory, primary))},
+	}, nil
+}
+
+// MatrixEntry names one cell of a target × generator matrix, resolved from
+// the registry at run time.
+type MatrixEntry struct {
+	// System is the registered target name.
+	System string
+	// Plugin is the registered generator name.
+	Plugin string
+	// Options parameterize the generator; Options.System is overwritten
+	// with System.
+	Options GeneratorOptions
+	// Port fixes the primary port (0 = allocate, or MatrixOptions.BasePort
+	// + index when set).
+	Port int
+}
+
+// MatrixEntries builds the cross product of registered system and plugin
+// names. Pairs whose generator cannot be built for the system (for
+// example, the semantic plugin against a non-DNS target) are skipped and
+// reported; unknown names are errors.
+func MatrixEntries(systems, plugins []string, opts GeneratorOptions) (entries []MatrixEntry, skipped []string, err error) {
+	for _, system := range systems {
+		if _, err := LookupTarget(system); err != nil {
+			return nil, nil, err
+		}
+		for _, plugin := range plugins {
+			gf, err := LookupGenerator(plugin)
+			if err != nil {
+				return nil, nil, err
+			}
+			o := opts
+			o.System = system
+			if _, err := gf(o); err != nil {
+				skipped = append(skipped, fmt.Sprintf("%s/%s: %v", system, plugin, err))
+				continue
+			}
+			entries = append(entries, MatrixEntry{System: system, Plugin: plugin, Options: o})
+		}
+	}
+	return entries, skipped, nil
+}
+
+// MatrixOptions shape a RunMatrix invocation.
+type MatrixOptions struct {
+	// Workers is the suite's total worker budget (0 = GOMAXPROCS).
+	Workers int
+	// BasePort, when non-zero, assigns entry i the primary port BasePort+i
+	// (entries with an explicit Port keep it).
+	BasePort int
+	// Rounds > 1 replays each cell's faultload that many times with
+	// round-prefixed scenario IDs — the scale harness (core.RepeatGenerator).
+	Rounds int
+	// Sample > 0 reservoir-samples that many scenarios per cell, seeded
+	// from the entry's Options.Seed.
+	Sample int
+	// Limit > 0 caps each cell's faultload, lazily: generation past the
+	// cap never happens.
+	Limit int
+	// KeepGoing keeps the remaining campaigns running when one fails.
+	KeepGoing bool
+	// SinkFor, when non-nil, supplies the streaming destination for each
+	// entry's records; the suite then retains no per-record state for that
+	// cell. When nil, each cell accumulates an in-memory profile.
+	SinkFor func(entry MatrixEntry) Sink
+}
+
+// RunMatrix runs a target × generator matrix as one suite: every cell's
+// faultload streams through the campaign engine under the shared worker
+// budget, with per-campaign port allocation. Results come back in entry
+// order.
+func RunMatrix(ctx context.Context, entries []MatrixEntry, mo MatrixOptions) (*SuiteResult, error) {
+	campaigns := make([]SuiteCampaign, 0, len(entries))
+	for i, e := range entries {
+		tf, err := LookupTarget(e.System)
+		if err != nil {
+			return nil, err
+		}
+		gf, err := LookupGenerator(e.Plugin)
+		if err != nil {
+			return nil, err
+		}
+		o := e.Options
+		o.System = e.System
+		gen, err := gf(o)
+		if err != nil {
+			return nil, fmt.Errorf("conferr: matrix %s/%s: %w", e.System, e.Plugin, err)
+		}
+		if mo.Rounds > 1 {
+			gen = core.RepeatGenerator(gen, mo.Rounds)
+		}
+		if mo.Sample > 0 {
+			gen = core.SampleGenerator(gen, o.Seed, mo.Sample)
+		}
+		if mo.Limit > 0 {
+			gen = core.LimitGenerator(gen, mo.Limit)
+		}
+		port := e.Port
+		if port == 0 && mo.BasePort > 0 {
+			port = mo.BasePort + i
+		}
+		sc, err := NewSuiteCampaign(e.System+"/"+e.Plugin, tf, port, gen)
+		if err != nil {
+			return nil, err
+		}
+		if mo.SinkFor != nil {
+			sc.Sink = mo.SinkFor(e)
+		}
+		campaigns = append(campaigns, sc)
+	}
+	suite := &Suite{Campaigns: campaigns, Workers: mo.Workers, KeepGoing: mo.KeepGoing}
+	return suite.Run(ctx)
+}

@@ -303,50 +303,3 @@ func DjbdnsRecordView() view.View {
 	return dnsmodel.TinyRecordView{File: djbdns.DataFile}
 }
 
-// Deprecated constructor shims. The factory forms above (and the registry)
-// are the supported API; these remain so existing campaign code keeps
-// compiling.
-
-// MySQLTarget returns the MySQL target on a freshly allocated port.
-//
-// Deprecated: use MySQLTargetAt(0) or LookupTarget("mysql").
-func MySQLTarget() (*SystemTarget, error) { return MySQLTargetAt(0) }
-
-// PostgresTarget returns the Postgres target on a freshly allocated port.
-//
-// Deprecated: use PostgresTargetAt(0) or LookupTarget("postgres").
-func PostgresTarget() (*SystemTarget, error) { return PostgresTargetAt(0) }
-
-// PostgresFullTarget returns the full-configuration Postgres target.
-//
-// Deprecated: use PostgresFullTargetAt(0) or LookupTarget("postgres-full").
-func PostgresFullTarget() (*SystemTarget, error) { return PostgresFullTargetAt(0) }
-
-// MySQLFullTarget returns the full-configuration MySQL target.
-//
-// Deprecated: use MySQLFullTargetAt(0) or LookupTarget("mysql-full").
-func MySQLFullTarget() (*SystemTarget, error) { return MySQLFullTargetAt(0) }
-
-// ApacheTarget returns the Apache target on a freshly allocated port.
-//
-// Deprecated: use ApacheTargetAt(0) or LookupTarget("apache").
-func ApacheTarget() (*SystemTarget, error) { return ApacheTargetAt(0) }
-
-// BINDTarget returns the BIND target on a freshly allocated port.
-//
-// Deprecated: use BINDTargetAt(0) or LookupTarget("bind").
-func BINDTarget() (*SystemTarget, error) { return BINDTargetAt(0) }
-
-// DjbdnsTarget returns the djbdns target on a freshly allocated port.
-//
-// Deprecated: use DjbdnsTargetAt(0) or LookupTarget("djbdns").
-func DjbdnsTarget() (*SystemTarget, error) { return DjbdnsTargetAt(0) }
-
-// MySQLSharedTarget returns the shared-my.cnf MySQL target on a freshly
-// allocated port.
-//
-// Deprecated: use MySQLSharedFactory(withToolChecks)(0) or
-// LookupTarget("mysql-shared") / LookupTarget("mysql-shared-tools").
-func MySQLSharedTarget(withToolChecks bool) (*SystemTarget, error) {
-	return MySQLSharedFactory(withToolChecks)(0)
-}
