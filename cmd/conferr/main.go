@@ -29,6 +29,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"syscall"
 	"time"
@@ -111,6 +114,92 @@ registered plugins: %s
 // workersFlag adds the shared -workers flag to a flag set.
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 1, "parallel campaign workers (0 = GOMAXPROCS)")
+}
+
+// diagFlags holds the shared profiling/tracing flags of the campaign and
+// matrix subcommands, so perf work can capture evidence from real
+// campaigns without patching the binary.
+type diagFlags struct {
+	cpuprofile *string
+	memprofile *string
+	trace      *string
+}
+
+// addDiagFlags registers -cpuprofile, -memprofile and -trace on fs.
+func addDiagFlags(fs *flag.FlagSet) *diagFlags {
+	return &diagFlags{
+		cpuprofile: fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file"),
+		memprofile: fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file"),
+		trace:      fs.String("trace", "", "write a runtime execution trace of the run to this file"),
+	}
+}
+
+// start begins the requested captures and returns a stop function that
+// finishes them (flushing the heap profile last, after a final GC, so it
+// reflects live memory rather than transient garbage).
+func (d *diagFlags) start() (func() error, error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			_ = stops[i]()
+		}
+		return nil, err
+	}
+	if *d.cpuprofile != "" {
+		f, err := os.Create(*d.cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if *d.trace != "" {
+		f, err := os.Create(*d.trace)
+		if err != nil {
+			return fail(err)
+		}
+		if err := trace.Start(f); err != nil {
+			_ = f.Close()
+			return fail(err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if *d.memprofile != "" {
+		path := *d.memprofile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	return func() error {
+		var firstErr error
+		// Registration order is cpu, trace, mem: running the stops forward
+		// ends the CPU profile and trace before the heap snapshot's forced
+		// GC, so the capture files never record the capture itself.
+		for _, stop := range stops {
+			if err := stop(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
 }
 
 func cmdTable1(ctx context.Context, args []string) error {
@@ -237,7 +326,14 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	jsonOut := fs.String("json", "", "write the profile as JSON to this file")
 	port := fs.Int("port", 23901, "primary target port; the faultload embeds it, so a fixed port keeps campaigns reproducible across invocations (0 = allocate)")
 	workers := workersFlag(fs)
+	diag := addDiagFlags(fs)
 	_ = fs.Parse(args)
+
+	stopDiag, err := diag.start()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stopDiag() }()
 
 	runner, err := conferr.NewRunnerFor(system, *plugin, conferr.GeneratorOptions{
 		Seed: *seed, PerModel: *perModel,
@@ -295,7 +391,14 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	basePort := fs.Int("base-port", 24100, "primary port of cell i is base-port+i, keeping faultloads reproducible (0 = allocate)")
 	keepGoing := fs.Bool("keep-going", false, "keep running remaining cells when one fails")
 	workers := workersFlag(fs)
+	diag := addDiagFlags(fs)
 	_ = fs.Parse(args)
+
+	stopDiag, err := diag.start()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stopDiag() }()
 
 	sysNames := splitNames(*systems)
 	if isAll(sysNames) {

@@ -32,7 +32,6 @@ package conferr
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"conferr/internal/confnode"
 	"conferr/internal/core"
@@ -122,7 +121,7 @@ func TypoGenerator(opts TypoOptions) Generator {
 	p := &typo.Plugin{
 		PerModel:     opts.PerModel,
 		PerDirective: opts.PerDirective,
-		Rng:          rand.New(rand.NewSource(opts.Seed)),
+		Seed:         opts.Seed,
 	}
 	if opts.SwissKeyboard {
 		p.Layout = keyboard.SwissGerman()
@@ -151,7 +150,7 @@ func StructuralGenerator(opts StructuralOptions) Generator {
 	return &structural.Plugin{
 		Sections: opts.Sections,
 		PerClass: opts.PerClass,
-		Rng:      rand.New(rand.NewSource(opts.Seed)),
+		Seed:     opts.Seed,
 	}
 }
 
@@ -162,7 +161,7 @@ func VariationsGenerator(seed int64, perClass int, classes []string) Generator {
 	return &structural.Variations{
 		Classes:  classes,
 		PerClass: perClass,
-		Rng:      rand.New(rand.NewSource(seed)),
+		Seed:     seed,
 	}
 }
 
@@ -186,7 +185,7 @@ func EditBenchmarkGenerator(edits []Edit, seed int64, perEdit int) Generator {
 	return &editsim.Plugin{
 		Edits:   edits,
 		PerEdit: perEdit,
-		Rng:     rand.New(rand.NewSource(seed)),
+		Seed:    seed,
 	}
 }
 
@@ -246,7 +245,7 @@ func BorrowGenerator(donor *SystemTarget, seed int64, perClass int) (Generator, 
 	return &structural.Borrow{
 		Donor:    donorSet,
 		PerClass: perClass,
-		Rng:      rand.New(rand.NewSource(seed)),
+		Seed:     seed,
 	}, nil
 }
 
@@ -274,6 +273,17 @@ func NewLockedWriter(w io.Writer) *profile.LockedWriter {
 // splitting it into one scenario-ordered Profile per campaign.
 func ReadProfilesJSONL(r io.Reader) ([]*Profile, error) {
 	return profile.ReadJSONL(r)
+}
+
+// JSONLEntry is one decoded JSONL profile line.
+type JSONLEntry = profile.JSONLEntry
+
+// ScanProfilesJSONL streams a JSON Lines profile entry by entry to fn in
+// file order, in constant memory — the reader-side counterpart of the
+// streaming campaign engine, for files too large to materialize with
+// ReadProfilesJSONL.
+func ScanProfilesJSONL(r io.Reader, fn func(JSONLEntry) error) error {
+	return profile.ScanJSONL(r, fn)
 }
 
 // LimitGenerator caps gen's faultload at n scenarios; on the streaming

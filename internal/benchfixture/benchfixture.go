@@ -76,23 +76,49 @@ func (Gen) View() view.View { return view.StructView{} }
 
 // Generate enumerates the value-flip scenarios.
 func (Gen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
-	var out []scenario.Scenario
-	for _, name := range s.Names() {
-		for d := 0; d < s.Get(name).NumChildren(); d++ {
-			ref := template.Ref{File: name, Indices: []int{d}}
-			out = append(out, scenario.Scenario{
-				ID:    fmt.Sprintf("synthetic/%s/%d", name, d),
-				Class: "synthetic",
-				Apply: func(set *confnode.Set) error {
-					n, err := ref.Resolve(set)
-					if err != nil {
-						return err
-					}
-					n.Value = "mutated"
-					return nil
-				},
-			})
+	return scenario.Collect(Gen{}.GenerateStream(s))
+}
+
+// GenerateStream yields the value-flip scenarios lazily, in Generate's
+// order; it satisfies core.StreamingGenerator structurally.
+func (Gen) GenerateStream(s *confnode.Set) scenario.Source {
+	return Gen{}.GenerateShard(s, 0, 1)
+}
+
+// GenerateShard natively emits shard k of n — worker k enumerates only
+// every n-th directive, so sharded generation does no wasted work. It
+// satisfies core.ShardedGenerator structurally: the union of all shards,
+// interleaved by stride, is exactly the GenerateStream enumeration.
+func (Gen) GenerateShard(s *confnode.Set, k, n int) scenario.Source {
+	if n <= 1 {
+		k, n = 0, 1
+	}
+	return func(yield func(scenario.Scenario, error) bool) {
+		idx := 0
+		for _, name := range s.Names() {
+			for d := 0; d < s.Get(name).NumChildren(); d++ {
+				if idx%n != k {
+					idx++
+					continue
+				}
+				idx++
+				ref := template.Ref{File: name, Indices: []int{d}}
+				sc := scenario.Scenario{
+					ID:    fmt.Sprintf("synthetic/%s/%d", name, d),
+					Class: "synthetic",
+					Apply: func(set *confnode.Set) error {
+						n, err := ref.Resolve(set)
+						if err != nil {
+							return err
+						}
+						n.Value = "mutated"
+						return nil
+					},
+				}
+				if !yield(sc, nil) {
+					return
+				}
+			}
 		}
 	}
-	return out, nil
 }

@@ -101,9 +101,15 @@ type Node struct {
 	// word text, field content).
 	Value string
 
-	attrs    map[string]string
-	children []*Node
-	parent   *Node
+	attrs map[string]string
+	// attrsShared marks attrs as potentially aliased by other nodes
+	// (clones of a frozen tree). Any holder copies the map before its
+	// first mutation, so a shared map is immutable in practice — what
+	// lets the injection hot path clone thousands of nodes per second
+	// without re-hashing their attributes. See Freeze.
+	attrsShared bool
+	children    []*Node
+	parent      *Node
 }
 
 // New returns a node with the given kind and name.
@@ -150,11 +156,25 @@ func (n *Node) Index() int {
 
 // SetAttr sets a string attribute on the node.
 func (n *Node) SetAttr(key, value string) *Node {
+	if n.attrsShared {
+		n.unshareAttrs()
+	}
 	if n.attrs == nil {
 		n.attrs = make(map[string]string)
 	}
 	n.attrs[key] = value
 	return n
+}
+
+// unshareAttrs replaces a shared attribute map with a private copy — the
+// write side of the copy-on-write contract established by Freeze.
+func (n *Node) unshareAttrs() {
+	m := make(map[string]string, len(n.attrs))
+	for k, v := range n.attrs {
+		m[k] = v
+	}
+	n.attrs = m
+	n.attrsShared = false
 }
 
 // Attr returns the attribute value for key, with ok reporting presence.
@@ -173,6 +193,12 @@ func (n *Node) AttrDefault(key, def string) string {
 
 // DelAttr removes the attribute for key, if present.
 func (n *Node) DelAttr(key string) {
+	if n.attrsShared {
+		if _, ok := n.attrs[key]; !ok {
+			return
+		}
+		n.unshareAttrs()
+	}
 	delete(n.attrs, key)
 }
 
@@ -258,14 +284,35 @@ func (n *Node) ReplaceWith(repl *Node) {
 	n.parent = nil
 }
 
+// Freeze marks every attribute map in the subtree as shared: subsequent
+// clones alias the maps instead of copying them, and any holder — the
+// original included — transparently copies before its first attribute
+// mutation. The engine freezes the campaign's baseline sets once, before
+// the workers start, so concurrent per-experiment clones never touch the
+// flag again.
+func (n *Node) Freeze() {
+	if n == nil {
+		return
+	}
+	if n.attrs != nil {
+		n.attrsShared = true
+	}
+	for _, c := range n.children {
+		c.Freeze()
+	}
+}
+
 // Clone returns a deep copy of the subtree rooted at the node. The copy has
-// no parent.
+// no parent. Attribute maps of frozen nodes are shared copy-on-write
+// rather than duplicated (see Freeze).
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
 	c := &Node{Kind: n.Kind, Name: n.Name, Value: n.Value}
-	if len(n.attrs) > 0 {
+	if n.attrsShared {
+		c.attrs, c.attrsShared = n.attrs, true
+	} else if len(n.attrs) > 0 {
 		c.attrs = make(map[string]string, len(n.attrs))
 		for k, v := range n.attrs {
 			c.attrs[k] = v

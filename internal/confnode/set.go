@@ -30,6 +30,16 @@ type Set struct {
 	// tracked set after the scenario's Apply so the backward transform can
 	// read it without inflating the dirty set.
 	sealed bool
+	// sharedOrder marks order as aliasing the base's slice; Put copies it
+	// before the first append. Tracked wrappers start shared so that the
+	// common scenario — mutate existing files, add none — never copies the
+	// name list.
+	sharedOrder bool
+	// arena, when non-nil, supplies the memory for materialized clones;
+	// trees drawn from it live only until the arena's next Reset. The
+	// injection engine threads one arena per worker through the whole
+	// mutate/fold/serialize pipeline of an experiment.
+	arena *Arena
 }
 
 // NewSet returns an empty configuration set.
@@ -48,9 +58,41 @@ func NewSet() *Set {
 //
 // The receiver must not be mutated while wrappers of it are alive.
 func (s *Set) Tracked() *Set {
-	order := make([]string, len(s.order))
-	copy(order, s.order)
-	return &Set{order: order, trees: make(map[string]*Node), base: s}
+	return s.TrackedWith(nil)
+}
+
+// TrackedWith is Tracked with the wrapper's materialized clones drawn from
+// the given arena (nil = regular heap). Trees read from the wrapper then
+// live only until the arena's next Reset; see Arena.
+func (s *Set) TrackedWith(a *Arena) *Set {
+	return &Set{order: s.order, sharedOrder: true, base: s, arena: a}
+}
+
+// TrackedInto rebuilds dst as a tracked wrapper of the receiver, reusing
+// dst's overlay map so a worker can track one experiment after another
+// without allocating a wrapper per experiment. dst must not be in use; a
+// nil dst allocates a fresh wrapper. Returns dst.
+func (s *Set) TrackedInto(dst *Set, a *Arena) *Set {
+	if dst == nil {
+		dst = &Set{}
+	}
+	clear(dst.trees)
+	dst.order = s.order
+	dst.sharedOrder = true
+	dst.base = s
+	dst.sealed = false
+	dst.arena = a
+	return dst
+}
+
+// Arena returns the arena backing the set's materialized clones, nil for
+// heap-backed sets. Views use it to keep an experiment's whole fold on the
+// worker's arena.
+func (s *Set) Arena() *Arena {
+	if s == nil {
+		return nil
+	}
+	return s.arena
 }
 
 // IsTracked reports whether the set is a copy-on-write wrapper from
@@ -66,19 +108,32 @@ func (s *Set) Seal() []string {
 	return s.DirtyFiles()
 }
 
+// SealAppend is Seal with the dirty files appended to buf — the
+// allocation-free form for per-worker scratch slices.
+func (s *Set) SealAppend(buf []string) []string {
+	s.sealed = true
+	return s.AppendDirty(buf)
+}
+
 // DirtyFiles returns, in set order, the files whose trees may differ from
 // the base set: every file that was materialized by an access or replaced
 // by Put. For a set that is not tracked there is no base to compare
 // against, so all files are reported dirty — the conservative fallback for
 // raw sets and tree surgery performed outside the tracking API.
 func (s *Set) DirtyFiles() []string {
-	out := make([]string, 0, len(s.trees))
+	return s.AppendDirty(nil)
+}
+
+// AppendDirty appends the dirty files (see DirtyFiles) to buf and returns
+// it — the allocation-free form for callers that keep a per-worker
+// scratch slice.
+func (s *Set) AppendDirty(buf []string) []string {
 	for _, name := range s.order {
 		if _, ok := s.trees[name]; ok {
-			out = append(out, name)
+			buf = append(buf, name)
 		}
 	}
-	return out
+	return buf
 }
 
 // IsDirty reports whether DirtyFiles would list the file: its tree was
@@ -121,7 +176,10 @@ func (s *Set) materialize(name string) *Node {
 	if bt == nil {
 		return nil
 	}
-	c := bt.Clone()
+	c := bt.CloneInto(s.arena)
+	if s.trees == nil {
+		s.trees = make(map[string]*Node)
+	}
 	s.trees[name] = c
 	return c
 }
@@ -134,6 +192,14 @@ func (s *Set) Put(name string, root *Node) {
 		s.trees = make(map[string]*Node)
 	}
 	if !s.contains(name) {
+		if s.sharedOrder {
+			// The order slice aliases the base's: copy before the first
+			// append so tracking never mutates the set it wraps.
+			order := make([]string, len(s.order), len(s.order)+1)
+			copy(order, s.order)
+			s.order = order
+			s.sharedOrder = false
+		}
 		s.order = append(s.order, name)
 	}
 	s.trees[name] = root
@@ -204,6 +270,28 @@ func (s *Set) Walk(visit func(file string, root *Node)) {
 			root = s.tree(name)
 		}
 		visit(name, root)
+	}
+}
+
+// Freeze marks every tree's attribute maps as shared copy-on-write (see
+// Node.Freeze). The engine freezes a campaign's baseline sets once so the
+// per-experiment clones alias attribute maps instead of copying them.
+func (s *Set) Freeze() {
+	for _, name := range s.order {
+		s.tree(name).Freeze()
+	}
+}
+
+// Each visits every (file, tree) pair in set order without materializing:
+// on a tracked set, clean files yield the shared base tree, which the
+// visitor must treat as read-only. The visitor returns false to stop. It
+// is the allocation-free read path the serializer uses (Names copies the
+// name list; Walk materializes on unsealed tracked sets).
+func (s *Set) Each(visit func(file string, root *Node) bool) {
+	for _, name := range s.order {
+		if !visit(name, s.tree(name)) {
+			return
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ func benchTarget() *Target {
 	return &Target{System: benchfixture.System{}, Formats: benchfixture.Formats()}
 }
 
-func benchFaultload(b *testing.B) (*Target, *faultload) {
+func benchFaultload(b testing.TB) (*Target, *faultload) {
 	b.Helper()
 	tgt := benchTarget()
 	c := &Campaign{Target: tgt, Generator: benchfixture.Gen{}}

@@ -11,8 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"conferr/internal/confnode"
@@ -48,6 +48,35 @@ type StreamingGenerator interface {
 	// Like Generate, it may consume internal generator state (RNGs), so
 	// call exactly one of the two per campaign.
 	GenerateStream(viewSet *confnode.Set) scenario.Source
+}
+
+// ShardedGenerator is a StreamingGenerator whose faultload can be pulled
+// as n disjoint strided shards, independently and concurrently: shard k
+// of n yields exactly the scenarios GenerateStream would yield at
+// positions k, k+n, k+2n, … Implementations must be pure — repeated
+// GenerateStream/GenerateShard calls over the same view set enumerate the
+// identical stream, with any randomness derived afresh from a fixed seed
+// per call — so the union of all n shards, interleaved by stride, equals
+// the unsharded stream for every n. The sharded campaign runner hands
+// every worker its own shard: generation fans out across the workers
+// instead of serializing behind a central dispatcher.
+type ShardedGenerator interface {
+	StreamingGenerator
+	// GenerateShard returns shard k of n of the faultload.
+	GenerateShard(viewSet *confnode.Set, k, n int) scenario.Source
+}
+
+// CanShard reports whether the generator supports sharded generation.
+// Wrapper generators (the combinators) implement GenerateShard
+// unconditionally but are only shard-stable when every generator they
+// wrap is; such types report the effective capability via a
+// Shardable() bool method, which takes precedence here.
+func CanShard(gen Generator) bool {
+	if s, ok := gen.(interface{ Shardable() bool }); ok {
+		return s.Shardable()
+	}
+	_, ok := gen.(ShardedGenerator)
+	return ok
 }
 
 // StreamOf returns the generator's faultload as a stream: lazily when the
@@ -146,6 +175,11 @@ func (c *Campaign) generateBase() (*faultload, error) {
 		return nil, fmt.Errorf("core: forward transform (%s): %w", v.Name(), err)
 	}
 	fl := &faultload{view: v, viewSet: viewSet, sysSet: sysSet}
+	// Freeze the baseline sets before any clone exists: every experiment's
+	// materialized trees then share the baseline attribute maps
+	// copy-on-write instead of re-hashing them per injection.
+	fl.sysSet.Freeze()
+	fl.viewSet.Freeze()
 	fl.prepareFastPath(c.Target)
 	return fl, nil
 }
@@ -245,14 +279,50 @@ func (fl *faultload) prepareFastPath(t *Target) {
 		}
 		baseBytes[name] = data
 	}
+	// The fast path pre-populates each worker's files map from baseBytes
+	// and serializes only dirty files, so baseBytes must name exactly the
+	// baseline system files: a view whose round trip drops or invents
+	// files would silently hand the SUT the wrong file set. Such views
+	// fall back to the reference path instead.
+	if baseSys.Len() != fl.sysSet.Len() {
+		return
+	}
+	for _, name := range fl.sysSet.Names() {
+		if _, ok := baseBytes[name]; !ok {
+			return
+		}
+	}
 	fl.inc, fl.baseBytes = inc, baseBytes
 }
 
-// scratch is per-worker reusable state: one serialization buffer shared
-// across all of a worker's injections. Workers never share a scratch.
+// scratch is per-worker reusable state threaded through every injection a
+// worker runs: the node arena backing the experiment's cloned trees, the
+// reusable tracked wrapper of the view set, the dirty-file scratch
+// slices, the files map handed to the SUT and the serialization buffer.
+// One experiment fully recycles into the next — the steady-state hot path
+// allocates only what must outlive the call (the mutated files' bytes).
+// Workers never share a scratch.
 type scratch struct {
-	buf bytes.Buffer
+	buf      bytes.Buffer
+	arena    confnode.Arena
+	tracked  *confnode.Set
+	dirty    []string
+	sysDirty []string
+	files    suts.Files
+	// filesFor remembers which campaign's baseline the files map is
+	// pre-populated with; a pooled scratch crossing into a new campaign
+	// rebuilds it (see runOne's fast path).
+	filesFor *faultload
 }
+
+// scratchPool recycles per-worker scratches — with their warmed arenas,
+// maps and buffers — across workers, campaigns and suite cells, so a
+// campaign's first experiments don't pay the warm-up that its thousandth
+// doesn't. Scratches are owned exclusively between Get and Put.
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
 
 // serialize renders one file tree, reusing the scratch buffer for formats
 // that support it. The returned slice is always freshly allocated — SUTs
@@ -321,15 +391,20 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 	}
 
 	// 1. Mutate a copy-on-write wrapper of the view: Apply may mutate
-	// freely, and the wrapper records which files it reached.
-	mutated := fl.viewSet.Tracked()
+	// freely, and the wrapper records which files it reached. The wrapper
+	// and every tree it materializes are recycled per-worker scratch: the
+	// arena reset reclaims the previous experiment's clones in one step.
+	scr.arena.Reset()
+	scr.tracked = fl.viewSet.TrackedInto(scr.tracked, &scr.arena)
+	mutated := scr.tracked
 	if err := sc.Apply(mutated); err != nil {
 		if errors.Is(err, scenario.ErrNotApplicable) {
 			return finish(profile.NotApplicable, err.Error()), nil
 		}
 		return finish(profile.NotApplicable, err.Error()), err
 	}
-	viewDirty := mutated.Seal()
+	scr.dirty = mutated.SealAppend(scr.dirty[:0])
+	viewDirty := scr.dirty
 
 	// 2. Map back to the system representation; expressiveness gaps are a
 	// first-class outcome (paper §5.4). The incremental transform folds
@@ -355,31 +430,89 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 		return finish(profile.NotApplicable, err.Error()), err
 	}
 	if fast {
-		sysDirty = mutatedSys.Seal()
+		scr.sysDirty = mutatedSys.SealAppend(scr.sysDirty[:0])
+		sysDirty = scr.sysDirty
 	}
 
 	// 3. Serialize to native file formats — only the dirty ones on the
 	// fast path; clean files reuse the campaign's cached baseline bytes.
-	files := make(suts.Files, mutatedSys.Len())
-	for _, name := range mutatedSys.Names() {
-		if fast && !slices.Contains(sysDirty, name) {
-			if data, ok := fl.baseBytes[name]; ok {
-				files[name] = data
-				continue
+	// The files map is worker scratch: suts.System.Start may retain the
+	// byte slices, never the map itself.
+	if fast {
+		// Fast path: the worker's files map is pre-populated with the
+		// campaign's baseline bytes (prepareFastPath guarantees baseBytes
+		// covers every baseline file), so an experiment touches only its
+		// dirty entries — written before the run, restored after — instead
+		// of rebuilding a full map per injection.
+		if scr.files == nil || scr.filesFor != fl {
+			if scr.files == nil {
+				scr.files = make(suts.Files, len(fl.baseBytes))
+			} else {
+				clear(scr.files)
 			}
+			for name, data := range fl.baseBytes {
+				scr.files[name] = data
+			}
+			scr.filesFor = fl
 		}
+		files := scr.files
+		defer func() {
+			for _, name := range sysDirty {
+				if data, ok := fl.baseBytes[name]; ok {
+					files[name] = data
+				} else {
+					delete(files, name)
+				}
+			}
+		}()
+		for _, name := range sysDirty {
+			f := t.Formats[name]
+			if f == nil {
+				// A scenario introduced a file no registered format can
+				// express — an expressiveness gap, not a crash.
+				return finish(profile.NotExpressible,
+					fmt.Sprintf("no format registered for file %q", name)), nil
+			}
+			data, serr := scr.serialize(f, mutatedSys.Get(name))
+			if serr != nil {
+				return finish(profile.NotExpressible, serr.Error()), nil
+			}
+			files[name] = data
+		}
+		return runOnFiles(t, files, finish)
+	}
+
+	// Reference-grade slow path (no incremental transform): serialize the
+	// whole set into a rebuilt map.
+	if scr.files == nil {
+		scr.files = make(suts.Files, mutatedSys.Len())
+	} else {
+		clear(scr.files)
+	}
+	scr.filesFor = nil
+	files := scr.files
+	var (
+		badOutcome profile.Outcome
+		badDetail  string
+	)
+	mutatedSys.Each(func(name string, root *confnode.Node) bool {
 		f := t.Formats[name]
 		if f == nil {
-			// A scenario introduced a file no registered format can
-			// express — an expressiveness gap, not a crash.
-			return finish(profile.NotExpressible,
-				fmt.Sprintf("no format registered for file %q", name)), nil
+			badOutcome = profile.NotExpressible
+			badDetail = fmt.Sprintf("no format registered for file %q", name)
+			return false
 		}
-		data, serr := scr.serialize(f, mutatedSys.Get(name))
+		data, serr := scr.serialize(f, root)
 		if serr != nil {
-			return finish(profile.NotExpressible, serr.Error()), nil
+			badOutcome = profile.NotExpressible
+			badDetail = serr.Error()
+			return false
 		}
 		files[name] = data
+		return true
+	})
+	if badOutcome != 0 {
+		return finish(badOutcome, badDetail), nil
 	}
 
 	return runOnFiles(t, files, finish)

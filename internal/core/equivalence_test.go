@@ -192,7 +192,7 @@ func TestFastPathMatchesReference(t *testing.T) {
 			if len(want.Records) == 0 {
 				t.Fatal("empty reference faultload")
 			}
-			for _, workers := range []int{1, 4} {
+			for _, workers := range []int{1, 4, 8} {
 				c := &Campaign{Target: digestTarget(), Generator: gen}
 				opts := []RunOption{}
 				if workers > 1 {
@@ -235,7 +235,7 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 			if canonical(materialized) != canonical(ref) {
 				t.Fatal("materialized path diverged from reference")
 			}
-			for _, workers := range []int{1, 4} {
+			for _, workers := range []int{1, 4, 8} {
 				prof := &profile.Profile{System: materialized.System, Generator: materialized.Generator}
 				c := &Campaign{Target: digestTarget(), Generator: mkGen()}
 				opts := []RunOption{WithParallelism(workers),

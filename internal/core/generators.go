@@ -20,9 +20,14 @@ type streamFunc struct {
 	name string
 	view view.View
 	src  func(viewSet *confnode.Set) scenario.Source
+	// shardable marks the wrapped pipeline as pure: every src call
+	// re-derives the identical stream, which is what makes the strided
+	// GenerateShard sound. Wrappers are shardable exactly when every
+	// generator they compose is.
+	shardable bool
 }
 
-var _ StreamingGenerator = streamFunc{}
+var _ ShardedGenerator = streamFunc{}
 
 // Name implements Generator.
 func (g streamFunc) Name() string { return g.name }
@@ -40,12 +45,23 @@ func (g streamFunc) GenerateStream(viewSet *confnode.Set) scenario.Source {
 	return g.src(viewSet)
 }
 
+// GenerateShard implements ShardedGenerator: a fresh pull of the pure
+// pipeline, strided down to shard k of n. Only sound when Shardable()
+// reports true — the runner checks through CanShard.
+func (g streamFunc) GenerateShard(viewSet *confnode.Set, k, n int) scenario.Source {
+	return g.src(viewSet).Shard(k, n)
+}
+
+// Shardable reports whether every composed generator is shard-stable.
+func (g streamFunc) Shardable() bool { return g.shardable }
+
 // LimitGenerator caps gen's faultload at n scenarios. On the streaming
 // path the cap stops the pull: generation work past n never happens.
 func LimitGenerator(gen Generator, n int) Generator {
 	return streamFunc{
-		name: gen.Name(),
-		view: gen.View(),
+		name:      gen.Name(),
+		view:      gen.View(),
+		shardable: CanShard(gen),
 		src: func(viewSet *confnode.Set) scenario.Source {
 			return StreamOf(gen, viewSet).Limit(n)
 		},
@@ -57,8 +73,9 @@ func LimitGenerator(gen Generator, n int) Generator {
 // scenarios are ever resident.
 func SampleGenerator(gen Generator, seed int64, n int) Generator {
 	return streamFunc{
-		name: gen.Name(),
-		view: gen.View(),
+		name:      gen.Name(),
+		view:      gen.View(),
+		shardable: CanShard(gen),
 		src: func(viewSet *confnode.Set) scenario.Source {
 			return StreamOf(gen, viewSet).SampleN(seed, n)
 		},
@@ -80,9 +97,17 @@ func MergeGenerators(name string, gens ...Generator) (Generator, error) {
 				g.Name(), g.View().Name(), v.Name())
 		}
 	}
+	shardable := true
+	for _, g := range gens {
+		if !CanShard(g) {
+			shardable = false
+			break
+		}
+	}
 	return streamFunc{
-		name: name,
-		view: v,
+		name:      name,
+		view:      v,
+		shardable: shardable,
 		src: func(viewSet *confnode.Set) scenario.Source {
 			sources := make([]scenario.Source, len(gens))
 			for i, g := range gens {
@@ -97,12 +122,14 @@ func MergeGenerators(name string, gens ...Generator) (Generator, error) {
 // scenario ID with its round ("r003/typo/...") so IDs stay campaign-unique
 // — the stress harness for driving the streaming runner far past what one
 // enumeration of a configuration yields. Each round pulls a fresh stream
-// from gen, so stateful generators (seeded samplers) vary per round while
-// stateless ones repeat their enumeration exactly.
+// from gen; the built-in generators are pure functions of their seed, so
+// every round repeats the identical enumeration — the property that also
+// makes a repeated faultload shard-stable across workers.
 func RepeatGenerator(gen Generator, rounds int) Generator {
 	return streamFunc{
-		name: gen.Name(),
-		view: gen.View(),
+		name:      gen.Name(),
+		view:      gen.View(),
+		shardable: CanShard(gen),
 		src: func(viewSet *confnode.Set) scenario.Source {
 			sources := make([]scenario.Source, rounds)
 			for r := 0; r < rounds; r++ {

@@ -111,7 +111,14 @@ func (c *Campaign) RunContext(ctx context.Context, opts ...RunOption) (*profile.
 	if cfg.parallelism > len(fl.scens) {
 		cfg.parallelism = len(fl.scens)
 	}
-	_, err = c.runStream(ctx, cfg, fl, scenario.FromSlice(fl.scens), &profile.MemorySink{Profile: prof})
+	sink := &profile.MemorySink{Profile: prof}
+	if cfg.parallelism > 1 {
+		// Materialized faultloads shard by index: every worker walks the
+		// validated slice at its own stride, no dispatcher in between.
+		_, err = runSharded(ctx, cfg, fl, sliceFeed(fl.scens), sink)
+		return prof, err
+	}
+	_, err = c.runStream(ctx, cfg, fl, scenario.FromSlice(fl.scens), sink)
 	return prof, err
 }
 
@@ -129,6 +136,22 @@ func (c *Campaign) RunStream(ctx context.Context, sink profile.Sink, opts ...Run
 	cfg := c.config(opts)
 	if err := ctx.Err(); err != nil {
 		return 0, err
+	}
+	if sg, ok := c.Generator.(ShardedGenerator); ok && cfg.parallelism > 1 && CanShard(c.Generator) {
+		// Sharded generation: every worker derives its own strided
+		// sub-stream of the (pure) faultload and runs it independently —
+		// generation itself scales with the workers instead of
+		// serializing behind one dispatch goroutine.
+		fl, err := c.generateBase()
+		if err != nil {
+			return 0, err
+		}
+		if cfg.baseline {
+			if err := c.baselineOn(fl.sysSet, fl.baseBytes); err != nil {
+				return 0, err
+			}
+		}
+		return runSharded(ctx, cfg, fl, genFeed(c, fl, sg), sink)
 	}
 	fl, src, err := c.generateStream()
 	if err != nil {
@@ -158,9 +181,12 @@ func (c *Campaign) config(opts []RunOption) runConfig {
 // runStream is the dispatch engine shared by RunContext and RunStream:
 // sequential in-line when one worker suffices, fan-out with sequence-
 // numbered reassembly otherwise.
+// errParallelNeedsFactory is the shared complaint of every parallel path.
+var errParallelNeedsFactory = errors.New("core: parallel run requires a target factory (WithTargetFactory)")
+
 func (c *Campaign) runStream(ctx context.Context, cfg runConfig, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
 	if cfg.parallelism > 1 && cfg.factory == nil {
-		return 0, errors.New("core: parallel run requires a target factory (WithTargetFactory)")
+		return 0, errParallelNeedsFactory
 	}
 	if cfg.parallelism <= 1 {
 		t := c.Target
@@ -182,7 +208,8 @@ func (c *Campaign) runStream(ctx context.Context, cfg runConfig, fl *faultload, 
 // line — the paper's original engine, plus cancellation between
 // experiments.
 func runStreamSequential(ctx context.Context, cfg runConfig, t *Target, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
-	scr := &scratch{}
+	scr := getScratch()
+	defer putScratch(scr)
 	n := 0
 	var firstErr error
 	src(func(sc scenario.Scenario, serr error) bool {
@@ -234,24 +261,22 @@ func streamWindow(workers int) int {
 	return w
 }
 
-// runStreamParallel fans the stream out over a worker pool. A dispatcher
-// goroutine pulls scenarios from the source, tags each with its sequence
-// number and hands the workers batches through a bounded queue; workers
-// own private targets and emit (seq, record) results; the reassembly loop
-// flushes records to the sink in exact sequence order, so the output is
+// runStreamParallel fans an opaque single-use stream out over a worker
+// pool — the fallback for generators without shard support (the sharded
+// engine in shard.go handles the rest). A dispatcher goroutine pulls
+// scenarios from the source, tags each with its sequence number and hands
+// the workers batches through a bounded queue; workers own private
+// targets and emit (seq, record) results; the reassembly loop flushes
+// records to the sink in exact sequence order, so the output is
 // deterministic regardless of worker scheduling.
 func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src scenario.Source, sink profile.Sink) (int, error) {
 	workers := cfg.parallelism
 
 	// Every worker gets its own factory-built target, built up front so a
 	// failing factory aborts before any experiment starts.
-	targets := make([]*Target, workers)
-	for w := range targets {
-		t, err := cfg.factory()
-		if err != nil {
-			return 0, fmt.Errorf("core: building worker %d target: %w", w, err)
-		}
-		targets[w] = t
+	targets, err := buildWorkerTargets(cfg, workers)
+	if err != nil {
+		return 0, err
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -325,7 +350,8 @@ func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src sc
 	for w := 0; w < workers; w++ {
 		go func(t *Target) {
 			defer wg.Done()
-			scr := &scratch{}
+			scr := getScratch()
+			defer putScratch(scr)
 			for batch := range jobs {
 				for _, j := range batch {
 					if runCtx.Err() != nil {

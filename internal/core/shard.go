@@ -1,0 +1,474 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+)
+
+// This file implements the sharded campaign engine: every worker pulls its
+// own strided sub-stream of the faultload (shard k of n), injects it on
+// its private target, and emits (sequence, record) pairs. Sequence numbers
+// are implied by the stride (worker k's j-th scenario is global sequence
+// j*n+k), so the PR 4 central dispatcher — one goroutine pulling the
+// generator, batching jobs through channels and recycling window tokens —
+// disappears entirely. What remains between the workers and the sink is a
+// single fixed-size ring buffer in which records are parked until their
+// predecessors flush, drained cooperatively by whichever worker fills the
+// next gap; order-insensitive sinks (profile.ShardableSink) skip even
+// that and let each worker fold its shard's records locally.
+
+// shardFeed drives worker k of n over its shard of the faultload: emit is
+// called with each scenario and its global sequence number, in increasing
+// sequence order, until the shard ends or emit returns false. A non-nil
+// error reports a generation (or validation) failure; stopSeq is then the
+// first sequence at or past the failure that this shard would have owned,
+// which lets the engine flush everything before the failure point and
+// agree with the sequential engine on where the stream broke.
+type shardFeed func(k, n int, emit func(seq int, sc scenario.Scenario) bool) (stopSeq int, err error)
+
+// sliceFeed shards a materialized, pre-validated faultload by index.
+func sliceFeed(scens []scenario.Scenario) shardFeed {
+	return func(k, n int, emit func(int, scenario.Scenario) bool) (int, error) {
+		for i := k; i < len(scens); i += n {
+			if !emit(i, scens[i]) {
+				break
+			}
+		}
+		return math.MaxInt, nil
+	}
+}
+
+// genFeed shards a streaming generator: each worker derives its own
+// identical stream (ShardedGenerator's purity contract) and keeps stride
+// k. Scenarios are shape-validated as they stream past, exactly like the
+// unsharded streaming path.
+func genFeed(c *Campaign, fl *faultload, sg ShardedGenerator) shardFeed {
+	return func(k, n int, emit func(int, scenario.Scenario) bool) (int, error) {
+		j := 0
+		var gerr error
+		sg.GenerateShard(fl.viewSet, k, n)(func(sc scenario.Scenario, serr error) bool {
+			if serr != nil {
+				gerr = fmt.Errorf("core: generating scenarios: %w", serr)
+				return false
+			}
+			// The j-th scenario of shard k sits at position j*n+k of the
+			// unsharded stream, so the index in validation errors matches
+			// the sequential engine's.
+			seq := j*n + k
+			if verr := sc.Validate(); verr != nil {
+				gerr = fmt.Errorf("core: plugin %s emitted invalid scenario #%d: %w",
+					c.Generator.Name(), seq, verr)
+				return false
+			}
+			j++
+			return emit(seq, sc)
+		})
+		return j*n + k, gerr
+	}
+}
+
+// shardSlot parks one completed experiment in the reassembly ring.
+type shardSlot struct {
+	rec profile.Record
+	err error
+}
+
+// shardRing is the ordered reassembly stage of the sharded engine: a
+// fixed window of slots indexed by sequence modulo the window size.
+// Workers acquire a slot before running a scenario (blocking while the
+// flush front is more than a window behind), deposit the record after,
+// and the depositor that fills the gap at the front drains every ready
+// slot to the sink in exact sequence order — there is no separate
+// reassembly goroutine to context-switch through.
+type shardRing struct {
+	mu    sync.Mutex
+	space sync.Cond
+
+	slots  []shardSlot
+	filled []bool
+	window int
+	next   int // next sequence to flush
+
+	// stopSeq fences the stream after a failure: scenarios at or past it
+	// must not start, so the flush front can reach it gap-free. A
+	// generation error fences at the failure sequence; an infrastructure
+	// error fences just past the failing scenario (its record still
+	// reaches the profile). stopped aborts outright (sink error, caller
+	// cancellation): no new scenario starts, in-flight ones still deposit.
+	stopSeq   int
+	stopped   bool
+	stopFlush bool
+	// flushing marks one worker as the active drainer: it writes the sink
+	// and calls the observer with the mutex RELEASED, so the other workers
+	// keep injecting while records flush. batch is its scratch.
+	flushing bool
+	batch    []shardSlot
+
+	flushed     int
+	firstErr    error
+	firstErrSeq int
+	genErr      error
+	genErrSeq   int
+
+	ctx       context.Context
+	sink      profile.Sink
+	observer  func(profile.Record)
+	keepGoing bool
+}
+
+func newShardRing(ctx context.Context, cfg runConfig, sink profile.Sink, window int) *shardRing {
+	r := &shardRing{
+		slots:       make([]shardSlot, window),
+		filled:      make([]bool, window),
+		batch:       make([]shardSlot, 0, maxFlushBatch),
+		window:      window,
+		stopSeq:     math.MaxInt,
+		firstErrSeq: -1,
+		ctx:         ctx,
+		sink:        sink,
+		observer:    cfg.observer,
+		keepGoing:   cfg.keepGoing,
+	}
+	r.space.L = &r.mu
+	return r
+}
+
+// acquire blocks until sequence seq may run (the flush front is within a
+// window) and reports whether it still should.
+func (r *shardRing) acquire(seq int) bool {
+	r.mu.Lock()
+	for !r.stopped && seq < r.stopSeq && seq >= r.next+r.window {
+		r.space.Wait()
+	}
+	ok := !r.stopped && seq < r.stopSeq
+	r.mu.Unlock()
+	return ok
+}
+
+// noteErr records the earliest-sequence campaign error (locked).
+func (r *shardRing) noteErr(seq int, err error) {
+	if r.firstErrSeq < 0 || seq < r.firstErrSeq {
+		r.firstErrSeq, r.firstErr = seq, err
+	}
+}
+
+// deposit parks a completed experiment and, if the ring's front is ready
+// and nobody else is draining, becomes the drainer. It reports whether
+// the worker should keep going.
+func (r *shardRing) deposit(seq int, rec profile.Record, err error) bool {
+	r.mu.Lock()
+	if err != nil && !r.keepGoing {
+		// Abort: fence the stream at the failing scenario — everything
+		// before it still runs and flushes, nothing after it starts — so
+		// the profile is the exact contiguous prefix through the failing
+		// scenario's own record, matching the sequential engine, and the
+		// earliest failing scenario wins the returned error. (A hard stop
+		// would strand lower sequences that no worker had started yet and
+		// silently drop every completed record behind the gap.)
+		r.noteErr(seq, fmt.Errorf("core: scenario %s: %w", rec.ScenarioID, err))
+		if seq+1 < r.stopSeq {
+			r.stopSeq = seq + 1
+		}
+		r.space.Broadcast()
+	}
+	i := seq % r.window
+	r.slots[i] = shardSlot{rec: rec, err: err}
+	r.filled[i] = true
+	if !r.flushing && r.filled[r.next%r.window] {
+		r.flushing = true
+		r.drainLocked()
+		r.flushing = false
+	}
+	cont := !r.stopped
+	r.mu.Unlock()
+	return cont
+}
+
+// maxFlushBatch bounds how many records the drainer takes out of the
+// ring per I/O burst, so window space reopens to the other workers in
+// steady increments.
+const maxFlushBatch = 64
+
+// drainLocked flushes ready slots to the sink in exact sequence order.
+// Called with r.mu held and r.flushing set; it RELEASES the mutex around
+// the sink writes and observer calls — the workers keep acquiring,
+// injecting and depositing while I/O runs — and reacquires it to collect
+// the next batch. Order is safe because the flushing flag admits exactly
+// one drainer at a time.
+func (r *shardRing) drainLocked() {
+	for r.filled[r.next%r.window] {
+		start := r.next
+		batch := r.batch[:0]
+		for r.filled[r.next%r.window] && len(batch) < maxFlushBatch {
+			j := r.next % r.window
+			batch = append(batch, r.slots[j])
+			r.filled[j] = false
+			r.slots[j] = shardSlot{}
+			r.next++
+		}
+		r.batch = batch[:0]
+		// Window space opened: wake workers blocked in acquire before the
+		// I/O, not after.
+		r.space.Broadcast()
+		if r.stopFlush {
+			// Post-cancellation (or post-sink-error) drain: slots are
+			// discarded so the ring keeps emptying and workers can exit.
+			continue
+		}
+		r.mu.Unlock()
+		flushedHere := 0
+		var werr error
+		werrSeq := -1
+		cancelled := false
+		for bi, slot := range batch {
+			if e := r.sink.Write(slot.rec); e != nil {
+				werr, werrSeq = e, start+bi
+				break
+			}
+			flushedHere++
+			if r.observer != nil {
+				r.observer(slot.rec)
+			}
+			// A caller-side cancellation stops the flush front at the
+			// cancellation point — the contract is a profile cut short
+			// there, not whatever happened to finish. Internal aborts
+			// deliberately keep flushing to the sequence gap instead.
+			if r.ctx.Err() != nil {
+				cancelled = true
+				break
+			}
+		}
+		r.mu.Lock()
+		r.flushed += flushedHere
+		if werr != nil {
+			r.noteErr(werrSeq, werr)
+			r.stopFlush = true
+			r.stopped = true
+			r.space.Broadcast()
+		}
+		if cancelled {
+			r.stopFlush = true
+		}
+	}
+}
+
+// stop aborts the run (caller cancellation observed by a worker).
+func (r *shardRing) stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.space.Broadcast()
+	r.mu.Unlock()
+}
+
+// noteGenErr records a shard's generation failure and lowers the
+// no-start fence to the earliest failure sequence.
+func (r *shardRing) noteGenErr(seq int, err error) {
+	r.mu.Lock()
+	if r.genErr == nil || seq < r.genErrSeq {
+		r.genErr, r.genErrSeq = err, seq
+	}
+	if seq < r.stopSeq {
+		r.stopSeq = seq
+	}
+	r.space.Broadcast()
+	r.mu.Unlock()
+}
+
+// buildWorkerTargets constructs one factory-built target per worker, up
+// front, so a failing factory aborts before any experiment starts.
+func buildWorkerTargets(cfg runConfig, workers int) ([]*Target, error) {
+	targets := make([]*Target, workers)
+	for w := range targets {
+		t, err := cfg.factory()
+		if err != nil {
+			return nil, fmt.Errorf("core: building worker %d target: %w", w, err)
+		}
+		targets[w] = t
+	}
+	return targets, nil
+}
+
+// runSharded executes the faultload over cfg.parallelism workers, each
+// pulling its own shard from feed. Records reach the sink in exact
+// sequence order through the reassembly ring — unless the sink is
+// order-insensitive (profile.ShardableSink) and no observer needs ordered
+// records, in which case every worker folds straight into its own
+// sub-sink and the engine synchronizes only on errors.
+func runSharded(ctx context.Context, cfg runConfig, fl *faultload, feed shardFeed, sink profile.Sink) (int, error) {
+	if cfg.factory == nil {
+		return 0, errParallelNeedsFactory
+	}
+	workers := cfg.parallelism
+	targets, err := buildWorkerTargets(cfg, workers)
+	if err != nil {
+		return 0, err
+	}
+	if ss, ok := sink.(profile.ShardableSink); ok && profile.CanShardSink(sink) && cfg.observer == nil {
+		return runShardedBypass(ctx, cfg, fl, feed, ss, targets)
+	}
+
+	ring := newShardRing(ctx, cfg, sink, streamWindow(workers))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(k int, t *Target) {
+			defer wg.Done()
+			scr := getScratch()
+			defer putScratch(scr)
+			stopSeq, gerr := feed(k, workers, func(seq int, sc scenario.Scenario) bool {
+				if ctx.Err() != nil {
+					ring.stop()
+					return false
+				}
+				if !ring.acquire(seq) {
+					return false
+				}
+				rec, rerr := runOne(t, sc, fl, scr)
+				return ring.deposit(seq, rec, rerr)
+			})
+			if gerr != nil {
+				ring.noteGenErr(stopSeq, gerr)
+			}
+		}(w, targets[w])
+	}
+	wg.Wait()
+
+	if ring.firstErr != nil {
+		return ring.flushed, ring.firstErr
+	}
+	if ring.genErr != nil {
+		return ring.flushed, ring.genErr
+	}
+	if err := ctx.Err(); err != nil {
+		return ring.flushed, err
+	}
+	return ring.flushed, nil
+}
+
+// bypassState is the minimal shared state of the order-insensitive path:
+// per-record work touches only atomic stop checks; the mutex guards the
+// rare error bookkeeping.
+type bypassState struct {
+	mu          sync.Mutex
+	stopped     atomic.Bool
+	stopSeq     atomic.Int64
+	firstErr    error
+	firstErrSeq int
+	genErr      error
+	genErrSeq   int
+}
+
+func (st *bypassState) noteErr(seq int, err error) {
+	st.mu.Lock()
+	if st.firstErrSeq < 0 || seq < st.firstErrSeq {
+		st.firstErr, st.firstErrSeq = err, seq
+	}
+	st.mu.Unlock()
+}
+
+// fail aborts outright (sink errors — nothing sensible can be written
+// anymore).
+func (st *bypassState) fail(seq int, err error) {
+	st.noteErr(seq, err)
+	st.stopped.Store(true)
+}
+
+// failFenced records an infrastructure failure and fences the stream
+// just past it, mirroring the ordered ring: scenarios before the failure
+// still run, nothing after it starts.
+func (st *bypassState) failFenced(seq int, err error) {
+	st.noteErr(seq, err)
+	st.lowerStopSeq(seq + 1)
+}
+
+func (st *bypassState) lowerStopSeq(seq int) {
+	for {
+		cur := st.stopSeq.Load()
+		if int64(seq) >= cur || st.stopSeq.CompareAndSwap(cur, int64(seq)) {
+			return
+		}
+	}
+}
+
+func (st *bypassState) noteGenErr(seq int, err error) {
+	st.mu.Lock()
+	if st.genErr == nil || seq < st.genErrSeq {
+		st.genErr, st.genErrSeq = err, seq
+	}
+	st.mu.Unlock()
+	st.lowerStopSeq(seq)
+}
+
+// runShardedBypass is runSharded without reassembly: each worker writes
+// its shard's records to its own sub-sink as they complete. The record
+// count under a mid-stream failure may include scenarios past the failure
+// point that other workers had already finished — an order-insensitive
+// sink cannot tell, and the returned error still names the earliest
+// failure.
+func runShardedBypass(ctx context.Context, cfg runConfig, fl *faultload, feed shardFeed, ss profile.ShardableSink, targets []*Target) (int, error) {
+	workers := len(targets)
+	subs := make([]profile.Sink, workers)
+	for k := range subs {
+		subs[k] = ss.ShardSink(k, workers)
+	}
+	st := &bypassState{firstErrSeq: -1, genErrSeq: -1}
+	st.stopSeq.Store(math.MaxInt64)
+
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(k int, t *Target, sub profile.Sink) {
+			defer wg.Done()
+			scr := getScratch()
+			defer putScratch(scr)
+			n := 0
+			stopSeq, gerr := feed(k, workers, func(seq int, sc scenario.Scenario) bool {
+				if st.stopped.Load() || int64(seq) >= st.stopSeq.Load() {
+					return false
+				}
+				if ctx.Err() != nil {
+					st.stopped.Store(true)
+					return false
+				}
+				rec, rerr := runOne(t, sc, fl, scr)
+				if werr := sub.Write(rec); werr != nil {
+					st.fail(seq, werr)
+					return false
+				}
+				n++
+				if rerr != nil && !cfg.keepGoing {
+					st.failFenced(seq, fmt.Errorf("core: scenario %s: %w", rec.ScenarioID, rerr))
+					return false
+				}
+				return true
+			})
+			counts[k] = n
+			if gerr != nil {
+				st.noteGenErr(stopSeq, gerr)
+			}
+		}(w, targets[w], subs[w])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if st.firstErr != nil {
+		return total, st.firstErr
+	}
+	if st.genErr != nil {
+		return total, st.genErr
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	return total, nil
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"conferr/internal/benchfixture"
+	"conferr/internal/confnode"
+	"conferr/internal/cpath"
+	"conferr/internal/plugins/typo"
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+	"conferr/internal/template"
+	"conferr/internal/view"
+)
+
+// collectIDs drains a source into its scenario IDs.
+func collectIDs(t *testing.T, src scenario.Source) []string {
+	t.Helper()
+	scens, err := scenario.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(scens))
+	for i, sc := range scens {
+		out[i] = sc.ID
+	}
+	return out
+}
+
+// assertShardUnion checks that interleaving shard(k,n) for all k by
+// stride reproduces want exactly, for shard counts that do and do not
+// divide the faultload.
+func assertShardUnion(t *testing.T, want []string, shard func(k, n int) scenario.Source) {
+	t.Helper()
+	if len(want) == 0 {
+		t.Fatal("empty faultload")
+	}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		total := 0
+		for k := 0; k < n; k++ {
+			got := collectIDs(t, shard(k, n))
+			for j, id := range got {
+				if i := j*n + k; i >= len(want) || want[i] != id {
+					t.Fatalf("n=%d shard %d: diverges at local %d (%s)", n, k, j, id)
+				}
+			}
+			total += len(got)
+		}
+		if total != len(want) {
+			t.Fatalf("n=%d: shards hold %d scenarios, want %d", n, total, len(want))
+		}
+	}
+}
+
+// TestTemplateStreamsShardStable: the base templates' streams are
+// deterministic, so their strided shards union back to the whole — the
+// property every template-built plugin faultload inherits.
+func TestTemplateStreamsShardStable(t *testing.T) {
+	set := confnode.NewSet()
+	root := confnode.New(confnode.KindDocument, "t.conf")
+	sec := confnode.New(confnode.KindSection, "s")
+	for i := 0; i < 7; i++ {
+		sec.Append(confnode.NewValued(confnode.KindDirective, fmt.Sprintf("d%d", i), "v"))
+	}
+	root.Append(sec)
+	root.Append(confnode.NewValued(confnode.KindDirective, "top", "x"))
+	set.Put("t.conf", root)
+
+	templates := map[string]template.Template{
+		"delete":    &template.DeleteTemplate{Targets: cpath.MustCompile("//directive")},
+		"duplicate": &template.DuplicateTemplate{Targets: cpath.MustCompile("//directive")},
+		"move": &template.MoveTemplate{
+			Targets:      cpath.MustCompile("//directive"),
+			Destinations: cpath.MustCompile("//section"),
+		},
+		"modify": &template.ModifyTemplate{
+			Targets: cpath.MustCompile("//directive"),
+			Mutator: typo.Omission{},
+		},
+	}
+	for name, tpl := range templates {
+		t.Run(name, func(t *testing.T) {
+			want := collectIDs(t, tpl.GenerateStream(set))
+			assertShardUnion(t, want, func(k, n int) scenario.Source {
+				return tpl.GenerateStream(set).Shard(k, n)
+			})
+		})
+	}
+}
+
+// TestBenchfixtureShardParity pins the native sharded enumeration of the
+// benchmark generator against its own stream and slice forms.
+func TestBenchfixtureShardParity(t *testing.T) {
+	c := &Campaign{Target: benchTarget(), Generator: benchfixture.Gen{}}
+	fl, err := c.generateBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := benchfixture.Gen{}.Generate(fl.viewSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(eager))
+	for i, sc := range eager {
+		want[i] = sc.ID
+	}
+	streamed := collectIDs(t, benchfixture.Gen{}.GenerateStream(fl.viewSet))
+	if strings.Join(streamed, ",") != strings.Join(want, ",") {
+		t.Fatal("GenerateStream diverges from Generate")
+	}
+	assertShardUnion(t, want, func(k, n int) scenario.Source {
+		return benchfixture.Gen{}.GenerateShard(fl.viewSet, k, n)
+	})
+	if !CanShard(benchfixture.Gen{}) {
+		t.Error("benchfixture.Gen should be shardable")
+	}
+}
+
+// TestCombinatorShardability: combinators are shardable exactly when
+// every wrapped generator is, and their shards union back to the whole.
+func TestCombinatorShardability(t *testing.T) {
+	shardable := &typo.Plugin{}
+	if !CanShard(shardable) {
+		t.Fatal("typo plugin should be shardable")
+	}
+	opaque := mixGen{} // slice-only generator: not shardable
+	if CanShard(opaque) {
+		t.Fatal("mixGen should not be shardable")
+	}
+	if CanShard(LimitGenerator(opaque, 3)) {
+		t.Error("Limit over a non-shardable generator must not be shardable")
+	}
+	if !CanShard(LimitGenerator(shardable, 30)) {
+		t.Error("Limit over a shardable generator should be shardable")
+	}
+	// Merge requires a shared view: pair the (shardable) struct-view
+	// synthetic generator with the (opaque) struct-view mixGen.
+	if merged, err := MergeGenerators("m", benchfixture.Gen{}, opaque); err != nil || CanShard(merged) {
+		t.Errorf("Merge with one non-shardable generator must not be shardable (err=%v)", err)
+	}
+	if merged, err := MergeGenerators("m", benchfixture.Gen{}, benchfixture.Gen{}); err != nil || !CanShard(merged) {
+		t.Errorf("Merge of shardable generators should be shardable (err=%v)", err)
+	}
+
+	c := &Campaign{Target: digestTarget(), Generator: shardable}
+	fl, err := c.generateBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, gen := range map[string]Generator{
+		"limit":  LimitGenerator(shardable, 30),
+		"sample": SampleGenerator(shardable, 7, 25),
+		"repeat": RepeatGenerator(shardable, 3),
+	} {
+		t.Run(name, func(t *testing.T) {
+			sg, ok := gen.(ShardedGenerator)
+			if !ok || !CanShard(gen) {
+				t.Fatalf("%s combinator should be shardable", name)
+			}
+			want := collectIDs(t, sg.GenerateStream(fl.viewSet))
+			assertShardUnion(t, want, func(k, n int) scenario.Source {
+				return sg.GenerateShard(fl.viewSet, k, n)
+			})
+		})
+	}
+}
+
+// dropDuration forwards records to the wrapped sink with the (run-varying)
+// wall-clock duration zeroed, so byte-level profile comparisons test
+// determinism of everything that is supposed to be deterministic.
+type dropDuration struct{ sink profile.Sink }
+
+func (d dropDuration) Write(r profile.Record) error {
+	r.Duration = 0
+	return d.sink.Write(r)
+}
+
+// TestShardedStreamingProfilesByteIdentical is the PR's headline
+// equivalence contract: streaming a shardable faultload through the
+// sharded engine at workers 4 and 8 produces JSONL output byte-identical
+// to the sequential engine's — same records, same order, same encoding —
+// and the streaming reader sees strictly increasing sequence numbers.
+// The typo faultload over the multi-codec digest target does not divide
+// evenly by 4 or 8, so shard boundaries with ragged tails are covered.
+func TestShardedStreamingProfilesByteIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		var buf bytes.Buffer
+		c := &Campaign{Target: digestTarget(), Generator: &typo.Plugin{}}
+		sink := dropDuration{profile.NewJSONLSink(&buf, "digest", "typo")}
+		opts := []RunOption{WithParallelism(workers),
+			WithTargetFactory(func() (*Target, error) { return digestTarget(), nil })}
+		n, err := c.RunStream(context.Background(), sink, opts...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n == 0 {
+			t.Fatalf("workers=%d: no records", workers)
+		}
+		return buf.Bytes()
+	}
+	want := run(1)
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: JSONL output diverges from sequential", workers)
+		}
+	}
+	// The streaming reader round-trips the output with in-order seqs.
+	next := 0
+	if err := profile.ScanJSONL(bytes.NewReader(want), func(e profile.JSONLEntry) error {
+		if e.Seq != next {
+			return fmt.Errorf("seq %d, want %d", e.Seq, next)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedTallyBypassMatchesOrderedRun: the order-insensitive tally
+// path (no reassembly at all) must agree with the ordered engine on
+// every count.
+func TestShardedTallyBypassMatchesOrderedRun(t *testing.T) {
+	ref, err := (&Campaign{Target: digestTarget(), Generator: &typo.Plugin{}}).
+		RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Summarize()
+	for _, workers := range []int{2, 8} {
+		tally := &profile.TallySink{}
+		c := &Campaign{Target: digestTarget(), Generator: &typo.Plugin{}}
+		n, err := c.RunStream(context.Background(), tally,
+			WithParallelism(workers),
+			WithTargetFactory(func() (*Target, error) { return digestTarget(), nil }))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if n != len(ref.Records) {
+			t.Errorf("workers=%d: %d records, want %d", workers, n, len(ref.Records))
+		}
+		if n != tally.Records() {
+			t.Errorf("workers=%d: run reported %d records, tally holds %d", workers, n, tally.Records())
+		}
+		got := tally.Summary()
+		got.System = want.System
+		if got != want {
+			t.Errorf("workers=%d: tally summary %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+// breakingGen is a shardable generator whose stream fails after good
+// scenarios — the fixture for mid-stream error semantics under sharding.
+type breakingGen struct {
+	good int
+}
+
+func (g breakingGen) Name() string    { return "breaking" }
+func (g breakingGen) View() view.View { return view.StructView{} }
+func (g breakingGen) Generate(s *confnode.Set) ([]scenario.Scenario, error) {
+	return scenario.Collect(g.GenerateStream(s))
+}
+func (g breakingGen) GenerateStream(s *confnode.Set) scenario.Source {
+	return g.GenerateShard(s, 0, 1)
+}
+func (g breakingGen) GenerateShard(s *confnode.Set, k, n int) scenario.Source {
+	if n <= 1 {
+		k, n = 0, 1
+	}
+	return func(yield func(scenario.Scenario, error) bool) {
+		for i := 0; i < g.good; i++ {
+			if i%n != k {
+				continue
+			}
+			sc := scenario.Scenario{
+				ID:    fmt.Sprintf("ok/%04d", i),
+				Class: "ok",
+				Apply: func(*confnode.Set) error { return nil },
+			}
+			if !yield(sc, nil) {
+				return
+			}
+		}
+		yield(scenario.Scenario{}, errors.New("generator exploded"))
+	}
+}
+
+// TestShardedMidStreamGenerationError: when every shard's stream breaks
+// at the same underlying point, the engine must flush exactly the records
+// before the failure — in order, gap-free — and return the generation
+// error, matching the sequential contract.
+func TestShardedMidStreamGenerationError(t *testing.T) {
+	const good = 37 // not divisible by the worker count
+	for _, workers := range []int{4, 8} {
+		prof := &profile.Profile{}
+		c := &Campaign{Target: digestTarget(), Generator: breakingGen{good: good}}
+		n, err := c.RunStream(context.Background(), &profile.MemorySink{Profile: prof},
+			WithParallelism(workers),
+			WithTargetFactory(func() (*Target, error) { return digestTarget(), nil }))
+		if err == nil || !strings.Contains(err.Error(), "generator exploded") {
+			t.Fatalf("workers=%d: err = %v, want generation error", workers, err)
+		}
+		if n != good {
+			t.Errorf("workers=%d: flushed %d records, want %d", workers, n, good)
+		}
+		for i, r := range prof.Records {
+			if want := fmt.Sprintf("ok/%04d", i); r.ScenarioID != want {
+				t.Errorf("workers=%d: record %d = %s, want %s", workers, i, r.ScenarioID, want)
+				break
+			}
+		}
+	}
+}
+
+// TestRunOneFastPathAllocs pins the hot path's allocation ceiling on the
+// synthetic fixture: the arena, pooled scratch and baseline-prepopulated
+// files map leave only a handful of unavoidable allocations (the mutated
+// file's serialized bytes among them). The seed path burned ~115
+// allocations per injection; the ceiling keeps the diet from silently
+// regressing.
+func TestRunOneFastPathAllocs(t *testing.T) {
+	tgt, fl := benchFaultload(t)
+	if fl.inc == nil || fl.baseBytes == nil {
+		t.Fatal("fast path not enabled")
+	}
+	scr := getScratch()
+	defer putScratch(scr)
+	i := 0
+	allocs := testing.AllocsPerRun(300, func() {
+		sc := fl.scens[i%len(fl.scens)]
+		i++
+		if _, err := runOne(tgt, sc, fl, scr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 12
+	if allocs > ceiling {
+		t.Errorf("fast injection path allocs/op = %v, want <= %d", allocs, ceiling)
+	}
+}
+
+// TestShardedAbortFlushesPrefixThroughFailure pins the abort-fence
+// contract the hard-stop design violated: with workers, an
+// infrastructure failure at sequence s must still produce the exact
+// contiguous prefix 0..s — including the failing scenario's own record —
+// even when a lower sequence had not started at failure time.
+func TestShardedAbortFlushesPrefixThroughFailure(t *testing.T) {
+	mkScens := func() []scenario.Scenario {
+		return []scenario.Scenario{
+			{ID: "s0", Class: "c", Apply: func(*confnode.Set) error {
+				time.Sleep(30 * time.Millisecond) // s1 fails before s0 starts injecting
+				return nil
+			}},
+			{ID: "s1", Class: "c", Apply: func(*confnode.Set) error {
+				return errors.New("infra down")
+			}},
+			{ID: "s2", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+			{ID: "s3", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+		}
+	}
+	c := &Campaign{Target: digestTarget(), Generator: sliceGen{mkScens()}}
+	prof, err := c.RunContext(context.Background(),
+		WithParallelism(2),
+		WithTargetFactory(func() (*Target, error) { return digestTarget(), nil }))
+	if err == nil || !strings.Contains(err.Error(), "scenario s1") {
+		t.Fatalf("err = %v, want scenario s1 infrastructure error", err)
+	}
+	got := make([]string, len(prof.Records))
+	for i, r := range prof.Records {
+		got[i] = r.ScenarioID
+	}
+	if fmt.Sprint(got) != "[s0 s1]" {
+		t.Errorf("profile = %v, want the contiguous prefix [s0 s1]", got)
+	}
+}
+
+// sliceGen is a minimal slice-only generator over the struct view.
+type sliceGen struct{ scens []scenario.Scenario }
+
+func (g sliceGen) Name() string    { return "slice" }
+func (g sliceGen) View() view.View { return view.StructView{} }
+func (g sliceGen) Generate(*confnode.Set) ([]scenario.Scenario, error) {
+	return g.scens, nil
+}

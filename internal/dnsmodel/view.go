@@ -116,7 +116,7 @@ func (v ZoneRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 // are folded back; every other file — zone or pass-through — keeps
 // sharing the baseline system tree.
 func (v ZoneRecordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	out := sys.Tracked()
+	out := sys.TrackedWith(mutated.Arena())
 	for _, file := range dirty {
 		viewDoc := mutated.Get(file)
 		if viewDoc == nil {
@@ -239,7 +239,7 @@ func (v TinyRecordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, err
 // single data file, so either that file is dirty and gets folded onto a
 // materialized clone, or nothing in the system set changed at all.
 func (v TinyRecordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	out := sys.Tracked()
+	out := sys.TrackedWith(mutated.Arena())
 	for _, file := range dirty {
 		if file != v.File {
 			// Files a scenario added beside the data file have no tinydns

@@ -43,8 +43,10 @@ type Plugin struct {
 	// PerEdit is the number of faulty variants per edit (the paper ran 20
 	// experiments per directive). 0 means 20.
 	PerEdit int
-	// Rng drives sampling; required.
-	Rng *rand.Rand
+	// Seed derives the variant-shuffle RNG, afresh per stream call: the
+	// faultload is a pure function of (Seed, edits, configuration), so
+	// repeated and sharded enumerations agree exactly.
+	Seed int64
 	// Layout is the keyboard for substitution/insertion typos; nil means
 	// keyboard.Default().
 	Layout *keyboard.Layout
@@ -67,15 +69,12 @@ func (p *Plugin) Generate(wordSet *confnode.Set) ([]scenario.Scenario, error) {
 }
 
 // GenerateStream yields the faultload lazily, edit by edit: only one
-// edit's shuffled variant pool is ever resident, and the Rng draws happen
+// edit's shuffled variant pool is ever resident, and the RNG draws happen
 // in the same order as the eager path, so both enumerate the identical
 // faultload.
 func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
 	return func(yield func(scenario.Scenario, error) bool) {
-		if p.Rng == nil {
-			yield(scenario.Scenario{}, fmt.Errorf("editsim: Rng is required"))
-			return
-		}
+		rng := rand.New(rand.NewSource(p.Seed))
 		perEdit := p.PerEdit
 		if perEdit == 0 {
 			perEdit = 20
@@ -110,7 +109,7 @@ func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
 				yield(scenario.Scenario{}, fmt.Errorf("editsim: no typo variants for value %q", edit.NewValue))
 				return
 			}
-			p.Rng.Shuffle(len(variants), func(i, j int) {
+			rng.Shuffle(len(variants), func(i, j int) {
 				variants[i], variants[j] = variants[j], variants[i]
 			})
 			n := perEdit
@@ -133,6 +132,12 @@ func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
 			}
 		}
 	}
+}
+
+// GenerateShard yields shard k of n of the faultload (strided sub-stream
+// of the pure GenerateStream).
+func (p *Plugin) GenerateShard(wordSet *confnode.Set, k, n int) scenario.Source {
+	return p.GenerateStream(wordSet).Shard(k, n)
 }
 
 // editScenario builds one scenario: apply the edit, then the typo variant.

@@ -1,7 +1,6 @@
 package editsim
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -36,7 +35,7 @@ func TestGenerate(t *testing.T) {
 			{Directive: "port", NewValue: "6000"},
 		},
 		PerEdit: 5,
-		Rng:     rand.New(rand.NewSource(1)),
+		Seed:    1,
 	}
 	scens, err := p.Generate(wordSet())
 	if err != nil {
@@ -80,7 +79,7 @@ func TestCleanEditControl(t *testing.T) {
 	p := &Plugin{
 		Edits:            []Edit{{Directive: "port", NewValue: "6000"}},
 		PerEdit:          2,
-		Rng:              rand.New(rand.NewSource(2)),
+		Seed:             2,
 		IncludeCleanEdit: true,
 	}
 	scens, err := p.Generate(wordSet())
@@ -109,13 +108,14 @@ func TestCleanEditControl(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	p := &Plugin{Edits: []Edit{{Directive: "port", NewValue: "1"}}}
-	if _, err := p.Generate(wordSet()); err == nil {
-		t.Error("missing Rng accepted")
+	// The zero Seed is a valid seed: sampling never fails for lack of
+	// randomness.
+	if _, err := (&Plugin{Edits: []Edit{{Directive: "port", NewValue: "1"}}}).Generate(wordSet()); err != nil {
+		t.Errorf("zero-seed generation failed: %v", err)
 	}
-	p = &Plugin{
+	p := &Plugin{
 		Edits: []Edit{{Directive: "no_such_directive", NewValue: "1"}},
-		Rng:   rand.New(rand.NewSource(1)),
+		Seed:  1,
 	}
 	if _, err := p.Generate(wordSet()); err == nil {
 		t.Error("unknown directive accepted")
@@ -126,7 +126,7 @@ func TestCaseInsensitiveDirectiveLookup(t *testing.T) {
 	p := &Plugin{
 		Edits:   []Edit{{Directive: "Shared_Buffers", NewValue: "64MB"}},
 		PerEdit: 1,
-		Rng:     rand.New(rand.NewSource(1)),
+		Seed:    1,
 	}
 	if _, err := p.Generate(wordSet()); err != nil {
 		t.Errorf("case-insensitive lookup failed: %v", err)
@@ -138,7 +138,7 @@ func TestDeterministic(t *testing.T) {
 		p := &Plugin{
 			Edits:   []Edit{{Directive: "port", NewValue: "6000"}},
 			PerEdit: 6,
-			Rng:     rand.New(rand.NewSource(9)),
+			Seed:    9,
 		}
 		scens, err := p.Generate(wordSet())
 		if err != nil {

@@ -1,7 +1,6 @@
 package editsim
 
 import (
-	"math/rand"
 	"testing"
 
 	"conferr/internal/scenario"
@@ -19,7 +18,7 @@ func TestGenerateStreamParity(t *testing.T) {
 			},
 			PerEdit:          5,
 			IncludeCleanEdit: true,
-			Rng:              rand.New(rand.NewSource(11)),
+			Seed:             11,
 		}
 	}
 	eager, err := mk().Generate(wordSet())
@@ -36,6 +35,43 @@ func TestGenerateStreamParity(t *testing.T) {
 	for i := range eager {
 		if eager[i].ID != streamed[i].ID || eager[i].Description != streamed[i].Description {
 			t.Fatalf("scenario %d: %s vs %s", i, eager[i].ID, streamed[i].ID)
+		}
+	}
+}
+
+// TestShardParity checks the ShardedGenerator contract over the seeded
+// shuffle: every shard re-derives the identical stream and keeps its
+// stride, so the union reproduces GenerateStream for any n.
+func TestShardParity(t *testing.T) {
+	p := &Plugin{
+		Edits: []Edit{
+			{Directive: "shared_buffers", NewValue: "64MB"},
+			{Directive: "port", NewValue: "6543"},
+		},
+		PerEdit:          7,
+		IncludeCleanEdit: true,
+		Seed:             11,
+	}
+	want, err := scenario.Collect(p.GenerateStream(wordSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		total := 0
+		for k := 0; k < n; k++ {
+			s, err := scenario.Collect(p.GenerateShard(wordSet(), k, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, sc := range s {
+				if i := j*n + k; i >= len(want) || want[i].ID != sc.ID {
+					t.Fatalf("n=%d shard %d: diverges at local %d", n, k, j)
+				}
+			}
+			total += len(s)
+		}
+		if total != len(want) {
+			t.Fatalf("n=%d: shards hold %d, want %d", n, total, len(want))
 		}
 	}
 }

@@ -38,3 +38,32 @@ func TestGenerateStreamUnknownClass(t *testing.T) {
 		t.Error("unknown class accepted by stream")
 	}
 }
+
+// TestShardParity checks the ShardedGenerator contract over the BIND
+// record view: union of strided shards == unsharded stream, any n.
+func TestShardParity(t *testing.T) {
+	set, v := bindViewSet(t)
+	p := &Plugin{RecordView: v}
+	want, err := scenario.Collect(p.GenerateStream(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		total := 0
+		for k := 0; k < n; k++ {
+			s, err := scenario.Collect(p.GenerateShard(set, k, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, sc := range s {
+				if i := j*n + k; i >= len(want) || want[i].ID != sc.ID {
+					t.Fatalf("n=%d shard %d: diverges at local %d", n, k, j)
+				}
+			}
+			total += len(s)
+		}
+		if total != len(want) {
+			t.Fatalf("n=%d: shards hold %d, want %d", n, total, len(want))
+		}
+	}
+}

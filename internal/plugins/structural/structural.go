@@ -26,10 +26,12 @@ type Plugin struct {
 	// directive-level faults.
 	Sections bool
 	// PerClass bounds the number of scenarios per fault class; 0 keeps
-	// all. Sampling uses Rng.
+	// all. Sampling uses an RNG derived from Seed.
 	PerClass int
-	// Rng drives sampling; required when PerClass > 0.
-	Rng *rand.Rand
+	// Seed derives the sampling RNG, per stream call: the faultload is a
+	// pure function of (Seed, configuration), so repeated and sharded
+	// enumerations agree exactly.
+	Seed int64
 }
 
 // Name identifies the plugin.
@@ -51,10 +53,22 @@ func (p *Plugin) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 // with sampling, each class pool materializes internally and the draws
 // stay identical to the historical eager path.
 func (p *Plugin) GenerateStream(set *confnode.Set) scenario.Source {
-	if p.PerClass > 0 && p.Rng == nil {
-		return scenario.Fail(fmt.Errorf("structural: PerClass sampling requires Rng"))
+	// Deriving the RNG inside the returned closure makes every
+	// enumeration — not just every GenerateStream call — pure: a Source
+	// value driven twice samples identically, like every other plugin.
+	return func(yield func(scenario.Scenario, error) bool) {
+		p.stream(set)(yield)
 	}
+}
+
+// stream builds one enumeration's pipeline: a fresh sampling RNG shared
+// by the class samplers in class order (the historical draw order).
+func (p *Plugin) stream(set *confnode.Set) scenario.Source {
 	classes := p.templates()
+	var rng *rand.Rand
+	if p.PerClass > 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
 	sources := make([]scenario.Source, len(classes))
 	for i, tpl := range classes {
 		tpl := tpl
@@ -63,14 +77,14 @@ func (p *Plugin) GenerateStream(set *confnode.Set) scenario.Source {
 		}
 		if p.PerClass > 0 {
 			// Sampling needs the class pool; the pool materializes when
-			// the class is reached, and the Rng draws stay in class order.
+			// the class is reached, and the RNG draws stay in class order.
 			sources[i] = scenario.Source(func(yield func(scenario.Scenario, error) bool) {
 				scens, err := tpl.Generate(set)
 				if err != nil {
 					yield(scenario.Scenario{}, wrap(err))
 					return
 				}
-				for _, sc := range scenario.RandomSubset(p.Rng, scens, p.PerClass) {
+				for _, sc := range scenario.RandomSubset(rng, scens, p.PerClass) {
 					if !yield(sc, nil) {
 						return
 					}
@@ -81,6 +95,12 @@ func (p *Plugin) GenerateStream(set *confnode.Set) scenario.Source {
 		sources[i] = tpl.GenerateStream(set).MapErr(wrap)
 	}
 	return scenario.Concat(sources...)
+}
+
+// GenerateShard yields shard k of n: the strided sub-stream of the pure
+// GenerateStream. Union of all shards ≡ the unsharded stream, any n.
+func (p *Plugin) GenerateShard(set *confnode.Set, k, n int) scenario.Source {
+	return p.GenerateStream(set).Shard(k, n)
 }
 
 // templates lists the fault-class templates the plugin composes.
@@ -150,8 +170,9 @@ type Variations struct {
 	// PerClass is the number of variant configurations per class
 	// (default 10, as in the paper).
 	PerClass int
-	// Rng drives the randomized rewrites; required.
-	Rng *rand.Rand
+	// Seed derives the per-scenario rewrite seeds, afresh on every stream
+	// call, keeping the faultload a pure function of (Seed, classes).
+	Seed int64
 }
 
 // Name identifies the generator.
@@ -167,14 +188,11 @@ func (v *Variations) Generate(set *confnode.Set) ([]scenario.Scenario, error) {
 }
 
 // GenerateStream yields variation scenarios lazily; the per-scenario
-// rewrite seeds are drawn from the generator Rng in the same order as the
-// eager path, so both enumerate the identical faultload.
+// rewrite seeds are drawn from a seed-derived RNG in the same order as
+// the eager path, so every enumeration yields the identical faultload.
 func (v *Variations) GenerateStream(set *confnode.Set) scenario.Source {
 	return func(yield func(scenario.Scenario, error) bool) {
-		if v.Rng == nil {
-			yield(scenario.Scenario{}, fmt.Errorf("structural: Variations requires Rng"))
-			return
-		}
+		rng := rand.New(rand.NewSource(v.Seed))
 		classes := v.Classes
 		if classes == nil {
 			classes = AllVariationClasses()
@@ -190,7 +208,7 @@ func (v *Variations) GenerateStream(set *confnode.Set) scenario.Source {
 				return
 			}
 			for i := 0; i < per; i++ {
-				seed := v.Rng.Int63()
+				seed := rng.Int63()
 				sc := scenario.Scenario{
 					ID:          fmt.Sprintf("%s/%d", class, i),
 					Class:       class,
@@ -206,6 +224,12 @@ func (v *Variations) GenerateStream(set *confnode.Set) scenario.Source {
 			}
 		}
 	}
+}
+
+// GenerateShard yields shard k of n of the variations faultload (strided
+// sub-stream of the pure GenerateStream).
+func (v *Variations) GenerateShard(set *confnode.Set, k, n int) scenario.Source {
+	return v.GenerateStream(set).Shard(k, n)
 }
 
 // rewriters maps each variation class to its whole-configuration rewrite.
@@ -346,8 +370,9 @@ type Borrow struct {
 	Donor *confnode.Set
 	// PerClass bounds the number of scenarios (0 = all combinations).
 	PerClass int
-	// Rng drives sampling; required when PerClass > 0.
-	Rng *rand.Rand
+	// Seed derives the sampling RNG per stream call, keeping the
+	// faultload a pure function of (Seed, donor, configuration).
+	Seed int64
 }
 
 // Name identifies the generator.
@@ -372,9 +397,6 @@ func (b *Borrow) GenerateStream(set *confnode.Set) scenario.Source {
 	if b.Donor == nil {
 		return scenario.Fail(fmt.Errorf("structural: Borrow requires a Donor configuration"))
 	}
-	if b.PerClass > 0 && b.Rng == nil {
-		return scenario.Fail(fmt.Errorf("structural: Borrow sampling requires Rng"))
-	}
 	if b.PerClass > 0 {
 		return func(yield func(scenario.Scenario, error) bool) {
 			all, err := scenario.Collect(b.pairStream(set))
@@ -382,7 +404,8 @@ func (b *Borrow) GenerateStream(set *confnode.Set) scenario.Source {
 				yield(scenario.Scenario{}, err)
 				return
 			}
-			for _, sc := range scenario.RandomSubset(b.Rng, all, b.PerClass) {
+			rng := rand.New(rand.NewSource(b.Seed))
+			for _, sc := range scenario.RandomSubset(rng, all, b.PerClass) {
 				if !yield(sc, nil) {
 					return
 				}
@@ -390,6 +413,12 @@ func (b *Borrow) GenerateStream(set *confnode.Set) scenario.Source {
 		}
 	}
 	return b.pairStream(set)
+}
+
+// GenerateShard yields shard k of n of the borrow faultload (strided
+// sub-stream of the pure GenerateStream).
+func (b *Borrow) GenerateShard(set *confnode.Set, k, n int) scenario.Source {
+	return b.GenerateStream(set).Shard(k, n)
 }
 
 // pairStream enumerates every (foreign directive, insertion point) pair.

@@ -1,7 +1,6 @@
 package structural
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -62,7 +61,7 @@ func TestPluginGenerate(t *testing.T) {
 }
 
 func TestPluginPerClassSampling(t *testing.T) {
-	p := &Plugin{Sections: true, PerClass: 1, Rng: rand.New(rand.NewSource(3))}
+	p := &Plugin{Sections: true, PerClass: 1, Seed: 3}
 	scens, err := p.Generate(iniSet(t))
 	if err != nil {
 		t.Fatal(err)
@@ -72,8 +71,10 @@ func TestPluginPerClassSampling(t *testing.T) {
 			t.Errorf("class %s has %d scenarios", class, len(s))
 		}
 	}
-	if _, err := (&Plugin{PerClass: 1}).Generate(iniSet(t)); err == nil {
-		t.Error("PerClass without Rng should error")
+	// The zero Seed is valid: PerClass sampling works without any
+	// explicit randomness source.
+	if _, err := (&Plugin{PerClass: 1}).Generate(iniSet(t)); err != nil {
+		t.Errorf("zero-seed PerClass sampling failed: %v", err)
 	}
 }
 
@@ -107,7 +108,7 @@ func TestMisplaceDirectiveScenario(t *testing.T) {
 
 func variationScens(t *testing.T, class string, per int) []scenario.Scenario {
 	t.Helper()
-	v := &Variations{Classes: []string{class}, PerClass: per, Rng: rand.New(rand.NewSource(7))}
+	v := &Variations{Classes: []string{class}, PerClass: per, Seed: 7}
 	scens, err := v.Generate(iniSet(t))
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +242,7 @@ func TestVariationTruncatedNames(t *testing.T) {
 
 func TestVariationsReplayable(t *testing.T) {
 	set := iniSet(t)
-	v := &Variations{PerClass: 3, Rng: rand.New(rand.NewSource(42))}
+	v := &Variations{PerClass: 3, Seed: 42}
 	scens, err := v.Generate(set)
 	if err != nil {
 		t.Fatal(err)
@@ -261,10 +262,10 @@ func TestVariationsReplayable(t *testing.T) {
 }
 
 func TestVariationsErrors(t *testing.T) {
-	if _, err := (&Variations{}).Generate(iniSet(t)); err == nil {
-		t.Error("missing Rng accepted")
+	if _, err := (&Variations{}).Generate(iniSet(t)); err != nil {
+		t.Errorf("zero-seed variations failed: %v", err)
 	}
-	v := &Variations{Classes: []string{"variation/bogus"}, Rng: rand.New(rand.NewSource(1))}
+	v := &Variations{Classes: []string{"variation/bogus"}, Seed: 1}
 	if _, err := v.Generate(iniSet(t)); err == nil {
 		t.Error("unknown class accepted")
 	}
@@ -325,7 +326,7 @@ func countDirs(set *confnode.Set) int {
 }
 
 func TestBorrowSamplingAndErrors(t *testing.T) {
-	b := &Borrow{Donor: kvDonor(t), PerClass: 2, Rng: rand.New(rand.NewSource(1))}
+	b := &Borrow{Donor: kvDonor(t), PerClass: 2, Seed: 1}
 	scens, err := b.Generate(iniSet(t))
 	if err != nil {
 		t.Fatal(err)
@@ -336,7 +337,7 @@ func TestBorrowSamplingAndErrors(t *testing.T) {
 	if _, err := (&Borrow{}).Generate(iniSet(t)); err == nil {
 		t.Error("missing donor accepted")
 	}
-	if _, err := (&Borrow{Donor: kvDonor(t), PerClass: 1}).Generate(iniSet(t)); err == nil {
-		t.Error("sampling without Rng accepted")
+	if _, err := (&Borrow{Donor: kvDonor(t), PerClass: 1}).Generate(iniSet(t)); err != nil {
+		t.Errorf("zero-seed borrow sampling failed: %v", err)
 	}
 }

@@ -1,16 +1,14 @@
 package typo
 
 import (
-	"math/rand"
 	"testing"
 
 	"conferr/internal/scenario"
 )
 
 // assertStreamParity proves the plugin's two faultload forms enumerate
-// identical scenarios: a fresh instance's Generate versus another fresh
-// instance's collected GenerateStream (fresh because both consume the
-// plugin Rng).
+// identical scenarios: Generate versus collected GenerateStream (both
+// are pure functions of the seed, so fresh instances suffice).
 func assertStreamParity(t *testing.T, mk func() *Plugin) {
 	t.Helper()
 	eager, err := mk().Generate(wordSet())
@@ -38,10 +36,10 @@ func TestGenerateStreamParityUnsampled(t *testing.T) {
 
 func TestGenerateStreamParitySampled(t *testing.T) {
 	assertStreamParity(t, func() *Plugin {
-		return &Plugin{PerModel: 3, Rng: rand.New(rand.NewSource(9))}
+		return &Plugin{PerModel: 3, Seed: 9}
 	})
 	assertStreamParity(t, func() *Plugin {
-		return &Plugin{PerDirective: 4, Rng: rand.New(rand.NewSource(9))}
+		return &Plugin{PerDirective: 4, Seed: 9}
 	})
 }
 
@@ -65,4 +63,45 @@ func TestGenerateStreamLazyPull(t *testing.T) {
 			t.Errorf("prefix diverged at %d: %s vs %s", i, got[i].ID, full[i].ID)
 		}
 	}
+}
+
+// assertShardParity checks the ShardedGenerator contract: interleaving
+// GenerateShard(k,n) for all k reproduces the unsharded stream, for
+// several n including counts that do not divide the faultload.
+func assertShardParity(t *testing.T, p *Plugin) {
+	t.Helper()
+	want, err := scenario.Collect(p.GenerateStream(wordSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty faultload")
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		total := 0
+		for k := 0; k < n; k++ {
+			s, err := scenario.Collect(p.GenerateShard(wordSet(), k, n))
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, k, err)
+			}
+			for j, sc := range s {
+				if i := j*n + k; i >= len(want) || want[i].ID != sc.ID {
+					t.Fatalf("n=%d shard %d: diverges at local %d (%s)", n, k, j, sc.ID)
+				}
+			}
+			total += len(s)
+		}
+		if total != len(want) {
+			t.Fatalf("n=%d: shards hold %d scenarios, want %d", n, total, len(want))
+		}
+	}
+}
+
+func TestShardParityUnsampled(t *testing.T) {
+	assertShardParity(t, &Plugin{})
+}
+
+func TestShardParitySampled(t *testing.T) {
+	assertShardParity(t, &Plugin{PerModel: 3, Seed: 9})
+	assertShardParity(t, &Plugin{PerDirective: 4, Seed: 9})
 }

@@ -220,8 +220,11 @@ type Plugin struct {
 	// faultload ("20 experiments for each directive"). 0 disables.
 	// PerModel and PerDirective compose: PerModel caps first.
 	PerDirective int
-	// Rng drives sampling; required when PerModel or PerDirective > 0.
-	Rng *rand.Rand
+	// Seed derives the sampling RNG. Every stream call derives a fresh
+	// RNG from it, so the faultload is a pure function of (Seed,
+	// configuration): repeated and sharded enumerations agree exactly —
+	// the property the sharded campaign runner relies on.
+	Seed int64
 	// Models overrides the submodels to use; nil means all five.
 	Models []template.Mutator
 }
@@ -285,9 +288,6 @@ func (p *Plugin) Generate(wordSet *confnode.Set) ([]scenario.Scenario, error) {
 // published experiment faultloads stable.
 func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
 	if p.PerModel > 0 || p.PerDirective > 0 {
-		if p.Rng == nil {
-			return scenario.Fail(fmt.Errorf("typo: sampling requires Rng"))
-		}
 		return p.sampledStream(wordSet)
 	}
 	models := p.models()
@@ -296,6 +296,14 @@ func (p *Plugin) GenerateStream(wordSet *confnode.Set) scenario.Source {
 		sources[i] = p.modelStream(m, wordSet)
 	}
 	return scenario.Concat(sources...)
+}
+
+// GenerateShard yields shard k of n of the faultload: the strided
+// sub-stream of GenerateStream, which — being a pure function of the seed
+// and the configuration — every worker re-derives identically and keeps
+// 1/n of. Union of all shards ≡ the unsharded stream, for any n.
+func (p *Plugin) GenerateShard(wordSet *confnode.Set, k, n int) scenario.Source {
+	return p.GenerateStream(wordSet).Shard(k, n)
 }
 
 // modelStream chains one submodel's streams across the target
@@ -315,10 +323,13 @@ func (p *Plugin) modelStream(m template.Mutator, wordSet *confnode.Set) scenario
 }
 
 // sampledStream is the bounded-faultload path: each submodel's candidate
-// pool is collected, down-sampled with the plugin Rng, and the survivors
-// streamed out.
+// pool is collected, down-sampled with an RNG derived from the plugin
+// seed, and the survivors streamed out. The RNG is derived per call, in
+// the historical draw order, so every enumeration yields the identical
+// faultload.
 func (p *Plugin) sampledStream(wordSet *confnode.Set) scenario.Source {
 	return func(yield func(scenario.Scenario, error) bool) {
+		rng := rand.New(rand.NewSource(p.Seed))
 		var all []scenario.Scenario
 		for _, m := range p.models() {
 			classScens, err := scenario.Collect(p.modelStream(m, wordSet))
@@ -327,12 +338,12 @@ func (p *Plugin) sampledStream(wordSet *confnode.Set) scenario.Source {
 				return
 			}
 			if p.PerModel > 0 {
-				classScens = scenario.RandomSubset(p.Rng, classScens, p.PerModel)
+				classScens = scenario.RandomSubset(rng, classScens, p.PerModel)
 			}
 			all = append(all, classScens...)
 		}
 		if p.PerDirective > 0 {
-			all = samplePerDirective(p.Rng, all, p.PerDirective)
+			all = samplePerDirective(rng, all, p.PerDirective)
 		}
 		for _, sc := range all {
 			if !yield(sc, nil) {

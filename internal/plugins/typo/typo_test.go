@@ -2,7 +2,6 @@ package typo
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -231,7 +230,7 @@ func TestPluginTokenRestriction(t *testing.T) {
 }
 
 func TestPluginPerModelSampling(t *testing.T) {
-	p := &Plugin{PerModel: 2, Rng: rand.New(rand.NewSource(1))}
+	p := &Plugin{PerModel: 2, Seed: 1}
 	scens, err := p.Generate(wordSet())
 	if err != nil {
 		t.Fatal(err)
@@ -242,15 +241,15 @@ func TestPluginPerModelSampling(t *testing.T) {
 			t.Errorf("class %s has %d scenarios, want <= 2", class, len(s))
 		}
 	}
-	// Sampling without an Rng is an error.
-	if _, err := (&Plugin{PerModel: 1}).Generate(wordSet()); err == nil {
-		t.Error("PerModel without Rng should error")
+	// The zero Seed is valid: sampling works without an explicit seed.
+	if _, err := (&Plugin{PerModel: 1}).Generate(wordSet()); err != nil {
+		t.Errorf("zero-seed PerModel sampling failed: %v", err)
 	}
 }
 
 func TestPluginDeterministicWithSeed(t *testing.T) {
 	gen := func() []string {
-		p := &Plugin{PerModel: 3, Rng: rand.New(rand.NewSource(99))}
+		p := &Plugin{PerModel: 3, Seed: 99}
 		scens, err := p.Generate(wordSet())
 		if err != nil {
 			t.Fatal(err)
@@ -405,7 +404,7 @@ func TestPerDirectiveSampling(t *testing.T) {
 	set := confnode.NewSet()
 	set.Put("f.conf", doc)
 
-	p := &Plugin{PerDirective: 3, Rng: rand.New(rand.NewSource(5))}
+	p := &Plugin{PerDirective: 3, Seed: 5}
 	scens, err := p.Generate(set)
 	if err != nil {
 		t.Fatal(err)
@@ -422,8 +421,8 @@ func TestPerDirectiveSampling(t *testing.T) {
 			t.Errorf("line %s has %d scenarios, want 3", key, n)
 		}
 	}
-	// Sampling without Rng errors.
-	if _, err := (&Plugin{PerDirective: 1}).Generate(set); err == nil {
-		t.Error("PerDirective without Rng accepted")
+	// The zero Seed is valid: sampling works without an explicit seed.
+	if _, err := (&Plugin{PerDirective: 1}).Generate(set); err != nil {
+		t.Errorf("zero-seed PerDirective sampling failed: %v", err)
 	}
 }

@@ -180,6 +180,16 @@ func (s *Summary) Add(r Record) {
 	}
 }
 
+// Merge adds o's counts into s (System is kept from s) — the fold behind
+// sharded tally counters.
+func (s *Summary) Merge(o Summary) {
+	s.Injected += o.Injected
+	s.AtStartup += o.AtStartup
+	s.ByTest += o.ByTest
+	s.Ignored += o.Ignored
+	s.NotExpressible += o.NotExpressible
+}
+
 // Summarize computes the Table 1 style summary of the profile.
 func (p *Profile) Summarize() Summary {
 	s := Summary{System: p.System}

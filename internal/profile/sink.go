@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
+	"unicode/utf8"
 )
 
 // Sink consumes injection records as the engine produces them — the
@@ -33,12 +35,59 @@ func (s *MemorySink) Write(r Record) error {
 	return nil
 }
 
+// ShardableSink is a Sink whose writes are order-insensitive and can be
+// fanned out: ShardSink hands out the k-th of n independent sub-sinks,
+// each written by exactly one campaign worker with no locking and no
+// ordering. The sharded campaign runner detects this capability (when no
+// observer needs ordered records) and skips sequence reassembly entirely
+// — workers fold their own shard's records and the owner merges at read
+// time. Call ShardSink for every k before the run starts; reading the
+// merged totals is only valid after the run completes.
+type ShardableSink interface {
+	Sink
+	// ShardSink returns the k-th of n sub-sinks.
+	ShardSink(k, n int) Sink
+}
+
+// CanShardSink reports whether the sink can actually fan out. Wrapper
+// sinks (MultiSink) implement ShardSink unconditionally but are only
+// shardable when every member is; such types report the effective
+// capability via a SinkShardable() bool method, which takes precedence.
+func CanShardSink(s Sink) bool {
+	if w, ok := s.(interface{ SinkShardable() bool }); ok {
+		return w.SinkShardable()
+	}
+	_, ok := s.(ShardableSink)
+	return ok
+}
+
 // TallySink folds records into a running Summary without retaining them —
 // O(1) memory whatever the faultload size, the companion of a JSONL sink
-// on million-scenario campaigns.
+// on million-scenario campaigns. It is shardable: under a sharded
+// parallel run each worker folds into its own padded counter set and
+// Summary/Records merge the shards, so the hot path never shares a cache
+// line between workers.
 type TallySink struct {
 	summary Summary
 	records int
+	shards  []tallyShard
+}
+
+var _ ShardableSink = (*TallySink)(nil)
+
+// tallyShard is one worker's private counter set, padded to keep
+// neighbouring shards out of each other's cache lines.
+type tallyShard struct {
+	summary Summary
+	records int
+	_       [64]byte
+}
+
+// Write implements Sink.
+func (t *tallyShard) Write(r Record) error {
+	t.records++
+	t.summary.Add(r)
+	return nil
 }
 
 // Write implements Sink.
@@ -48,14 +97,40 @@ func (s *TallySink) Write(r Record) error {
 	return nil
 }
 
-// Summary returns the totals folded so far.
-func (s *TallySink) Summary() Summary { return s.summary }
+// ShardSink implements ShardableSink. The n sub-sinks coexist with direct
+// Write calls made outside the run; Summary and Records merge both.
+func (s *TallySink) ShardSink(k, n int) Sink {
+	if len(s.shards) < n {
+		shards := make([]tallyShard, n)
+		copy(shards, s.shards)
+		s.shards = shards
+	}
+	return &s.shards[k]
+}
 
-// Records returns how many records have been written.
-func (s *TallySink) Records() int { return s.records }
+// Summary returns the totals folded so far, merged across shards.
+func (s *TallySink) Summary() Summary {
+	out := s.summary
+	for i := range s.shards {
+		out.Merge(s.shards[i].summary)
+	}
+	return out
+}
+
+// Records returns how many records have been written, merged across
+// shards.
+func (s *TallySink) Records() int {
+	n := s.records
+	for i := range s.shards {
+		n += s.shards[i].records
+	}
+	return n
+}
 
 // MultiSink fans every record out to each member, in order, stopping at
-// the first error.
+// the first error. It is shardable exactly when every member is (a suite
+// tallying into two TallySinks keeps the engine's no-reassembly bypass;
+// one ordered member — JSONL, memory — forces ordered flushing for all).
 type MultiSink []Sink
 
 // Write implements Sink.
@@ -66,6 +141,28 @@ func (m MultiSink) Write(r Record) error {
 		}
 	}
 	return nil
+}
+
+// SinkShardable reports whether every member can fan out (see
+// CanShardSink).
+func (m MultiSink) SinkShardable() bool {
+	for _, s := range m {
+		if !CanShardSink(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardSink implements ShardableSink by fanning out each member. Only
+// sound when SinkShardable reports true — the engine checks through
+// CanShardSink.
+func (m MultiSink) ShardSink(k, n int) Sink {
+	out := make(MultiSink, len(m))
+	for i, s := range m {
+		out[i] = s.(ShardableSink).ShardSink(k, n)
+	}
+	return out
 }
 
 // jsonlRecord is the schema of one JSONL profile line: the jsonRecord
@@ -84,12 +181,16 @@ type jsonlRecord struct {
 // record, flushed as it is written, so a campaign's profile lands on disk
 // incrementally instead of materializing in memory. Each line is emitted
 // with a single Write call on the underlying writer, keeping lines atomic
-// when several campaigns share a LockedWriter.
+// when several campaigns share a LockedWriter. Lines are rendered by a
+// hand-rolled append encoder, byte-identical to encoding/json over the
+// same schema (fuzz-verified) but reusing one buffer per sink — zero
+// steady-state allocations per record instead of reflection per line.
 type JSONLSink struct {
 	system    string
 	generator string
 	w         io.Writer
 	seq       int
+	buf       []byte
 }
 
 // NewJSONLSink returns a sink writing the campaign's records to w, tagged
@@ -100,21 +201,117 @@ func NewJSONLSink(w io.Writer, system, generator string) *JSONLSink {
 
 // Write implements Sink.
 func (s *JSONLSink) Write(r Record) error {
-	line, err := json.Marshal(jsonlRecord{
-		System:     s.system,
-		Generator:  s.generator,
-		Seq:        s.seq,
-		jsonRecord: toJSONRecord(r),
-	})
-	if err != nil {
-		return fmt.Errorf("profile: encoding JSONL record: %w", err)
-	}
+	s.buf = AppendJSONLRecord(s.buf[:0], s.system, s.generator, s.seq, r)
 	s.seq++
-	line = append(line, '\n')
-	if _, err := s.w.Write(line); err != nil {
+	if _, err := s.w.Write(s.buf); err != nil {
 		return fmt.Errorf("profile: writing JSONL record: %w", err)
 	}
 	return nil
+}
+
+// AppendJSONLRecord renders one JSONL profile line (including the
+// trailing newline) into buf and returns it. The output is byte-identical
+// to encoding/json marshalling of the same schema — field order, omitted
+// empties, string escaping (HTML-safe, invalid-UTF-8 replacement) — which
+// the round-trip fuzz test pins down; ReadJSONL and ScanJSONL parse it
+// back with the stock decoder.
+func AppendJSONLRecord(buf []byte, system, generator string, seq int, r Record) []byte {
+	buf = append(buf, `{"system":`...)
+	buf = appendJSONString(buf, system)
+	buf = append(buf, `,"generator":`...)
+	buf = appendJSONString(buf, generator)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendInt(buf, int64(seq), 10)
+	buf = append(buf, `,"scenario_id":`...)
+	buf = appendJSONString(buf, r.ScenarioID)
+	buf = append(buf, `,"class":`...)
+	buf = appendJSONString(buf, r.Class)
+	if r.Description != "" {
+		buf = append(buf, `,"description":`...)
+		buf = appendJSONString(buf, r.Description)
+	}
+	buf = append(buf, `,"outcome":`...)
+	buf = appendJSONString(buf, r.Outcome.String())
+	if r.Detail != "" {
+		buf = append(buf, `,"detail":`...)
+		buf = appendJSONString(buf, r.Detail)
+	}
+	if ns := r.Duration.Nanoseconds(); ns != 0 {
+		buf = append(buf, `,"duration_ns":`...)
+		buf = strconv.AppendInt(buf, ns, 10)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+const jsonHex = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes encoding/json's default (HTML-escaping)
+// encoder passes through verbatim: printable characters except the JSON
+// metacharacters `"` and `\\` and the HTML-sensitive `<`, `>`, `&`.
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		safe[b] = true
+	}
+	safe['"'], safe['\\'] = false, false
+	safe['<'], safe['>'], safe['&'] = false, false, false
+	return
+}()
+
+// appendJSONString appends s as a JSON string literal, escaping exactly
+// like encoding/json's default (HTML-escaping) encoder: quote and
+// backslash with a backslash; \n, \r, \t, \b, \f short forms; other
+// bytes and `<`, `>`, `&` as \u00xx sequences; invalid UTF-8 as the
+// \ufffd escape; and U+2028/U+2029 as \u2028/\u2029.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				buf = append(buf, '\\', b)
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			case '\b':
+				buf = append(buf, '\\', 'b')
+			case '\f':
+				buf = append(buf, '\\', 'f')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
 }
 
 // LockedWriter serializes Write calls to an underlying writer, letting the
@@ -135,21 +332,21 @@ func (l *LockedWriter) Write(p []byte) (int, error) {
 	return l.w.Write(p)
 }
 
-// ReadJSONL parses a JSON Lines profile stream written by JSONLSink,
-// splitting it back into one Profile per (system, generator) campaign, in
-// order of first appearance. Within each profile, records are ordered by
-// their sequence numbers, so interleaved suite output round-trips to the
-// deterministic per-campaign profiles. The (system, generator) pair is
-// the only campaign identity in the schema: records of two campaigns
-// tagged identically (a deliberately duplicated matrix cell) merge into
-// one profile, seq ties broken by file order.
-func ReadJSONL(r io.Reader) ([]*Profile, error) {
-	type keyed struct {
-		prof *Profile
-		seqs []int
-	}
-	var order []string
-	byKey := make(map[string]*keyed)
+// JSONLEntry is one decoded JSONL profile line: the campaign identity,
+// the record's sequence number within its campaign, and the record.
+type JSONLEntry struct {
+	System    string
+	Generator string
+	Seq       int
+	Record    Record
+}
+
+// ScanJSONL streams a JSON Lines profile (as written by JSONLSink) entry
+// by entry to fn, in file order, without materializing anything: memory
+// stays constant however many records the file holds — the reader-side
+// counterpart of the streaming campaign engine. A non-nil error from fn
+// stops the scan and is returned verbatim. Empty lines are skipped.
+func ScanJSONL(r io.Reader, fn func(JSONLEntry) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -161,24 +358,53 @@ func ReadJSONL(r io.Reader) ([]*Profile, error) {
 		}
 		var jr jsonlRecord
 		if err := json.Unmarshal(line, &jr); err != nil {
-			return nil, fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+			return fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
 		}
 		rec, err := jr.record()
 		if err != nil {
-			return nil, fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+			return fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
 		}
-		key := jr.System + "\x00" + jr.Generator
+		if err := fn(JSONLEntry{System: jr.System, Generator: jr.Generator, Seq: jr.Seq, Record: rec}); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("profile: reading JSONL: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON Lines profile stream written by JSONLSink,
+// splitting it back into one Profile per (system, generator) campaign, in
+// order of first appearance. Within each profile, records are ordered by
+// their sequence numbers, so interleaved suite output round-trips to the
+// deterministic per-campaign profiles. The (system, generator) pair is
+// the only campaign identity in the schema: records of two campaigns
+// tagged identically (a deliberately duplicated matrix cell) merge into
+// one profile, seq ties broken by file order. Unlike ScanJSONL — on which
+// it is built — it materializes every record; prefer the scanner when a
+// single pass suffices.
+func ReadJSONL(r io.Reader) ([]*Profile, error) {
+	type keyed struct {
+		prof *Profile
+		seqs []int
+	}
+	var order []string
+	byKey := make(map[string]*keyed)
+	err := ScanJSONL(r, func(e JSONLEntry) error {
+		key := e.System + "\x00" + e.Generator
 		k, ok := byKey[key]
 		if !ok {
-			k = &keyed{prof: &Profile{System: jr.System, Generator: jr.Generator}}
+			k = &keyed{prof: &Profile{System: e.System, Generator: e.Generator}}
 			byKey[key] = k
 			order = append(order, key)
 		}
-		k.prof.Add(rec)
-		k.seqs = append(k.seqs, jr.Seq)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("profile: reading JSONL: %w", err)
+		k.prof.Add(e.Record)
+		k.seqs = append(k.seqs, e.Seq)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]*Profile, 0, len(order))
 	for _, key := range order {

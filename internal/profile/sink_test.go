@@ -164,3 +164,29 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 		t.Error("unknown outcome accepted")
 	}
 }
+
+func TestMultiSinkShardability(t *testing.T) {
+	t1, t2 := &TallySink{}, &TallySink{}
+	all := MultiSink{t1, t2}
+	if !CanShardSink(all) {
+		t.Fatal("MultiSink of tallies should be shardable")
+	}
+	mixed := MultiSink{t1, &MemorySink{Profile: &Profile{}}}
+	if CanShardSink(mixed) {
+		t.Fatal("MultiSink with an ordered member must not be shardable")
+	}
+	// Fan two records out through shard sub-sinks; both tallies merge.
+	a := all.ShardSink(0, 2)
+	b := all.ShardSink(1, 2)
+	if err := a.Write(Record{Outcome: Ignored}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(Record{Outcome: DetectedByTest}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range []*TallySink{t1, t2} {
+		if ts.Records() != 2 || ts.Summary().Injected != 2 {
+			t.Errorf("tally %d: records=%d summary=%+v", i, ts.Records(), ts.Summary())
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func numbered(n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = Scenario{ID: fmt.Sprintf("s%03d", i), Class: "c"}
+	}
+	return out
+}
+
+func shardIDs(t *testing.T, src Source) []string {
+	t.Helper()
+	scens, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(scens))
+	for i, sc := range scens {
+		out[i] = sc.ID
+	}
+	return out
+}
+
+// TestShardParity is the sharding contract at the Source level: for any
+// shard count, interleaving the shards by stride reproduces the unsharded
+// stream exactly — order included.
+func TestShardParity(t *testing.T) {
+	for _, total := range []int{0, 1, 7, 8, 64, 65} {
+		scens := numbered(total)
+		want := shardIDs(t, FromSlice(scens))
+		for _, n := range []int{1, 2, 3, 5, 8, 13} {
+			shards := make([][]string, n)
+			for k := 0; k < n; k++ {
+				shards[k] = shardIDs(t, FromSlice(scens).Shard(k, n))
+			}
+			var merged []string
+			for i := 0; ; i++ {
+				k, j := i%n, i/n
+				if i >= total {
+					break
+				}
+				if j >= len(shards[k]) {
+					t.Fatalf("total=%d n=%d: shard %d too short at global %d", total, n, k, i)
+				}
+				merged = append(merged, shards[k][j])
+			}
+			if fmt.Sprint(merged) != fmt.Sprint(want) {
+				t.Errorf("total=%d n=%d: interleaved shards diverge from stream", total, n)
+			}
+			// No scenario may appear in two shards.
+			count := 0
+			for _, s := range shards {
+				count += len(s)
+			}
+			if count != total {
+				t.Errorf("total=%d n=%d: shards hold %d scenarios", total, n, count)
+			}
+		}
+	}
+}
+
+// TestShardStridedOrder pins the exact stride: shard k of n holds
+// positions k, k+n, k+2n…
+func TestShardStridedOrder(t *testing.T) {
+	got := shardIDs(t, FromSlice(numbered(10)).Shard(1, 4))
+	want := []string{"s001", "s005", "s009"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("shard(1,4) = %v, want %v", got, want)
+	}
+}
+
+// TestShardErrorReachesEveryShard: a stream error terminates every shard
+// after its own prefix, so sharded consumers all observe the failure.
+func TestShardErrorReachesEveryShard(t *testing.T) {
+	boom := errors.New("boom")
+	src := func() Source {
+		return Concat(FromSlice(numbered(5)), Fail(boom))
+	}
+	for k := 0; k < 3; k++ {
+		var got error
+		n := 0
+		src().Shard(k, 3)(func(sc Scenario, err error) bool {
+			if err != nil {
+				got = err
+				return false
+			}
+			n++
+			return true
+		})
+		if !errors.Is(got, boom) {
+			t.Errorf("shard %d: error = %v, want boom", k, got)
+		}
+		wantN := len(shardIDs(t, FromSlice(numbered(5)).Shard(k, 3)))
+		if n != wantN {
+			t.Errorf("shard %d: %d scenarios before error, want %d", k, n, wantN)
+		}
+	}
+}
+
+// TestShardDegenerate covers the n<=1 and out-of-range cases.
+func TestShardDegenerate(t *testing.T) {
+	if got := shardIDs(t, FromSlice(numbered(4)).Shard(0, 1)); len(got) != 4 {
+		t.Errorf("shard(0,1) = %v", got)
+	}
+	if got := shardIDs(t, FromSlice(numbered(4)).Shard(1, 1)); len(got) != 0 {
+		t.Errorf("shard(1,1) = %v", got)
+	}
+	if got := shardIDs(t, FromSlice(numbered(4)).Shard(-1, 3)); len(got) != 0 {
+		t.Errorf("shard(-1,3) = %v", got)
+	}
+	if got := shardIDs(t, FromSlice(numbered(4)).Shard(3, 3)); len(got) != 0 {
+		t.Errorf("shard(3,3) = %v", got)
+	}
+}

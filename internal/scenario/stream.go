@@ -149,6 +149,40 @@ func (s Source) Limit(n int) Source {
 	}
 }
 
+// Shard keeps only the scenarios at stream positions congruent to k
+// modulo n — the strided sub-stream worker k of n pulls when a campaign's
+// generation is sharded. The union of Shard(0,n) … Shard(n-1,n),
+// interleaved by stride, is exactly the unsharded stream for every n; a
+// stream error reaches every shard (after the shard's own prefix), so
+// sharded consumers observe failures at a consistent point. n <= 1 (or an
+// out-of-range k) returns the stream unchanged for the only valid shard,
+// empty otherwise.
+func (s Source) Shard(k, n int) Source {
+	if n <= 1 {
+		if k == 0 {
+			return s
+		}
+		return func(func(Scenario, error) bool) {}
+	}
+	if k < 0 || k >= n {
+		return func(func(Scenario, error) bool) {}
+	}
+	return func(yield func(Scenario, error) bool) {
+		idx := 0
+		s(func(sc Scenario, err error) bool {
+			if err != nil {
+				return yield(sc, err)
+			}
+			keep := idx%n == k
+			idx++
+			if !keep {
+				return true
+			}
+			return yield(sc, nil)
+		})
+	}
+}
+
 // DedupByID drops scenarios whose ID was already seen, preserving first
 // occurrences. Memory is O(distinct IDs) — far below a materialized
 // faultload, but not constant; use it when merged sources may overlap.

@@ -34,7 +34,8 @@ type System interface {
 	// returned error means the SUT detected a problem at startup; the
 	// error text is recorded in the resilience profile. The files' byte
 	// slices are shared with other experiments and must not be mutated
-	// (see Files).
+	// (see Files). The map itself is engine scratch reused between
+	// experiments: retain the byte slices if needed, never the map.
 	Start(files Files) error
 	// Stop shuts the system down and releases its resources. It must be
 	// safe to call after a failed Start.

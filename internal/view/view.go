@@ -13,6 +13,7 @@ package view
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 
 	"conferr/internal/confnode"
@@ -109,7 +110,7 @@ func (StructView) Backward(mutated, _ *confnode.Set) (*confnode.Set, error) {
 // has to adopt the dirty view trees; clean files keep sharing the system
 // baseline.
 func (StructView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	out := sys.Tracked()
+	out := sys.TrackedWith(mutated.Arena())
 	for _, file := range dirty {
 		out.Put(file, mutated.Get(file))
 	}
@@ -187,22 +188,25 @@ func (WordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, error) {
 // fold runs unconditionally and overwrites such a write with the
 // baseline tokens.
 func (WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	isDirty := make(map[string]bool, len(dirty))
-	for _, file := range dirty {
-		isDirty[file] = true
-	}
-	out := sys.Tracked()
-	for _, file := range mutated.Names() {
-		if !isDirty[file] && !out.IsDirty(file) {
-			continue
+	out := sys.TrackedWith(mutated.Arena())
+	var retErr error
+	mutated.Each(func(file string, root *confnode.Node) bool {
+		// The dirty list is short and set-ordered: a linear scan beats
+		// building a lookup map per experiment.
+		if !slices.Contains(dirty, file) && !out.IsDirty(file) {
+			return true
 		}
-		root := mutated.Get(file)
 		if root == nil {
-			continue
+			return true
 		}
 		if err := backwardWordFile(out, root); err != nil {
-			return nil, err
+			retErr = err
+			return false
 		}
+		return true
+	})
+	if retErr != nil {
+		return nil, retErr
 	}
 	return out, nil
 }

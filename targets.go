@@ -302,4 +302,3 @@ func DjbdnsTargetAt(port int) (*SystemTarget, error) {
 func DjbdnsRecordView() view.View {
 	return dnsmodel.TinyRecordView{File: djbdns.DataFile}
 }
-
