@@ -284,9 +284,48 @@ func BenchmarkEditBenchmark(b *testing.B) {
 // Fixed primary ports for this file, distinct from every other fixed port
 // in the repo.
 const (
-	benchSimPort  = 23920
-	benchSlowPort = 23921
+	benchSimPort       = 23920
+	benchSlowPort      = 23921
+	benchLifecyclePort = 23922
 )
+
+// BenchmarkSUTLifecycle compares the three worker-SUT lifecycles on the
+// nginx simulator: cold (start/stop per experiment), reload (warm pooled
+// instances re-configured in place) and validate (parse-only). The
+// experiments/s metric is what the CI bench-delta guard compares —
+// reload must beat cold, or the pooled lifecycle has lost its point.
+// Profiles are byte-identical between cold and reload (the equivalence
+// tests pin it); validate trades functional-test coverage for speed.
+func BenchmarkSUTLifecycle(b *testing.B) {
+	gen := func() Generator { return TypoGenerator(TypoOptions{Seed: DefaultSeed}) }
+	for _, mode := range []Lifecycle{LifecycleCold, LifecycleReload, LifecycleValidate} {
+		b.Run(mode.String(), func(b *testing.B) {
+			records := 0
+			counters := &LifecycleCounters{}
+			for i := 0; i < b.N; i++ {
+				r := &Runner{
+					Factory: NginxTargetAt, Generator: gen(), Port: benchLifecyclePort,
+					Lifecycle: mode, PoolCounters: counters,
+				}
+				p, err := r.Run(context.Background(), WithParallelism(4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = len(p.Records)
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(records*b.N)/sec, "experiments/s")
+			}
+			snap := counters.Snapshot()
+			if mode == LifecycleReload && snap.Reloads == 0 {
+				b.Fatal("reload bench never reloaded")
+			}
+			if mode == LifecycleValidate && snap.Validates == 0 {
+				b.Fatal("validate bench never validated")
+			}
+		})
+	}
+}
 
 // benchCampaignWorkers runs one campaign per iteration at the given width
 // and reports experiments per second.

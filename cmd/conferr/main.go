@@ -11,7 +11,8 @@
 //	                                        run one custom campaign and summarize
 //	                                        (-target is an alias for -system)
 //	conferr matrix [-systems a,b] [-plugins x,y] [-workers N] [-limit N]
-//	               [-rounds N] [-sample N] [-stream-out FILE]
+//	               [-rounds N] [-sample N] [-stream-out FILE] [-no-duration]
+//	               [-lifecycle cold|reload|validate] [-memnet]
 //	                                        run a target × generator suite with
 //	                                        streamed faultloads and JSONL profiles
 //	conferr list                            list registered systems and plugins
@@ -30,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
@@ -41,6 +43,14 @@ import (
 )
 
 func main() {
+	// Batch campaigns are throughput-bound and hold bounded memory (the
+	// streaming engine keeps peak RSS in the tens of MB even on
+	// million-scenario runs), so the default GC cadence mostly burns CPU
+	// re-collecting the per-experiment garbage. Relax it unless the user
+	// set their own GOGC.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:]))
@@ -99,7 +109,8 @@ commands:
   figure3   reproduce Figure 3: MySQL vs Postgres value-typo comparison
   campaign  run one campaign: -system <name> (alias -target) -plugin <name> [-workers N]
   matrix    run a target × generator suite: -systems a,b -plugins x,y [-workers N]
-            [-limit N] [-rounds N] [-sample N] [-stream-out FILE]
+            [-limit N] [-rounds N] [-sample N] [-stream-out FILE] [-no-duration]
+            [-lifecycle cold|reload|validate] [-memnet]
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
   list      list registered systems and plugins
@@ -325,10 +336,15 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	records := fs.Bool("records", false, "print the full resilience profile")
 	jsonOut := fs.String("json", "", "write the profile as JSON to this file")
 	port := fs.Int("port", 23901, "primary target port; the faultload embeds it, so a fixed port keeps campaigns reproducible across invocations (0 = allocate)")
+	lifecycleS := fs.String("lifecycle", "cold", "worker SUT lifecycle: cold, reload (warm pooled instances) or validate (parse-only)")
 	workers := workersFlag(fs)
 	diag := addDiagFlags(fs)
 	_ = fs.Parse(args)
 
+	lifecycle, err := conferr.ParseLifecycle(*lifecycleS)
+	if err != nil {
+		return err
+	}
 	stopDiag, err := diag.start()
 	if err != nil {
 		return err
@@ -342,11 +358,20 @@ func cmdCampaign(ctx context.Context, args []string) error {
 		return err
 	}
 	runner.Port = *port
+	runner.Lifecycle = lifecycle
+	var counters *conferr.LifecycleCounters
+	if lifecycle != conferr.LifecycleCold {
+		counters = &conferr.LifecycleCounters{}
+		runner.PoolCounters = counters
+	}
 	prof, err := runner.Run(ctx,
 		conferr.WithParallelism(*workers),
 		conferr.WithBaselineCheck())
 	if err != nil {
 		return err
+	}
+	if counters != nil {
+		fmt.Printf("lifecycle=%s %s\n", lifecycle, counters.Snapshot())
 	}
 	s := prof.Summarize()
 	fmt.Printf("system=%s generator=%s workers=%d\n", prof.System, prof.Generator, *workers)
@@ -388,11 +413,19 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	rounds := fs.Int("rounds", 0, "replay each cell's faultload N times with round-prefixed IDs (scale harness)")
 	sample := fs.Int("sample", 0, "reservoir-sample N scenarios per cell (0 = off)")
 	streamOut := fs.String("stream-out", "", "stream records of all cells to this JSONL file instead of keeping profiles in memory")
+	noDuration := fs.Bool("no-duration", false, "zero the duration_ns field in streamed records, making equivalent runs byte-comparable")
 	basePort := fs.Int("base-port", 24100, "primary port of cell i is base-port+i, keeping faultloads reproducible (0 = allocate)")
 	keepGoing := fs.Bool("keep-going", false, "keep running remaining cells when one fails")
+	lifecycleS := fs.String("lifecycle", "cold", "worker SUT lifecycle: cold, reload (warm pooled instances) or validate (parse-only)")
+	memnet := fs.Bool("memnet", false, "serve SUTs over the in-process transport instead of kernel loopback TCP")
 	workers := workersFlag(fs)
 	diag := addDiagFlags(fs)
 	_ = fs.Parse(args)
+
+	lifecycle, err := conferr.ParseLifecycle(*lifecycleS)
+	if err != nil {
+		return err
+	}
 
 	stopDiag, err := diag.start()
 	if err != nil {
@@ -428,6 +461,13 @@ func cmdMatrix(ctx context.Context, args []string) error {
 		Rounds:    *rounds,
 		Sample:    *sample,
 		KeepGoing: *keepGoing,
+		Lifecycle: lifecycle,
+		InMemory:  *memnet,
+	}
+	var counters *conferr.LifecycleCounters
+	if lifecycle != conferr.LifecycleCold {
+		counters = &conferr.LifecycleCounters{}
+		mo.PoolCounters = counters
 	}
 	var finishOut func() error
 	if *streamOut != "" {
@@ -438,7 +478,11 @@ func cmdMatrix(ctx context.Context, args []string) error {
 		bw := bufio.NewWriterSize(f, 1<<20)
 		lw := conferr.NewLockedWriter(bw)
 		mo.SinkFor = func(e conferr.MatrixEntry) conferr.Sink {
-			return conferr.NewJSONLSink(lw, e.System, e.Plugin)
+			sink := conferr.Sink(conferr.NewJSONLSink(lw, e.System, e.Plugin))
+			if *noDuration {
+				sink = conferr.StripDurations(sink)
+			}
+			return sink
 		}
 		finishOut = func() error {
 			// A failed flush must fail the command: up to the buffer size
@@ -454,6 +498,9 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	res, err := conferr.RunMatrix(ctx, entries, mo)
 	if res != nil {
 		printMatrixResults(res)
+	}
+	if counters != nil {
+		fmt.Printf("lifecycle=%s %s\n", lifecycle, counters.Snapshot())
 	}
 	if finishOut != nil {
 		if ferr := finishOut(); ferr != nil && err == nil {

@@ -269,6 +269,12 @@ func NewLockedWriter(w io.Writer) *profile.LockedWriter {
 	return profile.NewLockedWriter(w)
 }
 
+// StripDurations wraps a sink so every record's Duration is zeroed
+// before the write. Duration is the only run-varying record field, so
+// stripped streams from two equivalent runs — cold vs warm-reload, any
+// worker count — compare byte-identical (`conferr matrix -no-duration`).
+func StripDurations(s Sink) Sink { return profile.StripDurations(s) }
+
 // ReadProfilesJSONL parses a JSON Lines stream written by JSONL sinks,
 // splitting it into one scenario-ordered Profile per campaign.
 func ReadProfilesJSONL(r io.Reader) ([]*Profile, error) {

@@ -594,19 +594,63 @@ func runOnFiles(t *Target, files suts.Files, finish func(profile.Outcome, string
 		return finish(profile.NotApplicable, err.Error()), err
 	}
 
-	// 5. Run the functional tests.
+	// 5. Run the functional tests. A validate-only lifecycle has nothing
+	// listening after a successful "start", so its probes are skipped.
 	outcome, detail := profile.Ignored, ""
-	for _, test := range t.Tests {
-		if terr := test.Run(); terr != nil {
-			outcome = profile.DetectedByTest
-			detail = fmt.Sprintf("%s: %v", test.Name, terr)
-			break
+	if !skipsProbes(t.System) {
+		for _, test := range t.Tests {
+			if terr := test.Run(); terr != nil {
+				outcome = profile.DetectedByTest
+				detail = fmt.Sprintf("%s: %v", test.Name, terr)
+				break
+			}
 		}
 	}
 	if err := t.System.Stop(); err != nil {
-		return finish(outcome, detail), fmt.Errorf("stopping SUT: %w", err)
+		// The experiment itself succeeded; a failed cleanup is worth
+		// recording but must not abort the campaign, mirroring the stop
+		// errors after a rejected start above.
+		if detail != "" {
+			detail += "; "
+		}
+		detail += "stop after run: " + err.Error()
 	}
 	return finish(outcome, detail), nil
+}
+
+// skipsProbes reports whether the system (or a wrapped inner system)
+// declares functional tests meaningless for its lifecycle mode — the
+// validate-only fast path.
+func skipsProbes(sys suts.System) bool {
+	for sys != nil {
+		if sp, ok := sys.(interface{ SkipProbes() bool }); ok {
+			return sp.SkipProbes()
+		}
+		u, ok := sys.(interface{ Unwrap() suts.System })
+		if !ok {
+			return false
+		}
+		sys = u.Unwrap()
+	}
+	return false
+}
+
+// releaseSystem hands a worker's system back at the end of a run: a
+// pool-leased or lifecycle-wrapped system (possibly behind wrappers)
+// gets its Release hook, everything else is left alone — cold systems
+// are already stopped after every experiment.
+func releaseSystem(sys suts.System) {
+	for sys != nil {
+		if r, ok := sys.(interface{ Release() error }); ok {
+			_ = r.Release()
+			return
+		}
+		u, ok := sys.(interface{ Unwrap() suts.System })
+		if !ok {
+			return
+		}
+		sys = u.Unwrap()
+	}
 }
 
 // Baseline verifies that the unmutated default configuration starts the

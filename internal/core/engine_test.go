@@ -384,23 +384,35 @@ func TestRunStopFailureAfterDetectionIsDetail(t *testing.T) {
 	}
 }
 
-func TestRunStopFailureSurfaces(t *testing.T) {
+// TestRunStopFailureIsDetail: a failing Stop after an
+// otherwise-successful experiment is cleanup noise like its
+// post-rejection sibling above — the campaign keeps going and the
+// failure lands in the record's detail, not in an abort.
+func TestRunStopFailureIsDetail(t *testing.T) {
 	sys := &stopFailSystem{}
 	tgt := &Target{
 		System:  sys,
 		Formats: map[string]formats.Format{"fake.conf": kv.Format{}},
 	}
 	g := badGen{scens: []scenario.Scenario{
-		{ID: "s", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+		{ID: "s1", Class: "c", Apply: func(*confnode.Set) error { return nil }},
+		{ID: "s2", Class: "c", Apply: func(*confnode.Set) error { return nil }},
 	}}
-	c := &Campaign{Target: tgt, Generator: g}
+	c := &Campaign{Target: tgt, Generator: g} // KeepGoing defaults to false
 	prof, err := c.Run()
-	if err == nil || !strings.Contains(err.Error(), "stop failed") {
-		t.Errorf("err = %v", err)
+	if err != nil {
+		t.Fatalf("campaign aborted on post-run stop failure: %v", err)
 	}
-	// The record is still present with the real outcome.
-	if len(prof.Records) != 1 || prof.Records[0].Outcome != profile.Ignored {
-		t.Errorf("records = %+v", prof.Records)
+	if len(prof.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(prof.Records))
+	}
+	for _, r := range prof.Records {
+		if r.Outcome != profile.Ignored {
+			t.Errorf("%s outcome = %v, want ignored", r.ScenarioID, r.Outcome)
+		}
+		if !strings.Contains(r.Detail, "stop after run: stop failed") {
+			t.Errorf("%s detail = %q, want the stop failure recorded", r.ScenarioID, r.Detail)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"conferr/internal/plugins/typo"
 	"conferr/internal/profile"
 	"conferr/internal/scenario"
+	"conferr/internal/sutpool"
 	"conferr/internal/suts"
 	"conferr/internal/template"
 	"conferr/internal/view"
@@ -253,6 +255,221 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// warmDigestSystem is digestSystem's lifecycle-capable sibling: a SUT
+// implementing Reloader, Validator and HealthChecker whose verdict on a
+// configuration is a pure function of the serialized bytes. Three
+// digest residue classes partition the faultload:
+//
+//	h%3 == 0            rejected — Start, Reload and Validate all return
+//	                    a byte-identical StartupError carrying the digest
+//	h%3 != 0, h%5 == 0  accepted by Start, but a Reload WEDGES the
+//	                    instance (non-startup error), forcing the
+//	                    quarantine + cold-restart recovery path
+//	otherwise           accepted; the functional probe then fails with
+//	                    the digest of the live configuration
+//
+// Every record therefore fingerprints the configuration it ran on, and
+// the wedge class proves warm-mode recovery lands on the same outcome a
+// cold start would.
+type warmDigestSystem struct {
+	running bool
+	cur     uint64 // digest of the live configuration
+}
+
+func filesDigest(files suts.Files) uint64 {
+	h := fnv.New64a()
+	for _, name := range sortedNames(files) {
+		fmt.Fprintf(h, "%s=%q;", name, files[name])
+	}
+	return h.Sum64()
+}
+
+func (s *warmDigestSystem) Name() string { return "warm-digest" }
+
+func (s *warmDigestSystem) DefaultConfig() suts.Files { return digestSystem{}.DefaultConfig() }
+
+func (s *warmDigestSystem) rejectErr(h uint64) error {
+	return &suts.StartupError{System: "warm-digest", Msg: fmt.Sprintf("digest %x", h)}
+}
+
+func (s *warmDigestSystem) Start(files suts.Files) error {
+	h := filesDigest(files)
+	if h%3 == 0 {
+		return s.rejectErr(h)
+	}
+	s.running = true
+	s.cur = h
+	return nil
+}
+
+func (s *warmDigestSystem) Reload(files suts.Files) error {
+	if !s.running {
+		return errors.New("warm-digest: reload on a stopped instance")
+	}
+	h := filesDigest(files)
+	if h%3 == 0 {
+		// Rejected: previous configuration stays live, error wording
+		// byte-identical to Start's.
+		return s.rejectErr(h)
+	}
+	if h%5 == 0 {
+		// Wedged: the instance dies without applying the new config.
+		s.running = false
+		s.cur = 0
+		return fmt.Errorf("warm-digest: reload wedged on %x", h)
+	}
+	s.cur = h
+	return nil
+}
+
+func (s *warmDigestSystem) Validate(files suts.Files) error {
+	if h := filesDigest(files); h%3 == 0 {
+		return s.rejectErr(h)
+	}
+	return nil
+}
+
+func (s *warmDigestSystem) Stop() error {
+	s.running = false
+	s.cur = 0
+	return nil
+}
+
+func (s *warmDigestSystem) Health() error {
+	if !s.running {
+		return errors.New("warm-digest: not running")
+	}
+	return nil
+}
+
+// warmDigestTarget pairs the warm system with a functional probe that
+// fails with the digest of whatever configuration is actually serving —
+// so a reload that silently kept stale state would diverge from cold.
+func warmDigestTarget() *Target {
+	sys := &warmDigestSystem{}
+	t := digestTarget()
+	t.System = sys
+	t.Tests = []suts.Test{{Name: "digest-probe", Run: func() error {
+		return fmt.Errorf("probe digest %x", sys.cur)
+	}}}
+	return t
+}
+
+// TestReloadLifecycleMatchesCold is the sutpool subsystem's equivalence
+// contract: a campaign driven through warm reloads — including rejected
+// reloads and wedge-quarantine-cold-restart recoveries — must produce a
+// profile record-for-record identical to the cold start/stop-per-
+// experiment engine at every worker count.
+func TestReloadLifecycleMatchesCold(t *testing.T) {
+	for label, gen := range map[string]Generator{
+		"typo-wordview":  &typo.Plugin{},
+		"mix-structview": mixGen{},
+	} {
+		t.Run(label, func(t *testing.T) {
+			want, err := (&Campaign{Target: warmDigestTarget(), Generator: gen}).
+				RunContext(context.Background())
+			if err != nil {
+				t.Fatalf("cold reference: %v", err)
+			}
+			if len(want.Records) == 0 {
+				t.Fatal("empty cold reference faultload")
+			}
+			for _, workers := range []int{1, 4, 8} {
+				counters := &sutpool.Counters{}
+				c := &Campaign{Target: warmDigestTarget(), Generator: gen}
+				opts := []RunOption{
+					WithLifecycle(sutpool.Reload),
+					WithLifecycleCounters(counters),
+				}
+				if workers > 1 {
+					opts = append(opts,
+						WithParallelism(workers),
+						WithTargetFactory(func() (*Target, error) { return warmDigestTarget(), nil }))
+				}
+				got, err := c.RunContext(context.Background(), opts...)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if canonical(got) != canonical(want) {
+					t.Errorf("workers=%d: reload lifecycle diverged from cold\ngot:\n%s\nwant:\n%s",
+						workers, canonical(got), canonical(want))
+				}
+				snap := counters.Snapshot()
+				if snap.Reloads == 0 {
+					t.Errorf("workers=%d: no reloads — warm path never taken (%s)", workers, snap)
+				}
+				if snap.Restarts == 0 {
+					t.Errorf("workers=%d: no restarts — wedge recovery never exercised (%s)", workers, snap)
+				}
+				if snap.Restarts > snap.ColdStarts {
+					t.Errorf("workers=%d: implausible counters %s", workers, snap)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateLifecycleSemantics pins the documented divergence of
+// validate-only mode: startup-time rejections are detected with
+// byte-identical detail, everything the SUT would have accepted becomes
+// Ignored (functional probes are skipped — nothing listens), and the
+// pre-start pipeline outcomes are untouched.
+func TestValidateLifecycleSemantics(t *testing.T) {
+	gen := &typo.Plugin{}
+	cold, err := (&Campaign{Target: warmDigestTarget(), Generator: gen}).
+		RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("cold reference: %v", err)
+	}
+	counters := &sutpool.Counters{}
+	got, err := (&Campaign{Target: warmDigestTarget(), Generator: gen}).
+		RunContext(context.Background(),
+			WithLifecycle(sutpool.Validate), WithLifecycleCounters(counters))
+	if err != nil {
+		t.Fatalf("validate run: %v", err)
+	}
+	if len(got.Records) != len(cold.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(cold.Records))
+	}
+	sawDetected, sawIgnored := false, false
+	for i, r := range got.Records {
+		cr := cold.Records[i]
+		if r.ScenarioID != cr.ScenarioID {
+			t.Fatalf("record %d: scenario %q, want %q", i, r.ScenarioID, cr.ScenarioID)
+		}
+		switch cr.Outcome {
+		case profile.DetectedAtStartup:
+			sawDetected = true
+			if r.Outcome != profile.DetectedAtStartup || r.Detail != cr.Detail {
+				t.Errorf("%s: validate = (%v, %q), want cold's (%v, %q)",
+					r.ScenarioID, r.Outcome, r.Detail, cr.Outcome, cr.Detail)
+			}
+		case profile.DetectedByTest:
+			sawIgnored = true
+			if r.Outcome != profile.Ignored {
+				t.Errorf("%s: validate outcome = %v, want ignored (probes skipped)",
+					r.ScenarioID, r.Outcome)
+			}
+		default:
+			if r.Outcome != cr.Outcome {
+				t.Errorf("%s: validate outcome = %v, want cold's %v",
+					r.ScenarioID, r.Outcome, cr.Outcome)
+			}
+		}
+	}
+	if !sawDetected || !sawIgnored {
+		t.Fatalf("faultload did not cover both classes (detected=%v ignored=%v)",
+			sawDetected, sawIgnored)
+	}
+	snap := counters.Snapshot()
+	if snap.Validates == 0 {
+		t.Errorf("no validates counted (%s)", snap)
+	}
+	if snap.ColdStarts != 0 || snap.Reloads != 0 {
+		t.Errorf("validate mode started the SUT (%s)", snap)
 	}
 }
 

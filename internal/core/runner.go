@@ -9,6 +9,8 @@ import (
 
 	"conferr/internal/profile"
 	"conferr/internal/scenario"
+	"conferr/internal/sutpool"
+	"conferr/internal/suts"
 )
 
 // TargetFactory constructs a fresh, independent Target for one campaign
@@ -25,6 +27,8 @@ type runConfig struct {
 	keepGoing   bool
 	baseline    bool
 	factory     TargetFactory
+	lifecycle   sutpool.Mode
+	counters    *sutpool.Counters
 }
 
 // RunOption configures a single RunContext invocation.
@@ -76,6 +80,53 @@ func WithBaselineCheck() RunOption {
 // their experiments contending for the primary port.
 func WithTargetFactory(f TargetFactory) RunOption {
 	return func(cfg *runConfig) { cfg.factory = f }
+}
+
+// WithLifecycle selects how worker SUTs are driven through experiments:
+// sutpool.Cold (the default start/stop-per-experiment engine),
+// sutpool.Reload (warm instances re-configured via suts.Reloader), or
+// sutpool.Validate (parse-only checks via suts.Validator, functional
+// tests skipped). Worker targets whose systems are not already
+// lifecycle-managed (for example by a facade-level sutpool.Pool) are
+// wrapped in a sutpool.Instance for the run; SUTs lacking the capability
+// fall back to cold starts.
+func WithLifecycle(mode sutpool.Mode) RunOption {
+	return func(cfg *runConfig) { cfg.lifecycle = mode }
+}
+
+// WithLifecycleCounters shares a counter set with the run's
+// lifecycle-wrapped instances, exposing cold-start/reload/validate
+// tallies to the caller.
+func WithLifecycleCounters(c *sutpool.Counters) RunOption {
+	return func(cfg *runConfig) { cfg.counters = c }
+}
+
+// wrapLifecycle adapts one worker target to the run's lifecycle mode.
+// Cold runs and systems that are already lifecycle-managed (behind any
+// chain of Unwrap-able wrappers) pass through untouched.
+func wrapLifecycle(t *Target, cfg runConfig) *Target {
+	if cfg.lifecycle == sutpool.Cold || managedSystem(t.System) {
+		return t
+	}
+	tt := *t
+	tt.System = sutpool.NewInstance(t.System, cfg.lifecycle, cfg.counters)
+	return &tt
+}
+
+// managedSystem walks a wrapper chain looking for a lifecycle-managed
+// system.
+func managedSystem(sys suts.System) bool {
+	for sys != nil {
+		if _, ok := sys.(sutpool.Managed); ok {
+			return true
+		}
+		u, ok := sys.(interface{ Unwrap() suts.System })
+		if !ok {
+			return false
+		}
+		sys = u.Unwrap()
+	}
+	return false
 }
 
 // RunContext executes the campaign under a context. The faultload is
@@ -199,6 +250,8 @@ func (c *Campaign) runStream(ctx context.Context, cfg runConfig, fl *faultload, 
 			}
 			t = ft
 		}
+		t = wrapLifecycle(t, cfg)
+		defer releaseSystem(t.System)
 		return runStreamSequential(ctx, cfg, t, fl, src, sink)
 	}
 	return runStreamParallel(ctx, cfg, fl, src, sink)
@@ -278,6 +331,7 @@ func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src sc
 	if err != nil {
 		return 0, err
 	}
+	defer releaseTargets(targets)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()

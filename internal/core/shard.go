@@ -289,9 +289,17 @@ func buildWorkerTargets(cfg runConfig, workers int) ([]*Target, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: building worker %d target: %w", w, err)
 		}
-		targets[w] = t
+		targets[w] = wrapLifecycle(t, cfg)
 	}
 	return targets, nil
+}
+
+// releaseTargets hands every worker system back (to its pool, or to a
+// real shutdown) once a run's workers have exited.
+func releaseTargets(targets []*Target) {
+	for _, t := range targets {
+		releaseSystem(t.System)
+	}
 }
 
 // runSharded executes the faultload over cfg.parallelism workers, each
@@ -309,6 +317,7 @@ func runSharded(ctx context.Context, cfg runConfig, fl *faultload, feed shardFee
 	if err != nil {
 		return 0, err
 	}
+	defer releaseTargets(targets)
 	if ss, ok := sink.(profile.ShardableSink); ok && profile.CanShardSink(sink) && cfg.observer == nil {
 		return runShardedBypass(ctx, cfg, fl, feed, ss, targets)
 	}

@@ -28,6 +28,11 @@ type SuiteCampaign struct {
 	// (CampaignResult.Profile stays nil). When nil, records accumulate
 	// into CampaignResult.Profile.
 	Sink profile.Sink
+	// Cleanup, when non-nil, runs after the campaign finishes — success,
+	// failure or cancellation alike — releasing per-campaign resources
+	// such as a pooled-SUT lifecycle's warm instances. Its error is
+	// reported only when the campaign itself succeeded.
+	Cleanup func() error
 }
 
 // Suite runs a set of campaigns — typically a target × generator matrix —
@@ -186,5 +191,10 @@ func (s *Suite) runOne(ctx context.Context, spec SuiteCampaign, workers int) Cam
 	cr.Summary = tally.Summary()
 	cr.Summary.System = spec.Campaign.Target.System.Name()
 	cr.Err = err
+	if spec.Cleanup != nil {
+		if cerr := spec.Cleanup(); cerr != nil && cr.Err == nil {
+			cr.Err = fmt.Errorf("core: campaign cleanup: %w", cerr)
+		}
+	}
 	return cr
 }

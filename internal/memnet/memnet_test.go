@@ -1,0 +1,293 @@
+package memnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestListenDialRoundTrip(t *testing.T) {
+	n := New()
+	ln, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4)
+		if _, err := conn.Read(buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		conn.Write([]byte("pong"))
+	}()
+
+	conn, err := n.Dial("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("reply = %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestDialUnboundRefused(t *testing.T) {
+	n := New()
+	_, err := n.Dial("127.0.0.1:9999")
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("err = %v, want a connection-refused error", err)
+	}
+}
+
+func TestDoubleBindRejected(t *testing.T) {
+	n := New()
+	ln, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = n.Listen("127.0.0.1:8080")
+	if err == nil || !strings.Contains(err.Error(), "address already in use") {
+		t.Fatalf("err = %v, want an address-in-use error", err)
+	}
+	// Loopback spellings of the same port collide too: the sim binds the
+	// port, not the interface.
+	if _, err := n.Listen("localhost:8080"); err == nil {
+		t.Fatal("localhost:8080 bound while 127.0.0.1:8080 is held")
+	}
+}
+
+func TestCloseFreesPort(t *testing.T) {
+	n := New()
+	ln, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial("127.0.0.1:8080"); err == nil ||
+		!strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("dial after close: err = %v, want refused", err)
+	}
+	ln2, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	ln2.Close()
+	// Double close is harmless.
+	if err := ln.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestAutoPort(t *testing.T) {
+	n := New()
+	a, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	if a.Addr().String() == b.Addr().String() {
+		t.Fatalf("auto-allocated ports collide: %s", a.Addr())
+	}
+	if _, err := n.Dial(a.Addr().String()); err != nil {
+		t.Fatalf("dial auto port: %v", err)
+	}
+}
+
+func TestAcceptAfterClose(t *testing.T) {
+	n := New()
+	ln, _ := n.Listen("127.0.0.1:8080")
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	if err := <-done; err == nil {
+		t.Fatal("accept on closed listener returned a conn")
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := New()
+	ln, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const dials = 16
+	go func() {
+		for i := 0; i < dials; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1)
+				conn.Read(buf)
+				conn.Write(buf)
+				conn.Close()
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < dials; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := n.Dial("127.0.0.1:8080")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			conn.Write([]byte{42})
+			buf := make([]byte, 1)
+			if _, err := conn.Read(buf); err != nil || buf[0] != 42 {
+				t.Errorf("echo = %v, %v", buf, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPipeBufferedWrite pins the buffered-pipe property the transport
+// exists for: a write completes without a concurrent reader, and the
+// bytes arrive intact afterwards.
+func TestPipeBufferedWrite(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := n.Dial("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("written before anyone reads")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("unbuffered write blocked or failed: %v", err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("read %q, want %q", got, msg)
+	}
+}
+
+// TestPipeEOFAfterDrain: closing the writer lets the reader drain
+// buffered bytes before seeing EOF.
+func TestPipeEOFAfterDrain(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := n.Dial("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := c.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("read after writer close: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("drained %q, want %q", got, "tail")
+	}
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+// TestPipeReadDeadline: a blocked Read fails with a timeout error when
+// the deadline passes — the semantics the redisd and sqlmini probes'
+// SetDeadline calls rely on.
+func TestPipeReadDeadline(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := n.Dial("127.0.0.1:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read = %v, want a net.Error timeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("deadline took %v to fire", time.Since(start))
+	}
+	// Clearing the deadline makes the connection usable again.
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Write([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatalf("read after deadline cleared: %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package memnet
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// This file is the connection type behind Dial: a buffered, full-duplex
+// in-process pipe. net.Pipe would be the obvious choice, but it is fully
+// synchronous — every Write blocks until the peer Reads, so each HTTP
+// request/response costs a chain of goroutine handoffs. The buffered
+// pipe lets writers run ahead (the buffer is unbounded; protocol traffic
+// here is request/response sized) and wakes the reader once, which is
+// what makes in-process functional probes cheaper than loopback TCP
+// instead of merely equivalent. Deadlines follow net.Conn semantics:
+// an expired read deadline fails pending and future Reads with
+// os.ErrDeadlineExceeded (a net.Error with Timeout() == true), which
+// the redisd and sqlmini probes rely on.
+
+// newPipePair returns the two endpoints of a buffered duplex pipe.
+// remote names the listener's address on the dialer's side.
+func newPipePair(remote net.Addr) (dialer, accepted net.Conn) {
+	a2b := newHalfBuf() // dialer writes, acceptor reads
+	b2a := newHalfBuf() // acceptor writes, dialer reads
+	dialAddr := memAddr("pipe")
+	dialer = &pipeConn{rb: b2a, wb: a2b, local: dialAddr, remote: remote}
+	accepted = &pipeConn{rb: a2b, wb: b2a, local: remote, remote: dialAddr}
+	return dialer, accepted
+}
+
+// halfBuf is one direction of the pipe: a byte queue with EOF/closed
+// state and a read deadline.
+type halfBuf struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	data []byte
+	off  int // read position within data
+
+	wclosed bool // writer closed: EOF once drained
+	rclosed bool // reader closed: writes fail
+
+	deadline time.Time
+	timer    *time.Timer
+}
+
+// retainCap bounds the buffer capacity kept across a full drain.
+const retainCap = 64 << 10
+
+func newHalfBuf() *halfBuf {
+	b := &halfBuf{}
+	b.cond.L = &b.mu
+	return b
+}
+
+func (b *halfBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.off < len(b.data) {
+			n := copy(p, b.data[b.off:])
+			b.off += n
+			if b.off == len(b.data) {
+				if cap(b.data) > retainCap {
+					b.data = nil
+				} else {
+					b.data = b.data[:0]
+				}
+				b.off = 0
+			}
+			return n, nil
+		}
+		if b.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if b.wclosed {
+			return 0, io.EOF
+		}
+		if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *halfBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rclosed || b.wclosed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+// closeWrite ends the writer side: the reader sees EOF after draining.
+func (b *halfBuf) closeWrite() {
+	b.mu.Lock()
+	b.wclosed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// closeRead ends the reader side: pending and future reads and writes
+// fail.
+func (b *halfBuf) closeRead() {
+	b.mu.Lock()
+	b.rclosed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// setReadDeadline arms (or clears, for the zero time) the deadline that
+// fails blocked reads.
+func (b *halfBuf) setReadDeadline(t time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deadline = t
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if t.IsZero() {
+		return
+	}
+	if d := time.Until(t); d > 0 {
+		b.timer = time.AfterFunc(d, func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	} else {
+		b.cond.Broadcast()
+	}
+}
+
+// pipeConn is one endpoint of the buffered pipe.
+type pipeConn struct {
+	rb, wb *halfBuf
+	local  net.Addr
+	remote net.Addr
+
+	mu        sync.Mutex
+	wdeadline time.Time
+}
+
+// Read implements net.Conn.
+func (c *pipeConn) Read(p []byte) (int, error) { return c.rb.read(p) }
+
+// Write implements net.Conn. Writes never block (the buffer is
+// unbounded), so the write deadline only matters when already expired.
+func (c *pipeConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	expired := !c.wdeadline.IsZero() && !time.Now().Before(c.wdeadline)
+	c.mu.Unlock()
+	if expired {
+		return 0, os.ErrDeadlineExceeded
+	}
+	return c.wb.write(p)
+}
+
+// Close implements net.Conn: the peer reads EOF after draining, and
+// both sides' further I/O fails.
+func (c *pipeConn) Close() error {
+	c.wb.closeWrite()
+	c.rb.closeRead()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *pipeConn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *pipeConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *pipeConn) SetDeadline(t time.Time) error {
+	if err := c.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return c.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.rb.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *pipeConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return nil
+}

@@ -165,6 +165,30 @@ func (m MultiSink) ShardSink(k, n int) Sink {
 	return out
 }
 
+// StripDurations wraps a sink so every record's Duration is zeroed
+// before the write. Duration is the one run-varying record field —
+// everything else is deterministic for a fixed faultload — so stripped
+// JSONL streams from two equivalent runs (cold vs warm-reload, one vs
+// many workers) compare byte-identical.
+func StripDurations(s Sink) Sink { return &stripDurationSink{s: s} }
+
+type stripDurationSink struct{ s Sink }
+
+// Write implements Sink.
+func (d *stripDurationSink) Write(r Record) error {
+	r.Duration = 0
+	return d.s.Write(r)
+}
+
+// SinkShardable reports the wrapped sink's capability (see CanShardSink).
+func (d *stripDurationSink) SinkShardable() bool { return CanShardSink(d.s) }
+
+// ShardSink implements ShardableSink by stripping in front of the
+// wrapped sink's shard.
+func (d *stripDurationSink) ShardSink(k, n int) Sink {
+	return StripDurations(d.s.(ShardableSink).ShardSink(k, n))
+}
+
 // jsonlRecord is the schema of one JSONL profile line: the jsonRecord
 // fields (shared with Profile.WriteJSON) plus the campaign identity and
 // the record's sequence number, so a single file can carry interleaved

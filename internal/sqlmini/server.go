@@ -42,10 +42,40 @@ func (s *Server) Listen(addr string) error {
 	if err != nil {
 		return fmt.Errorf("sqlmini: listen %s: %w", addr, err)
 	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve adopts an externally created listener (for example one from an
+// in-memory transport) and starts accepting connections in the
+// background.
+func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return nil
+}
+
+// SetEngine replaces the engine new sessions draw from; established
+// sessions keep the engine they started with. A warm configuration
+// reload uses it to present the fresh catalog a cold restart would.
+func (s *Server) SetEngine(eng *Engine) {
+	s.mu.Lock()
+	s.eng = eng
+	s.mu.Unlock()
+}
+
+// SetMaxConns adjusts the connection limit while serving.
+func (s *Server) SetMaxConns(n int) {
+	s.mu.Lock()
+	s.MaxConns = n
+	s.mu.Unlock()
+}
+
+// engine returns the current engine.
+func (s *Server) engine() *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng
 }
 
 // Addr returns the bound address. Only valid after Listen.
@@ -111,7 +141,7 @@ func (s *Server) untrack(c net.Conn) {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	sess := s.eng.NewSession()
+	sess := s.engine().NewSession()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
@@ -152,7 +182,13 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sqlmini: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (from any transport) in a
+// Client.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn)}
 }
 
 // Close closes the connection.

@@ -1,0 +1,153 @@
+package sutpool
+
+import (
+	"conferr/internal/suts"
+)
+
+// Instance adapts one suts.System to a lifecycle Mode behind the
+// unchanged System interface, so the engine's per-experiment
+// Start/Stop calls drive warm reloads or parse-only validation instead
+// of full cycles. An Instance is used by one campaign worker at a time
+// (the pool's lease discipline); it is not safe for concurrent use.
+type Instance struct {
+	sys  suts.System
+	mode Mode
+	c    *Counters
+	rel  suts.Reloader  // nil unless sys reloads and mode == Reload
+	val  suts.Validator // nil unless sys validates and mode == Validate
+
+	// warm is true while sys is running and the next Start may reload
+	// instead of cold-starting. Only ever true in Reload mode with a
+	// reload-capable SUT.
+	warm bool
+
+	pool *Pool
+
+	// Payload carries whatever the pool's builder wants returned with
+	// the lease — typically the engine target wrapped around this
+	// instance.
+	Payload any
+}
+
+// NewInstance adapts sys to the given mode. A nil c gets a private
+// counter set.
+func NewInstance(sys suts.System, mode Mode, c *Counters) *Instance {
+	if c == nil {
+		c = &Counters{}
+	}
+	i := &Instance{sys: sys, mode: mode, c: c}
+	if mode == Reload {
+		i.rel, _ = sys.(suts.Reloader)
+	}
+	if mode == Validate {
+		i.val, _ = sys.(suts.Validator)
+	}
+	return i
+}
+
+// Managed is implemented by systems already adapted to a lifecycle mode;
+// the engine's own wrapping step skips them.
+type Managed interface {
+	LifecycleMode() Mode
+}
+
+// LifecycleMode implements Managed.
+func (i *Instance) LifecycleMode() Mode { return i.mode }
+
+// System returns the adapted SUT.
+func (i *Instance) System() suts.System { return i.sys }
+
+// Name implements suts.System.
+func (i *Instance) Name() string { return i.sys.Name() }
+
+// DefaultConfig implements suts.System.
+func (i *Instance) DefaultConfig() suts.Files { return i.sys.DefaultConfig() }
+
+// Addr implements suts.Addressable when the adapted SUT does; it returns
+// "" otherwise.
+func (i *Instance) Addr() string {
+	if a, ok := i.sys.(suts.Addressable); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// Start implements suts.System, dispatching on the mode. In Validate
+// mode with a validating SUT it only parses; in Reload mode with a warm
+// reload-capable SUT it swaps the configuration in place, quarantining
+// and cold-restarting the instance when the reload wedges it (any
+// non-StartupError failure). Everything else — Cold mode, capability
+// fallbacks, the first start of a warm chain — is a plain cold start.
+func (i *Instance) Start(files suts.Files) error {
+	if i.mode == Validate && i.val != nil {
+		i.c.Validates.Add(1)
+		return i.val.Validate(files)
+	}
+	if i.warm && i.rel != nil {
+		i.c.Reloads.Add(1)
+		err := i.rel.Reload(files)
+		if err == nil || suts.IsStartupError(err) {
+			// Applied, or rejected by the SUT's own validation — either
+			// way the instance keeps serving (the previous configuration
+			// on rejection) and stays warm.
+			return err
+		}
+		// Wedged: tear down and recover with a cold start on the same
+		// files, so the experiment's outcome matches cold mode.
+		i.warm = false
+		_ = i.sys.Stop()
+		i.c.Restarts.Add(1)
+	}
+	i.c.ColdStarts.Add(1)
+	err := i.sys.Start(files)
+	i.warm = err == nil && i.mode == Reload && i.rel != nil
+	return err
+}
+
+// Stop implements suts.System. A warm instance is health-checked and
+// kept running for the next experiment; an unhealthy one is quarantined
+// (torn down, so the next Start is cold). Cold instances stop for real.
+func (i *Instance) Stop() error {
+	if !i.warm {
+		return i.sys.Stop()
+	}
+	i.healthGate()
+	return nil
+}
+
+// healthGate quarantines a warm instance that fails its health check.
+func (i *Instance) healthGate() {
+	h, ok := i.sys.(suts.HealthChecker)
+	if !ok {
+		return
+	}
+	if err := h.Health(); err != nil {
+		i.c.HealthFailures.Add(1)
+		i.warm = false
+		_ = i.sys.Stop()
+	}
+}
+
+// SkipProbes reports whether functional tests are meaningless for this
+// instance's mode: true in Validate mode with a validating SUT, where
+// nothing listens after a successful Start.
+func (i *Instance) SkipProbes() bool {
+	return i.mode == Validate && i.val != nil
+}
+
+// Shutdown stops the adapted SUT for real, warm or not.
+func (i *Instance) Shutdown() error {
+	i.warm = false
+	return i.sys.Stop()
+}
+
+// Release returns the instance to its pool (health-checked; warm
+// instances stay warm for the next lease) or, for a pool-less instance,
+// shuts it down. The engine calls it on every worker system when a run
+// ends.
+func (i *Instance) Release() error {
+	if i.pool != nil {
+		return i.pool.retire(i)
+	}
+	return i.Shutdown()
+}

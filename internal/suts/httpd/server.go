@@ -1,11 +1,13 @@
 package httpd
 
 import (
+	stdcontext "context"
 	"fmt"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conferr/internal/suts"
@@ -17,16 +19,34 @@ const ConfigFile = "httpd.conf"
 // Server is the simulated Apache httpd.
 type Server struct {
 	port int
+	tr   suts.Transport
 
 	mu         sync.Mutex
-	listeners  []net.Listener
+	bound      map[int]net.Listener // live listeners by port
+	order      []int                // bound ports in configuration order
 	httpSrv    *http.Server
+	h          *swapHandler
 	serverName string
 	wg         sync.WaitGroup
+
+	clientOnce sync.Once
+	client     *http.Client
+}
+
+// swapHandler lets a graceful restart swap the routing table without
+// rebinding retained listeners.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.HandlerFunc).ServeHTTP(w, r)
 }
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
+var _ suts.Reloader = (*Server)(nil)
+var _ suts.Validator = (*Server)(nil)
+var _ suts.HealthChecker = (*Server)(nil)
+var _ suts.TransportSetter = (*Server)(nil)
 
 // New returns a simulator whose default configuration listens on the given
 // TCP port (0 picks a free one at construction time).
@@ -181,38 +201,40 @@ type parsed struct {
 	vhosts     []vhost
 }
 
-// Start implements suts.System.
-func (s *Server) Start(files suts.Files) error {
+// check parses and validates a configuration without touching listener
+// state, erroring with httpd's startup wording.
+func (s *Server) check(files suts.Files) (parsed, error) {
 	data, ok := files[ConfigFile]
 	if !ok {
-		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+		return parsed{}, &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
 	}
 	cfg, err := parseConfig(string(data))
 	if err != nil {
-		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+		return parsed{}, &suts.StartupError{System: s.Name(), Msg: err.Error()}
 	}
 	if len(cfg.ports) == 0 {
-		return &suts.StartupError{System: s.Name(), Msg: "no listening sockets available (no Listen directive)"}
+		return parsed{}, &suts.StartupError{System: s.Name(), Msg: "no listening sockets available (no Listen directive)"}
 	}
 	seen := map[int]bool{}
 	for _, p := range cfg.ports {
 		if seen[p] {
-			return &suts.StartupError{System: s.Name(),
+			return parsed{}, &suts.StartupError{System: s.Name(),
 				Msg: fmt.Sprintf("could not bind to address 0.0.0.0:%d: Address already in use", p)}
 		}
 		seen[p] = true
 	}
+	return cfg, nil
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.serverName = cfg.serverName
+// buildHandler renders one configuration's routing table.
+func buildHandler(cfg parsed) http.Handler {
 	vhosts := cfg.vhosts
 	mainName := cfg.serverName
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Server", "Apache-sim/2.2")
 		// Name-based virtual hosting: match the Host header against the
-		// vhosts' ServerNames; a vhost whose ServerName was omitted (the
+		// vhosts’ ServerNames; a vhost whose ServerName was omitted (the
 		// §2.2 mistake) can never match, so its requests silently fall
 		// through to the main server — misrouting only a functional test
 		// of that host would notice.
@@ -229,36 +251,102 @@ func (s *Server) Start(files suts.Files) error {
 		}
 		fmt.Fprintf(w, "<html><body><h1>It works!</h1><p>%s</p></body></html>\n", mainName)
 	})
-	s.httpSrv = &http.Server{Handler: mux}
+	return mux
+}
+
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error { return s.configure(files) }
+
+// Reload implements suts.Reloader: httpd's graceful-restart idiom.
+// Configuration errors are rejected with Start's exact wording while the
+// previous configuration keeps serving; ports shared between old and new
+// configuration keep their listener, only the routing table is swapped.
+func (s *Server) Reload(files suts.Files) error { return s.configure(files) }
+
+// Validate implements suts.Validator: the `apachectl configtest` parse
+// path. It detects exactly Start's configuration rejections; bind-time
+// failures are invisible to it.
+func (s *Server) Validate(files suts.Files) error {
+	_, err := s.check(files)
+	return err
+}
+
+// configure drives the server to the given configuration from whatever
+// is currently bound. On error the previous state is untouched (empty
+// for a cold start).
+func (s *Server) configure(files suts.Files) error {
+	cfg, err := s.check(files)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Bind the ports the new configuration adds, in configuration order
+	// so a multi-failure reports the same port a cold start would.
+	created := map[int]net.Listener{}
 	for _, p := range cfg.ports {
-		ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", p))
+		if _, held := s.bound[p]; held {
+			continue
+		}
+		ln, err := s.transport().Listen(fmt.Sprintf("127.0.0.1:%d", p))
 		if err != nil {
-			for _, l := range s.listeners {
+			for _, l := range created {
 				_ = l.Close()
 			}
-			s.listeners = nil
 			return &suts.StartupError{System: s.Name(),
 				Msg: fmt.Sprintf("could not bind to port %d: %v", p, err)}
 		}
-		s.listeners = append(s.listeners, ln)
+		created[p] = ln
+	}
+
+	// Commit: adopt the new bindings, swap the routing table, drop ports
+	// the new configuration no longer listens on.
+	s.serverName = cfg.serverName
+	if s.h == nil {
+		s.h = &swapHandler{}
+		s.h.h.Store(http.HandlerFunc(http.NotFound))
+	}
+	if s.httpSrv == nil {
+		s.httpSrv = &http.Server{Handler: s.h}
+	}
+	if s.bound == nil {
+		s.bound = map[int]net.Listener{}
+	}
+	for p, ln := range created {
+		s.bound[p] = ln
 		s.wg.Add(1)
 		go func(srv *http.Server, l net.Listener) {
 			defer s.wg.Done()
 			_ = srv.Serve(l)
 		}(s.httpSrv, ln)
 	}
+	want := map[int]bool{}
+	for _, p := range cfg.ports {
+		want[p] = true
+	}
+	for p, ln := range s.bound {
+		if !want[p] {
+			_ = ln.Close()
+			delete(s.bound, p)
+		}
+	}
+	s.h.h.Store(http.HandlerFunc(buildHandler(cfg).ServeHTTP))
+	s.order = cfg.ports
 	return nil
 }
 
 // Stop implements suts.System.
 func (s *Server) Stop() error {
 	s.mu.Lock()
-	lns := s.listeners
+	bound := s.bound
 	srv := s.httpSrv
-	s.listeners = nil
+	s.bound = nil
+	s.order = nil
 	s.httpSrv = nil
+	s.h = nil
 	s.mu.Unlock()
-	for _, l := range lns {
+	for _, l := range bound {
 		_ = l.Close()
 	}
 	if srv != nil {
@@ -268,14 +356,38 @@ func (s *Server) Stop() error {
 	return nil
 }
 
-// Addr implements suts.Addressable (first listener).
+// Health implements suts.HealthChecker.
+func (s *Server) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bound) == 0 {
+		return fmt.Errorf("apache-sim: no listeners bound")
+	}
+	return nil
+}
+
+// SetTransport implements suts.TransportSetter. Must be called before
+// Start; it moves both the listeners and the functional tests’ dials.
+func (s *Server) SetTransport(t suts.Transport) { s.tr = t }
+
+// transport returns the configured transport, defaulting to TCP.
+func (s *Server) transport() suts.Transport {
+	if s.tr == nil {
+		return suts.TCPTransport{}
+	}
+	return s.tr
+}
+
+// Addr implements suts.Addressable (first configured port’s listener).
 func (s *Server) Addr() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.listeners) == 0 {
-		return ""
+	for _, p := range s.order {
+		if ln, ok := s.bound[p]; ok {
+			return ln.Addr().String()
+		}
 	}
-	return s.listeners[0].Addr().String()
+	return ""
 }
 
 // nameMatches compares a ServerName (which may carry a ":port" suffix)
@@ -385,13 +497,30 @@ func parseConfig(conf string) (parsed, error) {
 	return cfg, nil
 }
 
+// httpClient returns the server’s shared functional-test client; dials
+// go through the configured transport, read at dial time.
+func (s *Server) httpClient() *http.Client {
+	s.clientOnce.Do(func() {
+		s.client = &http.Client{
+			Timeout: 5 * time.Second,
+			Transport: &http.Transport{
+				DialContext: func(ctx stdcontext.Context, network, addr string) (net.Conn, error) {
+					return s.transport().Dial(addr)
+				},
+				MaxIdleConnsPerHost: 4,
+			},
+		}
+	})
+	return s.client
+}
+
 // Tests returns the paper's web-server diagnosis (§5.1): an HTTP GET of a
 // page from the default port.
 func Tests(s *Server) []suts.Test {
 	return []suts.Test{{
 		Name: "http-get",
 		Run: func() error {
-			client := &http.Client{Timeout: 5 * time.Second}
+			client := s.httpClient()
 			resp, err := client.Get(fmt.Sprintf("http://127.0.0.1:%d/", s.DefaultPort()))
 			if err != nil {
 				return fmt.Errorf("GET: %w", err)

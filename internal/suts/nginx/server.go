@@ -6,12 +6,14 @@
 package nginx
 
 import (
+	stdcontext "context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conferr/internal/suts"
@@ -23,15 +25,39 @@ const ConfigFile = "nginx.conf"
 // Server is the simulated nginx daemon.
 type Server struct {
 	port int
+	tr   suts.Transport
 
-	mu        sync.Mutex
-	listeners []net.Listener
-	httpSrvs  []*http.Server
-	wg        sync.WaitGroup
+	mu    sync.Mutex
+	bound map[int]*binding // live listeners by port
+	order []int            // bound ports in configuration order
+	wg    sync.WaitGroup
+
+	clientOnce sync.Once
+	client     *http.Client
+}
+
+// binding is one listening port: its listener, the serving http.Server,
+// and the swappable handler a reload retargets in place.
+type binding struct {
+	ln  net.Listener
+	srv *http.Server
+	h   *swapHandler
+}
+
+// swapHandler lets a warm reload swap a port's routing table without
+// rebinding the listener or dropping keep-alive connections.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.HandlerFunc).ServeHTTP(w, r)
 }
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
+var _ suts.Reloader = (*Server)(nil)
+var _ suts.Validator = (*Server)(nil)
+var _ suts.HealthChecker = (*Server)(nil)
+var _ suts.TransportSetter = (*Server)(nil)
 
 // New returns a simulator whose default configuration listens on the
 // given TCP port (0 picks a free one at construction time).
@@ -140,18 +166,20 @@ type parsed struct {
 	servers   []vserver
 }
 
-// Start implements suts.System.
-func (s *Server) Start(files suts.Files) error {
+// check parses and validates a configuration without touching listener
+// state, returning the effective server blocks and the unique ports to
+// bind in configuration order. Errors carry nginx's startup wording.
+func (s *Server) check(files suts.Files) ([]vserver, []int, error) {
 	data, ok := files[ConfigFile]
 	if !ok {
-		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+		return nil, nil, &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
 	}
 	cfg, err := parseConfig(string(data))
 	if err != nil {
-		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+		return nil, nil, &suts.StartupError{System: s.Name(), Msg: err.Error()}
 	}
 	if !cfg.sawEvents {
-		return &suts.StartupError{System: s.Name(), Msg: `no "events" section in configuration`}
+		return nil, nil, &suts.StartupError{System: s.Name(), Msg: `no "events" section in configuration`}
 	}
 
 	// One listener per unique port; the first server block naming a port
@@ -178,30 +206,89 @@ func (s *Server) Start(files suts.Files) error {
 			}
 		}
 	}
+	return cfg.servers, ports, nil
+}
 
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error { return s.configure(files) }
+
+// Reload implements suts.Reloader: it applies a new configuration to the
+// running server the way `nginx -s reload` does — configuration errors
+// are rejected with Start's exact wording while the previous
+// configuration keeps serving; ports shared between old and new
+// configuration keep their listener (and established keep-alive
+// connections), only the routing tables are swapped.
+func (s *Server) Reload(files suts.Files) error { return s.configure(files) }
+
+// Validate implements suts.Validator: the `nginx -t` parse-and-check
+// path. It detects exactly Start's configuration rejections; bind-time
+// failures are invisible to it.
+func (s *Server) Validate(files suts.Files) error {
+	_, _, err := s.check(files)
+	return err
+}
+
+// configure drives the server to the given configuration from whatever
+// is currently bound — everything for a cold start, nothing on a no-op
+// reload. On error the previous state is untouched (empty for a cold
+// start), so a rejected reload keeps serving the old configuration.
+func (s *Server) configure(files suts.Files) error {
+	servers, ports, err := s.check(files)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	servers := cfg.servers
+
+	// Bind the ports the new configuration adds, in configuration order
+	// so a multi-failure reports the same port a cold start would.
+	created := map[int]*binding{}
 	for _, port := range ports {
-		ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+		if _, held := s.bound[port]; held {
+			continue
+		}
+		ln, err := s.transport().Listen(fmt.Sprintf("127.0.0.1:%d", port))
 		if err != nil {
-			for _, l := range s.listeners {
-				_ = l.Close()
+			for _, b := range created {
+				_ = b.ln.Close()
+				_ = b.srv.Close()
 			}
-			s.listeners = nil
-			s.httpSrvs = nil
 			return &suts.StartupError{System: s.Name(),
 				Msg: fmt.Sprintf("bind() to 127.0.0.1:%d failed: %v", port, err)}
 		}
-		srv := &http.Server{Handler: handlerFor(servers, port)}
-		s.listeners = append(s.listeners, ln)
-		s.httpSrvs = append(s.httpSrvs, srv)
+		h := &swapHandler{}
+		h.h.Store(http.HandlerFunc(http.NotFound))
+		srv := &http.Server{Handler: h}
+		created[port] = &binding{ln: ln, srv: srv, h: h}
 		s.wg.Add(1)
 		go func(srv *http.Server, l net.Listener) {
 			defer s.wg.Done()
 			_ = srv.Serve(l)
 		}(srv, ln)
 	}
+
+	// Commit: adopt the new bindings, retarget every retained port's
+	// handler, drop ports the new configuration no longer listens on.
+	want := map[int]bool{}
+	for _, p := range ports {
+		want[p] = true
+	}
+	if s.bound == nil {
+		s.bound = map[int]*binding{}
+	}
+	for p, b := range created {
+		s.bound[p] = b
+	}
+	for p, b := range s.bound {
+		if !want[p] {
+			_ = b.ln.Close()
+			_ = b.srv.Close()
+			delete(s.bound, p)
+			continue
+		}
+		b.h.h.Store(http.HandlerFunc(handlerFor(servers, p).ServeHTTP))
+	}
+	s.order = ports
 	return nil
 }
 
@@ -267,29 +354,51 @@ func matchesName(names []string, host string) bool {
 // Stop implements suts.System.
 func (s *Server) Stop() error {
 	s.mu.Lock()
-	lns := s.listeners
-	srvs := s.httpSrvs
-	s.listeners = nil
-	s.httpSrvs = nil
+	bound := s.bound
+	s.bound = nil
+	s.order = nil
 	s.mu.Unlock()
-	for _, l := range lns {
-		_ = l.Close()
-	}
-	for _, srv := range srvs {
-		_ = srv.Close()
+	for _, b := range bound {
+		_ = b.ln.Close()
+		_ = b.srv.Close()
 	}
 	s.wg.Wait()
 	return nil
 }
 
-// Addr implements suts.Addressable (first listener).
+// Health implements suts.HealthChecker: a running server has at least
+// one bound listener.
+func (s *Server) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bound) == 0 {
+		return fmt.Errorf("nginx-sim: no listeners bound")
+	}
+	return nil
+}
+
+// SetTransport implements suts.TransportSetter. Must be called before
+// Start; it moves both the listeners and the functional tests' dials.
+func (s *Server) SetTransport(t suts.Transport) { s.tr = t }
+
+// transport returns the configured transport, defaulting to TCP.
+func (s *Server) transport() suts.Transport {
+	if s.tr == nil {
+		return suts.TCPTransport{}
+	}
+	return s.tr
+}
+
+// Addr implements suts.Addressable (first configured port's listener).
 func (s *Server) Addr() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.listeners) == 0 {
-		return ""
+	for _, p := range s.order {
+		if b, ok := s.bound[p]; ok {
+			return b.ln.Addr().String()
+		}
 	}
-	return s.listeners[0].Addr().String()
+	return ""
 }
 
 // parseConfig applies nginx's startup semantics to the configuration
@@ -433,13 +542,32 @@ func stripComment(t string) string {
 	return t
 }
 
+// httpClient returns the server's shared functional-test client. Its
+// dials go through the configured transport (read at dial time, so
+// SetTransport may come after Tests is built), and its keep-alive pool
+// lets warm-reload experiments reuse connections to retained listeners.
+func (s *Server) httpClient() *http.Client {
+	s.clientOnce.Do(func() {
+		s.client = &http.Client{
+			Timeout: 5 * time.Second,
+			Transport: &http.Transport{
+				DialContext: func(ctx stdcontext.Context, network, addr string) (net.Conn, error) {
+					return s.transport().Dial(addr)
+				},
+				MaxIdleConnsPerHost: 4,
+			},
+		}
+	})
+	return s.client
+}
+
 // Tests returns the web-server diagnosis, the paper-style functional
 // checks an administrator would run: a plain GET against the default
 // server, a virtual-host GET that must be answered by the blog server,
 // and a GET under /static/ that must be served from the static location.
 func Tests(s *Server) []suts.Test {
 	get := func(path, host string) (string, error) {
-		client := &http.Client{Timeout: 5 * time.Second}
+		client := s.httpClient()
 		req, err := http.NewRequest("GET", fmt.Sprintf("http://127.0.0.1:%d%s", s.DefaultPort(), path), nil)
 		if err != nil {
 			return "", err

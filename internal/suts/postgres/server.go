@@ -15,8 +15,10 @@ const ConfigFile = "postgresql.conf"
 // Server is the simulated PostgreSQL server.
 type Server struct {
 	port int
+	tr   suts.Transport
 
 	srv      *sqlmini.Server
+	curAddr  string
 	settings settings
 }
 
@@ -34,6 +36,10 @@ type settings struct {
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
+var _ suts.Reloader = (*Server)(nil)
+var _ suts.Validator = (*Server)(nil)
+var _ suts.HealthChecker = (*Server)(nil)
+var _ suts.TransportSetter = (*Server)(nil)
 
 // New returns a simulator whose default configuration listens on the given
 // TCP port (0 picks a free one at construction time).
@@ -98,17 +104,17 @@ func (s *Server) FullConfig() suts.Files {
 	return suts.Files{ConfigFile: []byte(b.String())}
 }
 
-// Start implements suts.System.
-func (s *Server) Start(files suts.Files) error {
+// check parses a configuration and resolves its listen address without
+// touching server state. Errors carry postgres's FATAL startup wording.
+func (s *Server) check(files suts.Files) (settings, string, error) {
 	data, ok := files[ConfigFile]
 	if !ok {
-		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+		return settings{}, "", &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
 	}
 	st, err := parseConfig(string(data))
 	if err != nil {
-		return &suts.StartupError{System: s.Name(), Msg: "FATAL: " + err.Error()}
+		return settings{}, "", &suts.StartupError{System: s.Name(), Msg: "FATAL: " + err.Error()}
 	}
-	s.settings = st
 
 	// listen_addresses is a plain string parameter, but a host that does
 	// not resolve fails at bind time — still a startup-visible failure.
@@ -117,18 +123,71 @@ func (s *Server) Start(files suts.Files) error {
 	case "localhost", "127.0.0.1", "*", "0.0.0.0", "":
 		host = "127.0.0.1"
 	default:
-		return &suts.StartupError{System: s.Name(),
+		return settings{}, "", &suts.StartupError{System: s.Name(),
 			Msg: fmt.Sprintf("FATAL: could not translate host name \"%s\" to address", st.listen)}
 	}
+	return st, fmt.Sprintf("%s:%d", host, st.port), nil
+}
 
-	eng := &sqlmini.Engine{}
-	srv := sqlmini.NewServer(eng)
-	srv.MaxConns = int(st.maxConn)
-	if err := srv.Listen(fmt.Sprintf("%s:%d", host, st.port)); err != nil {
-		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error {
+	st, addr, err := s.check(files)
+	if err != nil {
+		return err
 	}
+	s.settings = st
+	ln, err := s.transport().Listen(addr)
+	if err != nil {
+		return &suts.StartupError{System: s.Name(),
+			Msg: fmt.Sprintf("sqlmini: listen %s: %v", addr, err)}
+	}
+	srv := sqlmini.NewServer(&sqlmini.Engine{})
+	srv.MaxConns = int(st.maxConn)
+	srv.Serve(ln)
 	s.srv = srv
+	s.curAddr = addr
 	return nil
+}
+
+// Reload implements suts.Reloader: the `pg_ctl reload` idiom, extended
+// with a full catalog reset so a warm experiment sees the same fresh
+// state a cold restart would. A configuration error is rejected with
+// Start's exact wording and the previous configuration keeps serving; an
+// address change binds the new socket before releasing the old one.
+func (s *Server) Reload(files suts.Files) error {
+	st, addr, err := s.check(files)
+	if err != nil {
+		return err
+	}
+	if s.srv != nil && addr == s.curAddr {
+		s.srv.SetEngine(&sqlmini.Engine{})
+		s.srv.SetMaxConns(int(st.maxConn))
+		s.settings = st
+		return nil
+	}
+	ln, err := s.transport().Listen(addr)
+	if err != nil {
+		return &suts.StartupError{System: s.Name(),
+			Msg: fmt.Sprintf("sqlmini: listen %s: %v", addr, err)}
+	}
+	old := s.srv
+	srv := sqlmini.NewServer(&sqlmini.Engine{})
+	srv.MaxConns = int(st.maxConn)
+	srv.Serve(ln)
+	s.srv = srv
+	s.curAddr = addr
+	s.settings = st
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// Validate implements suts.Validator: the `postgres -C` / config-check
+// idiom — parse and address resolution only, nothing bound.
+func (s *Server) Validate(files suts.Files) error {
+	_, _, err := s.check(files)
+	return err
 }
 
 // Stop implements suts.System.
@@ -138,7 +197,28 @@ func (s *Server) Stop() error {
 	}
 	err := s.srv.Close()
 	s.srv = nil
+	s.curAddr = ""
 	return err
+}
+
+// Health implements suts.HealthChecker.
+func (s *Server) Health() error {
+	if s.srv == nil {
+		return fmt.Errorf("postgres-sim: not listening")
+	}
+	return nil
+}
+
+// SetTransport implements suts.TransportSetter. Must be called before
+// Start; it moves both the listener and the functional tests' dials.
+func (s *Server) SetTransport(t suts.Transport) { s.tr = t }
+
+// transport returns the configured transport, defaulting to TCP.
+func (s *Server) transport() suts.Transport {
+	if s.tr == nil {
+		return suts.TCPTransport{}
+	}
+	return s.tr
 }
 
 // Addr implements suts.Addressable.
@@ -294,10 +374,12 @@ func Tests(s *Server) []suts.Test {
 	return []suts.Test{{
 		Name: "db-roundtrip",
 		Run: func() error {
-			c, err := sqlmini.Dial(fmt.Sprintf("127.0.0.1:%d", s.DefaultPort()))
+			addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
+			conn, err := s.transport().Dial(addr)
 			if err != nil {
-				return fmt.Errorf("connect: %w", err)
+				return fmt.Errorf("connect: %w", fmt.Errorf("sqlmini: dial %s: %w", addr, err))
 			}
+			c := sqlmini.NewClient(conn)
 			defer func() { _ = c.Close() }()
 			for _, stmt := range []string{
 				"CREATE DATABASE conferr_test",

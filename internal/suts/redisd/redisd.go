@@ -25,9 +25,11 @@ const ConfigFile = "redis.conf"
 // Server is the simulated Redis daemon.
 type Server struct {
 	port int
+	tr   suts.Transport
 
 	mu        sync.Mutex
 	ln        net.Listener
+	curPort   int
 	databases int
 	wg        sync.WaitGroup
 
@@ -37,6 +39,10 @@ type Server struct {
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
+var _ suts.Reloader = (*Server)(nil)
+var _ suts.Validator = (*Server)(nil)
+var _ suts.HealthChecker = (*Server)(nil)
+var _ suts.TransportSetter = (*Server)(nil)
 
 // New returns a simulator whose default configuration listens on the
 // given TCP port (0 picks a free one at construction time).
@@ -101,29 +107,102 @@ type config struct {
 	databases int
 }
 
-// Start implements suts.System.
-func (s *Server) Start(files suts.Files) error {
+// check parses a configuration without touching listener state. Errors
+// carry redis-server's fatal-config wording.
+func (s *Server) check(files suts.Files) (config, error) {
 	data, ok := files[ConfigFile]
 	if !ok {
-		return &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
+		return config{}, &suts.StartupError{System: s.Name(), Msg: "missing " + ConfigFile}
 	}
 	cfg, err := parseConfig(string(data))
 	if err != nil {
-		return &suts.StartupError{System: s.Name(), Msg: err.Error()}
+		return config{}, &suts.StartupError{System: s.Name(), Msg: err.Error()}
 	}
+	return cfg, nil
+}
 
-	ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", cfg.port))
+// Start implements suts.System.
+func (s *Server) Start(files suts.Files) error {
+	cfg, err := s.check(files)
 	if err != nil {
-		return &suts.StartupError{System: s.Name(),
-			Msg: fmt.Sprintf("Could not create server TCP listening socket 127.0.0.1:%d: %v", cfg.port, err)}
+		return err
+	}
+	ln, err := s.listen(cfg.port)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.curPort = cfg.port
 	s.databases = cfg.databases
 	s.mu.Unlock()
+	s.resetData()
+	s.acceptOn(ln)
+	return nil
+}
+
+// Reload implements suts.Reloader: it applies a new configuration to the
+// running server. A configuration error is rejected with Start's exact
+// wording and the previous configuration keeps serving; a port change
+// binds the new port before releasing the old one. The dataset resets
+// exactly as a cold restart would, keeping profiles mode-independent.
+func (s *Server) Reload(files suts.Files) error {
+	cfg, err := s.check(files)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	old := s.ln
+	samePort := old != nil && s.curPort == cfg.port
+	s.mu.Unlock()
+	if !samePort {
+		ln, err := s.listen(cfg.port)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.ln = ln
+		s.curPort = cfg.port
+		s.mu.Unlock()
+		if old != nil {
+			_ = old.Close()
+		}
+		s.acceptOn(ln)
+	}
+	s.mu.Lock()
+	s.databases = cfg.databases
+	s.mu.Unlock()
+	s.resetData()
+	return nil
+}
+
+// Validate implements suts.Validator: parse and check only, the
+// `redis-server --test-config` idiom. Socket-level failures are
+// invisible to it.
+func (s *Server) Validate(files suts.Files) error {
+	_, err := s.check(files)
+	return err
+}
+
+// listen binds the serving socket, wrapping failure in redis's wording.
+func (s *Server) listen(port int) (net.Listener, error) {
+	ln, err := s.transport().Listen(fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		return nil, &suts.StartupError{System: s.Name(),
+			Msg: fmt.Sprintf("Could not create server TCP listening socket 127.0.0.1:%d: %v", port, err)}
+	}
+	return ln, nil
+}
+
+// resetData clears the dataset, as every fresh start does.
+func (s *Server) resetData() {
 	s.dataMu.Lock()
 	s.data = make(map[string]string)
 	s.dataMu.Unlock()
+}
+
+// acceptOn runs the accept loop for one listener generation.
+func (s *Server) acceptOn(ln net.Listener) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -139,7 +218,6 @@ func (s *Server) Start(files suts.Files) error {
 			}()
 		}
 	}()
-	return nil
 }
 
 // Stop implements suts.System.
@@ -147,12 +225,35 @@ func (s *Server) Stop() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
+	s.curPort = 0
 	s.mu.Unlock()
 	if ln != nil {
 		_ = ln.Close()
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// Health implements suts.HealthChecker.
+func (s *Server) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return fmt.Errorf("redis-sim: not listening")
+	}
+	return nil
+}
+
+// SetTransport implements suts.TransportSetter. Must be called before
+// Start; it moves both the listener and the functional tests' dials.
+func (s *Server) SetTransport(t suts.Transport) { s.tr = t }
+
+// transport returns the configured transport, defaulting to TCP.
+func (s *Server) transport() suts.Transport {
+	if s.tr == nil {
+		return suts.TCPTransport{}
+	}
+	return s.tr
 }
 
 // Addr implements suts.Addressable.
@@ -371,9 +472,9 @@ func validMemory(s string) bool {
 	return err == nil && n >= 0
 }
 
-// dial connects to the running server with a short timeout.
-func dial(port int) (net.Conn, error) {
-	return net.DialTimeout("tcp", fmt.Sprintf("127.0.0.1:%d", port), 5*time.Second)
+// dial connects to the running server through its transport.
+func (s *Server) dial() (net.Conn, error) {
+	return s.transport().Dial(fmt.Sprintf("127.0.0.1:%d", s.DefaultPort()))
 }
 
 // roundTrip sends one inline command and reads one reply line (plus the
@@ -407,7 +508,7 @@ func Tests(s *Server) []suts.Test {
 		{
 			Name: "ping",
 			Run: func() error {
-				conn, err := dial(s.DefaultPort())
+				conn, err := s.dial()
 				if err != nil {
 					return fmt.Errorf("dial: %w", err)
 				}
@@ -425,7 +526,7 @@ func Tests(s *Server) []suts.Test {
 		{
 			Name: "set-get",
 			Run: func() error {
-				conn, err := dial(s.DefaultPort())
+				conn, err := s.dial()
 				if err != nil {
 					return fmt.Errorf("dial: %w", err)
 				}
@@ -446,7 +547,7 @@ func Tests(s *Server) []suts.Test {
 		{
 			Name: "select-db",
 			Run: func() error {
-				conn, err := dial(s.DefaultPort())
+				conn, err := s.dial()
 				if err != nil {
 					return fmt.Errorf("dial: %w", err)
 				}

@@ -52,7 +52,7 @@ func TestStateDoesNotSurviveRestart(t *testing.T) {
 	if err := s.Start(files); err != nil {
 		t.Fatal(err)
 	}
-	conn, err := dial(s.DefaultPort())
+	conn, err := s.dial()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestStateDoesNotSurviveRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = s.Stop() }()
-	conn, err = dial(s.DefaultPort())
+	conn, err = s.dial()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,45 @@ type Addressable interface {
 	Addr() string
 }
 
+// Reloader is an optional capability: a SUT that can swap its
+// configuration on a warm, already-running instance — the `nginx -s
+// reload` / SIGHUP idiom. The pooled lifecycle (internal/sutpool) uses it
+// to avoid one cold start/stop cycle per injection experiment.
+//
+// Reload follows the same error taxonomy as Start: a *StartupError means
+// the SUT itself rejected the new configuration, and its text must be
+// byte-identical to what Start would report for the same files — the
+// resilience profile must not depend on the lifecycle mode. After a
+// rejected reload the instance keeps serving its previous configuration
+// and stays warm. Any other error means the reload wedged the instance;
+// the pool quarantines it and falls back to a cold restart.
+type Reloader interface {
+	// Reload applies a new configuration to the running system. Same
+	// Files sharing contract as System.Start.
+	Reload(files Files) error
+}
+
+// Validator is an optional capability: a SUT that can parse and check a
+// configuration without binding listeners or serving — the `nginx -t` /
+// `postgres -C` idiom. It detects exactly the startup-time rejections
+// (returned as *StartupError, byte-identical to Start's), but a nil
+// return only means "would parse": runtime-only failures (port already
+// bound) and everything functional tests would catch are invisible to
+// it, so validate-only campaigns trade outcome fidelity for speed.
+type Validator interface {
+	// Validate checks the configuration without starting the system.
+	// Same Files sharing contract as System.Start.
+	Validate(files Files) error
+}
+
+// HealthChecker is an optional capability used by the pooled lifecycle
+// to decide whether a warm instance can be reused for the next
+// experiment or must be quarantined and cold-restarted.
+type HealthChecker interface {
+	// Health returns nil when the running system is still serving.
+	Health() error
+}
+
 // StartupError is returned by System.Start when the SUT's own
 // configuration parsing or validation rejects the configuration — the
 // "detected by system at startup" outcome.

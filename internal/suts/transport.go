@@ -1,0 +1,49 @@
+package suts
+
+import (
+	"net"
+	"time"
+)
+
+// Transport abstracts the byte transport between a SUT's listeners and
+// the clients that reach it (functional tests, benchmarks). The default
+// is kernel loopback TCP; internal/memnet provides a net.Pipe-backed
+// in-process alternative so experiments can skip the TCP stack entirely.
+type Transport interface {
+	// Listen binds a listener on addr ("host:port"). A port conflict must
+	// yield an error whose text contains "address already in use", the
+	// wording the engine's bind-collision retry keys on.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a listener bound on addr. When nothing listens
+	// there the error text must contain "connection refused".
+	Dial(addr string) (net.Conn, error)
+}
+
+// TransportSetter is implemented by SUTs whose listeners and functional
+// tests can be moved onto an alternative Transport. It must be called
+// before Start; the transport applies to every subsequent lifecycle.
+type TransportSetter interface {
+	SetTransport(Transport)
+}
+
+// TCPTransport is the default Transport: kernel loopback TCP. The zero
+// value is ready to use.
+type TCPTransport struct {
+	// DialTimeout bounds Dial; 0 means 5s, matching the simulators'
+	// historical functional-test timeout.
+	DialTimeout time.Duration
+}
+
+// Listen implements Transport.
+func (t TCPTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements Transport.
+func (t TCPTransport) Dial(addr string) (net.Conn, error) {
+	timeout := t.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}

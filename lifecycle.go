@@ -1,0 +1,86 @@
+package conferr
+
+import (
+	"conferr/internal/core"
+	"conferr/internal/sutpool"
+)
+
+// This file wires the pooled SUT lifecycle (internal/sutpool) into the
+// facade: campaigns can drive their worker SUTs through warm reloads or
+// parse-only validation instead of a cold start/stop cycle per
+// experiment. Each worker leases an instance from a per-campaign pool;
+// instances are health-checked between experiments, quarantined and
+// cold-restarted when a reload wedges them, and released back warm when
+// the run ends.
+//
+// The lifecycle adapter sits UNDER the port remap (simulator →
+// sutpool.Instance → portMappedSystem), so reload capability detection
+// sees the real SUT and every reload error still gets its worker port
+// mapped back to the primary's — profiles stay byte-identical to cold
+// runs. Systems lacking the capability fall back to cold starts.
+
+// Lifecycle selects how worker SUTs are driven through experiments:
+// LifecycleCold (the paper's start/stop-per-experiment engine, the
+// default), LifecycleReload (warm instances re-configured in place) or
+// LifecycleValidate (parse-only checks; functional tests are skipped, so
+// faults only the running server would catch are reported as Ignored).
+type Lifecycle = sutpool.Mode
+
+// Lifecycle modes, re-exported from internal/sutpool.
+const (
+	LifecycleCold     = sutpool.Cold
+	LifecycleReload   = sutpool.Reload
+	LifecycleValidate = sutpool.Validate
+)
+
+// ParseLifecycle parses a lifecycle flag value: "cold" (or ""),
+// "reload", or "validate".
+func ParseLifecycle(s string) (Lifecycle, error) { return sutpool.ParseMode(s) }
+
+// LifecycleCounters tallies what the lifecycle machinery actually did —
+// cold starts, reloads, validates, quarantine restarts, health failures,
+// pool leases and reuses. Share one across runs (it is concurrency-safe)
+// and read it with Snapshot.
+type LifecycleCounters = sutpool.Counters
+
+// newLifecyclePool builds the per-campaign worker pool: every leased
+// instance is a factory-built SUT adapted to the mode and wrapped in the
+// port remap, with the finished engine target carried as the lease
+// payload.
+func newLifecyclePool(f TargetFactory, primary *SystemTarget, mode Lifecycle, c *LifecycleCounters) *sutpool.Pool {
+	from := primaryPort(primary)
+	return sutpool.New(mode, c, func(p *sutpool.Pool) (*sutpool.Instance, error) {
+		st, err := f(0)
+		if err != nil {
+			return nil, err
+		}
+		inst := p.Instance(st.Target.System)
+		inst.Payload = remapTarget(st, inst, from)
+		return inst, nil
+	})
+}
+
+// poolWorkerFactory adapts pool leases to the core's per-worker target
+// factory. Released instances return to the pool warm, so consecutive
+// campaigns over one pool skip even the first cold start.
+func poolWorkerFactory(p *sutpool.Pool) core.TargetFactory {
+	return func() (*core.Target, error) {
+		inst, err := p.Lease()
+		if err != nil {
+			return nil, err
+		}
+		return inst.Payload.(*core.Target), nil
+	}
+}
+
+// lifecycleFactory picks the worker-target factory for a run: the plain
+// port-remapping factory for cold runs, a pool-backed one otherwise. The
+// returned cleanup (nil for cold) closes the pool, shutting down every
+// warm instance.
+func lifecycleFactory(f TargetFactory, primary *SystemTarget, mode Lifecycle, c *LifecycleCounters) (core.TargetFactory, func() error) {
+	if mode == LifecycleCold {
+		return workerFactory(f, primary), nil
+	}
+	pool := newLifecyclePool(f, primary, mode, c)
+	return poolWorkerFactory(pool), pool.Close
+}

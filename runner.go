@@ -47,6 +47,18 @@ type Runner struct {
 	// Port is where the primary target listens (0 = allocate). Experiments
 	// pin it so faultloads that typo the port digits stay reproducible.
 	Port int
+	// Lifecycle selects how worker SUTs are driven through experiments:
+	// LifecycleCold (default) starts and stops the SUT around every
+	// experiment; LifecycleReload keeps pooled instances warm and swaps
+	// configurations in place; LifecycleValidate only parse-checks them.
+	// Reload-mode profiles are byte-identical to cold ones; validate mode
+	// trades functional-test coverage for speed (see the README's "SUT
+	// lifecycle" section).
+	Lifecycle Lifecycle
+	// PoolCounters, when non-nil, tallies the lifecycle activity of this
+	// runner's campaigns (cold starts, reloads, validates, restarts, pool
+	// reuse). Safe to share across runners.
+	PoolCounters *LifecycleCounters
 }
 
 // NewRunner returns a Runner for the given target factory and generator.
@@ -79,11 +91,15 @@ func NewRunnerFor(system, plugin string, opts GeneratorOptions) (*Runner, error)
 // ordered and deterministic for a fixed faultload whatever the worker
 // count.
 func (r *Runner) Run(ctx context.Context, opts ...RunOption) (*Profile, error) {
-	c, coreOpts, err := r.campaign(opts)
+	c, coreOpts, cleanup, err := r.campaign(opts)
 	if err != nil {
 		return &profile.Profile{}, err
 	}
-	return c.RunContext(ctx, coreOpts...)
+	prof, err := c.RunContext(ctx, coreOpts...)
+	if cerr := runCleanup(cleanup); cerr != nil && err == nil {
+		err = cerr
+	}
+	return prof, err
 }
 
 // RunStream executes the campaign with the faultload pulled lazily from
@@ -92,27 +108,42 @@ func (r *Runner) Run(ctx context.Context, opts ...RunOption) (*Profile, error) {
 // bounded by the stream rather than by RAM. It returns the number of
 // records flushed; see Campaign.RunStream for the full contract.
 func (r *Runner) RunStream(ctx context.Context, sink Sink, opts ...RunOption) (int, error) {
-	c, coreOpts, err := r.campaign(opts)
+	c, coreOpts, cleanup, err := r.campaign(opts)
 	if err != nil {
 		return 0, err
 	}
-	return c.RunStream(ctx, sink, coreOpts...)
+	n, err := c.RunStream(ctx, sink, coreOpts...)
+	if cerr := runCleanup(cleanup); cerr != nil && err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// runCleanup invokes a possibly-nil per-run cleanup.
+func runCleanup(cleanup func() error) error {
+	if cleanup == nil {
+		return nil
+	}
+	return cleanup()
 }
 
 // campaign builds the core campaign around a fresh primary target, wiring
-// the per-worker factory with port remapping in front of the caller's
-// options.
-func (r *Runner) campaign(opts []RunOption) (*core.Campaign, []RunOption, error) {
+// the per-worker factory — port-remapping, pool-backed when a lifecycle
+// is selected — in front of the caller's options. The returned cleanup
+// (nil for cold runs) closes the worker pool and must run after the
+// campaign.
+func (r *Runner) campaign(opts []RunOption) (*core.Campaign, []RunOption, func() error, error) {
 	primary, err := r.Factory(r.Port)
 	if err != nil {
-		return nil, nil, fmt.Errorf("conferr: building primary target: %w", err)
+		return nil, nil, nil, fmt.Errorf("conferr: building primary target: %w", err)
 	}
 	c := &core.Campaign{
 		Target:    primary.Target,
 		Generator: r.Generator,
 	}
+	factory, cleanup := lifecycleFactory(r.Factory, primary, r.Lifecycle, r.PoolCounters)
 	coreOpts := make([]RunOption, 0, len(opts)+1)
-	coreOpts = append(coreOpts, core.WithTargetFactory(workerFactory(r.Factory, primary)))
+	coreOpts = append(coreOpts, core.WithTargetFactory(factory))
 	coreOpts = append(coreOpts, opts...)
-	return c, coreOpts, nil
+	return c, coreOpts, cleanup, nil
 }

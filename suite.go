@@ -30,17 +30,28 @@ type (
 // instance with port remapping — which is what lets several campaigns of
 // one system family run concurrently in a suite without colliding.
 func NewSuiteCampaign(name string, factory TargetFactory, port int, gen Generator) (SuiteCampaign, error) {
+	return NewSuiteCampaignLifecycle(name, factory, port, gen, LifecycleCold, nil)
+}
+
+// NewSuiteCampaignLifecycle is NewSuiteCampaign with the worker SUT
+// lifecycle selected: non-cold cells lease their worker SUTs from a
+// per-cell pool (warm reloads or validate-only, falling back to cold for
+// incapable systems) that is closed when the cell finishes. A non-nil
+// counters aggregates lifecycle activity across cells.
+func NewSuiteCampaignLifecycle(name string, factory TargetFactory, port int, gen Generator, mode Lifecycle, counters *LifecycleCounters) (SuiteCampaign, error) {
 	primary, err := factory(port)
 	if err != nil {
 		return SuiteCampaign{}, fmt.Errorf("conferr: building %s primary target: %w", name, err)
 	}
+	workers, cleanup := lifecycleFactory(factory, primary, mode, counters)
 	return SuiteCampaign{
 		Name: name,
 		Campaign: &core.Campaign{
 			Target:    primary.Target,
 			Generator: gen,
 		},
-		Options: []core.RunOption{core.WithTargetFactory(workerFactory(factory, primary))},
+		Options: []core.RunOption{core.WithTargetFactory(workers)},
+		Cleanup: cleanup,
 	}, nil
 }
 
@@ -103,6 +114,18 @@ type MatrixOptions struct {
 	Limit int
 	// KeepGoing keeps the remaining campaigns running when one fails.
 	KeepGoing bool
+	// Lifecycle selects how every cell's worker SUTs are driven:
+	// LifecycleCold (default), LifecycleReload or LifecycleValidate.
+	// Systems without the capability fall back to cold starts.
+	Lifecycle Lifecycle
+	// PoolCounters, when non-nil, aggregates the lifecycle activity of
+	// every cell — pass one in to report reload/validate tallies after
+	// the matrix.
+	PoolCounters *LifecycleCounters
+	// InMemory serves every cell's SUTs over the in-process transport
+	// (see InMemoryTransport) instead of kernel loopback TCP. Profiles
+	// are unchanged; the TCP stack is out of the picture.
+	InMemory bool
 	// SinkFor, when non-nil, supplies the streaming destination for each
 	// entry's records; the suite then retains no per-record state for that
 	// cell. When nil, each cell accumulates an in-memory profile.
@@ -119,6 +142,9 @@ func RunMatrix(ctx context.Context, entries []MatrixEntry, mo MatrixOptions) (*S
 		tf, err := LookupTarget(e.System)
 		if err != nil {
 			return nil, err
+		}
+		if mo.InMemory {
+			tf = InMemoryTransport(tf)
 		}
 		gf, err := LookupGenerator(e.Plugin)
 		if err != nil {
@@ -143,7 +169,7 @@ func RunMatrix(ctx context.Context, entries []MatrixEntry, mo MatrixOptions) (*S
 		if port == 0 && mo.BasePort > 0 {
 			port = mo.BasePort + i
 		}
-		sc, err := NewSuiteCampaign(e.System+"/"+e.Plugin, tf, port, gen)
+		sc, err := NewSuiteCampaignLifecycle(e.System+"/"+e.Plugin, tf, port, gen, mo.Lifecycle, mo.PoolCounters)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,36 @@
+package conferr
+
+import (
+	"conferr/internal/memnet"
+	"conferr/internal/suts"
+)
+
+// InMemoryTransport wraps a target factory so every SUT it builds serves
+// its listeners — and dials its functional-test probes — over a private
+// in-process network (internal/memnet) instead of kernel loopback TCP.
+// Each built target gets its own network namespace, so worker SUTs can
+// never collide on a port no matter how the faultload typos one; the
+// engine's bind-retry and detection logic still behave identically
+// because memnet words its errors exactly like the kernel. Systems that
+// do not implement suts.TransportSetter (the DNS targets, whose liveness
+// probes speak real UDP/TCP) pass through unchanged and keep the kernel
+// transport.
+//
+// Profiles are byte-identical to kernel-TCP runs; the wrapper composes
+// with every lifecycle mode, so
+//
+//	r := &Runner{Factory: InMemoryTransport(NginxTargetAt), ...}
+//
+// runs warm-reload campaigns that never touch a socket.
+func InMemoryTransport(f TargetFactory) TargetFactory {
+	return func(port int) (*SystemTarget, error) {
+		st, err := f(port)
+		if err != nil {
+			return nil, err
+		}
+		if ts, ok := st.System.(suts.TransportSetter); ok {
+			ts.SetTransport(memnet.New())
+		}
+		return st, nil
+	}
+}

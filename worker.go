@@ -34,31 +34,43 @@ type defaultPorter interface {
 // workerFactory converts a facade factory into the core per-worker
 // factory, wiring in the port remap against the primary target.
 func workerFactory(f TargetFactory, primary *SystemTarget) core.TargetFactory {
-	from := 0
-	if dp, ok := primary.System.(defaultPorter); ok {
-		from = dp.DefaultPort()
-	}
+	from := primaryPort(primary)
 	return func() (*core.Target, error) {
 		st, err := f(0)
 		if err != nil {
 			return nil, err
 		}
-		to := 0
-		if dp, ok := st.System.(defaultPorter); ok {
-			to = dp.DefaultPort()
-		}
-		t := *st.Target
-		if from != 0 && to != 0 && from != to {
-			fromS, toS := strconv.Itoa(from), strconv.Itoa(to)
-			t.System = &portMappedSystem{System: t.System, from: fromS, to: toS}
-			t.Tests = remapTests(t.Tests, toS, fromS)
-		} else {
-			// Same port space (or none): still guard against transient
-			// bind collisions with other workers' typo'd ports.
-			t.System = &portMappedSystem{System: t.System}
-		}
-		return &t, nil
+		return remapTarget(st, st.Target.System, from), nil
 	}
+}
+
+// primaryPort is the port the faultload's mutated bytes embed.
+func primaryPort(primary *SystemTarget) int {
+	if dp, ok := primary.System.(defaultPorter); ok {
+		return dp.DefaultPort()
+	}
+	return 0
+}
+
+// remapTarget wraps one worker's target in the port remap against the
+// primary port. sys is the system to wrap — the target's own system, or
+// a lifecycle adapter already wrapped around it.
+func remapTarget(st *SystemTarget, sys suts.System, from int) *core.Target {
+	to := 0
+	if dp, ok := st.System.(defaultPorter); ok {
+		to = dp.DefaultPort()
+	}
+	t := *st.Target
+	if from != 0 && to != 0 && from != to {
+		fromS, toS := strconv.Itoa(from), strconv.Itoa(to)
+		t.System = &portMappedSystem{System: sys, from: fromS, to: toS}
+		t.Tests = remapTests(t.Tests, toS, fromS)
+	} else {
+		// Same port space (or none): still guard against transient
+		// bind collisions with other workers' typo'd ports.
+		t.System = &portMappedSystem{System: sys}
+	}
+	return &t
 }
 
 // portMappedSystem runs a worker's SUT on its own port while presenting
@@ -81,6 +93,11 @@ type portMappedSystem struct {
 	// so no locking.
 	memo map[remapKey][]byte
 }
+
+// Unwrap exposes the wrapped system to the engine's capability probes —
+// lifecycle management detection, probe skipping, pool release — which
+// walk wrapper chains instead of relying on method promotion.
+func (s *portMappedSystem) Unwrap() suts.System { return s.System }
 
 // remapKey identifies an input slice by backing array and length.
 type remapKey struct {
