@@ -6,7 +6,7 @@ package confnode
 // as soon as the mutated configuration is serialized; allocating those
 // clones from the regular heap made Node.Clone ~84% of the engine's
 // allocations. An Arena instead hands out nodes, child slices and
-// attribute maps from reusable chunks: one Reset per experiment and the
+// attribute lists from reusable chunks: one Reset per experiment and the
 // same memory serves the next clone, so the steady-state hot path
 // allocates nothing for cloning at all.
 //
@@ -25,8 +25,9 @@ type Arena struct {
 	ptrChunk  int
 	ptrUsed   int
 
-	attrMaps []map[string]string
-	mapsUsed int
+	kvChunks [][]attrKV
+	kvChunk  int
+	kvUsed   int
 }
 
 // Chunk sizes: large enough that a typical experiment (one or two file
@@ -34,6 +35,7 @@ type Arena struct {
 const (
 	arenaNodeChunk = 256
 	arenaPtrChunk  = 1024
+	arenaKVChunk   = 256
 )
 
 // Reset recycles the arena: all previously returned memory may be handed
@@ -41,7 +43,7 @@ const (
 func (a *Arena) Reset() {
 	a.nodeChunk, a.nodeUsed = 0, 0
 	a.ptrChunk, a.ptrUsed = 0, 0
-	a.mapsUsed = 0
+	a.kvChunk, a.kvUsed = 0, 0
 }
 
 // node returns a zeroed *Node from the arena. Chunks are fixed-size and
@@ -94,24 +96,33 @@ func (a *Arena) ptrs(n int) []*Node {
 	return s
 }
 
-// attrMap returns an empty attribute map, reusing one recycled by an
-// earlier Reset when available. Attribute maps are tiny (provenance and
-// token class), so clearing beats reallocating.
-func (a *Arena) attrMap() map[string]string {
-	if a.mapsUsed < len(a.attrMaps) {
-		m := a.attrMaps[a.mapsUsed]
-		a.mapsUsed++
-		clear(m)
-		return m
+// kvs returns an attribute slice of length n with capacity exactly n,
+// bump-allocated like ptrs: growing it (SetAttr on a fresh key) falls
+// back to a regular heap append, keeping arena memory from being
+// overwritten by a neighbour. Oversized requests come from the heap.
+func (a *Arena) kvs(n int) []attrKV {
+	if n > arenaKVChunk {
+		return make([]attrKV, n)
 	}
-	m := make(map[string]string, 2)
-	a.attrMaps = append(a.attrMaps, m)
-	a.mapsUsed++
-	return m
+	if a.kvChunk >= len(a.kvChunks) {
+		a.kvChunks = append(a.kvChunks, make([]attrKV, arenaKVChunk))
+	}
+	chunk := a.kvChunks[a.kvChunk]
+	if a.kvUsed+n > len(chunk) {
+		a.kvChunk++
+		a.kvUsed = 0
+		if a.kvChunk == len(a.kvChunks) {
+			a.kvChunks = append(a.kvChunks, make([]attrKV, arenaKVChunk))
+		}
+		chunk = a.kvChunks[a.kvChunk]
+	}
+	s := chunk[a.kvUsed : a.kvUsed+n : a.kvUsed+n]
+	a.kvUsed += n
+	return s
 }
 
 // CloneInto returns a deep copy of the subtree rooted at n with every
-// node, child slice and attribute map drawn from the arena. A nil arena
+// node, child slice and attribute list drawn from the arena. A nil arena
 // degrades to the regular heap Clone. The copy has no parent and obeys
 // the arena's Reset lifetime.
 func (n *Node) CloneInto(a *Arena) *Node {
@@ -124,15 +135,13 @@ func (n *Node) CloneInto(a *Arena) *Node {
 	c := a.node()
 	c.Kind, c.Name, c.Value = n.Kind, n.Name, n.Value
 	if n.attrsShared {
-		// Frozen source: alias the map copy-on-write instead of re-hashing
+		// Frozen source: alias the list copy-on-write instead of copying
 		// every attribute per clone (see Freeze).
 		c.attrs, c.attrsShared = n.attrs, true
 	} else if len(n.attrs) > 0 {
-		m := a.attrMap()
-		for k, v := range n.attrs {
-			m[k] = v
-		}
-		c.attrs = m
+		kvs := a.kvs(len(n.attrs))
+		copy(kvs, n.attrs)
+		c.attrs = kvs
 	}
 	if len(n.children) > 0 {
 		cs := a.ptrs(len(n.children))

@@ -101,15 +101,23 @@ type Node struct {
 	// word text, field content).
 	Value string
 
-	attrs map[string]string
+	attrs []attrKV
 	// attrsShared marks attrs as potentially aliased by other nodes
-	// (clones of a frozen tree). Any holder copies the map before its
-	// first mutation, so a shared map is immutable in practice — what
+	// (clones of a frozen tree). Any holder copies the slice before its
+	// first mutation, so a shared slice is immutable in practice — what
 	// lets the injection hot path clone thousands of nodes per second
-	// without re-hashing their attributes. See Freeze.
+	// without copying their attributes. See Freeze.
 	attrsShared bool
 	children    []*Node
 	parent      *Node
+}
+
+// attrKV is one attribute entry. Nodes carry at most a handful of
+// attributes (provenance, token class), so a linear scan over a small
+// slice beats a map: no hashing on the injection hot path's
+// per-word AttrDefault lookups, and cloning is a plain copy.
+type attrKV struct {
+	key, value string
 }
 
 // New returns a node with the given kind and name.
@@ -159,47 +167,56 @@ func (n *Node) SetAttr(key, value string) *Node {
 	if n.attrsShared {
 		n.unshareAttrs()
 	}
-	if n.attrs == nil {
-		n.attrs = make(map[string]string)
+	for i := range n.attrs {
+		if n.attrs[i].key == key {
+			n.attrs[i].value = value
+			return n
+		}
 	}
-	n.attrs[key] = value
+	n.attrs = append(n.attrs, attrKV{key, value})
 	return n
 }
 
-// unshareAttrs replaces a shared attribute map with a private copy — the
+// unshareAttrs replaces a shared attribute slice with a private copy — the
 // write side of the copy-on-write contract established by Freeze.
 func (n *Node) unshareAttrs() {
-	m := make(map[string]string, len(n.attrs))
-	for k, v := range n.attrs {
-		m[k] = v
-	}
-	n.attrs = m
+	kvs := make([]attrKV, len(n.attrs))
+	copy(kvs, n.attrs)
+	n.attrs = kvs
 	n.attrsShared = false
 }
 
 // Attr returns the attribute value for key, with ok reporting presence.
 func (n *Node) Attr(key string) (string, bool) {
-	v, ok := n.attrs[key]
-	return v, ok
+	for i := range n.attrs {
+		if n.attrs[i].key == key {
+			return n.attrs[i].value, true
+		}
+	}
+	return "", false
 }
 
 // AttrDefault returns the attribute value for key, or def when absent.
 func (n *Node) AttrDefault(key, def string) string {
-	if v, ok := n.attrs[key]; ok {
-		return v
+	for i := range n.attrs {
+		if n.attrs[i].key == key {
+			return n.attrs[i].value
+		}
 	}
 	return def
 }
 
 // DelAttr removes the attribute for key, if present.
 func (n *Node) DelAttr(key string) {
-	if n.attrsShared {
-		if _, ok := n.attrs[key]; !ok {
+	for i := range n.attrs {
+		if n.attrs[i].key == key {
+			if n.attrsShared {
+				n.unshareAttrs()
+			}
+			n.attrs = append(n.attrs[:i], n.attrs[i+1:]...)
 			return
 		}
-		n.unshareAttrs()
 	}
-	delete(n.attrs, key)
 }
 
 // AttrKeys returns the node's attribute keys in sorted order.
@@ -208,8 +225,8 @@ func (n *Node) AttrKeys() []string {
 		return nil
 	}
 	keys := make([]string, 0, len(n.attrs))
-	for k := range n.attrs {
-		keys = append(keys, k)
+	for i := range n.attrs {
+		keys = append(keys, n.attrs[i].key)
 	}
 	sort.Strings(keys)
 	return keys
@@ -284,8 +301,8 @@ func (n *Node) ReplaceWith(repl *Node) {
 	n.parent = nil
 }
 
-// Freeze marks every attribute map in the subtree as shared: subsequent
-// clones alias the maps instead of copying them, and any holder — the
+// Freeze marks every attribute list in the subtree as shared: subsequent
+// clones alias the lists instead of copying them, and any holder — the
 // original included — transparently copies before its first attribute
 // mutation. The engine freezes the campaign's baseline sets once, before
 // the workers start, so concurrent per-experiment clones never touch the
@@ -303,7 +320,7 @@ func (n *Node) Freeze() {
 }
 
 // Clone returns a deep copy of the subtree rooted at the node. The copy has
-// no parent. Attribute maps of frozen nodes are shared copy-on-write
+// no parent. Attribute lists of frozen nodes are shared copy-on-write
 // rather than duplicated (see Freeze).
 func (n *Node) Clone() *Node {
 	if n == nil {
@@ -313,10 +330,8 @@ func (n *Node) Clone() *Node {
 	if n.attrsShared {
 		c.attrs, c.attrsShared = n.attrs, true
 	} else if len(n.attrs) > 0 {
-		c.attrs = make(map[string]string, len(n.attrs))
-		for k, v := range n.attrs {
-			c.attrs[k] = v
-		}
+		c.attrs = make([]attrKV, len(n.attrs))
+		copy(c.attrs, n.attrs)
 	}
 	if len(n.children) > 0 {
 		c.children = make([]*Node, 0, len(n.children))
@@ -342,9 +357,10 @@ func (n *Node) Equal(o *Node) bool {
 	if len(n.attrs) != len(o.attrs) {
 		return false
 	}
-	for k, v := range n.attrs {
-		ov, ok := o.attrs[k]
-		if !ok || ov != v {
+	for i := range n.attrs {
+		// SetAttr keeps keys unique, so a per-key lookup is a set compare.
+		ov, ok := o.Attr(n.attrs[i].key)
+		if !ok || ov != n.attrs[i].value {
 			return false
 		}
 	}

@@ -158,6 +158,10 @@ type faultload struct {
 	// baseline round trip fails, which forces the reference path.
 	inc       view.Incremental
 	baseBytes map[string][]byte
+	// incInto, when the view supports it, is inc's wrapper-reusing form:
+	// workers thread their scratch tracked system set through it instead
+	// of allocating one per experiment.
+	incInto view.IncrementalInto
 }
 
 // generateBase parses the initial configuration, maps it into the plugin
@@ -293,6 +297,7 @@ func (fl *faultload) prepareFastPath(t *Target) {
 		}
 	}
 	fl.inc, fl.baseBytes = inc, baseBytes
+	fl.incInto, _ = fl.view.(view.IncrementalInto)
 }
 
 // scratch is per-worker reusable state threaded through every injection a
@@ -306,9 +311,14 @@ type scratch struct {
 	buf      bytes.Buffer
 	arena    confnode.Arena
 	tracked  *confnode.Set
-	dirty    []string
-	sysDirty []string
-	files    suts.Files
+	// sysTracked is the reusable tracked wrapper of the system set the
+	// incremental back-transform rebuilds per experiment (see
+	// view.IncrementalInto); like tracked, its materialized trees live on
+	// the arena.
+	sysTracked *confnode.Set
+	dirty      []string
+	sysDirty   []string
+	files      suts.Files
 	// filesFor remembers which campaign's baseline the files map is
 	// pre-populated with; a pooled scratch crossing into a new campaign
 	// rebuilds it (see runOne's fast path).
@@ -416,7 +426,14 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 		err        error
 	)
 	if fast {
-		mutatedSys, err = fl.inc.IncrementalBackward(viewDirty, mutated, fl.sysSet)
+		if fl.incInto != nil {
+			mutatedSys, err = fl.incInto.IncrementalBackwardInto(scr.sysTracked, viewDirty, mutated, fl.sysSet)
+			if mutatedSys != nil {
+				scr.sysTracked = mutatedSys
+			}
+		} else {
+			mutatedSys, err = fl.inc.IncrementalBackward(viewDirty, mutated, fl.sysSet)
+		}
 	} else {
 		// Flatten the tracked set first: Backward's historical contract
 		// hands the view a private set it could mutate in place, and the
@@ -479,7 +496,7 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 			}
 			files[name] = data
 		}
-		return runOnFiles(t, files, finish)
+		return runOnFiles(t, files, sysDirty, true, finish)
 	}
 
 	// Reference-grade slow path (no incremental transform): serialize the
@@ -515,7 +532,7 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 		return finish(badOutcome, badDetail), nil
 	}
 
-	return runOnFiles(t, files, finish)
+	return runOnFiles(t, files, nil, false, finish)
 }
 
 // runOneReference is the pre-incremental engine — deep-clone the whole
@@ -569,15 +586,29 @@ func runOneReference(t *Target, sc scenario.Scenario, v view.View, viewSet, sysS
 		files[name] = data
 	}
 
-	return runOnFiles(t, files, finish)
+	return runOnFiles(t, files, nil, false, finish)
 }
 
 // runOnFiles drives steps 4 and 5 — start the SUT on the mutated bytes,
 // run the functional tests, stop — shared by the incremental and
-// reference pipelines.
-func runOnFiles(t *Target, files suts.Files, finish func(profile.Outcome, string) profile.Record) (profile.Record, error) {
+// reference pipelines. On the incremental path haveDirty is true and
+// dirty names the files whose bytes differ from the campaign baseline;
+// a lifecycle adapter implementing suts.DirtyStarter forwards that to a
+// warm DirtyReloader so clean files skip re-parsing. The capability is
+// strictly an optimization — outcomes are identical either way.
+func runOnFiles(t *Target, files suts.Files, dirty []string, haveDirty bool, finish func(profile.Outcome, string) profile.Record) (profile.Record, error) {
 	// 4. Start the SUT with the faulty configuration.
-	if err := t.System.Start(files); err != nil {
+	var err error
+	if haveDirty {
+		if ds, ok := t.System.(suts.DirtyStarter); ok {
+			err = ds.StartDirty(files, dirty)
+		} else {
+			err = t.System.Start(files)
+		}
+	} else {
+		err = t.System.Start(files)
+	}
+	if err != nil {
 		stopErr := t.System.Stop()
 		if suts.IsStartupError(err) {
 			// The experiment succeeded: the SUT detected the fault. A

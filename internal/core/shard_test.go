@@ -341,7 +341,7 @@ func TestRunOneFastPathAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const ceiling = 12
+	const ceiling = 6
 	if allocs > ceiling {
 		t.Errorf("fast injection path allocs/op = %v, want <= %d", allocs, ceiling)
 	}

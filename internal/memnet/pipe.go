@@ -115,24 +115,30 @@ func (b *halfBuf) closeRead() {
 }
 
 // setReadDeadline arms (or clears, for the zero time) the deadline that
-// fails blocked reads.
+// fails blocked reads. The wake-up timer is allocated once per pipe
+// direction and re-armed with Reset thereafter: the probe fast path
+// sets a deadline before every request, and a per-call time.AfterFunc
+// would be the only allocation left on its steady state.
 func (b *halfBuf) setReadDeadline(t time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.deadline = t
 	if b.timer != nil {
 		b.timer.Stop()
-		b.timer = nil
 	}
 	if t.IsZero() {
 		return
 	}
 	if d := time.Until(t); d > 0 {
-		b.timer = time.AfterFunc(d, func() {
-			b.mu.Lock()
-			b.cond.Broadcast()
-			b.mu.Unlock()
-		})
+		if b.timer == nil {
+			b.timer = time.AfterFunc(d, func() {
+				b.mu.Lock()
+				b.cond.Broadcast()
+				b.mu.Unlock()
+			})
+		} else {
+			b.timer.Reset(d)
+		}
 	} else {
 		b.cond.Broadcast()
 	}

@@ -1,0 +1,208 @@
+package memnet
+
+// Race-edge tests for the in-process transport. These are written to run
+// meaningfully under -race: each one drives an ordering the probe fast
+// path actually produces — deadlines re-armed on a connection mid
+// response, dials racing a listener teardown, a port rebound the instant
+// it is released — and asserts the survivable outcome, while the race
+// detector checks the synchronization underneath.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadDeadlineHalfWrittenResponse expires a read deadline while the
+// peer has delivered only half of its response, then completes the read
+// after re-arming — the shape of a probe timing out on a stalled SUT and
+// retrying. Several rounds exercise the reused deadline timer (armed,
+// fired, re-armed) on one connection.
+func TestReadDeadlineHalfWrittenResponse(t *testing.T) {
+	n := New()
+	ln, err := n.Listen("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		for range 3 {
+			if _, err := conn.Write([]byte("half-")); err != nil {
+				t.Errorf("write first half: %v", err)
+				return
+			}
+			<-release // hold the second half until the client has timed out
+			if _, err := conn.Write([]byte("done!")); err != nil {
+				t.Errorf("write second half: %v", err)
+				return
+			}
+		}
+	}()
+
+	conn, err := n.Dial("127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 10)
+	for round := range 3 {
+		if err := conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		var readErr error
+		for got < len(buf) && readErr == nil {
+			var k int
+			k, readErr = conn.Read(buf[got:])
+			got += k
+		}
+		if !errors.Is(readErr, os.ErrDeadlineExceeded) {
+			t.Fatalf("round %d: err = %v, want deadline exceeded", round, readErr)
+		}
+		if string(buf[:got]) != "half-" {
+			t.Fatalf("round %d: read %q before timeout, want %q", round, buf[:got], "half-")
+		}
+		// The deadline must stick: the connection stays usable and a
+		// fresh, longer deadline governs the rest of the response.
+		release <- struct{}{}
+		if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, buf[got:]); err != nil {
+			t.Fatalf("round %d: read second half: %v", round, err)
+		}
+		if string(buf) != "half-done!" {
+			t.Fatalf("round %d: response = %q", round, buf)
+		}
+	}
+	wg.Wait()
+}
+
+// TestConcurrentCloseVsDial races in-flight dials against the listener
+// closing. Every dial must resolve to exactly one of: a usable
+// connection (accepted or hung up by the teardown), or the kernel's
+// connection-refused wording. Anything else — a hang, a different
+// error, a data race — is a bug in the namespace bookkeeping.
+func TestConcurrentCloseVsDial(t *testing.T) {
+	const dialers = 8
+	for range 20 {
+		n := New()
+		ln, err := n.Listen("127.0.0.1:8080")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain accepted connections so dials don't depend on backlog
+		// space; Accept ending on ErrClosed is the teardown signal.
+		var acceptWG sync.WaitGroup
+		acceptWG.Add(1)
+		go func() {
+			defer acceptWG.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+
+		var dialWG sync.WaitGroup
+		start := make(chan struct{})
+		for range dialers {
+			dialWG.Add(1)
+			go func() {
+				defer dialWG.Done()
+				<-start
+				for range 50 {
+					c, err := n.Dial("127.0.0.1:8080")
+					switch {
+					case err == nil:
+						c.Close()
+					case strings.Contains(err.Error(), "connection refused"):
+						return // listener gone; later dials fail the same way
+					default:
+						t.Errorf("dial: unexpected error %v", err)
+						return
+					}
+				}
+			}()
+		}
+		close(start)
+		ln.Close()
+		dialWG.Wait()
+		acceptWG.Wait()
+	}
+}
+
+// TestPortReleaseOrdering races a listener's Close against rebinding
+// the same port. A rebind attempt sees exactly the two legitimate
+// states — the port still held ("address already in use", the kernel
+// wording the engine's bind retry keys on) or released (bind succeeds) —
+// and once the rebind lands, dials reach the new listener.
+func TestPortReleaseOrdering(t *testing.T) {
+	for range 50 {
+		n := New()
+		old, err := n.Listen("127.0.0.1:8080")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		var fresh net.Listener
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ln, err := n.Listen("127.0.0.1:8080")
+				if err == nil {
+					fresh = ln
+					return
+				}
+				if !strings.Contains(err.Error(), "address already in use") {
+					t.Errorf("rebind: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+		old.Close()
+		wg.Wait()
+		if fresh == nil {
+			t.Fatal("port never became bindable after Close")
+		}
+
+		// The new listener owns the port: a dial reaches it, not limbo.
+		done := make(chan error, 1)
+		go func() {
+			c, err := fresh.Accept()
+			if err == nil {
+				c.Close()
+			}
+			done <- err
+		}()
+		c, err := n.Dial("127.0.0.1:8080")
+		if err != nil {
+			t.Fatalf("dial after rebind: %v", err)
+		}
+		c.Close()
+		if err := <-done; err != nil {
+			t.Fatalf("accept after rebind: %v", err)
+		}
+		fresh.Close()
+	}
+}

@@ -13,8 +13,9 @@ type Instance struct {
 	sys  suts.System
 	mode Mode
 	c    *Counters
-	rel  suts.Reloader  // nil unless sys reloads and mode == Reload
-	val  suts.Validator // nil unless sys validates and mode == Validate
+	rel  suts.Reloader       // nil unless sys reloads and mode == Reload
+	drel suts.DirtyReloader  // nil unless rel also takes dirty-file sets
+	val  suts.Validator      // nil unless sys validates and mode == Validate
 
 	// warm is true while sys is running and the next Start may reload
 	// instead of cold-starting. Only ever true in Reload mode with a
@@ -38,6 +39,7 @@ func NewInstance(sys suts.System, mode Mode, c *Counters) *Instance {
 	i := &Instance{sys: sys, mode: mode, c: c}
 	if mode == Reload {
 		i.rel, _ = sys.(suts.Reloader)
+		i.drel, _ = sys.(suts.DirtyReloader)
 	}
 	if mode == Validate {
 		i.val, _ = sys.(suts.Validator)
@@ -78,14 +80,28 @@ func (i *Instance) Addr() string {
 // and cold-restarting the instance when the reload wedges it (any
 // non-StartupError failure). Everything else — Cold mode, capability
 // fallbacks, the first start of a warm chain — is a plain cold start.
-func (i *Instance) Start(files suts.Files) error {
+func (i *Instance) Start(files suts.Files) error { return i.start(files, nil, false) }
+
+// StartDirty implements suts.DirtyStarter: Start, forwarding the
+// engine's dirty-file set to a warm DirtyReloader underneath. Every
+// other mode and capability combination degrades to exactly Start.
+func (i *Instance) StartDirty(files suts.Files, dirty []string) error {
+	return i.start(files, dirty, true)
+}
+
+func (i *Instance) start(files suts.Files, dirty []string, haveDirty bool) error {
 	if i.mode == Validate && i.val != nil {
 		i.c.Validates.Add(1)
 		return i.val.Validate(files)
 	}
 	if i.warm && i.rel != nil {
 		i.c.Reloads.Add(1)
-		err := i.rel.Reload(files)
+		var err error
+		if haveDirty && i.drel != nil {
+			err = i.drel.ReloadDirty(files, dirty)
+		} else {
+			err = i.rel.Reload(files)
+		}
 		if err == nil || suts.IsStartupError(err) {
 			// Applied, or rejected by the SUT's own validation — either
 			// way the instance keeps serving (the previous configuration

@@ -1,16 +1,18 @@
 package httpd
 
 import (
+	"bytes"
 	stdcontext "context"
 	"fmt"
 	"net"
 	"net/http"
+	"slices"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"conferr/internal/suts"
+	"conferr/internal/suts/httpprobe"
 )
 
 // ConfigFile is the logical name of the simulator's configuration file.
@@ -24,26 +26,22 @@ type Server struct {
 	mu         sync.Mutex
 	bound      map[int]net.Listener // live listeners by port
 	order      []int                // bound ports in configuration order
-	httpSrv    *http.Server
-	h          *swapHandler
+	ps         *httpprobe.Server    // shared across ports; handler swapped on reload
 	serverName string
 	wg         sync.WaitGroup
 
 	clientOnce sync.Once
 	client     *http.Client
-}
 
-// swapHandler lets a graceful restart swap the routing table without
-// rebinding retained listeners.
-type swapHandler struct{ h atomic.Value }
-
-func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.h.Load().(http.HandlerFunc).ServeHTTP(w, r)
+	// baseMemo caches the checked parse of the campaign-baseline
+	// httpd.conf across warm reloads (see suts.ParseMemo).
+	baseMemo suts.ParseMemo[parsed]
 }
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
 var _ suts.Reloader = (*Server)(nil)
+var _ suts.DirtyReloader = (*Server)(nil)
 var _ suts.Validator = (*Server)(nil)
 var _ suts.HealthChecker = (*Server)(nil)
 var _ suts.TransportSetter = (*Server)(nil)
@@ -227,31 +225,42 @@ func (s *Server) check(files suts.Files) (parsed, error) {
 }
 
 // buildHandler renders one configuration's routing table.
-func buildHandler(cfg parsed) http.Handler {
+func buildHandler(cfg parsed) httpprobe.Handler {
 	vhosts := cfg.vhosts
 	mainName := cfg.serverName
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Server", "Apache-sim/2.2")
+	return func(dst []byte, _, host []byte) ([]byte, int) {
 		// Name-based virtual hosting: match the Host header against the
 		// vhosts’ ServerNames; a vhost whose ServerName was omitted (the
 		// §2.2 mistake) can never match, so its requests silently fall
 		// through to the main server — misrouting only a functional test
 		// of that host would notice.
-		host := r.Host
-		if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		if i := bytes.LastIndexByte(host, ':'); i >= 0 {
 			host = host[:i]
 		}
 		for _, v := range vhosts {
-			if v.serverName != "" && nameMatches(v.serverName, host) {
-				fmt.Fprintf(w, "<html><body><h1>It works!</h1><p>%s</p><p>root=%s</p></body></html>\n",
-					v.serverName, v.docRoot)
-				return
+			if v.serverName != "" && nameMatchesBytes(v.serverName, host) {
+				return renderVhostBody(dst, v.serverName, v.docRoot), 200
 			}
 		}
-		fmt.Fprintf(w, "<html><body><h1>It works!</h1><p>%s</p></body></html>\n", mainName)
-	})
-	return mux
+		return renderMainBody(dst, mainName), 200
+	}
+}
+
+// renderVhostBody and renderMainBody append the response bodies — the
+// same bytes the net/http handler's Fprintf produced, shared with the
+// contract tests so the two probe paths cannot drift.
+func renderVhostBody(dst []byte, serverName, docRoot string) []byte {
+	dst = append(dst, "<html><body><h1>It works!</h1><p>"...)
+	dst = append(dst, serverName...)
+	dst = append(dst, "</p><p>root="...)
+	dst = append(dst, docRoot...)
+	return append(dst, "</p></body></html>\n"...)
+}
+
+func renderMainBody(dst []byte, serverName string) []byte {
+	dst = append(dst, "<html><body><h1>It works!</h1><p>"...)
+	dst = append(dst, serverName...)
+	return append(dst, "</p></body></html>\n"...)
 }
 
 // Start implements suts.System.
@@ -262,6 +271,25 @@ func (s *Server) Start(files suts.Files) error { return s.configure(files) }
 // previous configuration keeps serving; ports shared between old and new
 // configuration keep their listener, only the routing table is swapped.
 func (s *Server) Reload(files suts.Files) error { return s.configure(files) }
+
+// ReloadDirty implements suts.DirtyReloader: a clean httpd.conf carries
+// the campaign baseline's bytes, so the memoized baseline parse is
+// applied without re-parsing. Observationally identical to Reload.
+func (s *Server) ReloadDirty(files suts.Files, dirty []string) error {
+	data, ok := files[ConfigFile]
+	if ok && !slices.Contains(dirty, ConfigFile) {
+		if cfg, hit := s.baseMemo.Get(data); hit {
+			return s.apply(cfg)
+		}
+		cfg, err := s.check(files)
+		if err != nil {
+			return err
+		}
+		s.baseMemo.Put(data, cfg)
+		return s.apply(cfg)
+	}
+	return s.configure(files)
+}
 
 // Validate implements suts.Validator: the `apachectl configtest` parse
 // path. It detects exactly Start's configuration rejections; bind-time
@@ -279,6 +307,12 @@ func (s *Server) configure(files suts.Files) error {
 	if err != nil {
 		return err
 	}
+	return s.apply(cfg)
+}
+
+// apply drives the listener and routing state to a checked
+// configuration.
+func (s *Server) apply(cfg parsed) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -303,12 +337,8 @@ func (s *Server) configure(files suts.Files) error {
 	// Commit: adopt the new bindings, swap the routing table, drop ports
 	// the new configuration no longer listens on.
 	s.serverName = cfg.serverName
-	if s.h == nil {
-		s.h = &swapHandler{}
-		s.h.h.Store(http.HandlerFunc(http.NotFound))
-	}
-	if s.httpSrv == nil {
-		s.httpSrv = &http.Server{Handler: s.h}
+	if s.ps == nil {
+		s.ps = httpprobe.NewServer("Apache-sim/2.2", nil)
 	}
 	if s.bound == nil {
 		s.bound = map[int]net.Listener{}
@@ -316,10 +346,10 @@ func (s *Server) configure(files suts.Files) error {
 	for p, ln := range created {
 		s.bound[p] = ln
 		s.wg.Add(1)
-		go func(srv *http.Server, l net.Listener) {
+		go func(ps *httpprobe.Server, l net.Listener) {
 			defer s.wg.Done()
-			_ = srv.Serve(l)
-		}(s.httpSrv, ln)
+			ps.Serve(l)
+		}(s.ps, ln)
 	}
 	want := map[int]bool{}
 	for _, p := range cfg.ports {
@@ -331,7 +361,7 @@ func (s *Server) configure(files suts.Files) error {
 			delete(s.bound, p)
 		}
 	}
-	s.h.h.Store(http.HandlerFunc(buildHandler(cfg).ServeHTTP))
+	s.ps.SetHandler(buildHandler(cfg))
 	s.order = cfg.ports
 	return nil
 }
@@ -340,17 +370,16 @@ func (s *Server) configure(files suts.Files) error {
 func (s *Server) Stop() error {
 	s.mu.Lock()
 	bound := s.bound
-	srv := s.httpSrv
+	ps := s.ps
 	s.bound = nil
 	s.order = nil
-	s.httpSrv = nil
-	s.h = nil
+	s.ps = nil
 	s.mu.Unlock()
 	for _, l := range bound {
 		_ = l.Close()
 	}
-	if srv != nil {
-		_ = srv.Close()
+	if ps != nil {
+		ps.Close()
 	}
 	s.wg.Wait()
 	return nil
@@ -390,13 +419,14 @@ func (s *Server) Addr() string {
 	return ""
 }
 
-// nameMatches compares a ServerName (which may carry a ":port" suffix)
-// against a request host, case-insensitively.
-func nameMatches(serverName, host string) bool {
+// nameMatchesBytes compares a ServerName (which may carry a ":port"
+// suffix) against a request host, case-insensitively and without
+// allocating (both sides are ASCII).
+func nameMatchesBytes(serverName string, host []byte) bool {
 	if i := strings.LastIndexByte(serverName, ':'); i >= 0 {
 		serverName = serverName[:i]
 	}
-	return strings.EqualFold(serverName, host)
+	return httpprobe.EqualFold(host, serverName)
 }
 
 // parseConfig applies httpd's configuration semantics: nested sections
@@ -514,9 +544,42 @@ func (s *Server) httpClient() *http.Client {
 	return s.client
 }
 
-// Tests returns the paper's web-server diagnosis (§5.1): an HTTP GET of a
-// page from the default port.
+// Tests returns the paper's web-server diagnosis (§5.1): an HTTP GET of
+// a page from the default port, on the httpprobe fast path (prebuilt
+// request, warm connection, zero allocations on success). Outcomes and
+// error wording are byte-identical to ReferenceTests — the facade's
+// contract test holds both paths to that.
 func Tests(s *Server) []suts.Test {
+	var (
+		once   sync.Once
+		client *httpprobe.Client
+		probe  *httpprobe.Probe
+	)
+	return []suts.Test{{
+		Name: "http-get",
+		Run: func() error {
+			once.Do(func() {
+				client = httpprobe.NewClient(func(addr string) (net.Conn, error) {
+					return s.transport().Dial(addr)
+				}, 5*time.Second)
+				probe = httpprobe.NewProbe(fmt.Sprintf("127.0.0.1:%d", s.DefaultPort()), "/", "")
+			})
+			status, _, err := client.Do(probe)
+			if err != nil {
+				return fmt.Errorf("GET: %w", err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("status %d", status)
+			}
+			return nil
+		},
+	}}
+}
+
+// ReferenceTests is the pre-fast-path probe implementation on the stock
+// net/http client, kept verbatim as the fidelity reference for the
+// contract test.
+func ReferenceTests(s *Server) []suts.Test {
 	return []suts.Test{{
 		Name: "http-get",
 		Run: func() error {

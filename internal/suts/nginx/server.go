@@ -6,17 +6,20 @@
 package nginx
 
 import (
+	"bytes"
 	stdcontext "context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"slices"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"conferr/internal/suts"
+	"conferr/internal/suts/httpprobe"
 )
 
 // ConfigFile is the logical name of the simulator's configuration file.
@@ -34,27 +37,32 @@ type Server struct {
 
 	clientOnce sync.Once
 	client     *http.Client
+
+	// baseMemo caches the checked parse of the campaign-baseline
+	// nginx.conf across warm reloads (see suts.ParseMemo for why the
+	// identity keying is sound).
+	baseMemo suts.ParseMemo[checkedConfig]
 }
 
-// binding is one listening port: its listener, the serving http.Server,
-// and the swappable handler a reload retargets in place.
-type binding struct {
-	ln  net.Listener
-	srv *http.Server
-	h   *swapHandler
+// checkedConfig is a parsed-and-checked configuration, the unit the
+// baseline memo caches and apply consumes.
+type checkedConfig struct {
+	servers []vserver
+	ports   []int
 }
 
-// swapHandler lets a warm reload swap a port's routing table without
+// binding is one listening port: its listener and the serving probe
+// server, whose handler a warm reload retargets in place without
 // rebinding the listener or dropping keep-alive connections.
-type swapHandler struct{ h atomic.Value }
-
-func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.h.Load().(http.HandlerFunc).ServeHTTP(w, r)
+type binding struct {
+	ln net.Listener
+	ps *httpprobe.Server
 }
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
 var _ suts.Reloader = (*Server)(nil)
+var _ suts.DirtyReloader = (*Server)(nil)
 var _ suts.Validator = (*Server)(nil)
 var _ suts.HealthChecker = (*Server)(nil)
 var _ suts.TransportSetter = (*Server)(nil)
@@ -184,8 +192,9 @@ func (s *Server) check(files suts.Files) ([]vserver, []int, error) {
 
 	// One listener per unique port; the first server block naming a port
 	// is its default server, later ones are name-based virtual hosts.
+	// Dedup by linear scan: the port list is a handful of entries and this
+	// runs once per experiment, so a map would cost more than it saves.
 	var ports []int
-	seen := map[int]bool{}
 	for si := range cfg.servers {
 		sv := &cfg.servers[si]
 		if len(sv.ports) == 0 {
@@ -200,8 +209,7 @@ func (s *Server) check(files suts.Files) ([]vserver, []int, error) {
 			sv.ports = []int{s.port}
 		}
 		for _, p := range sv.ports {
-			if !seen[p] {
-				seen[p] = true
+			if !slices.Contains(ports, p) {
 				ports = append(ports, p)
 			}
 		}
@@ -220,6 +228,27 @@ func (s *Server) Start(files suts.Files) error { return s.configure(files) }
 // connections), only the routing tables are swapped.
 func (s *Server) Reload(files suts.Files) error { return s.configure(files) }
 
+// ReloadDirty implements suts.DirtyReloader: when nginx.conf is not in
+// the dirty set its bytes are the campaign baseline, so the memoized
+// baseline parse is applied without re-parsing. Observationally
+// identical to Reload — apply still runs in full, because the running
+// configuration may be the previous experiment's mutation.
+func (s *Server) ReloadDirty(files suts.Files, dirty []string) error {
+	data, ok := files[ConfigFile]
+	if ok && !slices.Contains(dirty, ConfigFile) {
+		if cc, hit := s.baseMemo.Get(data); hit {
+			return s.apply(cc.servers, cc.ports)
+		}
+		servers, ports, err := s.check(files)
+		if err != nil {
+			return err
+		}
+		s.baseMemo.Put(data, checkedConfig{servers: servers, ports: ports})
+		return s.apply(servers, ports)
+	}
+	return s.configure(files)
+}
+
 // Validate implements suts.Validator: the `nginx -t` parse-and-check
 // path. It detects exactly Start's configuration rejections; bind-time
 // failures are invisible to it.
@@ -237,6 +266,12 @@ func (s *Server) configure(files suts.Files) error {
 	if err != nil {
 		return err
 	}
+	return s.apply(servers, ports)
+}
+
+// apply drives the listener and routing state to a checked
+// configuration.
+func (s *Server) apply(servers []vserver, ports []int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -251,20 +286,18 @@ func (s *Server) configure(files suts.Files) error {
 		if err != nil {
 			for _, b := range created {
 				_ = b.ln.Close()
-				_ = b.srv.Close()
+				b.ps.Close()
 			}
 			return &suts.StartupError{System: s.Name(),
 				Msg: fmt.Sprintf("bind() to 127.0.0.1:%d failed: %v", port, err)}
 		}
-		h := &swapHandler{}
-		h.h.Store(http.HandlerFunc(http.NotFound))
-		srv := &http.Server{Handler: h}
-		created[port] = &binding{ln: ln, srv: srv, h: h}
+		ps := httpprobe.NewServer("nginx-sim/1.0", nil)
+		created[port] = &binding{ln: ln, ps: ps}
 		s.wg.Add(1)
-		go func(srv *http.Server, l net.Listener) {
+		go func(ps *httpprobe.Server, l net.Listener) {
 			defer s.wg.Done()
-			_ = srv.Serve(l)
-		}(srv, ln)
+			ps.Serve(l)
+		}(ps, ln)
 	}
 
 	// Commit: adopt the new bindings, retarget every retained port's
@@ -282,11 +315,11 @@ func (s *Server) configure(files suts.Files) error {
 	for p, b := range s.bound {
 		if !want[p] {
 			_ = b.ln.Close()
-			_ = b.srv.Close()
+			b.ps.Close()
 			delete(s.bound, p)
 			continue
 		}
-		b.h.h.Store(http.HandlerFunc(handlerFor(servers, p).ServeHTTP))
+		b.ps.SetHandler(handlerFor(servers, p))
 	}
 	s.order = ports
 	return nil
@@ -296,8 +329,9 @@ func (s *Server) configure(files suts.Files) error {
 // Host header against the server_names of the servers on that port
 // (falling back to the port's first server), then the longest location
 // prefix, and answer with markers that let functional tests tell exactly
-// which server and location produced the response.
-func handlerFor(servers []vserver, port int) http.Handler {
+// which server and location produced the response. The per-request path
+// works on the connection's byte slices and allocates nothing.
+func handlerFor(servers []vserver, port int) httpprobe.Handler {
 	var onPort []vserver
 	for _, sv := range servers {
 		for _, p := range sv.ports {
@@ -307,10 +341,8 @@ func handlerFor(servers []vserver, port int) http.Handler {
 			}
 		}
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Server", "nginx-sim/1.0")
-		host := r.Host
-		if i := strings.LastIndexByte(host, ':'); i >= 0 {
+	return func(dst []byte, path, host []byte) ([]byte, int) {
+		if i := bytes.LastIndexByte(host, ':'); i >= 0 {
 			host = host[:i]
 		}
 		srv := onPort[0]
@@ -323,7 +355,7 @@ func handlerFor(servers []vserver, port int) http.Handler {
 		root, loc := srv.root, ""
 		best := -1
 		for _, l := range srv.locations {
-			if strings.HasPrefix(r.URL.Path, l.prefix) && len(l.prefix) > best {
+			if httpprobe.HasPrefix(path, l.prefix) && len(l.prefix) > best {
 				best = len(l.prefix)
 				loc = l.prefix
 				if l.root != "" {
@@ -335,16 +367,28 @@ func handlerFor(servers []vserver, port int) http.Handler {
 		if len(srv.names) > 0 {
 			name = srv.names[0]
 		}
-		fmt.Fprintf(w, "<html><body><h1>Welcome to nginx-sim!</h1><p>server=%s</p><p>location=%s</p><p>root=%s</p></body></html>\n",
-			name, loc, root)
-	})
+		return renderBody(dst, name, loc, root), 200
+	}
+}
+
+// renderBody appends the response body — the same bytes the net/http
+// handler's Fprintf produced, shared by the serving path and the
+// contract tests so the two probe paths cannot drift.
+func renderBody(dst []byte, name, loc, root string) []byte {
+	dst = append(dst, "<html><body><h1>Welcome to nginx-sim!</h1><p>server="...)
+	dst = append(dst, name...)
+	dst = append(dst, "</p><p>location="...)
+	dst = append(dst, loc...)
+	dst = append(dst, "</p><p>root="...)
+	dst = append(dst, root...)
+	return append(dst, "</p></body></html>\n"...)
 }
 
 // matchesName compares a request host against a server's server_names,
-// case-insensitively.
-func matchesName(names []string, host string) bool {
+// case-insensitively (configuration names and probe hosts are ASCII).
+func matchesName(names []string, host []byte) bool {
 	for _, n := range names {
-		if strings.EqualFold(n, host) {
+		if httpprobe.EqualFold(host, n) {
 			return true
 		}
 	}
@@ -360,7 +404,7 @@ func (s *Server) Stop() error {
 	s.mu.Unlock()
 	for _, b := range bound {
 		_ = b.ln.Close()
-		_ = b.srv.Close()
+		b.ps.Close()
 	}
 	s.wg.Wait()
 	return nil
@@ -413,7 +457,24 @@ func parseConfig(conf string) (parsed, error) {
 		loc *location
 	}
 	stack := []frame{{ctx: ctxMain}}
-	for lineno, line := range strings.Split(conf, "\n") {
+	// Lines are walked with IndexByte and directives split into a reused
+	// args buffer: parseConfig runs once per experiment on the reload and
+	// validate paths, and the strings.Split/Fields slices it used to
+	// build dominated its allocation profile. The retained strings
+	// (server names, roots, location prefixes) are substrings of conf, so
+	// dropping the intermediate slices changes nothing downstream.
+	var argsBuf []string
+	lineno := 0
+	for start := 0; start <= len(conf); {
+		var line string
+		if nl := strings.IndexByte(conf[start:], '\n'); nl >= 0 {
+			line = conf[start : start+nl]
+			start += nl + 1
+		} else {
+			line = conf[start:]
+			start = len(conf) + 1
+		}
+		lineno++
 		t := strings.TrimSpace(line)
 		t = stripComment(t)
 		if t == "" {
@@ -422,7 +483,7 @@ func parseConfig(conf string) (parsed, error) {
 		switch {
 		case t == "}":
 			if len(stack) == 1 {
-				return cfg, fmt.Errorf(`unexpected "}" in %s:%d`, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf(`unexpected "}" in %s:%d`, ConfigFile, lineno)
 			}
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -438,20 +499,21 @@ func parseConfig(conf string) (parsed, error) {
 				}
 			}
 		case strings.HasSuffix(t, "{"):
-			name, args := splitDirective(strings.TrimRight(t[:len(t)-1], " \t"))
+			name, args := splitDirectiveInto(trimTrailingBlank(t[:len(t)-1]), argsBuf)
+			argsBuf = args[:0]
 			def := lookupDirective(name)
 			if def == nil {
-				return cfg, fmt.Errorf("unknown directive %q in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("unknown directive %q in %s:%d", name, ConfigFile, lineno)
 			}
 			if def.kind != argBlock {
-				return cfg, fmt.Errorf("directive %q has no opening \"{\" form in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("directive %q has no opening \"{\" form in %s:%d", name, ConfigFile, lineno)
 			}
 			cur := stack[len(stack)-1].ctx
 			if def.contexts&cur == 0 {
-				return cfg, fmt.Errorf("%q directive is not allowed here in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("%q directive is not allowed here in %s:%d", name, ConfigFile, lineno)
 			}
 			if _, err := checkArgs(def, args); err != nil {
-				return cfg, fmt.Errorf("%v in %s:%d", err, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("%v in %s:%d", err, ConfigFile, lineno)
 			}
 			fr := frame{tag: name}
 			switch name {
@@ -470,28 +532,29 @@ func parseConfig(conf string) (parsed, error) {
 			}
 			stack = append(stack, fr)
 		case strings.HasSuffix(t, ";"):
-			name, args := splitDirective(strings.TrimRight(t[:len(t)-1], " \t"))
+			name, args := splitDirectiveInto(trimTrailingBlank(t[:len(t)-1]), argsBuf)
+			argsBuf = args[:0]
 			def := lookupDirective(name)
 			if def == nil {
-				return cfg, fmt.Errorf("unknown directive %q in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("unknown directive %q in %s:%d", name, ConfigFile, lineno)
 			}
 			if def.kind == argBlock {
-				return cfg, fmt.Errorf("directive %q has no terminating \";\" form in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("directive %q has no terminating \";\" form in %s:%d", name, ConfigFile, lineno)
 			}
 			cur := stack[len(stack)-1].ctx
 			if def.contexts&cur == 0 {
-				return cfg, fmt.Errorf("%q directive is not allowed here in %s:%d", name, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("%q directive is not allowed here in %s:%d", name, ConfigFile, lineno)
 			}
 			port, err := checkArgs(def, args)
 			if err != nil {
-				return cfg, fmt.Errorf("%v in %s:%d", err, ConfigFile, lineno+1)
+				return cfg, fmt.Errorf("%v in %s:%d", err, ConfigFile, lineno)
 			}
 			top := stack[len(stack)-1]
 			switch name {
 			case "listen":
 				for _, p := range top.srv.ports {
 					if p == port {
-						return cfg, fmt.Errorf("duplicate listen options for 127.0.0.1:%d in %s:%d", port, ConfigFile, lineno+1)
+						return cfg, fmt.Errorf("duplicate listen options for 127.0.0.1:%d in %s:%d", port, ConfigFile, lineno)
 					}
 				}
 				top.srv.ports = append(top.srv.ports, port)
@@ -505,8 +568,8 @@ func parseConfig(conf string) (parsed, error) {
 				}
 			}
 		default:
-			name, _ := splitDirective(t)
-			return cfg, fmt.Errorf("directive %q is not terminated by \";\" in %s:%d", name, ConfigFile, lineno+1)
+			name, _ := splitDirectiveInto(t, argsBuf)
+			return cfg, fmt.Errorf("directive %q is not terminated by \";\" in %s:%d", name, ConfigFile, lineno)
 		}
 	}
 	if len(stack) != 1 {
@@ -515,19 +578,63 @@ func parseConfig(conf string) (parsed, error) {
 	return cfg, nil
 }
 
-// splitDirective splits "name arg arg…" on whitespace.
-func splitDirective(s string) (string, []string) {
-	fields := strings.Fields(s)
-	if len(fields) == 0 {
-		return "", nil
+// splitDirectiveInto splits "name arg arg…" on whitespace, appending the
+// args into buf (reset to length zero) so the parse loop reuses one
+// backing array for every line. The returned args slice aliases buf's
+// array; callers copy out what they keep. Splitting matches
+// strings.Fields: any ASCII whitespace separates, with a fallback to
+// Fields itself for the non-ASCII space runes it also recognizes.
+func splitDirectiveInto(s string, buf []string) (name string, args []string) {
+	buf = buf[:0]
+	first := true
+	for i := 0; i < len(s); {
+		if s[i] >= utf8.RuneSelf {
+			// Rare: a mutation introduced a non-ASCII byte. Defer to
+			// strings.Fields so multi-byte space runes split identically.
+			fields := strings.Fields(s)
+			if len(fields) == 0 {
+				return "", buf[:0]
+			}
+			return fields[0], append(buf[:0], fields[1:]...)
+		}
+		if asciiSpace[s[i]] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(s) && s[j] < utf8.RuneSelf && !asciiSpace[s[j]] {
+			j++
+		}
+		if j < len(s) && s[j] >= utf8.RuneSelf {
+			fields := strings.Fields(s)
+			if len(fields) == 0 {
+				return "", buf[:0]
+			}
+			return fields[0], append(buf[:0], fields[1:]...)
+		}
+		if first {
+			name, first = s[i:j], false
+		} else {
+			buf = append(buf, s[i:j])
+		}
+		i = j
 	}
-	return fields[0], fields[1:]
+	return name, buf
 }
+
+// asciiSpace marks the ASCII bytes unicode.IsSpace reports as space —
+// the set strings.Fields separates on for ASCII input.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
 
 // stripComment removes a trailing '#' comment from an already-trimmed
 // line (a '#' opens a comment anywhere outside nginx's quoting, which
-// the simulator does not model beyond single-quoted log formats).
+// the simulator does not model beyond single-quoted log formats). The
+// IndexByte guard skips the quote-tracking scan on the comment-free
+// lines that dominate real configurations.
 func stripComment(t string) string {
+	if strings.IndexByte(t, '#') < 0 {
+		return t
+	}
 	inQuote := false
 	for i := 0; i < len(t); i++ {
 		switch t[i] {
@@ -535,11 +642,20 @@ func stripComment(t string) string {
 			inQuote = !inQuote
 		case '#':
 			if !inQuote {
-				return strings.TrimRight(t[:i], " \t")
+				return trimTrailingBlank(t[:i])
 			}
 		}
 	}
 	return t
+}
+
+// trimTrailingBlank is strings.TrimRight(s, " \t") without the per-call
+// cutset construction.
+func trimTrailingBlank(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
 }
 
 // httpClient returns the server's shared functional-test client. Its
@@ -565,7 +681,89 @@ func (s *Server) httpClient() *http.Client {
 // checks an administrator would run: a plain GET against the default
 // server, a virtual-host GET that must be answered by the blog server,
 // and a GET under /static/ that must be served from the static location.
+//
+// The probes run on the httpprobe fast path: requests are prebuilt once
+// (on first use, after SetTransport has been applied), the connection
+// stays warm across experiments, and a successful probe allocates
+// nothing. Outcomes and error wording are byte-identical to
+// ReferenceTests — the facade's contract test holds both paths to that.
 func Tests(s *Server) []suts.Test {
+	var (
+		once                     sync.Once
+		client                   *httpprobe.Client
+		pDefault, pBlog, pStatic *httpprobe.Probe
+	)
+	setup := func() {
+		client = httpprobe.NewClient(func(addr string) (net.Conn, error) {
+			return s.transport().Dial(addr)
+		}, 5*time.Second)
+		addr := fmt.Sprintf("127.0.0.1:%d", s.DefaultPort())
+		pDefault = httpprobe.NewProbe(addr, "/", "")
+		pBlog = httpprobe.NewProbe(addr, "/", "blog.example.com")
+		pStatic = httpprobe.NewProbe(addr, "/static/logo.png", "")
+	}
+	// get takes a pointer to the probe variable: the probes are built
+	// lazily (inside once.Do, so SetTransport has happened) and the Run
+	// closures are created before that.
+	get := func(pp **httpprobe.Probe) ([]byte, error) {
+		once.Do(setup)
+		status, body, err := client.Do(*pp)
+		if err != nil {
+			return nil, fmt.Errorf("GET: %w", err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("status %d", status)
+		}
+		return body, nil
+	}
+	return []suts.Test{
+		{
+			Name: "http-get",
+			Run: func() error {
+				body, err := get(&pDefault)
+				if err != nil {
+					return err
+				}
+				if !bytes.Contains(body, []byte("root=/var/www/html")) {
+					return fmt.Errorf("default server did not serve the html root: %q", body)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "vhost-blog",
+			Run: func() error {
+				body, err := get(&pBlog)
+				if err != nil {
+					return err
+				}
+				if !bytes.Contains(body, []byte("server=blog.example.com")) {
+					return fmt.Errorf("blog virtual host not answering: %q", body)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "static-location",
+			Run: func() error {
+				body, err := get(&pStatic)
+				if err != nil {
+					return err
+				}
+				if !bytes.Contains(body, []byte("root=/var/www/static")) {
+					return fmt.Errorf("static location not matched: %q", body)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// ReferenceTests is the pre-fast-path probe implementation on the stock
+// net/http client, kept verbatim as the fidelity reference: the
+// contract test runs every configuration through both paths and
+// requires identical outcomes and error wording.
+func ReferenceTests(s *Server) []suts.Test {
 	get := func(path, host string) (string, error) {
 		client := s.httpClient()
 		req, err := http.NewRequest("GET", fmt.Sprintf("http://127.0.0.1:%d%s", s.DefaultPort(), path), nil)

@@ -1,0 +1,47 @@
+package suts
+
+import "sync"
+
+// ParseMemo memoizes the parsed form of one configuration file across
+// warm reloads, keyed by the identity — pointer and length — of the raw
+// byte slice rather than its content, so a hit costs two comparisons
+// instead of a hash of the whole file.
+//
+// Identity keying is only sound for slices that are both immutable and
+// kept alive: the engine's campaign-baseline bytes qualify (the
+// incremental pipeline restores them after every experiment and holds
+// them for the campaign's lifetime), per-experiment scratch buffers do
+// not (same address, different content on the next experiment). The
+// memo therefore retains a reference to the keyed slice itself: while
+// the entry lives, the allocator cannot recycle its address, so a
+// matching (pointer, length) pair is necessarily the same slice with
+// the same content. Callers must only Put slices they received as
+// clean/baseline content (see DirtyReloader).
+//
+// One entry suffices — a SUT instance serves one campaign at a time,
+// and a campaign has one baseline per file — and keeps the memo from
+// pinning dead campaigns' bytes beyond the first reload of the next.
+type ParseMemo[T any] struct {
+	mu   sync.Mutex
+	data []byte
+	val  T
+	ok   bool
+}
+
+// Get returns the memoized parse when data is the exact slice last Put.
+func (m *ParseMemo[T]) Get(data []byte) (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ok && len(data) == len(m.data) && (len(data) == 0 || &data[0] == &m.data[0]) {
+		return m.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Put stores the parse of data, replacing any previous entry.
+func (m *ParseMemo[T]) Put(data []byte, val T) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data, m.val, m.ok = data, val, true
+}

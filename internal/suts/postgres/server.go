@@ -3,6 +3,7 @@ package postgres
 import (
 	"fmt"
 	"net"
+	"slices"
 	"strings"
 
 	"conferr/internal/sqlmini"
@@ -20,6 +21,17 @@ type Server struct {
 	srv      *sqlmini.Server
 	curAddr  string
 	settings settings
+
+	// baseMemo caches the checked parse of the campaign-baseline
+	// postgresql.conf across warm reloads (see suts.ParseMemo).
+	baseMemo suts.ParseMemo[checkedConfig]
+}
+
+// checkedConfig is a parsed-and-checked configuration, the unit the
+// baseline memo caches.
+type checkedConfig struct {
+	st   settings
+	addr string
 }
 
 // settings is the effective configuration after a successful parse.
@@ -37,6 +49,7 @@ type settings struct {
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
 var _ suts.Reloader = (*Server)(nil)
+var _ suts.DirtyReloader = (*Server)(nil)
 var _ suts.Validator = (*Server)(nil)
 var _ suts.HealthChecker = (*Server)(nil)
 var _ suts.TransportSetter = (*Server)(nil)
@@ -159,6 +172,30 @@ func (s *Server) Reload(files suts.Files) error {
 	if err != nil {
 		return err
 	}
+	return s.applyReload(st, addr)
+}
+
+// ReloadDirty implements suts.DirtyReloader: a clean postgresql.conf
+// carries the campaign baseline's bytes, so the memoized baseline parse
+// is applied without re-parsing. Observationally identical to Reload.
+func (s *Server) ReloadDirty(files suts.Files, dirty []string) error {
+	data, ok := files[ConfigFile]
+	if ok && !slices.Contains(dirty, ConfigFile) {
+		if cc, hit := s.baseMemo.Get(data); hit {
+			return s.applyReload(cc.st, cc.addr)
+		}
+		st, addr, err := s.check(files)
+		if err != nil {
+			return err
+		}
+		s.baseMemo.Put(data, checkedConfig{st: st, addr: addr})
+		return s.applyReload(st, addr)
+	}
+	return s.Reload(files)
+}
+
+// applyReload drives the running server to a checked configuration.
+func (s *Server) applyReload(st settings, addr string) error {
 	if s.srv != nil && addr == s.curAddr {
 		s.srv.SetEngine(&sqlmini.Engine{})
 		s.srv.SetMaxConns(int(st.maxConn))

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -35,11 +36,16 @@ type Server struct {
 
 	dataMu sync.Mutex
 	data   map[string]string
+
+	// baseMemo caches the checked parse of the campaign-baseline
+	// redis.conf across warm reloads (see suts.ParseMemo).
+	baseMemo suts.ParseMemo[config]
 }
 
 var _ suts.System = (*Server)(nil)
 var _ suts.Addressable = (*Server)(nil)
 var _ suts.Reloader = (*Server)(nil)
+var _ suts.DirtyReloader = (*Server)(nil)
 var _ suts.Validator = (*Server)(nil)
 var _ suts.HealthChecker = (*Server)(nil)
 var _ suts.TransportSetter = (*Server)(nil)
@@ -151,6 +157,30 @@ func (s *Server) Reload(files suts.Files) error {
 	if err != nil {
 		return err
 	}
+	return s.applyReload(cfg)
+}
+
+// ReloadDirty implements suts.DirtyReloader: a clean redis.conf carries
+// the campaign baseline's bytes, so the memoized baseline parse is
+// applied without re-parsing. Observationally identical to Reload.
+func (s *Server) ReloadDirty(files suts.Files, dirty []string) error {
+	data, ok := files[ConfigFile]
+	if ok && !slices.Contains(dirty, ConfigFile) {
+		if cfg, hit := s.baseMemo.Get(data); hit {
+			return s.applyReload(cfg)
+		}
+		cfg, err := s.check(files)
+		if err != nil {
+			return err
+		}
+		s.baseMemo.Put(data, cfg)
+		return s.applyReload(cfg)
+	}
+	return s.Reload(files)
+}
+
+// applyReload drives the running server to a checked configuration.
+func (s *Server) applyReload(cfg config) error {
 	s.mu.Lock()
 	old := s.ln
 	samePort := old != nil && s.curPort == cfg.port

@@ -68,6 +68,41 @@ type Reloader interface {
 	Reload(files Files) error
 }
 
+// DirtyReloader is an optional refinement of Reloader: a SUT that can
+// exploit the engine's knowledge of which configuration files an
+// experiment actually changed. The incremental injection pipeline
+// serializes only the mutated files and hands every clean file the
+// campaign baseline's exact byte slice, so a SUT holding a memoized
+// parse of the baseline (see ParseMemo) can skip re-parsing everything
+// not named in dirty.
+//
+// The contract is strictly observational: ReloadDirty(files, dirty)
+// must behave byte-identically to Reload(files) — same applied
+// configuration, same rejection wording, same error taxonomy. dirty
+// names the files whose content may differ from the campaign baseline
+// for THIS experiment (not from the previously applied configuration:
+// a file clean now may have been mutated by the last experiment, so
+// "clean" only licenses reusing a parse of the baseline, never skipping
+// the apply). dirty is engine scratch, valid only for the call.
+type DirtyReloader interface {
+	Reloader
+	// ReloadDirty applies files like Reload, where every file not named
+	// in dirty is byte-identical to the campaign baseline.
+	ReloadDirty(files Files, dirty []string) error
+}
+
+// DirtyStarter is implemented by lifecycle adapters (internal/sutpool,
+// the runner's port-mapping wrapper) that can forward the engine's
+// dirty-file knowledge toward a DirtyReloader. The engine calls
+// StartDirty instead of Start when the capability is present anywhere
+// on the wrapper chain; implementations without a warm DirtyReloader
+// underneath must degrade to exactly Start's behaviour.
+type DirtyStarter interface {
+	// StartDirty is Start plus the dirty-file set, same contract as
+	// DirtyReloader.ReloadDirty for the dirty parameter.
+	StartDirty(files Files, dirty []string) error
+}
+
 // Validator is an optional capability: a SUT that can parse and check a
 // configuration without binding listeners or serving — the `nginx -t` /
 // `postgres -C` idiom. It detects exactly the startup-time rejections

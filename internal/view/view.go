@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
 
 	"conferr/internal/confnode"
 	"conferr/internal/template"
@@ -67,6 +68,20 @@ type Incremental interface {
 	IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error)
 }
 
+// IncrementalInto is an optional refinement of Incremental for views whose
+// incremental back-transform can rebuild a caller-owned tracked wrapper
+// instead of allocating one per experiment. dst is the wrapper to reuse
+// (nil allocates a fresh one, making the call equivalent to
+// IncrementalBackward); it must not be in use — the engine threads one per
+// worker through consecutive experiments, the same ownership discipline as
+// confnode.Set.TrackedInto. The returned set is dst (or the fresh
+// wrapper) and everything else of the Incremental contract applies
+// unchanged.
+type IncrementalInto interface {
+	Incremental
+	IncrementalBackwardInto(dst *confnode.Set, dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error)
+}
+
 // SrcAttr is the provenance attribute linking a view node to the system
 // node it was derived from; its value is a template.Ref string produced by
 // refString.
@@ -91,7 +106,7 @@ const (
 // the transformation is usually very simple; here it is the identity.
 type StructView struct{}
 
-var _ Incremental = StructView{}
+var _ IncrementalInto = StructView{}
 
 // Name implements View.
 func (StructView) Name() string { return "struct" }
@@ -109,8 +124,13 @@ func (StructView) Backward(mutated, _ *confnode.Set) (*confnode.Set, error) {
 // IncrementalBackward implements Incremental: the identity transform only
 // has to adopt the dirty view trees; clean files keep sharing the system
 // baseline.
-func (StructView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	out := sys.TrackedWith(mutated.Arena())
+func (v StructView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	return v.IncrementalBackwardInto(nil, dirty, mutated, sys)
+}
+
+// IncrementalBackwardInto implements IncrementalInto.
+func (StructView) IncrementalBackwardInto(dst *confnode.Set, dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.TrackedInto(dst, mutated.Arena())
 	for _, file := range dirty {
 		out.Put(file, mutated.Get(file))
 	}
@@ -126,7 +146,7 @@ func (StructView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set
 // directive names and values (§5.2).
 type WordView struct{}
 
-var _ Incremental = WordView{}
+var _ IncrementalInto = WordView{}
 
 // Name implements View.
 func (WordView) Name() string { return "word" }
@@ -164,12 +184,14 @@ func (WordView) Forward(sys *confnode.Set) (*confnode.Set, error) {
 // provenance no longer resolves yields an error.
 func (WordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, error) {
 	out := sys.Clone()
+	buf := foldBufPool.Get().(*[]byte)
+	defer foldBufPool.Put(buf)
 	var retErr error
 	mutated.Walk(func(file string, root *confnode.Node) {
 		if retErr != nil {
 			return
 		}
-		retErr = backwardWordFile(out, root)
+		retErr = backwardWordFile(out, root, buf)
 	})
 	if retErr != nil {
 		return nil, retErr
@@ -187,8 +209,15 @@ func (WordView) Backward(mutated, sys *confnode.Set) (*confnode.Set, error) {
 // write has materialized its system file: in the full path that clean
 // fold runs unconditionally and overwrites such a write with the
 // baseline tokens.
-func (WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
-	out := sys.TrackedWith(mutated.Arena())
+func (v WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	return v.IncrementalBackwardInto(nil, dirty, mutated, sys)
+}
+
+// IncrementalBackwardInto implements IncrementalInto.
+func (WordView) IncrementalBackwardInto(dst *confnode.Set, dirty []string, mutated, sys *confnode.Set) (*confnode.Set, error) {
+	out := sys.TrackedInto(dst, mutated.Arena())
+	buf := foldBufPool.Get().(*[]byte)
+	defer foldBufPool.Put(buf)
 	var retErr error
 	mutated.Each(func(file string, root *confnode.Node) bool {
 		// The dirty list is short and set-ordered: a linear scan beats
@@ -199,7 +228,7 @@ func (WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) 
 		if root == nil {
 			return true
 		}
-		if err := backwardWordFile(out, root); err != nil {
+		if err := backwardWordFile(out, root, buf); err != nil {
 			retErr = err
 			return false
 		}
@@ -211,15 +240,68 @@ func (WordView) IncrementalBackward(dirty []string, mutated, sys *confnode.Set) 
 	return out, nil
 }
 
+// foldBufPool recycles the scratch buffers backwardWordFile re-joins
+// directive values in, keeping the per-line fold allocation-free across
+// experiments and workers.
+var foldBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// refCache memoizes template.ParseRef by source string. Provenance
+// attributes come from the frozen baseline view, so a campaign folds the
+// same handful of ref strings millions of times; parsing each once turns
+// the per-line split/Atoi work into a map hit. Mutated provenance (a
+// plugin rewriting SrcAttr) can introduce new strings, so the cache is
+// capped — past the cap, misses simply parse without storing.
+var (
+	refCacheMu sync.RWMutex
+	refCache   map[string]template.Ref
+)
+
+// refCacheCap bounds refCache; far above any real configuration's line
+// count, small enough that adversarial SrcAttr churn stays cheap.
+const refCacheCap = 4096
+
+// parseRefCached is template.ParseRef through refCache. Only successful
+// parses are cached; errors keep ParseRef's exact wording.
+func parseRefCached(s string) (template.Ref, error) {
+	refCacheMu.RLock()
+	ref, ok := refCache[s]
+	refCacheMu.RUnlock()
+	if ok {
+		return ref, nil
+	}
+	ref, err := template.ParseRef(s)
+	if err != nil {
+		return template.Ref{}, err
+	}
+	refCacheMu.Lock()
+	if refCache == nil {
+		refCache = make(map[string]template.Ref, 64)
+	}
+	if len(refCache) < refCacheCap {
+		refCache[s] = ref
+	}
+	refCacheMu.Unlock()
+	return ref, nil
+}
+
 // backwardWordFile folds one word-view document's lines onto the system
-// directives they came from.
-func backwardWordFile(out *confnode.Set, root *confnode.Node) error {
-	for _, line := range root.ChildrenByKind(confnode.KindLine) {
+// directives they came from. It is the injection hot path's inner loop,
+// shaped to stay allocation-free for clean lines: children are scanned in
+// place (no per-kind slices), the value words are re-joined into the
+// caller's scratch buffer, and the directive is only rewritten when the
+// joined value actually differs — folding the baseline back onto itself,
+// which is what almost every line of almost every experiment does, writes
+// nothing.
+func backwardWordFile(out *confnode.Set, root *confnode.Node, buf *[]byte) error {
+	for _, line := range root.Children() {
+		if line.Kind != confnode.KindLine {
+			continue
+		}
 		srcStr, ok := line.Attr(SrcAttr)
 		if !ok {
 			return fmt.Errorf("word view: line without provenance: %w", ErrNotExpressible)
 		}
-		ref, err := template.ParseRef(srcStr)
+		ref, err := parseRefCached(srcStr)
 		if err != nil {
 			return err
 		}
@@ -228,17 +310,27 @@ func backwardWordFile(out *confnode.Set, root *confnode.Node) error {
 			return fmt.Errorf("word view: stale provenance %q: %v: %w", srcStr, err, ErrNotExpressible)
 		}
 		var name string
-		var values []string
-		for _, w := range line.ChildrenByKind(confnode.KindWord) {
-			switch w.AttrDefault(TokenAttr, TokenValue) {
-			case TokenName:
+		b := (*buf)[:0]
+		sawValue := false
+		for _, w := range line.Children() {
+			if w.Kind != confnode.KindWord {
+				continue
+			}
+			if w.AttrDefault(TokenAttr, TokenValue) == TokenName {
 				name = w.Value
-			default:
-				values = append(values, w.Value)
+			} else {
+				if sawValue {
+					b = append(b, ' ')
+				}
+				b = append(b, w.Value...)
+				sawValue = true
 			}
 		}
+		*buf = b
 		dir.Name = name
-		dir.Value = strings.Join(values, " ")
+		if string(b) != dir.Value {
+			dir.Value = string(b)
+		}
 	}
 	return nil
 }

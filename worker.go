@@ -145,6 +145,19 @@ const (
 // resulting error — startup rejections and infrastructure failures alike
 // end up in the recorded detail, which must match the sequential run.
 func (s *portMappedSystem) Start(files suts.Files) error {
+	return s.start(files, nil, false)
+}
+
+// StartDirty implements suts.DirtyStarter, forwarding the dirty-file set
+// through the port remap so a wrapped DirtyStarter keeps its parse-once
+// fast path. Dirty names need no rewriting — they are file names, not
+// bytes — and clean files' remapped baseline bytes come out of the memo
+// identity-stable, so downstream baseline memos keep hitting.
+func (s *portMappedSystem) StartDirty(files suts.Files, dirty []string) error {
+	return s.start(files, dirty, true)
+}
+
+func (s *portMappedSystem) start(files suts.Files, dirty []string, haveDirty bool) error {
 	if s.from != "" {
 		remapped := make(suts.Files, len(files))
 		for name, data := range files {
@@ -152,9 +165,14 @@ func (s *portMappedSystem) Start(files suts.Files) error {
 		}
 		files = remapped
 	}
+	ds, _ := s.System.(suts.DirtyStarter)
 	var err error
 	for attempt := 0; attempt < bindRetries; attempt++ {
-		err = s.System.Start(files)
+		if haveDirty && ds != nil {
+			err = ds.StartDirty(files, dirty)
+		} else {
+			err = s.System.Start(files)
+		}
 		if err == nil || !strings.Contains(err.Error(), "address already in use") {
 			break
 		}
