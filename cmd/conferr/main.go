@@ -15,6 +15,10 @@
 //	               [-lifecycle cold|reload|validate] [-memnet]
 //	                                        run a target × generator suite with
 //	                                        streamed faultloads and JSONL profiles
+//	conferr dist -workers h:p,h:p -shards N -system S -plugin P [-out FILE]
+//	                                        distribute one campaign across sutd
+//	                                        worker daemons, with retry/resume and
+//	                                        a byte-identical merged profile
 //	conferr list                            list registered systems and plugins
 //	conferr all [-seed N] [-workers N]      run every experiment
 //
@@ -76,6 +80,8 @@ func run(ctx context.Context, args []string) int {
 		err = cmdCampaign(ctx, rest)
 	case "matrix":
 		err = cmdMatrix(ctx, rest)
+	case "dist":
+		err = cmdDist(ctx, rest)
 	case "editbench":
 		err = cmdEditBench(ctx, rest)
 	case "compare":
@@ -111,6 +117,9 @@ commands:
   matrix    run a target × generator suite: -systems a,b -plugins x,y [-workers N]
             [-limit N] [-rounds N] [-sample N] [-stream-out FILE] [-no-duration]
             [-lifecycle cold|reload|validate] [-memnet]
+  dist      run one campaign across remote workers: -workers host:port,...
+            -shards N -system <name> -plugin <name> [-out FILE] [-resume]
+            [-no-duration] [-tally] (workers: sutd -serve host:port)
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
   list      list registered systems and plugins
@@ -121,6 +130,10 @@ registered plugins: %s
 `, strings.Join(conferr.RegisteredTargets(), ", "),
 		strings.Join(conferr.RegisteredGenerators(), ", "))
 }
+
+// recordRetentionWarn is the in-memory record count past which the
+// campaign subcommand suggests a streaming run instead.
+const recordRetentionWarn = 100_000
 
 // workersFlag adds the shared -workers flag to a flag set.
 func workersFlag(fs *flag.FlagSet) *int {
@@ -373,6 +386,9 @@ func cmdCampaign(ctx context.Context, args []string) error {
 	if counters != nil {
 		fmt.Printf("lifecycle=%s %s\n", lifecycle, counters.Snapshot())
 	}
+	if n := len(prof.Records); n >= recordRetentionWarn {
+		fmt.Fprintf(os.Stderr, "conferr: warning: %d records retained in memory; for faultloads this size prefer `conferr matrix -stream-out FILE` (bounded memory) or `conferr dist`\n", n)
+	}
 	s := prof.Summarize()
 	fmt.Printf("system=%s generator=%s workers=%d\n", prof.System, prof.Generator, *workers)
 	fmt.Print(profile.FormatTable1(s))
@@ -503,6 +519,13 @@ func cmdMatrix(ctx context.Context, args []string) error {
 			}
 			return f.Close()
 		}
+	} else {
+		// Without a stream destination the CLI prints only the summary
+		// table, yet the suite would dutifully accumulate every record in
+		// memory — on large matrices roughly 40% of wall clock went to the
+		// GC walking profiles nobody reads. Route records to the discard
+		// sink instead; the suite's tally still feeds the summaries.
+		mo.SinkFor = func(conferr.MatrixEntry) conferr.Sink { return conferr.DiscardSink }
 	}
 
 	res, err := conferr.RunMatrix(ctx, entries, mo)

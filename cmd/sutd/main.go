@@ -8,24 +8,50 @@
 // The daemon loads the configuration files the selected system expects
 // from -dir (my.cnf, postgresql.conf, httpd.conf, named.conf + zones, or
 // data), starts the system, and runs until SIGTERM/SIGINT. A
-// configuration rejected by the system makes sutd exit non-zero with the
-// system's complaint on stderr — exactly what an init script would show
-// an administrator.
+// configuration rejected by the system makes sutd exit with status 3 and
+// the system's complaint on stderr — exactly what an init script would
+// show an administrator — while I/O failures exit 1 and usage errors 2.
+//
+// With -serve, sutd is instead a campaign worker daemon: it accepts
+// shard requests from a `conferr dist` coordinator over a
+// line-delimited JSON TCP protocol, re-derives its slice of the
+// faultload locally, and streams sequence-tagged records back:
+//
+//	sutd -serve 127.0.0.1:9931
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"conferr"
+	"conferr/internal/dist"
 	"conferr/internal/suts"
 )
+
+// Exit statuses: distinct codes let init scripts and test harnesses tell
+// an unreadable disk from a configuration the SUT itself rejected.
+const (
+	exitOK       = 0
+	exitIO       = 1
+	exitUsage    = 2
+	exitRejected = 3
+)
+
+// writeConfigPort is the port baked into -write-default-config output
+// when no -port is given. Writing config must not bind a socket just to
+// pick an ephemeral number — that made the written files nondeterministic
+// run to run.
+const writeConfigPort = 24000
 
 func main() {
 	os.Exit(run())
@@ -35,28 +61,47 @@ func run() int {
 	var (
 		system = flag.String("system", "",
 			"system to host: "+strings.Join(conferr.RegisteredTargets(), "|"))
-		dir   = flag.String("dir", ".", "directory holding the configuration files")
-		port  = flag.Int("port", 0, "default port the system advertises (0 = allocate)")
-		write = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
+		dir       = flag.String("dir", ".", "directory holding the configuration files")
+		port      = flag.Int("port", 0, "default port the system advertises (0 = allocate; -write-default-config uses 24000)")
+		write     = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
+		serve     = flag.String("serve", "", "host:port to serve campaign shards on (worker daemon mode)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "progress heartbeat interval in -serve mode")
+		quiet     = flag.Bool("quiet", false, "suppress -serve diagnostics")
 	)
 	flag.Parse()
 
-	sys, files, err := makeSystem(*system, *port)
+	if *serve != "" {
+		return serveWorker(*serve, *heartbeat, *quiet)
+	}
+
+	// Writing the default configuration needs no running system and no
+	// port allocation; a fixed port keeps the output deterministic.
+	p := *port
+	if *write && p == 0 {
+		p = writeConfigPort
+	}
+	sys, files, err := makeSystem(*system, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sutd:", err)
-		return 2
+		return exitUsage
 	}
 
 	if *write {
-		for name, data := range sys.DefaultConfig() {
+		defaults := sys.DefaultConfig()
+		names := make([]string, 0, len(defaults))
+		for name := range defaults {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			path := filepath.Join(*dir, name)
-			if err := os.WriteFile(path, data, 0o644); err != nil {
+			if err := os.WriteFile(path, defaults[name], 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "sutd:", err)
-				return 1
+				return exitIO
 			}
 			fmt.Println("wrote", path)
 		}
-		return 0
+		return exitOK
 	}
 
 	loaded := make(suts.Files, len(files))
@@ -64,15 +109,20 @@ func run() int {
 		data, err := os.ReadFile(filepath.Join(*dir, name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sutd:", err)
-			return 1
+			return exitIO
 		}
 		loaded[name] = data
 	}
 
 	if err := sys.Start(loaded); err != nil {
 		fmt.Fprintln(os.Stderr, err.Error())
-		return 1
+		if suts.IsStartupError(err) {
+			return exitRejected
+		}
+		return exitIO
 	}
+	// From here every exit path stops the system: a daemon that exits
+	// reporting failure must not leave its SUT listening.
 	if a, ok := sys.(suts.Addressable); ok {
 		fmt.Println("sutd: serving on", a.Addr())
 	}
@@ -82,9 +132,34 @@ func run() int {
 	<-sig
 	if err := sys.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "sutd: stop:", err)
-		return 1
+		return exitIO
 	}
-	return 0
+	return exitOK
+}
+
+// serveWorker runs the campaign worker daemon until SIGTERM/SIGINT.
+func serveWorker(addr string, heartbeat time.Duration, quiet bool) int {
+	srv := &dist.Server{
+		Runner:    conferr.NewDistRunner(),
+		Heartbeat: heartbeat,
+	}
+	if !quiet {
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	err := srv.ListenAndServe(ctx, addr, func(a net.Addr) {
+		// The ready line goes to stdout so scripts listening on :0 can
+		// scrape the allocated port.
+		fmt.Println("sutd: worker listening on", a)
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "sutd:", err)
+		return exitIO
+	}
+	return exitOK
 }
 
 // makeSystem constructs the selected system from the conferr registry and

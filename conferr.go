@@ -275,6 +275,12 @@ func NewLockedWriter(w io.Writer) *profile.LockedWriter {
 // worker count — compare byte-identical (`conferr matrix -no-duration`).
 func StripDurations(s Sink) Sink { return profile.StripDurations(s) }
 
+// DiscardSink drops every record while still reporting success — the
+// destination for runs whose output is the summary table, not a profile
+// (`conferr matrix` without -stream-out). It is shardable, so the
+// suite's per-shard sink bypass stays intact.
+var DiscardSink Sink = profile.Discard
+
 // ReadProfilesJSONL parses a JSON Lines stream written by JSONL sinks,
 // splitting it into one scenario-ordered Profile per campaign.
 func ReadProfilesJSONL(r io.Reader) ([]*Profile, error) {

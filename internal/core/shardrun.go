@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"conferr/internal/profile"
+	"conferr/internal/scenario"
+)
+
+// This file is the remote half of the sharded engine: where shard.go fans
+// a faultload out over in-process workers, RunShard executes exactly one
+// shard — the unit a campaign worker daemon (cmd/sutd -serve) runs on
+// behalf of a coordinator. Because generation is a pure function of
+// (Seed, shard k of n), a remote worker re-derives its slice of the
+// faultload locally from the campaign description alone: no scenario
+// transfer, and the emitted (sequence, record) pairs merge with every
+// other shard into the same deterministic profile a single-process run
+// produces.
+
+// ShardEmit receives one completed experiment with its global sequence
+// number (the position the record holds in the unsharded stream).
+// RunShard calls it from a single goroutine, in increasing sequence
+// order. A non-nil error aborts the shard.
+type ShardEmit func(seq int, rec profile.Record) error
+
+// RunShard executes shard k of n of the campaign's faultload on one
+// target, sequentially, emitting every record tagged with its global
+// sequence number. Sequences below startSeq are skipped without running
+// the experiment — the resume path: a coordinator that already holds a
+// contiguous prefix re-requests the shard with startSeq set to its flush
+// front and the worker generates past the prefix without re-injecting it.
+//
+// It returns the shard's total scenario count — skipped and executed
+// alike, i.e. how many sequences of the unsharded stream this shard owns
+// — which is what a coordinator sums across shards to gap-check the
+// merged profile. Generators that support sharded generation
+// (ShardedGenerator) derive the shard directly; any other generator is
+// strided from its full stream, so every registered plugin is reachable
+// from a worker daemon.
+func (c *Campaign) RunShard(ctx context.Context, k, n, startSeq int, emit ShardEmit, opts ...RunOption) (int, error) {
+	if n <= 0 || k < 0 || k >= n {
+		return 0, fmt.Errorf("core: invalid shard %d of %d", k, n)
+	}
+	cfg := c.config(opts)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+
+	var (
+		fl   *faultload
+		feed shardFeed
+		err  error
+	)
+	if sg, ok := c.Generator.(ShardedGenerator); ok && CanShard(c.Generator) {
+		fl, err = c.generateBase()
+		if err != nil {
+			return 0, err
+		}
+		feed = genFeed(c, fl, sg)
+	} else {
+		var src scenario.Source
+		fl, src, err = c.generateStream()
+		if err != nil {
+			return 0, err
+		}
+		feed = strideFeed(src)
+	}
+	if cfg.baseline {
+		if err := c.baselineOn(fl.sysSet, fl.baseBytes); err != nil {
+			return 0, err
+		}
+	}
+
+	t := c.Target
+	if cfg.factory != nil {
+		ft, ferr := cfg.factory()
+		if ferr != nil {
+			return 0, fmt.Errorf("core: building shard worker target: %w", ferr)
+		}
+		t = ft
+	}
+	t = wrapLifecycle(t, cfg)
+	defer releaseSystem(t.System)
+
+	scr := getScratch()
+	defer putScratch(scr)
+
+	total := 0
+	var firstErr error
+	_, gerr := feed(k, n, func(seq int, sc scenario.Scenario) bool {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			return false
+		}
+		total++
+		if seq < startSeq {
+			return true
+		}
+		rec, rerr := runOne(t, sc, fl, scr)
+		if eerr := emit(seq, rec); eerr != nil {
+			firstErr = eerr
+			return false
+		}
+		if cfg.observer != nil {
+			cfg.observer(rec)
+		}
+		if rerr != nil && !cfg.keepGoing {
+			firstErr = fmt.Errorf("core: scenario %s: %w", sc.ID, rerr)
+			return false
+		}
+		return true
+	})
+	if firstErr != nil {
+		return total, firstErr
+	}
+	if gerr != nil {
+		return total, gerr
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// strideFeed adapts an opaque single-use stream to the shard feed
+// contract by walking the whole stream and keeping stride k — the
+// fallback for generators without native shard support. Generation cost
+// stays O(faultload) per shard, but injection (the dominant cost) is
+// still 1/n of it.
+func strideFeed(src scenario.Source) shardFeed {
+	return func(k, n int, emit func(int, scenario.Scenario) bool) (int, error) {
+		seq := 0
+		var gerr error
+		src(func(sc scenario.Scenario, serr error) bool {
+			if serr != nil {
+				gerr = serr
+				return false
+			}
+			s := seq
+			seq++
+			if s%n != k {
+				return true
+			}
+			return emit(s, sc)
+		})
+		return seq, gerr
+	}
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the tiny resume state of a distributed campaign: the
+// campaign's identity (so a resume never splices two different runs
+// together) and the merge's flush front. Everything else is re-derivable
+// — a resumed coordinator re-requests every shard from Front and workers
+// regenerate without re-injecting the prefix.
+type Checkpoint struct {
+	System string `json:"system"`
+	Plugin string `json:"plugin"`
+	Seed   int64  `json:"seed"`
+	Shards int    `json:"shards"`
+	Front  int    `json:"front"`
+}
+
+// writeCheckpoint persists cp atomically (temp file + rename), so a
+// coordinator killed mid-write leaves the previous checkpoint intact.
+func writeCheckpoint(path string, cp Checkpoint) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("dist: encoding checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dist: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads a checkpoint; a missing file surfaces as
+// os.ErrNotExist for the caller to classify.
+func loadCheckpoint(path string) (Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("dist: decoding checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if cp.Front < 0 || cp.Shards <= 0 {
+		return Checkpoint{}, fmt.Errorf("dist: checkpoint %s is malformed", filepath.Base(path))
+	}
+	return cp, nil
+}
+
+// matches rejects resuming one campaign's checkpoint into a different
+// campaign — a different seed, target, plugin, or shard layout would
+// splice two unrelated streams.
+func (cp Checkpoint) matches(spec CampaignSpec, shards int) error {
+	if cp.System != spec.System || cp.Plugin != spec.Plugin {
+		return fmt.Errorf("dist: checkpoint is for campaign %s/%s, not %s/%s",
+			cp.System, cp.Plugin, spec.System, spec.Plugin)
+	}
+	if cp.Seed != spec.Seed {
+		return fmt.Errorf("dist: checkpoint seed %d does not match campaign seed %d", cp.Seed, spec.Seed)
+	}
+	if cp.Shards != shards {
+		return fmt.Errorf("dist: checkpoint has %d shards, campaign has %d", cp.Shards, shards)
+	}
+	return nil
+}
+
+// reconcileOutput trims the output file to exactly front lines. A
+// coordinator killed between flushing records and writing the next
+// checkpoint leaves a few lines past the front; they are dropped and
+// re-fetched deterministically. Fewer lines than the front claims means
+// the file and checkpoint do not belong together.
+func reconcileOutput(path string, front int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && front == 0 {
+			return nil
+		}
+		return fmt.Errorf("dist: reconciling output: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var offset int64
+	lines := 0
+	for lines < front {
+		chunk, err := br.ReadSlice('\n')
+		offset += int64(len(chunk))
+		if err == nil {
+			lines++
+			continue
+		}
+		if err == bufio.ErrBufferFull {
+			// Long line: consume the rest of it.
+			for err == bufio.ErrBufferFull {
+				chunk, err = br.ReadSlice('\n')
+				offset += int64(len(chunk))
+			}
+			if err == nil {
+				lines++
+				continue
+			}
+		}
+		break
+	}
+	f.Close()
+	if lines < front {
+		return fmt.Errorf("dist: output %s has %d lines but checkpoint front is %d — wrong or corrupt output file",
+			filepath.Base(path), lines, front)
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("dist: truncating output past the checkpoint front: %w", err)
+	}
+	return nil
+}

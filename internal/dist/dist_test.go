@@ -1,0 +1,428 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"conferr"
+	"conferr/internal/dist"
+	"conferr/internal/profile"
+)
+
+// fastRetry keeps test retries well under a second.
+var fastRetry = dist.RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+
+// startServer hosts a worker daemon on a loopback port.
+func startServer(t *testing.T, runner dist.ShardRunner) (*dist.Server, string) {
+	t.Helper()
+	srv := &dist.Server{Runner: runner, Heartbeat: 20 * time.Millisecond}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(context.Background(), ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func stubLine(seq int) []byte { return []byte(fmt.Sprintf(`{"seq":%d}`, seq)) }
+
+// stubShard emits the shard's slice of a synthetic faultload whose size
+// rides in Campaign.Limit, honoring the StartSeq skip contract.
+func stubShard(req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+	total := req.Campaign.Limit
+	owned, emitted := 0, 0
+	for seq := req.Shard; seq < total; seq += req.Shards {
+		owned++
+		if seq < req.StartSeq {
+			continue
+		}
+		if err := emit(seq, stubLine(seq)); err != nil {
+			return dist.ShardResult{}, err
+		}
+		emitted++
+	}
+	return dist.ShardResult{Records: owned, Summary: profile.Summary{Injected: emitted}}, nil
+}
+
+func healthyRunner() dist.ShardRunner {
+	return dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		return stubShard(req, emit)
+	})
+}
+
+// wantStream renders the expected merged output for a stub faultload.
+func wantStream(total int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < total; i++ {
+		b.Write(stubLine(i))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// referenceStream runs the campaign single-process through the matrix
+// path — the stream distributed runs must be byte-identical to.
+func referenceStream(t *testing.T, seed int64, limit, port int) []byte {
+	t.Helper()
+	entries, skipped, err := conferr.MatrixEntries([]string{"nginx"}, []string{"typo"}, conferr.GeneratorOptions{Seed: seed})
+	if err != nil || len(skipped) > 0 || len(entries) != 1 {
+		t.Fatalf("matrix entries: %v (skipped %v)", err, skipped)
+	}
+	entries[0].Port = port
+	var buf bytes.Buffer
+	mo := conferr.MatrixOptions{
+		Workers:  1,
+		Limit:    limit,
+		InMemory: true,
+		SinkFor: func(e conferr.MatrixEntry) conferr.Sink {
+			return conferr.StripDurations(conferr.NewJSONLSink(&buf, e.System, e.Plugin))
+		},
+	}
+	if _, err := conferr.RunMatrix(context.Background(), entries, mo); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("reference run produced no records")
+	}
+	return buf.Bytes()
+}
+
+func realSpec(seed int64, limit, port int) dist.CampaignSpec {
+	return dist.CampaignSpec{
+		System: "nginx", Plugin: "typo", Seed: seed,
+		Limit: limit, Port: port, Memnet: true, NoDuration: true,
+	}
+}
+
+// TestDistByteIdentityRealCampaign: a real campaign distributed over two
+// in-process workers merges byte-identical to the single-process matrix
+// cell.
+func TestDistByteIdentityRealCampaign(t *testing.T) {
+	const (
+		seed  = int64(7)
+		limit = 30
+		port  = 25900
+	)
+	ref := referenceStream(t, seed, limit, port)
+	runner := conferr.NewDistRunner()
+	_, a1 := startServer(t, runner)
+	_, a2 := startServer(t, runner)
+
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{a1, a2},
+		Shards:       3,
+		Spec:         realSpec(seed, limit, port),
+		Out:          &out,
+		StallTimeout: 10 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != limit {
+		t.Fatalf("records = %d, want %d", res.Records, limit)
+	}
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Fatalf("distributed stream diverges from single-process reference:\n got %d bytes\nwant %d bytes", out.Len(), len(ref))
+	}
+}
+
+// TestDistByteIdentityAfterWorkerKill: killing a worker mid-shard gets
+// the shard reassigned and the merged profile stays byte-identical.
+func TestDistByteIdentityAfterWorkerKill(t *testing.T) {
+	const (
+		seed  = int64(11)
+		limit = 30
+		port  = 25901
+	)
+	ref := referenceStream(t, seed, limit, port)
+	real := conferr.NewDistRunner()
+
+	// Server A dies after its sixth record; the atomic pointer (set once
+	// the server exists) keeps the kill hook race-clean.
+	var victim atomic.Pointer[dist.Server]
+	var once sync.Once
+	killer := dist.ShardRunnerFunc(func(ctx context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		n := 0
+		return real.RunShard(ctx, req, func(seq int, line []byte) error {
+			n++
+			if n == 6 {
+				once.Do(func() { _ = victim.Load().Close() })
+			}
+			return emit(seq, line)
+		})
+	})
+	srvA, a1 := startServer(t, killer)
+	victim.Store(srvA)
+	_, a2 := startServer(t, real)
+
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{a1, a2},
+		Shards:       3,
+		Spec:         realSpec(seed, limit, port),
+		Out:          &out,
+		StallTimeout: 10 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != limit {
+		t.Fatalf("records = %d, want %d", res.Records, limit)
+	}
+	if res.Retries == 0 {
+		t.Fatal("worker death did not register as a shard retry")
+	}
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Fatalf("post-kill stream diverges from single-process reference:\n got %d bytes\nwant %d bytes", out.Len(), len(ref))
+	}
+}
+
+// TestDistDuplicateDeliveryDeduped: a shard that fails after delivering
+// all its records gets retried, and the retry's re-delivered records are
+// dropped by sequence without disturbing the stream or the summary.
+func TestDistDuplicateDeliveryDeduped(t *testing.T) {
+	const total = 20
+	var failedOnce atomic.Bool
+	runner := dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		res, err := stubShard(req, emit)
+		if err != nil {
+			return res, err
+		}
+		if req.Shard == 1 && failedOnce.CompareAndSwap(false, true) {
+			return dist.ShardResult{}, errors.New("synthetic post-delivery failure")
+		}
+		return res, nil
+	})
+	_, addr := startServer(t, runner)
+
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{addr},
+		Shards:       2,
+		Spec:         dist.CampaignSpec{System: "stub", Plugin: "stub", Limit: total},
+		Out:          &out,
+		StallTimeout: 5 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), wantStream(total)) {
+		t.Fatalf("merged stream diverges:\n%s", out.String())
+	}
+	if res.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", res.Retries)
+	}
+	if res.Duplicates != total/2 {
+		t.Fatalf("duplicates = %d, want %d (shard 1 re-delivered whole)", res.Duplicates, total/2)
+	}
+	if res.Summary.Injected != total {
+		t.Fatalf("summary injected = %d, want %d (failed attempt must not tally)", res.Summary.Injected, total)
+	}
+}
+
+// TestDistWorkerDeathReassigned: a worker that dies mid-shard (stub
+// flavor — the real-campaign flavor is TestDistByteIdentityAfterWorkerKill)
+// is retired after dial failures and its shard completes elsewhere.
+func TestDistWorkerDeathReassigned(t *testing.T) {
+	const total = 40
+	var victim atomic.Pointer[dist.Server]
+	var once sync.Once
+	dying := dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		total := req.Campaign.Limit
+		owned, sent := 0, 0
+		for seq := req.Shard; seq < total; seq += req.Shards {
+			owned++
+			if seq < req.StartSeq {
+				continue
+			}
+			if sent == 3 {
+				once.Do(func() { _ = victim.Load().Close() })
+			}
+			if err := emit(seq, stubLine(seq)); err != nil {
+				return dist.ShardResult{}, err
+			}
+			sent++
+		}
+		return dist.ShardResult{Records: owned, Summary: profile.Summary{Injected: sent}}, nil
+	})
+	srvA, a1 := startServer(t, dying)
+	victim.Store(srvA)
+	_, a2 := startServer(t, healthyRunner())
+
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{a1, a2},
+		Shards:       4,
+		Spec:         dist.CampaignSpec{System: "stub", Plugin: "stub", Limit: total},
+		Out:          &out,
+		StallTimeout: 5 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), wantStream(total)) {
+		t.Fatalf("merged stream diverges after worker death:\n%s", out.String())
+	}
+	if res.Records != total {
+		t.Fatalf("records = %d, want %d", res.Records, total)
+	}
+	if res.Retries == 0 {
+		t.Fatal("worker death did not register as a shard retry")
+	}
+}
+
+// TestDistResumeFromCheckpoint: a failed run leaves a checkpoint; the
+// resumed run re-requests every shard from the flush front, completes
+// exactly the missing sequence range, and removes the checkpoint.
+func TestDistResumeFromCheckpoint(t *testing.T) {
+	const total = 20
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "merged.jsonl")
+	cpPath := outPath + ".ckpt"
+	spec := dist.CampaignSpec{System: "stub", Plugin: "stub", Seed: 3, Limit: total}
+
+	// Run 1: shard 0 completes, shard 1 always fails — the run dies with
+	// the flush front parked right behind shard 1's first sequence.
+	broken := dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		if req.Shard == 1 {
+			return dist.ShardResult{}, errors.New("shard 1 is cursed")
+		}
+		return stubShard(req, emit)
+	})
+	_, addr := startServer(t, broken)
+	coord := &dist.Coordinator{
+		Workers:         []string{addr},
+		Shards:          2,
+		Spec:            spec,
+		OutPath:         outPath,
+		CheckpointPath:  cpPath,
+		StallTimeout:    5 * time.Second,
+		Retry:           dist.RetryPolicy{MaxAttempts: 2, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		CheckpointEvery: 1,
+	}
+	if _, err := coord.Run(context.Background()); err == nil {
+		t.Fatal("run with a cursed shard succeeded")
+	}
+	cpData, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatalf("failed run left no checkpoint: %v", err)
+	}
+	var cp struct {
+		Front int `json:"front"`
+	}
+	if err := json.Unmarshal(cpData, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Front != 1 {
+		t.Fatalf("checkpoint front = %d, want 1 (only seq 0 was flushable)", cp.Front)
+	}
+
+	// Simulate records flushed past the checkpoint before the kill: the
+	// resume must truncate them and re-fetch deterministically.
+	f, err := os.OpenFile(outPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"stale":true}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Run 2: healthy workers, resumed. Every shard request must carry the
+	// checkpointed front as its start sequence.
+	var mu sync.Mutex
+	var startSeqs []int
+	observed := dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		mu.Lock()
+		startSeqs = append(startSeqs, req.StartSeq)
+		mu.Unlock()
+		return stubShard(req, emit)
+	})
+	_, addr2 := startServer(t, observed)
+	coord2 := &dist.Coordinator{
+		Workers:        []string{addr2},
+		Shards:         2,
+		Spec:           spec,
+		OutPath:        outPath,
+		CheckpointPath: cpPath,
+		Resume:         true,
+		StallTimeout:   5 * time.Second,
+		Retry:          fastRetry,
+	}
+	res, err := coord2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartSeq != 1 {
+		t.Fatalf("resume started from %d, want 1", res.StartSeq)
+	}
+	mu.Lock()
+	if len(startSeqs) != 2 {
+		t.Fatalf("resume issued %d shard requests, want 2", len(startSeqs))
+	}
+	for _, s := range startSeqs {
+		if s != 1 {
+			t.Fatalf("resumed shard requested from sequence %d, want 1", s)
+		}
+	}
+	mu.Unlock()
+	if res.Summary.Injected != total-1 {
+		t.Fatalf("resumed run injected %d, want %d (only the missing range)", res.Summary.Injected, total-1)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantStream(total)) {
+		t.Fatalf("resumed output diverges:\n%s", got)
+	}
+	if _, err := os.Stat(cpPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint not removed after success: %v", err)
+	}
+}
+
+// TestDistTallyMode: tally-only campaigns move no record frames, only
+// per-shard summaries.
+func TestDistTallyMode(t *testing.T) {
+	const total = 16
+	_, addr := startServer(t, healthyRunner())
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{addr},
+		Shards:       2,
+		Spec:         dist.CampaignSpec{System: "stub", Plugin: "stub", Limit: total, TallyOnly: true},
+		Out:          &out,
+		StallTimeout: 5 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("tally mode wrote %d bytes of records", out.Len())
+	}
+	if res.Records != total || res.Summary.Injected != total {
+		t.Fatalf("tally result: records=%d injected=%d, want %d/%d", res.Records, res.Summary.Injected, total, total)
+	}
+}

@@ -1,0 +1,178 @@
+// Package dist distributes ConfErr campaigns across worker processes and
+// machines. A campaign worker daemon (Server, hosted by cmd/sutd -serve)
+// accepts shard specifications over a line-delimited JSON TCP protocol,
+// re-derives its slice of the faultload locally — generation is a pure
+// function of (Seed, shard k of n), so no scenario ever crosses the wire
+// — and streams sequence-tagged records back. A Coordinator schedules
+// shards across workers, retries failed or stalled shards on other
+// workers with capped exponential backoff, and merges the shard streams
+// into one deterministic, gap-checked profile that is byte-identical to
+// a single-process run of the same campaign. Checkpoint/resume is nearly
+// free: the merged stream's flush front is one sequence number, and a
+// resumed coordinator re-requests each shard from that front.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"conferr/internal/profile"
+)
+
+// CampaignSpec describes one campaign completely enough for a remote
+// worker to re-derive any shard of its faultload: the registered target
+// and generator names, the generator parameters, and the run flags that
+// shape the stream. It deliberately mirrors one `conferr matrix` cell —
+// the single-process run distributed campaigns must be byte-identical to.
+type CampaignSpec struct {
+	// System is the registered target name.
+	System string `json:"system"`
+	// Plugin is the registered generator name.
+	Plugin string `json:"plugin"`
+	// Seed makes the faultload reproducible — the purity anchor that lets
+	// every worker re-derive the identical stream.
+	Seed int64 `json:"seed"`
+	// PerModel, PerDirective and PerClass bound the generator (see
+	// GeneratorOptions).
+	PerModel     int `json:"per_model,omitempty"`
+	PerDirective int `json:"per_directive,omitempty"`
+	PerClass     int `json:"per_class,omitempty"`
+	// Rounds, Sample and Limit wrap the generator exactly like a matrix
+	// cell: replay Rounds times, reservoir-sample Sample, cap at Limit —
+	// applied in that order.
+	Rounds int `json:"rounds,omitempty"`
+	Sample int `json:"sample,omitempty"`
+	Limit  int `json:"limit,omitempty"`
+	// Port is the primary target port the faultload embeds; it must match
+	// the single-process run being reproduced (matrix: -base-port + cell
+	// index).
+	Port int `json:"port,omitempty"`
+	// Lifecycle selects the worker SUT lifecycle: "cold" (or empty),
+	// "reload", or "validate".
+	Lifecycle string `json:"lifecycle,omitempty"`
+	// Memnet serves worker SUTs over the in-process transport instead of
+	// kernel TCP.
+	Memnet bool `json:"memnet,omitempty"`
+	// KeepGoing records infrastructure errors instead of aborting the
+	// shard.
+	KeepGoing bool `json:"keep_going,omitempty"`
+	// NoDuration zeroes each record's duration before encoding, making
+	// equivalent runs byte-comparable.
+	NoDuration bool `json:"no_duration,omitempty"`
+	// TallyOnly selects the summary sink mode: the worker folds its
+	// shard's records into an O(1) Summary and sends only that — no
+	// record frames — for campaigns whose output is a scorecard, not a
+	// profile.
+	TallyOnly bool `json:"tally_only,omitempty"`
+}
+
+// ShardRequest is the single client→worker message: run shard Shard of
+// Shards of the described campaign, skipping sequences below StartSeq
+// (the coordinator's flush front on resume and retry).
+type ShardRequest struct {
+	Type     string       `json:"type"` // "run"
+	Campaign CampaignSpec `json:"campaign"`
+	Shard    int          `json:"shard"`
+	Shards   int          `json:"shards"`
+	StartSeq int          `json:"start_seq,omitempty"`
+}
+
+// Frame is one worker→coordinator message. Type selects the variant:
+//
+//   - "rec": one completed experiment; Seq is the record's global
+//     sequence number and Rec the fully rendered JSONL profile line
+//     (without trailing newline), byte-identical to what a
+//     single-process JSONL sink would emit at that sequence.
+//   - "progress": periodic heartbeat; Seq is the highest contiguous
+//     sequence the shard has completed (the worker runs its shard in
+//     order, so this is simply the last sequence done). Liveness signal:
+//     a coordinator that stops seeing frames declares the shard stalled.
+//   - "done": the shard finished; Records is the shard's total scenario
+//     count (skipped-by-StartSeq included) and Summary the outcome tally
+//     of the experiments this run executed.
+//   - "error": the shard failed; Err carries the complaint.
+type Frame struct {
+	Type    string           `json:"type"`
+	Seq     int              `json:"seq,omitempty"`
+	Rec     json.RawMessage  `json:"rec,omitempty"`
+	Records int              `json:"records,omitempty"`
+	Summary *profile.Summary `json:"summary,omitempty"`
+	Err     string           `json:"err,omitempty"`
+}
+
+// Frame and request type tags.
+const (
+	TypeRun      = "run"
+	TypeRec      = "rec"
+	TypeProgress = "progress"
+	TypeDone     = "done"
+	TypeError    = "error"
+)
+
+// maxLine bounds one protocol line. Record lines embed configuration
+// error details, which are bounded by the mutated files; 16 MB matches
+// the JSONL scanner's ceiling.
+const maxLine = 16 * 1024 * 1024
+
+// lineReader decodes line-delimited JSON messages.
+type lineReader struct {
+	sc *bufio.Scanner
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	return &lineReader{sc: sc}
+}
+
+// next decodes the next non-empty line into v. io.EOF reports a cleanly
+// exhausted stream.
+func (l *lineReader) next(v any) error {
+	for l.sc.Scan() {
+		line := l.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, v); err != nil {
+			return fmt.Errorf("dist: decoding message: %w", err)
+		}
+		return nil
+	}
+	if err := l.sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// writeMsg encodes v as one JSON line. Callers serialize access to w.
+func writeMsg(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("dist: encoding message: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("dist: writing message: %w", err)
+	}
+	return nil
+}
+
+// Validate rejects malformed shard requests before any campaign state is
+// built.
+func (r *ShardRequest) Validate() error {
+	if r.Type != TypeRun {
+		return fmt.Errorf("dist: unknown request type %q", r.Type)
+	}
+	if r.Shards <= 0 || r.Shard < 0 || r.Shard >= r.Shards {
+		return fmt.Errorf("dist: invalid shard %d of %d", r.Shard, r.Shards)
+	}
+	if r.StartSeq < 0 {
+		return fmt.Errorf("dist: negative start sequence %d", r.StartSeq)
+	}
+	if r.Campaign.System == "" || r.Campaign.Plugin == "" {
+		return fmt.Errorf("dist: shard request missing system or plugin")
+	}
+	return nil
+}

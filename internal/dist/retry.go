@@ -1,0 +1,49 @@
+package dist
+
+import "time"
+
+// RetryPolicy shapes how the coordinator retries a failed shard: up to
+// MaxAttempts connection-established attempts per shard, with capped
+// exponential backoff between attempts. Dial failures are charged to the
+// worker endpoint (see endpoint retirement in the coordinator), not to
+// the shard, so one dead worker cannot burn a shard's attempt budget
+// while its siblings are busy.
+type RetryPolicy struct {
+	// MaxAttempts is the per-shard attempt cap (0 selects the default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay (0 selects 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 selects 5s).
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the delay before retry attempt n (1-based): base·2^(n-1),
+// capped at MaxBackoff.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Two-process distributed-campaign smoke test.
+#
+# Starts two sutd worker daemons on localhost, runs a bounded nginx/typo
+# campaign through `conferr dist`, kills one worker mid-run (SIGKILL, no
+# goodbye), and byte-compares the merged -no-duration profile against a
+# single-process `conferr matrix -stream-out` reference of the same
+# cell. This is the end-to-end check behind the determinism guarantee:
+# scheduling, worker death, shard retry and the sequence merge must all
+# be invisible in the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+  kill "$(jobs -p)" >/dev/null 2>&1 || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/conferr" ./cmd/conferr
+go build -o "$tmp/sutd" ./cmd/sutd
+
+SEED=42 ROUNDS=20 LIMIT=20000 PORT=24100
+W1=29431 W2=29432
+
+echo "== single-process reference"
+"$tmp/conferr" matrix -systems nginx -plugins typo -seed $SEED \
+  -rounds $ROUNDS -limit $LIMIT -base-port $PORT -memnet \
+  -no-duration -stream-out "$tmp/ref.jsonl" >/dev/null
+
+echo "== starting two workers"
+"$tmp/sutd" -serve 127.0.0.1:$W1 -quiet >"$tmp/w1.log" 2>&1 &
+W1PID=$!
+"$tmp/sutd" -serve 127.0.0.1:$W2 -quiet >"$tmp/w2.log" 2>&1 &
+W2PID=$!
+for log in w1 w2; do
+  ok=""
+  for _ in $(seq 50); do
+    if grep -q "worker listening" "$tmp/$log.log"; then ok=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "worker $log did not start"; cat "$tmp/$log.log"; exit 1; }
+done
+
+echo "== distributed run (worker 1 dies mid-run)"
+"$tmp/conferr" dist -workers 127.0.0.1:$W1,127.0.0.1:$W2 -shards 4 \
+  -system nginx -plugin typo -seed $SEED -rounds $ROUNDS -limit $LIMIT \
+  -port $PORT -memnet -no-duration -out "$tmp/dist.jsonl" &
+DIST=$!
+
+sleep 0.3
+kill -9 "$W1PID" 2>/dev/null && echo "killed worker 1 (pid $W1PID)" || true
+
+wait "$DIST"
+
+cmp "$tmp/ref.jsonl" "$tmp/dist.jsonl"
+echo "dist-smoke OK: merged profile byte-identical to the single-process reference ($(wc -l <"$tmp/dist.jsonl") records)"
