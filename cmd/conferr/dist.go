@@ -5,12 +5,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"conferr"
 	"conferr/internal/dist"
 	"conferr/internal/profile"
+	"conferr/internal/profile/cprof"
 )
 
 // cmdDist runs one campaign distributed across sutd worker daemons: the
@@ -41,7 +44,7 @@ func cmdDist(ctx context.Context, args []string) error {
 	keepGoing := fs.Bool("keep-going", false, "record infrastructure errors instead of failing the shard")
 	noDuration := fs.Bool("no-duration", false, "zero duration_ns in merged records, making equivalent runs byte-comparable")
 	tally := fs.Bool("tally", false, "summary-only mode: workers send one tally each, no record stream")
-	out := fs.String("out", "", "merged JSONL profile path")
+	out := fs.String("out", "", "merged profile path (.cprof = compact binary frames, else JSONL)")
 	checkpoint := fs.String("checkpoint", "", "checkpoint file enabling resume (default <out>.ckpt when -out is set)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint, completing only the missing sequence range")
 	stall := fs.Duration("stall-timeout", 15*time.Second, "reassign a shard when its worker sends no frame for this long")
@@ -92,6 +95,24 @@ func cmdDist(ctx context.Context, args []string) error {
 		DialTimeout:    *dialTO,
 		StallTimeout:   *stall,
 		Retry:          dist.RetryPolicy{MaxAttempts: *retries},
+	}
+	if strings.HasSuffix(*out, ".cprof") {
+		// Compact output: the merger's rendered JSONL lines are re-parsed
+		// into cprof frames by a LineWriter. The factory reconciles the
+		// file against the checkpoint front by walking frames, and every
+		// checkpoint flushes the writer first, so each persisted front is
+		// a frame boundary; raising CheckpointEvery to one frame of
+		// records keeps frames full-size instead of checkpoint-size.
+		outPath := *out
+		coord.OutPath = ""
+		coord.CheckpointEvery = cprof.DefaultFrameRecords
+		coord.OutFactory = func(startSeq int) (io.Writer, func() error, func(bool) error, error) {
+			cf, err := cprof.OpenFileAt(outPath, startSeq)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return cf.W.LineWriter(), cf.Flush, cf.Close, nil
+		}
 	}
 	if !*quiet {
 		coord.Logf = func(format string, a ...any) {

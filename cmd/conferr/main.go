@@ -19,6 +19,12 @@
 //	                                        distribute one campaign across sutd
 //	                                        worker daemons, with retry/resume and
 //	                                        a byte-identical merged profile
+//	conferr report FILE [-diff A B] [-fail-regress PP] [-band-key K] [-workers N]
+//	                                        stream a JSONL or cprof profile into
+//	                                        Table 1-3 / Figure 3 shapes, or diff
+//	                                        two campaigns as a regression gate
+//	conferr convert IN OUT                  translate profiles between JSONL and
+//	                                        cprof, losslessly in both directions
 //	conferr list                            list registered systems and plugins
 //	conferr all [-seed N] [-workers N]      run every experiment
 //
@@ -32,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -82,6 +89,10 @@ func run(ctx context.Context, args []string) int {
 		err = cmdMatrix(ctx, rest)
 	case "dist":
 		err = cmdDist(ctx, rest)
+	case "report":
+		err = cmdReport(ctx, rest)
+	case "convert":
+		err = cmdConvert(ctx, rest)
 	case "editbench":
 		err = cmdEditBench(ctx, rest)
 	case "compare":
@@ -120,6 +131,11 @@ commands:
   dist      run one campaign across remote workers: -workers host:port,...
             -shards N -system <name> -plugin <name> [-out FILE] [-resume]
             [-no-duration] [-tally] (workers: sutd -serve host:port)
+  report    fold a profile file (JSONL or .cprof, - for stdin) into the paper's
+            report shapes; -diff BEFORE AFTER compares two campaigns and
+            -fail-regress N.N gates CI on detection-rate regressions
+  convert   translate a profile between JSONL and .cprof (extension-switched),
+            losslessly in both directions [-no-duration]
   editbench run the §5.5 configuration-process benchmark (typos near edits)
   compare   quantify the impact of MySQL's missing checks (before/after)
   list      list registered systems and plugins
@@ -428,7 +444,7 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	limit := fs.Int("limit", 0, "cap each cell's faultload, lazily (0 = off)")
 	rounds := fs.Int("rounds", 0, "replay each cell's faultload N times with round-prefixed IDs (scale harness)")
 	sample := fs.Int("sample", 0, "reservoir-sample N scenarios per cell (0 = off)")
-	streamOut := fs.String("stream-out", "", "stream records of all cells to this JSONL file instead of keeping profiles in memory")
+	streamOut := fs.String("stream-out", "", "stream records of all cells to this file instead of keeping profiles in memory (.cprof = compact binary frames, - = JSONL on stdout, else JSONL)")
 	noDuration := fs.Bool("no-duration", false, "zero the duration_ns field in streamed records, making equivalent runs byte-comparable")
 	basePort := fs.Int("base-port", 24100, "primary port of cell i is base-port+i, keeping faultloads reproducible (0 = allocate)")
 	keepGoing := fs.Bool("keep-going", false, "keep running remaining cells when one fails")
@@ -496,20 +512,53 @@ func cmdMatrix(ctx context.Context, args []string) error {
 		mo.PoolCounters = counters
 	}
 	var finishOut func() error
-	if *streamOut != "" {
+	// With `-stream-out -` the record stream owns stdout, so the summary
+	// table and notes move to stderr.
+	info := io.Writer(os.Stdout)
+	switch {
+	case *streamOut == "-":
+		info = os.Stderr
+		bw := bufio.NewWriterSize(os.Stdout, 1<<20)
+		lw := conferr.NewLockedWriter(bw)
+		mo.SinkFor = jsonlSinkFor(lw, *noDuration)
+		finishOut = func() error {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("flushing stdout: %w", err)
+			}
+			return nil
+		}
+	case strings.HasSuffix(*streamOut, ".cprof"):
+		// Extension-switched compact output: per-cell cprof sinks share
+		// one frame writer (internally serialized), and the sinks are
+		// shardable, so the engine's no-reassembly bypass stays on.
+		cf, err := conferr.CreateCprof(*streamOut)
+		if err != nil {
+			return err
+		}
+		mo.SinkFor = func(e conferr.MatrixEntry) conferr.Sink {
+			sink := conferr.Sink(cf.W.Sink(e.System, e.Plugin))
+			if *noDuration {
+				sink = conferr.StripDurations(sink)
+			}
+			return sink
+		}
+		finishOut = func() error {
+			// Close(true) cuts partial frames and writes the trailer
+			// index; a failure must fail the command — buffered records
+			// exist nowhere else.
+			if err := cf.Close(true); err != nil {
+				return fmt.Errorf("finishing %s: %w", *streamOut, err)
+			}
+			return nil
+		}
+	case *streamOut != "":
 		f, err := os.Create(*streamOut)
 		if err != nil {
 			return err
 		}
 		bw := bufio.NewWriterSize(f, 1<<20)
 		lw := conferr.NewLockedWriter(bw)
-		mo.SinkFor = func(e conferr.MatrixEntry) conferr.Sink {
-			sink := conferr.Sink(conferr.NewJSONLSink(lw, e.System, e.Plugin))
-			if *noDuration {
-				sink = conferr.StripDurations(sink)
-			}
-			return sink
-		}
+		mo.SinkFor = jsonlSinkFor(lw, *noDuration)
 		finishOut = func() error {
 			// A failed flush must fail the command: up to the buffer size
 			// of records exists nowhere but here.
@@ -519,7 +568,7 @@ func cmdMatrix(ctx context.Context, args []string) error {
 			}
 			return f.Close()
 		}
-	} else {
+	default:
 		// Without a stream destination the CLI prints only the summary
 		// table, yet the suite would dutifully accumulate every record in
 		// memory — on large matrices roughly 40% of wall clock went to the
@@ -530,10 +579,10 @@ func cmdMatrix(ctx context.Context, args []string) error {
 
 	res, err := conferr.RunMatrix(ctx, entries, mo)
 	if res != nil {
-		printMatrixResults(res)
+		printMatrixResults(info, res)
 	}
 	if counters != nil {
-		fmt.Printf("lifecycle=%s %s\n", lifecycle, counters.Snapshot())
+		fmt.Fprintf(info, "lifecycle=%s %s\n", lifecycle, counters.Snapshot())
 	}
 	if finishOut != nil {
 		if ferr := finishOut(); ferr != nil && err == nil {
@@ -543,19 +592,32 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if *streamOut != "" {
-		fmt.Println("records streamed to", *streamOut)
+	if *streamOut != "" && *streamOut != "-" {
+		fmt.Fprintln(info, "records streamed to", *streamOut)
 	}
 	return nil
 }
 
+// jsonlSinkFor builds the per-cell sink factory for JSONL streaming:
+// every cell renders into the same locked writer, optionally with
+// durations stripped.
+func jsonlSinkFor(lw io.Writer, noDuration bool) func(conferr.MatrixEntry) conferr.Sink {
+	return func(e conferr.MatrixEntry) conferr.Sink {
+		sink := conferr.Sink(conferr.NewJSONLSink(lw, e.System, e.Plugin))
+		if noDuration {
+			sink = conferr.StripDurations(sink)
+		}
+		return sink
+	}
+}
+
 // printMatrixResults renders one row per suite cell.
-func printMatrixResults(res *conferr.SuiteResult) {
-	fmt.Printf("%-28s %12s %10s %8s %8s %8s %12s %10s\n",
+func printMatrixResults(w io.Writer, res *conferr.SuiteResult) {
+	fmt.Fprintf(w, "%-28s %12s %10s %8s %8s %8s %12s %10s\n",
 		"campaign", "records", "startup", "test", "ignored", "not-exp", "duration", "exp/s")
 	for _, cr := range res.Results {
 		if cr.Err != nil {
-			fmt.Printf("%-28s failed: %v\n", cr.Name, cr.Err)
+			fmt.Fprintf(w, "%-28s failed: %v\n", cr.Name, cr.Err)
 			continue
 		}
 		s := cr.Summary
@@ -563,7 +625,7 @@ func printMatrixResults(res *conferr.SuiteResult) {
 		if sec := cr.Duration.Seconds(); sec > 0 {
 			rate = fmt.Sprintf("%.0f", float64(cr.Records)/sec)
 		}
-		fmt.Printf("%-28s %12d %10d %8d %8d %8d %12s %10s\n",
+		fmt.Fprintf(w, "%-28s %12d %10d %8d %8d %8d %12s %10s\n",
 			cr.Name, cr.Records, s.AtStartup, s.ByTest, s.Ignored, s.NotExpressible,
 			cr.Duration.Round(time.Millisecond), rate)
 	}

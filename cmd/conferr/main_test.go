@@ -234,3 +234,101 @@ func TestRunCompareCommand(t *testing.T) {
 		t.Errorf("compare: exit = %d", got)
 	}
 }
+
+// TestRunMatrixStreamStdout: `matrix -stream-out -` must put records —
+// and nothing else — on stdout, with the summary table diverted to
+// stderr.
+func TestRunMatrixStreamStdout(t *testing.T) {
+	stdout := capture(t, func() {
+		if got := runT("matrix", "-systems", "nginx", "-plugins", "typo",
+			"-per-model", "4", "-limit", "8", "-workers", "4",
+			"-base-port", "24160", "-no-duration", "-stream-out", "-"); got != 0 {
+			t.Errorf("matrix -stream-out -: exit = %d", got)
+		}
+	})
+	if strings.Contains(stdout, "campaign") || strings.Contains(stdout, "records streamed") {
+		t.Errorf("summary leaked into the record stream:\n%s", stdout)
+	}
+	profs, err := conferr.ReadProfilesJSONL(strings.NewReader(stdout))
+	if err != nil {
+		t.Fatalf("stdout is not clean JSONL: %v", err)
+	}
+	if len(profs) != 1 || len(profs[0].Records) == 0 || len(profs[0].Records) > 8 {
+		t.Fatalf("streamed profiles = %+v, want one nginx/typo profile with 1..8 records", profs)
+	}
+}
+
+// TestRunMatrixCprofConvertReport drives the compact pipeline end to
+// end: matrix streams a cell to .cprof and (second run) to .jsonl, the
+// two must agree byte-for-byte after conversion, and report/convert
+// consume both formats.
+func TestRunMatrixCprofConvertReport(t *testing.T) {
+	dir := t.TempDir()
+	cprofOut := dir + "/records.cprof"
+	jsonlOut := dir + "/records.jsonl"
+	args := func(out string) []string {
+		return []string{"matrix", "-systems", "nginx", "-plugins", "typo",
+			"-per-model", "4", "-workers", "4", "-base-port", "24161",
+			"-no-duration", "-stream-out", out}
+	}
+	if got := runT(args(cprofOut)...); got != 0 {
+		t.Fatalf("matrix -stream-out .cprof: exit = %d", got)
+	}
+	if got := runT(args(jsonlOut)...); got != 0 {
+		t.Fatalf("matrix -stream-out .jsonl: exit = %d", got)
+	}
+
+	// convert .cprof → JSONL must reproduce the directly streamed bytes.
+	converted := dir + "/converted.jsonl"
+	if got := runT("convert", cprofOut, converted); got != 0 {
+		t.Fatalf("convert: exit = %d", got)
+	}
+	want, err := os.ReadFile(jsonlOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(converted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || string(got) != string(want) {
+		t.Fatalf("converted JSONL diverges from direct stream (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// And back: JSONL → .cprof → JSONL is a fixed point.
+	recprof := dir + "/re.cprof"
+	rejsonl := dir + "/re.jsonl"
+	if got := runT("convert", jsonlOut, recprof); got != 0 {
+		t.Fatalf("convert to cprof: exit = %d", got)
+	}
+	if got := runT("convert", recprof, rejsonl); got != 0 {
+		t.Fatalf("convert back: exit = %d", got)
+	}
+	round, err := os.ReadFile(rejsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != string(want) {
+		t.Fatal("JSONL→cprof→JSONL is not an identity")
+	}
+
+	// report reads both formats and prints the same shapes.
+	for _, in := range []string{cprofOut, jsonlOut} {
+		out := capture(t, func() {
+			if got := runT("report", in); got != 0 {
+				t.Errorf("report %s: exit = %d", in, got)
+			}
+		})
+		for _, wantS := range []string{"Outcome summary", "Resilience scorecard", "Per-class outcomes"} {
+			if !strings.Contains(out, wantS) {
+				t.Errorf("report %s missing %q:\n%s", in, wantS, out)
+			}
+		}
+	}
+
+	// The diff of a campaign against itself is regression-free; the gate
+	// passes.
+	if got := runT("report", "-diff", "-fail-regress", "0.1", cprofOut, jsonlOut); got != 0 {
+		t.Errorf("self-diff tripped the regression gate: exit = %d", got)
+	}
+}

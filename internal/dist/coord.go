@@ -34,6 +34,16 @@ type Coordinator struct {
 	// OutPath is created (or, on resume, reconciled and appended to).
 	Out     io.Writer
 	OutPath string
+	// OutFactory, when non-nil, takes precedence over Out/OutPath and
+	// builds the output stack for a run resuming at startSeq: w receives
+	// the merged JSONL lines (one line per Write), flush makes flushed
+	// records durable before each checkpoint, and finish(complete) is
+	// called exactly once at the end — complete reports whether the
+	// campaign finished, letting format-aware outputs (cprof) finalize
+	// their index on success while leaving a resumable prefix on
+	// failure. The factory owns reconciling any existing file to
+	// startSeq records.
+	OutFactory func(startSeq int) (w io.Writer, flush func() error, finish func(complete bool) error, err error)
 	// CheckpointPath enables checkpointing ("" disables). Ignored in
 	// tally mode, where there is no record stream to checkpoint.
 	CheckpointPath string
@@ -242,11 +252,18 @@ func (c *Coordinator) Run(ctx context.Context) (Result, error) {
 	}
 
 	var (
-		w     io.Writer
-		flush func() error
+		w      io.Writer
+		flush  func() error
+		finish func(complete bool) error
 	)
 	switch {
 	case tally:
+	case c.OutFactory != nil:
+		var err error
+		w, flush, finish, err = c.OutFactory(startSeq)
+		if err != nil {
+			return Result{}, err
+		}
 	case c.Out != nil:
 		w = c.Out
 	case c.OutPath != "":
@@ -345,15 +362,20 @@ func (c *Coordinator) Run(ctx context.Context) (Result, error) {
 	if merger != nil {
 		res.Duplicates = merger.Duplicates()
 	}
+	if runErr == nil && merger != nil {
+		if err := merger.GapCheck(total); err != nil {
+			runErr = err
+		}
+	}
+	if finish != nil {
+		if err := finish(runErr == nil); err != nil && runErr == nil {
+			runErr = fmt.Errorf("dist: finishing output: %w", err)
+		}
+	}
 	if runErr != nil {
 		// Leave the checkpoint behind: the run is resumable from the
 		// flush front it recorded.
 		return res, runErr
-	}
-	if merger != nil {
-		if err := merger.GapCheck(total); err != nil {
-			return res, err
-		}
 	}
 	if cpPath != "" {
 		if err := os.Remove(cpPath); err != nil && !errors.Is(err, os.ErrNotExist) {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"conferr"
 	"conferr/internal/dist"
 	"conferr/internal/profile"
+	"conferr/internal/profile/cprof"
 )
 
 // fastRetry keeps test retries well under a second.
@@ -424,5 +426,142 @@ func TestDistTallyMode(t *testing.T) {
 	}
 	if res.Records != total || res.Summary.Injected != total {
 		t.Fatalf("tally result: records=%d injected=%d, want %d/%d", res.Records, res.Summary.Injected, total, total)
+	}
+}
+
+// cprofOutFactory wires a coordinator's merged stream into a cprof
+// file, the way cmd/conferr does for `dist -out foo.cprof`.
+func cprofOutFactory(path string) func(int) (io.Writer, func() error, func(bool) error, error) {
+	return func(startSeq int) (io.Writer, func() error, func(bool) error, error) {
+		cf, err := cprof.OpenFileAt(path, startSeq)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return cf.W.LineWriter(), cf.Flush, cf.Close, nil
+	}
+}
+
+// TestDistCprofOutByteIdentity: a distributed campaign merged straight
+// into a cprof file converts back to JSONL byte-identical to the
+// single-process reference stream.
+func TestDistCprofOutByteIdentity(t *testing.T) {
+	const (
+		seed  = int64(13)
+		limit = 30
+		port  = 25903
+	)
+	ref := referenceStream(t, seed, limit, port)
+	runner := conferr.NewDistRunner()
+	_, a1 := startServer(t, runner)
+	_, a2 := startServer(t, runner)
+
+	outPath := filepath.Join(t.TempDir(), "merged.cprof")
+	coord := &dist.Coordinator{
+		Workers:      []string{a1, a2},
+		Shards:       3,
+		Spec:         realSpec(seed, limit, port),
+		OutFactory:   cprofOutFactory(outPath),
+		StallTimeout: 10 * time.Second,
+		Retry:        fastRetry,
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != limit {
+		t.Fatalf("records = %d, want %d", res.Records, limit)
+	}
+	var got bytes.Buffer
+	if err := cprof.ToJSONL(outPath, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), ref) {
+		t.Fatalf("cprof merge diverges from single-process reference:\n got %d bytes\nwant %d bytes", got.Len(), len(ref))
+	}
+	// The finished file must carry its trailer index.
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, _ := f.Stat()
+	if _, fromIndex, err := cprof.ReadIndex(f, st.Size()); err != nil || !fromIndex {
+		t.Fatalf("finished cprof file lacks a trailer index (fromIndex=%v err=%v)", fromIndex, err)
+	}
+}
+
+// TestDistCprofResume: a run that dies mid-campaign leaves a trailerless
+// cprof prefix and a checkpoint; the resumed run reconciles the file by
+// walking frames, truncates past the front, completes the missing range,
+// and the final file still converts byte-identical to the reference.
+func TestDistCprofResume(t *testing.T) {
+	const (
+		seed  = int64(17)
+		limit = 30
+		port  = 25904
+	)
+	ref := referenceStream(t, seed, limit, port)
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "resume.cprof")
+	cpPath := outPath + ".ckpt"
+	real := conferr.NewDistRunner()
+
+	// Run 1: shard 1 always fails, so the flush front parks behind its
+	// first sequence while other shards' records keep checkpointing.
+	broken := dist.ShardRunnerFunc(func(ctx context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		if req.Shard == 1 {
+			return dist.ShardResult{}, errors.New("shard 1 is cursed")
+		}
+		return real.RunShard(ctx, req, emit)
+	})
+	_, addr := startServer(t, broken)
+	coord := &dist.Coordinator{
+		Workers:         []string{addr},
+		Shards:          3,
+		Spec:            realSpec(seed, limit, port),
+		OutFactory:      cprofOutFactory(outPath),
+		CheckpointPath:  cpPath,
+		CheckpointEvery: 1,
+		StallTimeout:    5 * time.Second,
+		Retry:           dist.RetryPolicy{MaxAttempts: 2, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+	}
+	if _, err := coord.Run(context.Background()); err == nil {
+		t.Fatal("run with a cursed shard succeeded")
+	}
+	if _, err := os.Stat(cpPath); err != nil {
+		t.Fatalf("failed run left no checkpoint: %v", err)
+	}
+
+	// Run 2: healthy worker, resumed from the checkpoint.
+	_, addr2 := startServer(t, real)
+	coord2 := &dist.Coordinator{
+		Workers:        []string{addr2},
+		Shards:         3,
+		Spec:           realSpec(seed, limit, port),
+		OutFactory:     cprofOutFactory(outPath),
+		CheckpointPath: cpPath,
+		Resume:         true,
+		StallTimeout:   5 * time.Second,
+		Retry:          fastRetry,
+	}
+	res, err := coord2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartSeq == 0 {
+		t.Fatal("resume did not start from the checkpoint front")
+	}
+	if res.Records != limit {
+		t.Fatalf("records = %d, want %d", res.Records, limit)
+	}
+	var got bytes.Buffer
+	if err := cprof.ToJSONL(outPath, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), ref) {
+		t.Fatalf("resumed cprof merge diverges from reference:\n got %d bytes\nwant %d bytes", got.Len(), len(ref))
+	}
+	if _, err := os.Stat(cpPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint not removed after success: %v", err)
 	}
 }

@@ -1,0 +1,165 @@
+package cprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"conferr/internal/profile"
+)
+
+// File couples a cprof Writer with its backing file and write buffer —
+// the whole output stack behind `matrix -stream-out foo.cprof` and
+// `dist -out foo.cprof`.
+type File struct {
+	f  *os.File
+	bw *bufio.Writer
+	// W is the frame writer; obtain sinks and line writers from it.
+	W *Writer
+}
+
+// Create creates (or truncates) a cprof output file.
+func Create(path string) (*File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cprof: %w", err)
+	}
+	return newFile(f), nil
+}
+
+func newFile(f *os.File) *File {
+	bw := bufio.NewWriterSize(f, 256*1024)
+	return &File{f: f, bw: bw, W: NewWriter(bw)}
+}
+
+// Flush cuts every sink's partial frame and pushes everything through
+// the buffer to the OS — the durability point before a checkpoint.
+func (c *File) Flush() error {
+	if err := c.W.Flush(); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("cprof: flushing output: %w", err)
+	}
+	return nil
+}
+
+// Close finishes the file. With complete=true the frame index and
+// trailer are written first — a cleanly closed, trailer-indexed file.
+// With complete=false only buffered frames are flushed: the file stays
+// a valid resumable prefix (scans sequentially, index rebuilds from
+// preambles) for a later OpenFileAt.
+func (c *File) Close(complete bool) error {
+	var err error
+	if complete {
+		err = c.W.Close()
+	} else {
+		err = c.W.Flush()
+	}
+	if ferr := c.bw.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("cprof: flushing output: %w", ferr)
+	}
+	if cerr := c.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("cprof: closing output: %w", cerr)
+	}
+	return err
+}
+
+// OpenFileAt opens path for appending a merged record stream resumed at
+// checkpoint front — the cprof counterpart of the dist coordinator's
+// JSONL line-count reconcile. The existing frames are walked (payload
+// CRCs verified, no inflation), checked contiguous from sequence 0, and
+// everything past front records — a torn tail, frames flushed after the
+// last durable checkpoint, a stale index block — is truncated away. The
+// checkpointing writer flushes (cutting a frame) before every
+// checkpoint write, so a frame boundary exists at exactly front; a
+// front landing mid-frame means the file and checkpoint do not belong
+// together. front == 0 truncates to a fresh file.
+func OpenFileAt(path string, front int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cprof: %w", err)
+	}
+	if front == 0 {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cprof: truncating output: %w", err)
+		}
+		return newFile(f), nil
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cprof: %w", err)
+	}
+	frames, _, err := walkFrames(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var kept []FrameInfo
+	records := 0
+	end := int64(len(fileMagic))
+	for _, fi := range frames {
+		if records == front {
+			break
+		}
+		if fi.FirstSeq != records || fi.LastSeq != records+fi.Count-1 {
+			f.Close()
+			return nil, fmt.Errorf("cprof: %s: frame at %d covers sequences %d..%d where %d was expected — wrong or corrupt output file",
+				path, fi.Off, fi.FirstSeq, fi.LastSeq, records)
+		}
+		if records+fi.Count > front {
+			f.Close()
+			return nil, fmt.Errorf("cprof: %s: checkpoint front %d lands inside the frame at %d (sequences %d..%d) — file and checkpoint do not belong together",
+				path, front, fi.Off, fi.FirstSeq, fi.LastSeq)
+		}
+		records += fi.Count
+		kept = append(kept, fi)
+		end = fi.Off + fi.Len
+	}
+	if records < front {
+		f.Close()
+		return nil, fmt.Errorf("cprof: %s has %d contiguous records but checkpoint front is %d — wrong or corrupt output file",
+			path, records, front)
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cprof: truncating output past the checkpoint front: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cprof: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 256*1024)
+	return &File{f: f, bw: bw, W: newWriterAt(bw, end, kept)}, nil
+}
+
+// ToJSONL renders a cprof file as canonical JSONL on w, in canonical
+// order (campaigns by first appearance, records by sequence) — the
+// lossless cprof→JSONL conversion. For ordered single-campaign inputs
+// the output is byte-identical to the JSONL stream the same campaign
+// would have written directly.
+func ToJSONL(path string, w io.Writer) error {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(w, 256*1024)
+	}
+	var buf []byte
+	err := ScanFileSeqOrdered(path, func(e profile.JSONLEntry) error {
+		buf = profile.AppendJSONLRecord(buf[:0], e.System, e.Generator, e.Seq, e.Record)
+		_, werr := bw.Write(buf)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// FromJSONL converts a JSONL stream into cprof frames on the Writer
+// (whose Close the caller owns) — the lossless JSONL→cprof conversion.
+func FromJSONL(r io.Reader, w *Writer) error {
+	return profile.ScanJSONL(r, w.WriteEntry)
+}

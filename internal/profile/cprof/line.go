@@ -1,0 +1,58 @@
+package cprof
+
+import (
+	"conferr/internal/profile"
+)
+
+// LineWriter adapts the Writer to the SeqMerger's output contract: one
+// rendered JSONL line per Write call. Each line is parsed back into its
+// entry and re-encoded into frames, so `dist -out foo.cprof` reuses the
+// whole merge/checkpoint path unchanged — workers still ship JSONL
+// lines over the wire; only the merged artifact changes format.
+type LineWriter struct {
+	w *Writer
+}
+
+// LineWriter returns the writer's line-per-Write adapter.
+func (w *Writer) LineWriter() *LineWriter { return &LineWriter{w: w} }
+
+// Write implements io.Writer over exactly one JSONL line (trailing
+// newline optional; blank lines are ignored).
+func (lw *LineWriter) Write(p []byte) (int, error) {
+	line := p
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if len(line) == 0 {
+		return len(p), nil
+	}
+	e, err := profile.ParseJSONLLine(line)
+	if err != nil {
+		return 0, err
+	}
+	if err := lw.w.WriteEntry(e); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteEntry buffers one decoded entry into the frames of its
+// campaign's internal sink, creating the sink on first appearance. The
+// entry's explicit sequence number is preserved; a sequence running
+// backwards cuts the current frame so frames stay internally ordered.
+// Single-goroutine, like every sink write path.
+func (w *Writer) WriteEntry(e profile.JSONLEntry) error {
+	key := e.System + "\x00" + e.Generator
+	w.mu.Lock()
+	if w.campaigns == nil {
+		w.campaigns = make(map[string]*Sink)
+	}
+	s := w.campaigns[key]
+	if s == nil {
+		s = &Sink{w: w, system: e.System, generator: e.Generator}
+		w.campaigns[key] = s
+		w.sinks = append(w.sinks, s)
+	}
+	w.mu.Unlock()
+	return s.writeSeq(e.Seq, e.Record)
+}

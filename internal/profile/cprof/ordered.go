@@ -1,0 +1,151 @@
+package cprof
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+
+	"conferr/internal/profile"
+)
+
+// ScanSeqOrdered replays a cprof stream in canonical order: campaigns
+// in order of first appearance in the file, and within each campaign
+// records in ascending sequence order. For files written by one ordered
+// sink this equals a plain Scan; for files written through the sharded
+// bypass — whose sub-sinks interleave stride-n frames — it k-way merges
+// the overlapping frames by sequence, decoding each frame exactly once
+// and holding at most the overlapping set (≈ the worker count) in
+// memory. This is the order that makes cprof→JSONL conversion
+// byte-identical to the ordered JSONL stream of the same campaign.
+func ScanSeqOrdered(ra io.ReaderAt, size int64, fn func(profile.JSONLEntry) error) error {
+	frames, _, err := ReadIndex(ra, size)
+	if err != nil {
+		return err
+	}
+	type campaignKey struct{ system, generator string }
+	var order []campaignKey
+	groups := make(map[campaignKey][]FrameInfo)
+	for _, fi := range frames {
+		k := campaignKey{fi.System, fi.Generator}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], fi)
+	}
+	dec := &frameDecoder{}
+	for _, k := range order {
+		if err := scanCampaignOrdered(ra, groups[k], dec, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanFileSeqOrdered is ScanSeqOrdered over a file path.
+func ScanFileSeqOrdered(path string, fn func(profile.JSONLEntry) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("cprof: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("cprof: %w", err)
+	}
+	return ScanSeqOrdered(f, st.Size(), fn)
+}
+
+// scanCampaignOrdered emits one campaign's frames in sequence order.
+func scanCampaignOrdered(ra io.ReaderAt, frames []FrameInfo, dec *frameDecoder, fn func(profile.JSONLEntry) error) error {
+	// Fast path: frames already ascending and non-overlapping (a single
+	// ordered sink — stream-out, dist merge) decode straight through.
+	ordered := true
+	for i := 1; i < len(frames); i++ {
+		if frames[i].FirstSeq <= frames[i-1].LastSeq {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		for _, fi := range frames {
+			if err := decodeFrameAt(ra, fi, dec, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Shard-interleaved frames: lazy k-way merge. Frames enter the heap
+	// undecoded, keyed by their index FirstSeq; a frame is decoded the
+	// first time it surfaces at the heap top and stays resident only
+	// until its records drain.
+	h := make(frameHeap, 0, len(frames))
+	for i := range frames {
+		h = append(h, &frameCursor{fi: frames[i], seq: frames[i].FirstSeq, ord: i})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		cur := h[0]
+		if cur.entries == nil {
+			cur.entries = make([]profile.JSONLEntry, 0, cur.fi.Count)
+			err := decodeFrameAt(ra, cur.fi, dec, func(e profile.JSONLEntry) error {
+				cur.entries = append(cur.entries, e)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if len(cur.entries) == 0 {
+				heap.Pop(&h)
+				continue
+			}
+			// Re-key on the decoded reality in case the index lied.
+			cur.seq = cur.entries[0].Seq
+			heap.Fix(&h, 0)
+			continue
+		}
+		if err := fn(cur.entries[cur.next]); err != nil {
+			return err
+		}
+		cur.next++
+		if cur.next >= len(cur.entries) {
+			heap.Pop(&h)
+			continue
+		}
+		cur.seq = cur.entries[cur.next].Seq
+		heap.Fix(&h, 0)
+	}
+	return nil
+}
+
+// frameCursor is one frame's position in the merge: undecoded until it
+// first reaches the heap top.
+type frameCursor struct {
+	fi      FrameInfo
+	seq     int // current sort key
+	ord     int // file order, the deterministic tie-break
+	entries []profile.JSONLEntry
+	next    int
+}
+
+// frameHeap is a min-heap of cursors by (seq, file order).
+type frameHeap []*frameCursor
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(i, j int) bool {
+	if h[i].seq != h[j].seq {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].ord < h[j].ord
+}
+func (h frameHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x any)   { *h = append(*h, x.(*frameCursor)) }
+func (h *frameHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

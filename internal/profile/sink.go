@@ -382,37 +382,81 @@ type JSONLEntry struct {
 	Record    Record
 }
 
+// ParseJSONLLine decodes one JSONL profile line (no trailing newline)
+// into its entry — the single-line counterpart of ScanJSONL, used by
+// converters and merge adapters that receive lines one at a time.
+func ParseJSONLLine(line []byte) (JSONLEntry, error) {
+	var jr jsonlRecord
+	if err := json.Unmarshal(line, &jr); err != nil {
+		return JSONLEntry{}, err
+	}
+	rec, err := jr.record()
+	if err != nil {
+		return JSONLEntry{}, err
+	}
+	return JSONLEntry{System: jr.System, Generator: jr.Generator, Seq: jr.Seq, Record: rec}, nil
+}
+
+// maxJSONLLine bounds one profile line; anything longer is corrupt, not
+// a record.
+const maxJSONLLine = 16 * 1024 * 1024
+
 // ScanJSONL streams a JSON Lines profile (as written by JSONLSink) entry
 // by entry to fn, in file order, without materializing anything: memory
 // stays constant however many records the file holds — the reader-side
 // counterpart of the streaming campaign engine. A non-nil error from fn
 // stops the scan and is returned verbatim. Empty lines are skipped.
+// Parse errors name both the line number and the byte offset of the
+// offending line, so a bad record in a multi-GB profile is seek-able,
+// not just countable.
 func ScanJSONL(r io.Reader, fn func(JSONLEntry) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64*1024)
+	var (
+		off    int64 // file offset of the line being read
+		lineNo int
+		long   []byte // spill for lines longer than the read buffer
+	)
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		if rerr == bufio.ErrBufferFull {
+			long = append(long[:0], chunk...)
+			for rerr == bufio.ErrBufferFull {
+				chunk, rerr = br.ReadSlice('\n')
+				long = append(long, chunk...)
+				if len(long) > maxJSONLLine {
+					return fmt.Errorf("profile: JSONL line %d (byte offset %d): line exceeds %d bytes", lineNo+1, off, maxJSONLLine)
+				}
+			}
+			chunk = long
 		}
-		var jr jsonlRecord
-		if err := json.Unmarshal(line, &jr); err != nil {
-			return fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+		if len(chunk) > 0 {
+			lineNo++
+			lineOff := off
+			off += int64(len(chunk))
+			line := chunk
+			if n := len(line); n > 0 && line[n-1] == '\n' {
+				line = line[:n-1]
+			}
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			if len(line) > 0 {
+				e, perr := ParseJSONLLine(line)
+				if perr != nil {
+					return fmt.Errorf("profile: JSONL line %d (byte offset %d): %w", lineNo, lineOff, perr)
+				}
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
 		}
-		rec, err := jr.record()
-		if err != nil {
-			return fmt.Errorf("profile: JSONL line %d: %w", lineNo, err)
+		if rerr == io.EOF {
+			return nil
 		}
-		if err := fn(JSONLEntry{System: jr.System, Generator: jr.Generator, Seq: jr.Seq, Record: rec}); err != nil {
-			return err
+		if rerr != nil {
+			return fmt.Errorf("profile: reading JSONL: %w", rerr)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("profile: reading JSONL: %w", err)
-	}
-	return nil
 }
 
 // ReadJSONL parses a JSON Lines profile stream written by JSONLSink,

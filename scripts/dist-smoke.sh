@@ -56,3 +56,15 @@ wait "$DIST"
 
 cmp "$tmp/ref.jsonl" "$tmp/dist.jsonl"
 echo "dist-smoke OK: merged profile byte-identical to the single-process reference ($(wc -l <"$tmp/dist.jsonl") records)"
+
+echo "== distributed run merged to .cprof (surviving worker only)"
+"$tmp/conferr" dist -workers 127.0.0.1:$W2 -shards 4 \
+  -system nginx -plugin typo -seed $SEED -rounds $ROUNDS -limit $LIMIT \
+  -port $PORT -memnet -no-duration -out "$tmp/dist.cprof"
+
+"$tmp/conferr" convert "$tmp/dist.cprof" "$tmp/dist-converted.jsonl" >/dev/null
+cmp "$tmp/ref.jsonl" "$tmp/dist-converted.jsonl"
+
+jsonl_bytes=$(wc -c <"$tmp/ref.jsonl")
+cprof_bytes=$(wc -c <"$tmp/dist.cprof")
+echo "dist-smoke OK: .cprof merge converts byte-identical to the JSONL reference ($cprof_bytes vs $jsonl_bytes bytes)"
