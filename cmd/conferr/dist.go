@@ -50,6 +50,9 @@ func cmdDist(ctx context.Context, args []string) error {
 	stall := fs.Duration("stall-timeout", 15*time.Second, "reassign a shard when its worker sends no frame for this long")
 	dialTO := fs.Duration("dial-timeout", 5*time.Second, "worker connection timeout")
 	retries := fs.Int("retries", 5, "per-shard attempt cap (dial failures retire the endpoint instead)")
+	expTO := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline workers inherit; expiry records an infrastructure error (0 = off)")
+	phaseTO := fs.Duration("phase-timeout", 0, "per-SUT-phase watchdog deadline workers inherit (start, reload, probe, stop; 0 = off)")
+	fsync := fs.Bool("fsync", false, "fsync the merged output at every checkpoint flush so -resume survives host crashes, not just process kills")
 	quiet := fs.Bool("quiet", false, "suppress scheduling diagnostics")
 	_ = fs.Parse(args)
 
@@ -89,12 +92,15 @@ func cmdDist(ctx context.Context, args []string) error {
 			Port: *port, Lifecycle: *lifecycleS, Memnet: *memnet,
 			KeepGoing: *keepGoing, NoDuration: *noDuration, TallyOnly: *tally,
 		},
-		OutPath:        *out,
-		CheckpointPath: cp,
-		Resume:         *resume,
-		DialTimeout:    *dialTO,
-		StallTimeout:   *stall,
-		Retry:          dist.RetryPolicy{MaxAttempts: *retries},
+		OutPath:           *out,
+		CheckpointPath:    cp,
+		Resume:            *resume,
+		DialTimeout:       *dialTO,
+		StallTimeout:      *stall,
+		Retry:             dist.RetryPolicy{MaxAttempts: *retries},
+		ExperimentTimeout: *expTO,
+		PhaseTimeout:      *phaseTO,
+		SyncOutput:        *fsync,
 	}
 	if strings.HasSuffix(*out, ".cprof") {
 		// Compact output: the merger's rendered JSONL lines are re-parsed
@@ -111,7 +117,13 @@ func cmdDist(ctx context.Context, args []string) error {
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			return cf.W.LineWriter(), cf.Flush, cf.Close, nil
+			flush := cf.Flush
+			if *fsync {
+				// Checkpointed fronts must not outlive the records backing
+				// them: sync the frames to disk before the front is persisted.
+				flush = cf.Sync
+			}
+			return cf.W.LineWriter(), flush, cf.Close, nil
 		}
 	}
 	if !*quiet {

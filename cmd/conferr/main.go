@@ -450,6 +450,8 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	keepGoing := fs.Bool("keep-going", false, "keep running remaining cells when one fails")
 	lifecycleS := fs.String("lifecycle", "cold", "worker SUT lifecycle: cold, reload (warm pooled instances) or validate (parse-only)")
 	memnet := fs.Bool("memnet", false, "serve SUTs over the in-process transport instead of kernel loopback TCP")
+	expTO := fs.Duration("experiment-timeout", 0, "watchdog deadline per experiment; expiry records an infrastructure error and the campaign continues (0 = off)")
+	phaseTO := fs.Duration("phase-timeout", 0, "watchdog deadline per SUT phase (start, reload, probe, stop); expiry quarantines the instance and records an infrastructure error (0 = off)")
 	workers := workersFlag(fs)
 	diag := addDiagFlags(fs)
 	_ = fs.Parse(args)
@@ -497,14 +499,16 @@ func cmdMatrix(ctx context.Context, args []string) error {
 	}
 
 	mo := conferr.MatrixOptions{
-		Workers:   *workers,
-		BasePort:  *basePort,
-		Limit:     *limit,
-		Rounds:    *rounds,
-		Sample:    *sample,
-		KeepGoing: *keepGoing,
-		Lifecycle: lifecycle,
-		InMemory:  *memnet,
+		Workers:           *workers,
+		BasePort:          *basePort,
+		Limit:             *limit,
+		Rounds:            *rounds,
+		Sample:            *sample,
+		KeepGoing:         *keepGoing,
+		Lifecycle:         lifecycle,
+		InMemory:          *memnet,
+		ExperimentTimeout: *expTO,
+		PhaseTimeout:      *phaseTO,
 	}
 	var counters *conferr.LifecycleCounters
 	if lifecycle != conferr.LifecycleCold {

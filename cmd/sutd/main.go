@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"conferr"
+	"conferr/internal/chaos"
 	"conferr/internal/dist"
 	"conferr/internal/suts"
 )
@@ -61,17 +63,19 @@ func run() int {
 	var (
 		system = flag.String("system", "",
 			"system to host: "+strings.Join(conferr.RegisteredTargets(), "|"))
-		dir       = flag.String("dir", ".", "directory holding the configuration files")
-		port      = flag.Int("port", 0, "default port the system advertises (0 = allocate; -write-default-config uses 24000)")
-		write     = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
-		serve     = flag.String("serve", "", "host:port to serve campaign shards on (worker daemon mode)")
-		heartbeat = flag.Duration("heartbeat", time.Second, "progress heartbeat interval in -serve mode")
-		quiet     = flag.Bool("quiet", false, "suppress -serve diagnostics")
+		dir        = flag.String("dir", ".", "directory holding the configuration files")
+		port       = flag.Int("port", 0, "default port the system advertises (0 = allocate; -write-default-config uses 24000)")
+		write      = flag.Bool("write-default-config", false, "write the system's default configuration into -dir and exit")
+		serve      = flag.String("serve", "", "host:port to serve campaign shards on (worker daemon mode)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "progress heartbeat interval in -serve mode")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second, "-serve drain window: how long in-flight shards may keep running after SIGTERM before their contexts cancel")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "-serve fault injection: deterministically inject latency spikes, split writes and mid-frame resets into the shard protocol with this seed (0 = off; for soak-testing coordinator recovery)")
+		quiet      = flag.Bool("quiet", false, "suppress -serve diagnostics")
 	)
 	flag.Parse()
 
 	if *serve != "" {
-		return serveWorker(*serve, *heartbeat, *quiet)
+		return serveWorker(*serve, *heartbeat, *drainGrace, *chaosSeed, *quiet)
 	}
 
 	// Writing the default configuration needs no running system and no
@@ -137,25 +141,52 @@ func run() int {
 	return exitOK
 }
 
-// serveWorker runs the campaign worker daemon until SIGTERM/SIGINT.
-func serveWorker(addr string, heartbeat time.Duration, quiet bool) int {
+// serveWorker runs the campaign worker daemon. The first SIGTERM/SIGINT
+// drains: new dials fail so coordinators place work elsewhere, in-flight
+// shards finish their current frame and abort with an explicit error
+// frame (the coordinator retries from its resume front instead of
+// diagnosing a severed connection), and silent shards are cancelled
+// after the drain grace. A second signal force-closes everything.
+func serveWorker(addr string, heartbeat, drainGrace time.Duration, chaosSeed int64, quiet bool) int {
 	srv := &dist.Server{
-		Runner:    conferr.NewDistRunner(),
-		Heartbeat: heartbeat,
+		Runner:     conferr.NewDistRunner(),
+		Heartbeat:  heartbeat,
+		DrainGrace: drainGrace,
+	}
+	if chaosSeed != 0 {
+		// The fault mix matches the chaos soak test: frequent split writes,
+		// occasional latency, rare mid-frame resets — enough to exercise
+		// every recovery path without starving shards of forward progress.
+		srv.WrapConn = chaos.NewInjector(chaos.Config{
+			Seed:        chaosSeed,
+			LatencyProb: 0.0005, LatencyMax: 2 * time.Millisecond,
+			SplitProb: 0.01,
+			ResetProb: 0.0002,
+		}).Wrap
+		fmt.Fprintln(os.Stderr, "sutd: chaos fault injection armed, seed", chaosSeed)
 	}
 	if !quiet {
 		srv.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
-	err := srv.ListenAndServe(ctx, addr, func(a net.Addr) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "sutd: draining (signal again to force close)")
+		_ = srv.Drain()
+		<-sig
+		fmt.Fprintln(os.Stderr, "sutd: force closing")
+		_ = srv.Close()
+	}()
+	err := srv.ListenAndServe(context.Background(), addr, func(a net.Addr) {
 		// The ready line goes to stdout so scripts listening on :0 can
 		// scrape the allocated port.
 		fmt.Println("sutd: worker listening on", a)
 	})
-	if err != nil && ctx.Err() == nil {
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintln(os.Stderr, "sutd:", err)
 		return exitIO
 	}

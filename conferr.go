@@ -81,11 +81,12 @@ type (
 
 // Outcome values, re-exported.
 const (
-	DetectedAtStartup = profile.DetectedAtStartup
-	DetectedByTest    = profile.DetectedByTest
-	Ignored           = profile.Ignored
-	NotExpressible    = profile.NotExpressible
-	NotApplicable     = profile.NotApplicable
+	DetectedAtStartup   = profile.DetectedAtStartup
+	DetectedByTest      = profile.DetectedByTest
+	Ignored             = profile.Ignored
+	NotExpressible      = profile.NotExpressible
+	NotApplicable       = profile.NotApplicable
+	InfrastructureError = profile.InfrastructureError
 )
 
 // Band is a Figure 3 detection band.

@@ -81,6 +81,12 @@ func runDistShard(ctx context.Context, req dist.ShardRequest, emit func(seq int,
 	if spec.KeepGoing {
 		opts = append(opts, core.WithKeepGoing(true))
 	}
+	if req.ExperimentTimeout > 0 || req.PhaseTimeout > 0 {
+		opts = append(opts, core.WithDeadlines(core.Deadlines{
+			Experiment: req.ExperimentTimeout,
+			Phase:      req.PhaseTimeout,
+		}))
+	}
 
 	var (
 		sum profile.Summary

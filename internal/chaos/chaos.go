@@ -1,0 +1,182 @@
+// Package chaos injects deterministic, seed-driven network faults into
+// net.Conn streams: latency spikes, partial (split) writes, mid-frame
+// connection resets, and read stalls. It exists to prove the dist
+// protocol's recovery story — a coordinator facing a faulty network must
+// still merge the exact byte stream a clean run produces — so the
+// injector only delays, splits, or severs traffic; it never corrupts or
+// reorders bytes that are delivered.
+//
+// Determinism: an Injector derives each wrapped connection's RNG from
+// (Seed, connection ordinal), so a fixed seed and connection order
+// reproduce the same fault pattern. Probabilities are drawn per Read and
+// per Write under the connection's lock.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config selects the fault mix. Zero probabilities inject nothing; a
+// zero Config wraps connections into pass-throughs.
+type Config struct {
+	// Seed anchors the deterministic fault pattern.
+	Seed int64
+	// LatencyProb is the per-operation probability of a latency spike of
+	// up to LatencyMax (0 selects 5ms).
+	LatencyProb float64
+	LatencyMax  time.Duration
+	// SplitProb is the per-Write probability of splitting the buffer into
+	// several smaller writes — a frame crossing packet boundaries.
+	SplitProb float64
+	// ResetProb is the per-operation probability of severing the
+	// connection; on the write side the first half of the buffer is
+	// delivered first, so the peer sees a torn frame.
+	ResetProb float64
+	// StallProb is the per-Read probability of stalling for Stall
+	// (0 selects 50ms) before reading — long enough to trip tight stall
+	// detectors, short enough for tests.
+	StallProb float64
+	Stall     time.Duration
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.LatencyProb > 0 || c.SplitProb > 0 || c.ResetProb > 0 || c.StallProb > 0
+}
+
+// Injector wraps connections with a deterministic fault stream.
+type Injector struct {
+	cfg  Config
+	mu   sync.Mutex
+	next int64 // ordinal of the next wrapped connection
+}
+
+// NewInjector returns an injector for the config.
+func NewInjector(cfg Config) *Injector {
+	if cfg.LatencyMax <= 0 {
+		cfg.LatencyMax = 5 * time.Millisecond
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Wrap returns conn behind the fault injector. The signature matches
+// dist.Server.WrapConn and memnet.Network.WrapServerConn, the two seams
+// it is built for.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	if !in.cfg.Enabled() {
+		return conn
+	}
+	in.mu.Lock()
+	ordinal := in.next
+	in.next++
+	in.mu.Unlock()
+	// splitmix-style ordinal scramble: connection k's stream is stable
+	// however many injectors exist, and distinct from k+1's.
+	seed := in.cfg.Seed + ordinal*0x1e3779b97f4a7c15
+	return &Conn{Conn: conn, cfg: in.cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Conn is one fault-injected connection. Reads and writes may run
+// concurrently (the dist worker writes frames while reading nothing, the
+// coordinator the reverse); RNG draws serialize on mu.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// errReset is returned by the severed side; the peer observes EOF or a
+// reset error from the closed transport.
+func errReset(op string) error {
+	return fmt.Errorf("chaos: injected %s reset", op)
+}
+
+// draw samples the fault decisions for one operation.
+type faults struct {
+	latency time.Duration
+	split   bool
+	reset   bool
+	stall   bool
+}
+
+func (c *Conn) draw(read bool) faults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var f faults
+	if c.cfg.LatencyProb > 0 && c.rng.Float64() < c.cfg.LatencyProb {
+		f.latency = time.Duration(c.rng.Int63n(int64(c.cfg.LatencyMax))) + time.Millisecond/10
+	}
+	if !read && c.cfg.SplitProb > 0 && c.rng.Float64() < c.cfg.SplitProb {
+		f.split = true
+	}
+	if c.cfg.ResetProb > 0 && c.rng.Float64() < c.cfg.ResetProb {
+		f.reset = true
+	}
+	if read && c.cfg.StallProb > 0 && c.rng.Float64() < c.cfg.StallProb {
+		f.stall = true
+	}
+	return f
+}
+
+// Read implements net.Conn with injected stalls, latency and resets.
+func (c *Conn) Read(p []byte) (int, error) {
+	f := c.draw(true)
+	if f.stall {
+		time.Sleep(c.cfg.Stall)
+	}
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	if f.reset {
+		_ = c.Conn.Close()
+		return 0, errReset("read")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with injected latency, split writes and
+// mid-frame resets. Delivered bytes are always an exact prefix of p in
+// order — chaos tears streams, it never scrambles them.
+func (c *Conn) Write(p []byte) (int, error) {
+	f := c.draw(false)
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	if f.reset {
+		// Deliver half the buffer first: the peer's decoder sees a torn
+		// frame followed by a dead connection — the worst crash a real
+		// network produces short of corruption.
+		n := 0
+		if half := len(p) / 2; half > 0 {
+			n, _ = c.Conn.Write(p[:half])
+		}
+		_ = c.Conn.Close()
+		return n, errReset("mid-frame write")
+	}
+	if f.split {
+		total := 0
+		chunk := len(p)/3 + 1
+		for total < len(p) {
+			end := total + chunk
+			if end > len(p) {
+				end = len(p)
+			}
+			n, err := c.Conn.Write(p[total:end])
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	return c.Conn.Write(p)
+}

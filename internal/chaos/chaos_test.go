@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingConn counts underlying Write calls, exposing split writes.
+type countingConn struct {
+	net.Conn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	return c.Conn.Write(p)
+}
+
+// pipePair wraps one end of a net.Pipe in the injector.
+func pipePair(t *testing.T, cfg Config) (faulty net.Conn, peer net.Conn, counter *countingConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	counter = &countingConn{Conn: a}
+	faulty = NewInjector(cfg).Wrap(counter)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return faulty, b, counter
+}
+
+// drain reads from peer until EOF or n bytes, whichever first.
+func drain(peer net.Conn, n int) []byte {
+	buf := make([]byte, 0, n)
+	tmp := make([]byte, 256)
+	for len(buf) < n {
+		k, err := peer.Read(tmp)
+		buf = append(buf, tmp[:k]...)
+		if err != nil {
+			break
+		}
+	}
+	return buf
+}
+
+func TestChaosZeroConfigPassThrough(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	if got := NewInjector(Config{}).Wrap(a); got != a {
+		t.Fatal("zero config must wrap to the identity")
+	}
+}
+
+func TestChaosSplitWriteDeliversIntact(t *testing.T) {
+	msg := bytes.Repeat([]byte("frame"), 40) // 200 bytes
+	faulty, peer, counter := pipePair(t, Config{Seed: 1, SplitProb: 1})
+	got := make(chan []byte, 1)
+	go func() { got <- drain(peer, len(msg)) }()
+	n, err := faulty.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("split write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("split write corrupted the stream")
+	}
+	if counter.writes.Load() < 2 {
+		t.Fatalf("split write reached the wire in %d writes, want several", counter.writes.Load())
+	}
+}
+
+func TestChaosMidFrameResetTearsTheFrame(t *testing.T) {
+	msg := bytes.Repeat([]byte("x"), 100)
+	faulty, peer, _ := pipePair(t, Config{Seed: 2, ResetProb: 1})
+	got := make(chan []byte, 1)
+	go func() { got <- drain(peer, len(msg)) }()
+	n, err := faulty.Write(msg)
+	if err == nil || !strings.Contains(err.Error(), "mid-frame write reset") {
+		t.Fatalf("err = %v, want injected mid-frame write reset", err)
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("delivered %d bytes, want the torn half (%d)", n, len(msg)/2)
+	}
+	delivered := <-got
+	if !bytes.Equal(delivered, msg[:n]) {
+		t.Fatal("peer received bytes that are not a prefix of the frame")
+	}
+	if _, err := faulty.Write(msg); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestChaosReadReset(t *testing.T) {
+	faulty, peer, _ := pipePair(t, Config{Seed: 3, ResetProb: 1})
+	go func() { _, _ = peer.Write([]byte("hello")) }()
+	buf := make([]byte, 16)
+	_, err := faulty.Read(buf)
+	if err == nil || !strings.Contains(err.Error(), "read reset") {
+		t.Fatalf("err = %v, want injected read reset", err)
+	}
+}
+
+func TestChaosStallDelaysRead(t *testing.T) {
+	const stall = 30 * time.Millisecond
+	faulty, peer, _ := pipePair(t, Config{Seed: 4, StallProb: 1, Stall: stall})
+	go func() { _, _ = peer.Write([]byte("hi")) }()
+	begin := time.Now()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(faulty, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed < stall {
+		t.Fatalf("stalled read returned after %v, want at least %v", elapsed, stall)
+	}
+}
+
+func TestChaosLatencyKeepsBytesIntact(t *testing.T) {
+	msg := []byte("latency does not corrupt")
+	faulty, peer, _ := pipePair(t, Config{Seed: 5, LatencyProb: 1, LatencyMax: time.Millisecond})
+	got := make(chan []byte, 1)
+	go func() { got <- drain(peer, len(msg)) }()
+	if _, err := faulty.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(<-got, msg) {
+		t.Fatal("latency injection corrupted the stream")
+	}
+}
+
+// TestChaosDeterministicPattern: one seed, one connection order, one
+// draw order → one fault pattern.
+func TestChaosDeterministicPattern(t *testing.T) {
+	cfg := Config{Seed: 42, LatencyProb: 0.3, SplitProb: 0.3, ResetProb: 0.2, StallProb: 0.2}
+	pattern := func() []faults {
+		in := NewInjector(cfg)
+		var all []faults
+		for conn := 0; conn < 3; conn++ {
+			a, b := net.Pipe()
+			c := in.Wrap(a).(*Conn)
+			b.Close()
+			a.Close()
+			for op := 0; op < 50; op++ {
+				all = append(all, c.draw(op%2 == 0))
+			}
+		}
+		return all
+	}
+	p1, p2 := pattern(), pattern()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("fault pattern diverged at draw %d: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+	// Distinct connections must not share a stream (ordinal scramble).
+	in := NewInjector(cfg)
+	a1, _ := net.Pipe()
+	a2, _ := net.Pipe()
+	c1, c2 := in.Wrap(a1).(*Conn), in.Wrap(a2).(*Conn)
+	same := true
+	for op := 0; op < 20 && same; op++ {
+		if c1.draw(true) != c2.draw(true) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two connections drew identical fault streams")
+	}
+}

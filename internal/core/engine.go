@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -535,6 +536,42 @@ func runOne(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (profi
 	return runOnFiles(t, files, nil, false, finish)
 }
 
+// runOneSafe is runOne behind the per-experiment panic boundary: a panic
+// anywhere in the injection pipeline — a plugin's Apply, a view
+// transform, a serializer, the SUT itself — becomes an
+// InfrastructureError record carrying the panic value and stack, plus an
+// error that follows the normal keep-going discipline, instead of
+// killing the process. Every campaign path calls this, never runOne
+// directly.
+func runOneSafe(t *Target, sc scenario.Scenario, fl *faultload, scr *scratch) (rec profile.Record, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			rec = profile.Record{
+				ScenarioID:  sc.ID,
+				Class:       sc.Class,
+				Description: sc.Description,
+				Outcome:     profile.InfrastructureError,
+				Detail:      fmt.Sprintf("panic: %v\n%s", v, debug.Stack()),
+			}
+			err = fmt.Errorf("core: panic in scenario %s: %v", sc.ID, v)
+			// The panic may have left the scratch's cached state (tracked
+			// wrappers, pre-populated files map) half-mutated; drop the
+			// caches so the next experiment rebuilds them from the baseline.
+			scr.tracked = nil
+			scr.sysTracked = nil
+			scr.files = nil
+			scr.filesFor = nil
+		}
+	}()
+	return runOne(t, sc, fl, scr)
+}
+
+// isInfraPhaseErr reports whether a phase error is the harness's own
+// failure (watchdog expiry, contained panic) rather than a SUT verdict.
+func isInfraPhaseErr(err error) bool {
+	return suts.IsPhaseTimeout(err) || suts.IsPhasePanic(err)
+}
+
 // runOneReference is the pre-incremental engine — deep-clone the whole
 // view, full Backward, re-serialize every file — kept as the behavioural
 // reference: equivalence tests prove runOne produces byte-identical
@@ -620,6 +657,18 @@ func runOnFiles(t *Target, files suts.Files, dirty []string, haveDirty bool, fin
 			}
 			return finish(profile.DetectedAtStartup, detail), nil
 		}
+		if isInfraPhaseErr(err) {
+			// A watchdog expiry or contained panic in the start phase: the
+			// harness failed the experiment, not the SUT. Record it and
+			// keep the campaign going regardless of KeepGoing — the
+			// instance is already quarantined and the next scenario gets a
+			// fresh (cold) start.
+			detail := err.Error()
+			if stopErr != nil {
+				detail += "; stop after failed start: " + stopErr.Error()
+			}
+			return finish(profile.InfrastructureError, detail), nil
+		}
 		// Non-startup failures (e.g. port in use) are infrastructure
 		// problems, not SUT detections.
 		return finish(profile.NotApplicable, err.Error()), err
@@ -631,6 +680,13 @@ func runOnFiles(t *Target, files suts.Files, dirty []string, haveDirty bool, fin
 	if !skipsProbes(t.System) {
 		for _, test := range t.Tests {
 			if terr := test.Run(); terr != nil {
+				if isInfraPhaseErr(terr) {
+					// A wedged or panicking probe says nothing about the
+					// SUT; the watchdog has quarantined the instance.
+					outcome = profile.InfrastructureError
+					detail = fmt.Sprintf("%s: %v", test.Name, terr)
+					break
+				}
 				outcome = profile.DetectedByTest
 				detail = fmt.Sprintf("%s: %v", test.Name, terr)
 				break
@@ -638,6 +694,16 @@ func runOnFiles(t *Target, files suts.Files, dirty []string, haveDirty bool, fin
 		}
 	}
 	if err := t.System.Stop(); err != nil {
+		if isInfraPhaseErr(err) && outcome != profile.InfrastructureError {
+			// A stop phase that wedged compromises the experiment's
+			// environment even when the probes ran clean: classify the
+			// record as the harness's failure, keeping the probe verdict
+			// in the detail for the audit trail.
+			if detail != "" {
+				detail += "; "
+			}
+			return finish(profile.InfrastructureError, detail+"stop: "+err.Error()), nil
+		}
 		// The experiment itself succeeded; a failed cleanup is worth
 		// recording but must not abort the campaign, mirroring the stop
 		// errors after a rejected start above.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"conferr/internal/profile"
@@ -29,6 +30,7 @@ type runConfig struct {
 	factory     TargetFactory
 	lifecycle   sutpool.Mode
 	counters    *sutpool.Counters
+	deadlines   Deadlines
 }
 
 // RunOption configures a single RunContext invocation.
@@ -101,16 +103,21 @@ func WithLifecycleCounters(c *sutpool.Counters) RunOption {
 	return func(cfg *runConfig) { cfg.counters = c }
 }
 
-// wrapLifecycle adapts one worker target to the run's lifecycle mode.
-// Cold runs and systems that are already lifecycle-managed (behind any
-// chain of Unwrap-able wrappers) pass through untouched.
+// wrapLifecycle adapts one worker target to the run's lifecycle mode and
+// arms the phase watchdog when deadlines are configured. Cold runs and
+// systems that are already lifecycle-managed (behind any chain of
+// Unwrap-able wrappers) skip the lifecycle wrap; without deadlines the
+// watchdog wrap is skipped entirely — zero overhead on the happy path.
 func wrapLifecycle(t *Target, cfg runConfig) *Target {
-	if cfg.lifecycle == sutpool.Cold || managedSystem(t.System) {
-		return t
+	if cfg.lifecycle != sutpool.Cold && !managedSystem(t.System) {
+		tt := *t
+		tt.System = sutpool.NewInstance(t.System, cfg.lifecycle, cfg.counters)
+		t = &tt
 	}
-	tt := *t
-	tt.System = sutpool.NewInstance(t.System, cfg.lifecycle, cfg.counters)
-	return &tt
+	if cfg.deadlines.Enabled() {
+		t = wrapWatchdog(t, cfg.deadlines)
+	}
+	return t
 }
 
 // managedSystem walks a wrapper chain looking for a lifecycle-managed
@@ -274,7 +281,7 @@ func runStreamSequential(ctx context.Context, cfg runConfig, t *Target, fl *faul
 			firstErr = serr
 			return false
 		}
-		rec, err := runOne(t, sc, fl, scr)
+		rec, err := runOneSafe(t, sc, fl, scr)
 		if werr := sink.Write(rec); werr != nil {
 			firstErr = werr
 			return false
@@ -404,6 +411,25 @@ func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src sc
 	for w := 0; w < workers; w++ {
 		go func(t *Target) {
 			defer wg.Done()
+			// Worker-loop panic boundary: runOneSafe contains experiment
+			// panics, so anything reaching here is a bug in the loop
+			// itself. Convert it into an infrastructure-error result for
+			// the in-flight scenario (whose window token it holds, so the
+			// send cannot block) and abort the run instead of killing the
+			// process.
+			cur := -1
+			defer func() {
+				if v := recover(); v != nil {
+					err := fmt.Errorf("core: worker panic: %v\n%s", v, debug.Stack())
+					if cur >= 0 {
+						results <- result{cur, profile.Record{
+							Outcome: profile.InfrastructureError,
+							Detail:  err.Error(),
+						}, err}
+					}
+					cancel()
+				}
+			}()
 			scr := getScratch()
 			defer putScratch(scr)
 			for batch := range jobs {
@@ -411,7 +437,9 @@ func runStreamParallel(ctx context.Context, cfg runConfig, fl *faultload, src sc
 					if runCtx.Err() != nil {
 						return
 					}
-					rec, err := runOne(t, j.sc, fl, scr)
+					cur = j.seq
+					rec, err := runOneSafe(t, j.sc, fl, scr)
+					cur = -1
 					// The send never blocks: every in-flight scenario holds
 					// a window token, so at most `window` results are ever
 					// outstanding — exactly the channel's capacity. Sending

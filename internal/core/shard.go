@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -328,6 +329,27 @@ func runSharded(ctx context.Context, cfg runConfig, fl *faultload, feed shardFee
 	for w := 0; w < workers; w++ {
 		go func(k int, t *Target) {
 			defer wg.Done()
+			// Worker-loop panic boundary: experiment panics are contained
+			// in runOneSafe, so a panic here comes from the feed (a
+			// generator bug) or the loop itself. Depositing a synthetic
+			// infrastructure-error record for the in-flight sequence keeps
+			// the ring's gap-free flush intact; between scenarios the
+			// panic is charged as a generation error past every completed
+			// record.
+			cur := -1
+			defer func() {
+				if v := recover(); v != nil {
+					err := fmt.Errorf("core: worker panic: %v\n%s", v, debug.Stack())
+					if cur >= 0 {
+						ring.deposit(cur, profile.Record{
+							Outcome: profile.InfrastructureError,
+							Detail:  err.Error(),
+						}, err)
+					} else {
+						ring.noteGenErr(math.MaxInt, err)
+					}
+				}
+			}()
 			scr := getScratch()
 			defer putScratch(scr)
 			stopSeq, gerr := feed(k, workers, func(seq int, sc scenario.Scenario) bool {
@@ -338,7 +360,9 @@ func runSharded(ctx context.Context, cfg runConfig, fl *faultload, feed shardFee
 				if !ring.acquire(seq) {
 					return false
 				}
-				rec, rerr := runOne(t, sc, fl, scr)
+				cur = seq
+				rec, rerr := runOneSafe(t, sc, fl, scr)
+				cur = -1
 				return ring.deposit(seq, rec, rerr)
 			})
 			if gerr != nil {
@@ -435,6 +459,20 @@ func runShardedBypass(ctx context.Context, cfg runConfig, fl *faultload, feed sh
 	for w := 0; w < workers; w++ {
 		go func(k int, t *Target, sub profile.Sink) {
 			defer wg.Done()
+			// Worker-loop panic boundary, mirroring runSharded's: a feed
+			// or loop panic becomes a fenced infrastructure error instead
+			// of process death.
+			cur := -1
+			defer func() {
+				if v := recover(); v != nil {
+					err := fmt.Errorf("core: worker panic: %v\n%s", v, debug.Stack())
+					if cur >= 0 {
+						st.failFenced(cur, err)
+					} else {
+						st.noteGenErr(math.MaxInt, err)
+					}
+				}
+			}()
 			scr := getScratch()
 			defer putScratch(scr)
 			n := 0
@@ -446,7 +484,9 @@ func runShardedBypass(ctx context.Context, cfg runConfig, fl *faultload, feed sh
 					st.stopped.Store(true)
 					return false
 				}
-				rec, rerr := runOne(t, sc, fl, scr)
+				cur = seq
+				rec, rerr := runOneSafe(t, sc, fl, scr)
+				cur = -1
 				if werr := sub.Write(rec); werr != nil {
 					st.fail(seq, werr)
 					return false

@@ -97,7 +97,7 @@ func (c *Campaign) RunShard(ctx context.Context, k, n, startSeq int, emit ShardE
 		if seq < startSeq {
 			return true
 		}
-		rec, rerr := runOne(t, sc, fl, scr)
+		rec, rerr := runOneSafe(t, sc, fl, scr)
 		if eerr := emit(seq, rec); eerr != nil {
 			firstErr = eerr
 			return false

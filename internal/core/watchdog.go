@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"conferr/internal/suts"
+)
+
+// This file implements the phase watchdog: per-experiment deadlines on
+// every SUT lifecycle phase (start/reload, probe, stop, release). A
+// wedged SUT — one that blocks inside a phase — cannot stall a campaign:
+// the phase times out, the experiment is recorded with the
+// InfrastructureError outcome, the instance is quarantined (the sutpool
+// path), and the campaign keeps going.
+//
+// Goroutines cannot be killed, so a timed-out phase is ABANDONED: the
+// call keeps running on its goroutine until it returns, at which point
+// the instance is torn down. The watchdog never lets two calls touch the
+// underlying system concurrently — a replacement phase runner waits for
+// its abandoned predecessor to fully exit before issuing the next call —
+// so a still-wedged instance simply times out again (each experiment
+// bounded by its own deadline) until the stuck call finally returns and
+// the cold-restart path revives it.
+
+// Deadlines configures the phase watchdog. The zero value disables it:
+// the engine then adds no per-experiment overhead at all.
+type Deadlines struct {
+	// Experiment bounds the SUT-phase time of one whole experiment:
+	// start + probes + stop share the budget, re-armed at each Start.
+	// 0 means no experiment-wide bound.
+	Experiment time.Duration
+	// Phase bounds every single phase call. 0 means no per-phase bound.
+	Phase time.Duration
+}
+
+// Enabled reports whether any deadline is armed.
+func (d Deadlines) Enabled() bool { return d.Experiment > 0 || d.Phase > 0 }
+
+// WithDeadlines arms the phase watchdog for this run: worker systems are
+// wrapped so that every SUT phase call is bounded. See Deadlines.
+func WithDeadlines(d Deadlines) RunOption {
+	return func(cfg *runConfig) { cfg.deadlines = d }
+}
+
+// phaseCall is one unit of work handed to the watchdog's phase runner.
+type phaseCall struct {
+	phase string
+	fn    func() error
+	done  chan error
+}
+
+// watchdog wraps a worker's system (and, via wrapWatchdog, its tests) so
+// every phase call runs on a dedicated runner goroutine under a deadline.
+// Like the systems it wraps, a watchdog belongs to one campaign worker.
+type watchdog struct {
+	sys  suts.System
+	name string // cached: Name() must not touch a possibly-wedged system
+	d    Deadlines
+
+	// calls feeds the current phase runner; nil until the first phase
+	// (or after an abandonment — the next phase starts a fresh runner).
+	calls chan phaseCall
+	// gate closes when the most recently started runner has fully
+	// exited, teardown included; its successor waits on it so the
+	// underlying system never sees concurrent calls.
+	gate chan struct{}
+
+	timer    *time.Timer
+	expStart time.Time
+
+	// files and dirty are the watchdog's private copies of the engine's
+	// per-worker scratch: an abandoned phase goroutine may still read
+	// them long after the engine has recycled its own, so the wrapper
+	// owns what it hands down and forfeits it on every timeout.
+	files suts.Files
+	dirty []string
+
+	// timeouts counts phase expiries on this worker; summed by the run
+	// if anyone cares, and handy in tests.
+	timeouts int
+}
+
+func newWatchdog(sys suts.System, d Deadlines) *watchdog {
+	return &watchdog{sys: sys, name: sys.Name(), d: d}
+}
+
+// wrapWatchdog wraps one worker target: the system behind the watchdog,
+// and every functional test behind the same experiment budget.
+func wrapWatchdog(t *Target, d Deadlines) *Target {
+	w := newWatchdog(t.System, d)
+	tt := *t
+	tt.System = w
+	if len(t.Tests) > 0 {
+		tests := make([]suts.Test, len(t.Tests))
+		for i, ts := range t.Tests {
+			run, name := ts.Run, ts.Name
+			tests[i] = suts.Test{Name: name, Run: func() error {
+				return w.run("probe:"+name, run)
+			}}
+		}
+		tt.Tests = tests
+	}
+	return &tt
+}
+
+// Name implements suts.System.
+func (w *watchdog) Name() string { return w.name }
+
+// DefaultConfig implements suts.System; it is only called before the
+// campaign starts, never on a possibly-wedged worker instance.
+func (w *watchdog) DefaultConfig() suts.Files { return w.sys.DefaultConfig() }
+
+// Unwrap exposes the wrapped system to the engine's capability walks.
+func (w *watchdog) Unwrap() suts.System { return w.sys }
+
+// Addr implements suts.Addressable like sutpool.Instance does: the
+// wrapped system's address, or "".
+func (w *watchdog) Addr() string {
+	if a, ok := w.sys.(suts.Addressable); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// Start implements suts.System: a new experiment begins, re-arming the
+// experiment budget.
+func (w *watchdog) Start(files suts.Files) error {
+	w.expStart = time.Now()
+	f := w.copyFiles(files)
+	return w.run("start", func() error { return w.sys.Start(f) })
+}
+
+// StartDirty implements suts.DirtyStarter, degrading to Start when the
+// wrapped system lacks the capability.
+func (w *watchdog) StartDirty(files suts.Files, dirty []string) error {
+	w.expStart = time.Now()
+	f := w.copyFiles(files)
+	ds, ok := w.sys.(suts.DirtyStarter)
+	if !ok {
+		return w.run("start", func() error { return w.sys.Start(f) })
+	}
+	w.dirty = append(w.dirty[:0], dirty...)
+	d := w.dirty
+	return w.run("start", func() error { return ds.StartDirty(f, d) })
+}
+
+// Stop implements suts.System.
+func (w *watchdog) Stop() error {
+	return w.run("stop", func() error { return w.sys.Stop() })
+}
+
+// Release hands the worker's system back under a deadline, so even the
+// end-of-run health gate of a wedged pooled instance cannot hang the
+// campaign teardown. It runs outside any experiment, so the experiment
+// budget is re-armed rather than inherited from the last scenario.
+func (w *watchdog) Release() error {
+	w.expStart = time.Now()
+	return w.run("release", func() error { releaseSystem(w.sys); return nil })
+}
+
+// budget returns the deadline for the next phase: the per-phase bound
+// capped by what remains of the experiment budget. <= 0 means the
+// experiment budget is already exhausted — the phase must not run.
+func (w *watchdog) budget() time.Duration {
+	b := w.d.Phase
+	if w.d.Experiment > 0 && !w.expStart.IsZero() {
+		rem := w.d.Experiment - time.Since(w.expStart)
+		if b <= 0 || rem < b {
+			b = rem
+		}
+	}
+	return b
+}
+
+// run executes fn as one phase under the watchdog's deadline. On expiry
+// it abandons the runner, quarantines the instance and returns a
+// *suts.PhaseTimeoutError; the engine records it as InfrastructureError.
+func (w *watchdog) run(phase string, fn func() error) error {
+	budget := w.budget()
+	if budget <= 0 {
+		// The experiment budget is gone (an earlier phase consumed it,
+		// or timed out): refuse without dispatching.
+		w.timeouts++
+		return &suts.PhaseTimeoutError{System: w.name, Phase: phase, Timeout: 0}
+	}
+	if w.calls == nil {
+		w.startRunner()
+	}
+	pc := phaseCall{phase: phase, fn: fn, done: make(chan error, 1)}
+	w.arm(budget)
+	start := time.Now()
+	// The send itself is bounded too: a fresh runner first waits for an
+	// abandoned predecessor (still stuck in its phase) to exit, so on a
+	// wedged instance the handoff may never happen.
+	select {
+	case w.calls <- pc:
+	case <-w.timer.C:
+		w.abandon()
+		return &suts.PhaseTimeoutError{System: w.name, Phase: phase, Timeout: budget, Elapsed: time.Since(start)}
+	}
+	select {
+	case err := <-pc.done:
+		w.disarm()
+		return err
+	case <-w.timer.C:
+		w.abandon()
+		return &suts.PhaseTimeoutError{System: w.name, Phase: phase, Timeout: budget, Elapsed: time.Since(start)}
+	}
+}
+
+// startRunner spawns a fresh phase runner chained behind its
+// predecessor's gate.
+func (w *watchdog) startRunner() {
+	w.calls = make(chan phaseCall)
+	prev, gate := w.gate, make(chan struct{})
+	w.gate = gate
+	go runPhases(w.sys, w.calls, prev, gate)
+}
+
+// runPhases is the phase runner: it serves calls until the channel
+// closes (abandonment), then tears the — by then wedged — system down.
+// Waiting on prev first guarantees the underlying system never executes
+// two calls concurrently, however many runners have been abandoned.
+func runPhases(sys suts.System, calls chan phaseCall, prev, gate chan struct{}) {
+	defer close(gate)
+	if prev != nil {
+		<-prev
+	}
+	for c := range calls {
+		c.done <- safePhase(sys, c.phase, c.fn)
+	}
+	// Abandoned: the stuck call has finally returned (or never started).
+	// Best-effort teardown so the quarantined instance cold-starts clean.
+	func() {
+		defer func() { recover() }()
+		shutdownSystem(sys)
+	}()
+}
+
+// safePhase runs one phase, converting a panic into an error so a
+// panicking SUT or functional test cannot kill the runner (and with it
+// the process).
+func safePhase(sys suts.System, phase string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &suts.PhasePanicError{
+				System: sys.Name(),
+				Phase:  phase,
+				Value:  fmt.Sprint(v),
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return fn()
+}
+
+// abandon gives up on the current runner after a timeout: the calls
+// channel closes (the runner exits and tears the system down whenever
+// its stuck call returns), the scratch copies are forfeited (the stuck
+// call may still read them), and the instance is quarantined so the next
+// experiment cold-starts instead of trusting wedged warm state.
+func (w *watchdog) abandon() {
+	close(w.calls)
+	w.calls = nil
+	w.files = nil
+	w.dirty = nil
+	w.timeouts++
+	quarantineSystem(w.sys)
+}
+
+// arm sets the reusable timer.
+func (w *watchdog) arm(d time.Duration) {
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+		return
+	}
+	w.timer.Reset(d)
+}
+
+// disarm stops the timer, draining a concurrent expiry so the next arm
+// starts clean.
+func (w *watchdog) disarm() {
+	if !w.timer.Stop() {
+		select {
+		case <-w.timer.C:
+		default:
+		}
+	}
+}
+
+// copyFiles snapshots the engine's scratch files map into the
+// watchdog's private map — zero allocations steady-state; a fresh map
+// only after an abandonment, whose stuck reader owns the old one.
+func (w *watchdog) copyFiles(files suts.Files) suts.Files {
+	if w.files == nil {
+		w.files = make(suts.Files, len(files))
+	} else {
+		clear(w.files)
+	}
+	for name, data := range files {
+		w.files[name] = data
+	}
+	return w.files
+}
+
+// quarantineSystem walks the wrapper chain for a quarantine hook
+// (sutpool.Instance implements it) and invokes the first one found.
+func quarantineSystem(sys suts.System) {
+	for sys != nil {
+		if q, ok := sys.(interface{ Quarantine() }); ok {
+			q.Quarantine()
+			return
+		}
+		u, ok := sys.(interface{ Unwrap() suts.System })
+		if !ok {
+			return
+		}
+		sys = u.Unwrap()
+	}
+}
+
+// shutdownSystem stops a system for real: the first Shutdown hook on the
+// wrapper chain (a pooled instance's unconditional teardown) or, absent
+// one, a plain Stop.
+func shutdownSystem(sys suts.System) {
+	for s := sys; s != nil; {
+		if sd, ok := s.(interface{ Shutdown() error }); ok {
+			_ = sd.Shutdown()
+			return
+		}
+		u, ok := s.(interface{ Unwrap() suts.System })
+		if !ok {
+			break
+		}
+		s = u.Unwrap()
+	}
+	_ = sys.Stop()
+}

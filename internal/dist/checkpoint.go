@@ -21,8 +21,11 @@ type Checkpoint struct {
 	Front  int    `json:"front"`
 }
 
-// writeCheckpoint persists cp atomically (temp file + rename), so a
-// coordinator killed mid-write leaves the previous checkpoint intact.
+// writeCheckpoint persists cp crash-safely: the bytes are fsynced to a
+// temp file before the atomic rename, and the directory entry is fsynced
+// after it. A coordinator killed mid-write leaves the previous checkpoint
+// intact; a host crash right after a successful return cannot lose the
+// new one — which is what lets `dist -resume` trust the file.
 func writeCheckpoint(path string, cp Checkpoint) error {
 	data, err := json.Marshal(cp)
 	if err != nil {
@@ -30,12 +33,37 @@ func writeCheckpoint(path string, cp Checkpoint) error {
 	}
 	data = append(data, '\n')
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dist: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("dist: writing checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("dist: committing checkpoint: %w", err)
 	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a host
+// crash. Filesystems that cannot sync directories are tolerated — the
+// rename itself is still atomic there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }
 

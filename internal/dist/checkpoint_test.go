@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteCheckpointAtomic: a failed checkpoint write — the temp file
+// cannot even be created — leaves the previous checkpoint intact, and a
+// torn (truncated) checkpoint file refuses to load instead of resuming
+// from garbage.
+func TestWriteCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	good := Checkpoint{System: "nginx", Plugin: "typo", Seed: 7, Shards: 3, Front: 41}
+	if err := writeCheckpoint(path, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory squatting on the temp path makes the next write fail
+	// before the rename — the committed checkpoint must survive.
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Front = 99
+	if err := writeCheckpoint(path, bad); err == nil {
+		t.Fatal("checkpoint write through a squatting temp path succeeded")
+	}
+	got, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed write: %v", err)
+	}
+	if got != good {
+		t.Fatalf("checkpoint after failed write = %+v, want the previous %+v", got, good)
+	}
+	if err := os.Remove(path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn file — the crash window writeCheckpoint's fsync+rename is
+	// built to close — must be rejected, not half-parsed.
+	if err := os.WriteFile(path, []byte(`{"system":"nginx","plugin":"typo","se`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "decoding checkpoint") {
+		t.Fatalf("torn checkpoint loaded: err = %v", err)
+	}
+}
+
+// TestShardRequestProtocolValidation: version gating happens before any
+// campaign state is touched, with both versions named.
+func TestShardRequestProtocolValidation(t *testing.T) {
+	req := ShardRequest{
+		Type: TypeRun, Proto: ProtocolVersion,
+		Campaign: CampaignSpec{System: "s", Plugin: "p"},
+		Shard:    0, Shards: 1,
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("current-version request rejected: %v", err)
+	}
+	req.Proto = ProtocolVersion + 1
+	err := req.Validate()
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("future-version request accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "v2") || !strings.Contains(err.Error(), "v1") {
+		t.Fatalf("mismatch error does not name both versions: %v", err)
+	}
+	req.Proto = 0
+	if err := req.Validate(); err == nil || !strings.Contains(err.Error(), "no protocol version") {
+		t.Fatalf("versionless request accepted: %v", err)
+	}
+	req.Proto = ProtocolVersion
+	req.PhaseTimeout = -1
+	if err := req.Validate(); err == nil {
+		t.Fatal("negative watchdog timeout accepted")
+	}
+}

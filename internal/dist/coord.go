@@ -61,6 +61,16 @@ type Coordinator struct {
 	// CheckpointEvery throttles checkpoint writes to one per this many
 	// flushed records (0 selects 64).
 	CheckpointEvery int
+	// SyncOutput fsyncs the OutPath file on every flush (each checkpoint
+	// and at the end), so a host crash cannot leave the checkpoint
+	// claiming lines the output lost. OutFactory-built outputs own their
+	// durability (cmd/conferr wires cprof's Sync for -fsync).
+	SyncOutput bool
+	// ExperimentTimeout and PhaseTimeout arm the workers' phase watchdog:
+	// every shard request carries them, so remote experiments run under
+	// the same deadlines as the single-process run they reproduce.
+	ExperimentTimeout time.Duration
+	PhaseTimeout      time.Duration
 	// Logf, when non-nil, receives scheduling diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -286,6 +296,14 @@ func (c *Coordinator) Run(ctx context.Context) (Result, error) {
 		bw := bufio.NewWriter(f)
 		w = bw
 		flush = bw.Flush
+		if c.SyncOutput {
+			flush = func() error {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				return f.Sync()
+			}
+		}
 	default:
 		w = io.Discard
 	}
@@ -481,6 +499,7 @@ func (c *Coordinator) attempt(ctx context.Context, endpoint string, st *coordSta
 
 	req := ShardRequest{
 		Type:     TypeRun,
+		Proto:    ProtocolVersion,
 		Campaign: c.Spec,
 		Shard:    task.shard,
 		Shards:   shards,
@@ -488,7 +507,9 @@ func (c *Coordinator) attempt(ctx context.Context, endpoint string, st *coordSta
 		// attempt, never the live merge front: the done-frame Summary must
 		// tally every shard-owned sequence past startSeq exactly once, and
 		// the merger dedups whatever the retry re-delivers.
-		StartSeq: startSeq,
+		StartSeq:          startSeq,
+		ExperimentTimeout: c.ExperimentTimeout,
+		PhaseTimeout:      c.PhaseTimeout,
 	}
 	if err := writeMsg(conn, req); err != nil {
 		return err, false

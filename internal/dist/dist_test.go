@@ -1,6 +1,7 @@
 package dist_test
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -10,12 +11,14 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"conferr"
+	"conferr/internal/chaos"
 	"conferr/internal/dist"
 	"conferr/internal/profile"
 	"conferr/internal/profile/cprof"
@@ -76,6 +79,10 @@ func wantStream(total int) []byte {
 // referenceStream runs the campaign single-process through the matrix
 // path — the stream distributed runs must be byte-identical to.
 func referenceStream(t *testing.T, seed int64, limit, port int) []byte {
+	return referenceStreamRounds(t, seed, 1, limit, port)
+}
+
+func referenceStreamRounds(t *testing.T, seed int64, rounds, limit, port int) []byte {
 	t.Helper()
 	entries, skipped, err := conferr.MatrixEntries([]string{"nginx"}, []string{"typo"}, conferr.GeneratorOptions{Seed: seed})
 	if err != nil || len(skipped) > 0 || len(entries) != 1 {
@@ -85,6 +92,7 @@ func referenceStream(t *testing.T, seed int64, limit, port int) []byte {
 	var buf bytes.Buffer
 	mo := conferr.MatrixOptions{
 		Workers:  1,
+		Rounds:   rounds,
 		Limit:    limit,
 		InMemory: true,
 		SinkFor: func(e conferr.MatrixEntry) conferr.Sink {
@@ -564,4 +572,230 @@ func TestDistCprofResume(t *testing.T) {
 	if _, err := os.Stat(cpPath); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("checkpoint not removed after success: %v", err)
 	}
+}
+
+// frameConn speaks the wire protocol by hand for protocol-level tests.
+type frameConn struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func dialFrames(t *testing.T, addr string) *frameConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &frameConn{conn: conn, sc: sc}
+}
+
+func (fc *frameConn) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintln(fc.conn, line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (fc *frameConn) next(t *testing.T) (dist.Frame, error) {
+	t.Helper()
+	if !fc.sc.Scan() {
+		if err := fc.sc.Err(); err != nil {
+			return dist.Frame{}, err
+		}
+		return dist.Frame{}, io.EOF
+	}
+	var f dist.Frame
+	if err := json.Unmarshal(fc.sc.Bytes(), &f); err != nil {
+		t.Fatalf("undecodable frame %q: %v", fc.sc.Text(), err)
+	}
+	return f, nil
+}
+
+// TestDistProtocolVersionMismatchOverWire: a coordinator speaking the
+// wrong (or no) protocol version gets a clear error frame naming both
+// versions, before any campaign state is built.
+func TestDistProtocolVersionMismatchOverWire(t *testing.T) {
+	_, addr := startServer(t, healthyRunner())
+	cases := []struct{ line, want string }{
+		{fmt.Sprintf(`{"type":"run","proto":%d,"campaign":{"system":"s","plugin":"p"},"shard":0,"shards":1}`,
+			dist.ProtocolVersion+7), "protocol version mismatch"},
+		{`{"type":"run","campaign":{"system":"s","plugin":"p"},"shard":0,"shards":1}`,
+			"no protocol version"},
+	}
+	for _, tc := range cases {
+		fc := dialFrames(t, addr)
+		fc.send(t, tc.line)
+		f, err := fc.next(t)
+		if err != nil {
+			t.Fatalf("no error frame for %q: %v", tc.line, err)
+		}
+		if f.Type != dist.TypeError || !strings.Contains(f.Err, tc.want) {
+			t.Fatalf("frame for %q = %+v, want error mentioning %q", tc.line, f, tc.want)
+		}
+	}
+}
+
+// validStubRequest renders a current-protocol request for the stub runner.
+func validStubRequest(limit int) string {
+	return fmt.Sprintf(`{"type":"run","proto":%d,"campaign":{"system":"stub","plugin":"stub","limit":%d},"shard":0,"shards":1}`,
+		dist.ProtocolVersion, limit)
+}
+
+// TestDistDrainSendsExplicitErrorFrame: Drain lets an in-flight shard
+// finish its current frame, then aborts it with an explicit error frame
+// — a goodbye, not a severed connection.
+func TestDistDrainSendsExplicitErrorFrame(t *testing.T) {
+	slow := dist.ShardRunnerFunc(func(_ context.Context, req dist.ShardRequest, emit func(int, []byte) error) (dist.ShardResult, error) {
+		for seq := req.Shard; seq < req.Campaign.Limit; seq += req.Shards {
+			time.Sleep(2 * time.Millisecond)
+			if err := emit(seq, stubLine(seq)); err != nil {
+				return dist.ShardResult{}, err
+			}
+		}
+		return dist.ShardResult{Records: req.Campaign.Limit}, nil
+	})
+	srv, addr := startServer(t, slow)
+	fc := dialFrames(t, addr)
+	fc.send(t, validStubRequest(5000))
+
+	recs := 0
+	drained := false
+	for {
+		f, err := fc.next(t)
+		if err != nil {
+			t.Fatalf("connection severed without a goodbye frame (after %d records): %v", recs, err)
+		}
+		switch f.Type {
+		case dist.TypeRec:
+			recs++
+			if recs == 3 && !drained {
+				drained = true
+				if err := srv.Drain(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case dist.TypeProgress:
+		case dist.TypeError:
+			if !drained {
+				t.Fatalf("premature error frame: %q", f.Err)
+			}
+			if !strings.Contains(f.Err, "draining") {
+				t.Fatalf("drain goodbye = %q, want a draining complaint", f.Err)
+			}
+			if recs < 3 {
+				t.Fatalf("drain cut the stream at %d records, before the in-flight frames", recs)
+			}
+			return
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+}
+
+// TestDistDrainCancelsSilentShard: a shard that emits nothing (stuck in
+// generation, a long experiment) is cancelled after DrainGrace and still
+// says goodbye with an error frame.
+func TestDistDrainCancelsSilentShard(t *testing.T) {
+	blocked := dist.ShardRunnerFunc(func(ctx context.Context, _ dist.ShardRequest, _ func(int, []byte) error) (dist.ShardResult, error) {
+		<-ctx.Done()
+		return dist.ShardResult{}, ctx.Err()
+	})
+	srv := &dist.Server{Runner: blocked, Heartbeat: 10 * time.Millisecond, DrainGrace: 30 * time.Millisecond}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(context.Background(), ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	fc := dialFrames(t, ln.Addr().String())
+	fc.send(t, validStubRequest(10))
+	// Wait for a heartbeat so the shard is known to be in flight.
+	if f, err := fc.next(t); err != nil || f.Type != dist.TypeProgress {
+		t.Fatalf("first frame = %+v (%v), want progress", f, err)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no goodbye frame after drain grace")
+		}
+		f, err := fc.next(t)
+		if err != nil {
+			t.Fatalf("connection severed without a goodbye frame: %v", err)
+		}
+		if f.Type == dist.TypeError {
+			return
+		}
+	}
+}
+
+// TestDistChaosSoakByteIdentity is the chaos soak: a 20k-scenario real
+// campaign distributed over workers whose protocol connections suffer
+// injected latency spikes, split writes and mid-frame resets still
+// merges byte-identical to the fault-free single-process reference.
+func TestDistChaosSoakByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-scenario chaos soak")
+	}
+	const (
+		seed = int64(23)
+		port = 25905
+		want = 20000
+	)
+	ref := referenceStream(t, seed, want, port)
+	base := bytes.Count(ref, []byte("\n"))
+	rounds := 1
+	if base < want {
+		rounds = (want + base - 1) / base
+		ref = referenceStreamRounds(t, seed, rounds, want, port)
+	}
+	total := bytes.Count(ref, []byte("\n"))
+	t.Logf("chaos soak faultload: %d records (%d base x %d rounds, capped %d)", total, base, rounds, want)
+
+	runner := conferr.NewDistRunner()
+	inj := chaos.NewInjector(chaos.Config{
+		Seed:        99,
+		LatencyProb: 0.0005, LatencyMax: time.Millisecond,
+		SplitProb: 0.01,
+		ResetProb: 0.0002,
+	})
+	mkServer := func() string {
+		srv := &dist.Server{Runner: runner, Heartbeat: 50 * time.Millisecond, WrapConn: inj.Wrap}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(context.Background(), ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		return ln.Addr().String()
+	}
+	spec := realSpec(seed, want, port)
+	spec.Rounds = rounds
+
+	var out bytes.Buffer
+	coord := &dist.Coordinator{
+		Workers:      []string{mkServer(), mkServer()},
+		Shards:       4,
+		Spec:         spec,
+		Out:          &out,
+		StallTimeout: 30 * time.Second,
+		Retry:        dist.RetryPolicy{MaxAttempts: 100, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+	}
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != total {
+		t.Fatalf("records = %d, want %d", res.Records, total)
+	}
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Fatalf("chaos-exposed stream diverges from fault-free reference:\n got %d bytes\nwant %d bytes", out.Len(), len(ref))
+	}
+	t.Logf("chaos soak: %d records merged, %d retries, %d duplicates dropped", res.Records, res.Retries, res.Duplicates)
 }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"conferr/internal/profile"
 )
@@ -68,15 +69,28 @@ type CampaignSpec struct {
 	TallyOnly bool `json:"tally_only,omitempty"`
 }
 
+// ProtocolVersion is the dist wire protocol's version. It is bumped on
+// any incompatible change to the request or frame encoding, so a
+// coordinator and a worker from different builds fail fast with a clear
+// complaint instead of mis-merging streams.
+const ProtocolVersion = 1
+
 // ShardRequest is the single client→worker message: run shard Shard of
 // Shards of the described campaign, skipping sequences below StartSeq
-// (the coordinator's flush front on resume and retry).
+// (the coordinator's flush front on resume and retry). Proto carries the
+// sender's ProtocolVersion; workers reject mismatches.
 type ShardRequest struct {
 	Type     string       `json:"type"` // "run"
+	Proto    int          `json:"proto"`
 	Campaign CampaignSpec `json:"campaign"`
 	Shard    int          `json:"shard"`
 	Shards   int          `json:"shards"`
 	StartSeq int          `json:"start_seq,omitempty"`
+	// ExperimentTimeout and PhaseTimeout (nanoseconds) arm the worker's
+	// phase watchdog, inherited from the coordinator so every shard runs
+	// under the same deadlines as the single-process run it reproduces.
+	ExperimentTimeout time.Duration `json:"experiment_timeout,omitempty"`
+	PhaseTimeout      time.Duration `json:"phase_timeout,omitempty"`
 }
 
 // Frame is one worker→coordinator message. Type selects the variant:
@@ -164,6 +178,15 @@ func writeMsg(w io.Writer, v any) error {
 func (r *ShardRequest) Validate() error {
 	if r.Type != TypeRun {
 		return fmt.Errorf("dist: unknown request type %q", r.Type)
+	}
+	if r.Proto != ProtocolVersion {
+		if r.Proto == 0 {
+			return fmt.Errorf("dist: request carries no protocol version (worker speaks v%d); coordinator predates versioned requests — upgrade it", ProtocolVersion)
+		}
+		return fmt.Errorf("dist: protocol version mismatch: request is v%d, worker speaks v%d", r.Proto, ProtocolVersion)
+	}
+	if r.ExperimentTimeout < 0 || r.PhaseTimeout < 0 {
+		return fmt.Errorf("dist: negative watchdog timeout in shard request")
 	}
 	if r.Shards <= 0 || r.Shard < 0 || r.Shard >= r.Shards {
 		return fmt.Errorf("dist: invalid shard %d of %d", r.Shard, r.Shards)

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conferr/internal/profile"
@@ -50,13 +52,63 @@ type Server struct {
 	Runner ShardRunner
 	// Heartbeat is the progress-frame interval (0 selects 1s).
 	Heartbeat time.Duration
+	// WrapConn, when non-nil, wraps every accepted connection before the
+	// protocol touches it — the chaos layer's injection point (see
+	// internal/chaos), also usable for instrumentation.
+	WrapConn func(net.Conn) net.Conn
+	// DrainGrace bounds how long Drain lets a shard keep running before
+	// its context is cancelled (0 selects 2s). Shards that emit a frame
+	// during the grace period abort at that frame boundary instead.
+	DrainGrace time.Duration
 	// Logf, when non-nil, receives serve-loop diagnostics.
 	Logf func(format string, args ...any)
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	cancels  map[net.Conn]context.CancelFunc
+	closed   bool
+	draining atomic.Bool
+}
+
+// errDraining aborts in-flight shards at their next frame boundary when
+// the server is draining.
+var errDraining = errors.New("dist: worker draining")
+
+// Drain begins a graceful shutdown: the listener closes (new dials fail,
+// so coordinators reassign work elsewhere), in-flight shards finish the
+// frame they are on and then abort with an explicit error frame — the
+// coordinator retries the shard from its resume front instead of
+// diagnosing a severed connection — and shards that stay silent past
+// DrainGrace (generation phase, a long experiment) have their contexts
+// cancelled. Serve returns once every handler has said goodbye.
+func (s *Server) Drain() error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	ln := s.ln
+	cancels := make([]context.CancelFunc, 0, len(s.cancels))
+	for _, cancel := range s.cancels {
+		cancels = append(cancels, cancel)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	if len(cancels) > 0 {
+		grace := s.DrainGrace
+		if grace <= 0 {
+			grace = 2 * time.Second
+		}
+		time.AfterFunc(grace, func() {
+			for _, cancel := range cancels {
+				cancel()
+			}
+		})
+	}
+	return err
 }
 
 // Serve accepts connections on ln until the context is cancelled, the
@@ -87,6 +139,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 				return ctxErr
 			}
 			return err
+		}
+		if s.WrapConn != nil {
+			conn = s.WrapConn(conn)
 		}
 		if !s.track(conn) {
 			_ = conn.Close()
@@ -172,9 +227,21 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 
 	// The shard aborts when the connection dies: emit's write error
 	// propagates out of the runner, and cancelling runCtx here covers
-	// tally mode, where nothing is written until the shard ends.
+	// tally mode, where nothing is written until the shard ends. Drain
+	// cancels it too, after its grace period.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	s.mu.Lock()
+	if s.cancels == nil {
+		s.cancels = make(map[net.Conn]context.CancelFunc)
+	}
+	s.cancels[conn] = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.cancels, conn)
+		s.mu.Unlock()
+	}()
 
 	var lastSeq, emitted int
 	var progressMu sync.Mutex
@@ -212,6 +279,12 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	}()
 
 	emit := func(seq int, line []byte) error {
+		if s.draining.Load() {
+			// Graceful drain: this frame is the shard's last. The runner
+			// aborts, the handler sends an explicit error frame, and the
+			// coordinator reschedules from its resume front.
+			return errDraining
+		}
 		if err := runCtx.Err(); err != nil {
 			return err
 		}
@@ -227,7 +300,7 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 		return nil
 	}
 
-	res, err := s.Runner.RunShard(runCtx, req, emit)
+	res, err := s.runShard(runCtx, req, emit)
 	close(hbDone)
 	hbWG.Wait()
 	if err != nil {
@@ -237,6 +310,20 @@ func (s *Server) handle(ctx context.Context, conn net.Conn) {
 	}
 	sum := res.Summary
 	_ = send(Frame{Type: TypeDone, Records: res.Records, Summary: &sum})
+}
+
+// runShard invokes the runner behind a panic boundary: a panicking
+// runner (a buggy plugin surviving the engine's own containment, a bug
+// in the shard plumbing) becomes an error frame on this connection —
+// the coordinator retries the shard — instead of killing the daemon and
+// every other shard it is serving.
+func (s *Server) runShard(ctx context.Context, req ShardRequest, emit func(int, []byte) error) (res ShardResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("dist: worker panic: %v\n%s", v, debug.Stack())
+		}
+	}()
+	return s.Runner.RunShard(ctx, req, emit)
 }
 
 // ListenAndServe listens on addr and serves until ctx is cancelled.

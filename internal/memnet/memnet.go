@@ -25,6 +25,12 @@ import (
 // isolated: the same port can be bound in each. The zero value is not
 // usable; construct with New.
 type Network struct {
+	// WrapServerConn, when non-nil, wraps the server half of every new
+	// connection before the listener hands it out — the fault-injection
+	// seam (internal/chaos) for in-process transports. Set it before any
+	// traffic flows; it is read without locking.
+	WrapServerConn func(net.Conn) net.Conn
+
 	mu        sync.Mutex
 	listeners map[int]*listener
 	autoPort  int
@@ -83,8 +89,12 @@ func (n *Network) Dial(addr string) (net.Conn, error) {
 		return nil, refused(addr)
 	}
 	client, server := newPipePair(l.addr)
+	var sc net.Conn = server
+	if n.WrapServerConn != nil {
+		sc = n.WrapServerConn(sc)
+	}
 	select {
-	case l.ch <- server:
+	case l.ch <- sc:
 		return client, nil
 	case <-l.done:
 		client.Close()

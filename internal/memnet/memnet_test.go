@@ -291,3 +291,53 @@ func TestPipeReadDeadline(t *testing.T) {
 		t.Fatalf("read after deadline cleared: %v", err)
 	}
 }
+
+// TestWrapServerConnHook: the fault-injection seam wraps the server half
+// of every dialed connection, and data still flows both ways through the
+// wrapper.
+func TestWrapServerConnHook(t *testing.T) {
+	type tagged struct {
+		net.Conn
+		reads *int
+	}
+	n := New()
+	wrapped := 0
+	reads := 0
+	n.WrapServerConn = func(c net.Conn) net.Conn {
+		wrapped++
+		return tagged{Conn: c, reads: &reads}
+	}
+	ln, err := n.Listen("127.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	client, err := n.Dial("127.0.0.1:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if wrapped != 1 {
+		t.Fatalf("wrapped %d connections, want 1", wrapped)
+	}
+	if _, ok := server.(tagged); !ok {
+		t.Fatalf("accepted conn is %T, not the wrapper", server)
+	}
+
+	// Bytes cross the wrapper in both directions.
+	go func() { _, _ = client.Write([]byte("ping")) }()
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(server, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("server read %q, %v", buf, err)
+	}
+	go func() { _, _ = server.Write([]byte("pong")) }()
+	if _, err := io.ReadFull(client, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("client read %q, %v", buf, err)
+	}
+}

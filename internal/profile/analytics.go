@@ -76,7 +76,7 @@ func (s *StreamStats) Add(e JSONLEntry) error {
 		c.classes[r.Class] = cs
 	}
 	cs.Add(r)
-	if s.Key != nil && r.Outcome != NotApplicable && r.Outcome != NotExpressible {
+	if s.Key != nil && r.Outcome.counted() {
 		if k := s.Key(r); k != "" {
 			if c.groups == nil {
 				c.groups = make(map[string]*bandCount)

@@ -45,6 +45,19 @@ func (c *File) Flush() error {
 	return nil
 }
 
+// Sync flushes like Flush and then fsyncs the backing file, making every
+// completed frame durable against a host crash — the stronger durability
+// point `dist -fsync` checkpoints against.
+func (c *File) Sync() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("cprof: syncing output: %w", err)
+	}
+	return nil
+}
+
 // Close finishes the file. With complete=true the frame index and
 // trailer are written first — a cleanly closed, trailer-indexed file.
 // With complete=false only buffered frames are flushed: the file stays

@@ -206,7 +206,7 @@ func (d *frameDecoder) decode(pre *preamble, fn func(profile.JSONLEntry) error) 
 			return fmt.Errorf("record %d: %w", i, c.err)
 		}
 		if classIdx >= len(d.classes) || detailIdx >= len(d.details) ||
-			p > len(d.id) || outcome < profile.DetectedAtStartup || outcome > profile.NotApplicable {
+			p > len(d.id) || outcome < profile.DetectedAtStartup || outcome > profile.InfrastructureError {
 			return fmt.Errorf("%w: record %d out of range (class=%d detail=%d prefix=%d outcome=%d)",
 				errCorrupt, i, classIdx, detailIdx, p, outcome)
 		}

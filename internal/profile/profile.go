@@ -35,14 +35,22 @@ const (
 	// NotApplicable means the scenario could not be applied to the
 	// configuration at all (stale target); it is excluded from totals.
 	NotApplicable
+	// InfrastructureError means the harness, not the SUT, failed the
+	// experiment: a phase watchdog expired, a worker panicked, or the
+	// lifecycle machinery broke. It says nothing about the SUT's
+	// resilience and is excluded from all detection statistics; the
+	// record exists so a campaign's seq space stays gap-free and the
+	// failure is auditable (phase, elapsed time, stack in Detail).
+	InfrastructureError
 )
 
 var outcomeNames = map[Outcome]string{
-	DetectedAtStartup: "detected-at-startup",
-	DetectedByTest:    "detected-by-test",
-	Ignored:           "ignored",
-	NotExpressible:    "not-expressible",
-	NotApplicable:     "not-applicable",
+	DetectedAtStartup:   "detected-at-startup",
+	DetectedByTest:      "detected-by-test",
+	Ignored:             "ignored",
+	NotExpressible:      "not-expressible",
+	NotApplicable:       "not-applicable",
+	InfrastructureError: "infrastructure-error",
 }
 
 // String returns the outcome's kebab-case name.
@@ -92,15 +100,22 @@ func (p *Profile) Add(r Record) {
 }
 
 // Injected returns the records that actually reached the SUT (everything
-// except NotApplicable and NotExpressible).
+// except NotApplicable, NotExpressible and InfrastructureError).
 func (p *Profile) Injected() []Record {
 	var out []Record
 	for _, r := range p.Records {
-		if r.Outcome != NotApplicable && r.Outcome != NotExpressible {
+		if r.Outcome.counted() {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// counted reports whether the outcome participates in detection
+// statistics — i.e. the fault reached the SUT and the SUT's reaction was
+// observed.
+func (o Outcome) counted() bool {
+	return o != NotApplicable && o != NotExpressible && o != InfrastructureError
 }
 
 // CountByOutcome tallies records per outcome.
@@ -158,6 +173,9 @@ type Summary struct {
 	Ignored int
 	// NotExpressible counts faults that could not be serialized.
 	NotExpressible int
+	// Infrastructure counts experiments the harness itself failed
+	// (watchdog expiry, worker panic). Excluded from Injected.
+	Infrastructure int `json:",omitempty"`
 }
 
 // Add folds one record's outcome into the summary — the single fold
@@ -175,6 +193,8 @@ func (s *Summary) Add(r Record) {
 		s.Ignored++
 	case NotExpressible:
 		s.NotExpressible++
+	case InfrastructureError:
+		s.Infrastructure++
 	case NotApplicable:
 		// Excluded from all counts.
 	}
@@ -188,6 +208,7 @@ func (s *Summary) Merge(o Summary) {
 	s.ByTest += o.ByTest
 	s.Ignored += o.Ignored
 	s.NotExpressible += o.NotExpressible
+	s.Infrastructure += o.Infrastructure
 }
 
 // Summarize computes the Table 1 style summary of the profile.

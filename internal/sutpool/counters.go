@@ -22,6 +22,11 @@ type Counters struct {
 	// HealthFailures counts warm instances that failed their
 	// between-experiments health check.
 	HealthFailures atomic.Int64
+	// Quarantines counts instances condemned by the engine's phase
+	// watchdog: a phase deadline expired, the wedged instance was marked
+	// for cold restart and its teardown deferred to whenever the stuck
+	// call returns.
+	Quarantines atomic.Int64
 	// Leases counts Pool.Lease calls; Reuses the subset served from the
 	// idle list rather than a fresh build.
 	Leases atomic.Int64
@@ -36,6 +41,7 @@ type Snapshot struct {
 	Validates      int64 `json:"validates"`
 	Restarts       int64 `json:"restarts"`
 	HealthFailures int64 `json:"health_failures"`
+	Quarantines    int64 `json:"quarantines"`
 	Leases         int64 `json:"leases"`
 	Reuses         int64 `json:"reuses"`
 }
@@ -48,6 +54,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Validates:      c.Validates.Load(),
 		Restarts:       c.Restarts.Load(),
 		HealthFailures: c.HealthFailures.Load(),
+		Quarantines:    c.Quarantines.Load(),
 		Leases:         c.Leases.Load(),
 		Reuses:         c.Reuses.Load(),
 	}
@@ -55,6 +62,6 @@ func (c *Counters) Snapshot() Snapshot {
 
 // String formats the snapshot for CLI and bench output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("cold-starts=%d reloads=%d validates=%d restarts=%d health-failures=%d leases=%d reuses=%d",
-		s.ColdStarts, s.Reloads, s.Validates, s.Restarts, s.HealthFailures, s.Leases, s.Reuses)
+	return fmt.Sprintf("cold-starts=%d reloads=%d validates=%d restarts=%d health-failures=%d quarantines=%d leases=%d reuses=%d",
+		s.ColdStarts, s.Reloads, s.Validates, s.Restarts, s.HealthFailures, s.Quarantines, s.Leases, s.Reuses)
 }

@@ -1,6 +1,8 @@
 package sutpool
 
 import (
+	"sync/atomic"
+
 	"conferr/internal/suts"
 )
 
@@ -19,8 +21,11 @@ type Instance struct {
 
 	// warm is true while sys is running and the next Start may reload
 	// instead of cold-starting. Only ever true in Reload mode with a
-	// reload-capable SUT.
-	warm bool
+	// reload-capable SUT. Atomic not for concurrent lifecycle use (the
+	// lease discipline still forbids that) but because the engine's
+	// phase watchdog may Quarantine the instance from the campaign
+	// goroutine while an abandoned, still-wedged phase call holds it.
+	warm atomic.Bool
 
 	pool *Pool
 
@@ -94,7 +99,7 @@ func (i *Instance) start(files suts.Files, dirty []string, haveDirty bool) error
 		i.c.Validates.Add(1)
 		return i.val.Validate(files)
 	}
-	if i.warm && i.rel != nil {
+	if i.warm.Load() && i.rel != nil {
 		i.c.Reloads.Add(1)
 		var err error
 		if haveDirty && i.drel != nil {
@@ -110,13 +115,13 @@ func (i *Instance) start(files suts.Files, dirty []string, haveDirty bool) error
 		}
 		// Wedged: tear down and recover with a cold start on the same
 		// files, so the experiment's outcome matches cold mode.
-		i.warm = false
+		i.warm.Store(false)
 		_ = i.sys.Stop()
 		i.c.Restarts.Add(1)
 	}
 	i.c.ColdStarts.Add(1)
 	err := i.sys.Start(files)
-	i.warm = err == nil && i.mode == Reload && i.rel != nil
+	i.warm.Store(err == nil && i.mode == Reload && i.rel != nil)
 	return err
 }
 
@@ -124,7 +129,7 @@ func (i *Instance) start(files suts.Files, dirty []string, haveDirty bool) error
 // kept running for the next experiment; an unhealthy one is quarantined
 // (torn down, so the next Start is cold). Cold instances stop for real.
 func (i *Instance) Stop() error {
-	if !i.warm {
+	if !i.warm.Load() {
 		return i.sys.Stop()
 	}
 	i.healthGate()
@@ -139,7 +144,7 @@ func (i *Instance) healthGate() {
 	}
 	if err := h.Health(); err != nil {
 		i.c.HealthFailures.Add(1)
-		i.warm = false
+		i.warm.Store(false)
 		_ = i.sys.Stop()
 	}
 }
@@ -153,8 +158,20 @@ func (i *Instance) SkipProbes() bool {
 
 // Shutdown stops the adapted SUT for real, warm or not.
 func (i *Instance) Shutdown() error {
-	i.warm = false
+	i.warm.Store(false)
 	return i.sys.Stop()
+}
+
+// Quarantine marks the instance so its next Start is a cold start
+// instead of a warm reload, without touching the underlying system. The
+// engine's phase watchdog calls it when a phase deadline expires: the
+// wedged system cannot be stopped synchronously (the stuck call still
+// owns it), so teardown happens on the watchdog's abandoned runner once
+// that call returns, and this flag makes sure no warm-path optimism
+// survives the incident.
+func (i *Instance) Quarantine() {
+	i.warm.Store(false)
+	i.c.Quarantines.Add(1)
 }
 
 // Release returns the instance to its pool (health-checked; warm

@@ -90,7 +90,7 @@ func (p *Pool) Lease() (*Instance, error) {
 // warm instances are gated — a validate-mode or cold-fallback instance
 // has nothing running to check.
 func (p *Pool) retire(inst *Instance) error {
-	if inst.warm {
+	if inst.warm.Load() {
 		inst.healthGate()
 	}
 	p.mu.Lock()

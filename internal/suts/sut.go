@@ -12,6 +12,7 @@ package suts
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Files maps logical configuration file names to their serialized content,
@@ -143,6 +144,64 @@ func (e *StartupError) Error() string {
 func IsStartupError(err error) bool {
 	var se *StartupError
 	return errors.As(err, &se)
+}
+
+// PhaseTimeoutError is returned by the engine's phase watchdog when one
+// SUT lifecycle phase (start, reload, probe, stop) exceeds its deadline.
+// It is an infrastructure failure, not a SUT verdict: the experiment is
+// recorded with the InfrastructureError outcome and the campaign
+// continues. The wedged instance is quarantined; the stuck call keeps
+// running on an abandoned goroutine until it returns (goroutines cannot
+// be killed), at which point the instance is torn down.
+type PhaseTimeoutError struct {
+	// System is the SUT name.
+	System string
+	// Phase names the phase that timed out: "start", "probe:<test>",
+	// "stop", or "release".
+	Phase string
+	// Timeout is the deadline that expired — the smaller of the phase
+	// budget and what remained of the experiment budget.
+	Timeout time.Duration
+	// Elapsed is how long the phase had been running when it was
+	// abandoned.
+	Elapsed time.Duration
+}
+
+// Error implements the error interface.
+func (e *PhaseTimeoutError) Error() string {
+	return fmt.Sprintf("%s: watchdog: %s phase exceeded %v deadline (elapsed %v)",
+		e.System, e.Phase, e.Timeout, e.Elapsed.Round(time.Millisecond))
+}
+
+// IsPhaseTimeout reports whether err is a watchdog phase timeout.
+func IsPhaseTimeout(err error) bool {
+	var pe *PhaseTimeoutError
+	return errors.As(err, &pe)
+}
+
+// PhasePanicError is produced by the engine's panic containment when a
+// SUT phase or functional test panics. Like PhaseTimeoutError it is an
+// infrastructure failure: recorded, never fatal to the campaign.
+type PhasePanicError struct {
+	// System is the SUT name.
+	System string
+	// Phase names the panicking phase.
+	Phase string
+	// Value is the recovered panic value, rendered with %v.
+	Value string
+	// Stack is the goroutine stack at the point of the panic.
+	Stack string
+}
+
+// Error implements the error interface.
+func (e *PhasePanicError) Error() string {
+	return fmt.Sprintf("%s: panic in %s phase: %s\n%s", e.System, e.Phase, e.Value, e.Stack)
+}
+
+// IsPhasePanic reports whether err is a recovered SUT-phase panic.
+func IsPhasePanic(err error) bool {
+	var pe *PhasePanicError
+	return errors.As(err, &pe)
 }
 
 // Test is a functional test run against a started SUT — the equivalent of

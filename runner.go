@@ -30,6 +30,19 @@ func WithKeepGoing(keep bool) RunOption { return core.WithKeepGoing(keep) }
 // and passes all functional tests before any injection.
 func WithBaselineCheck() RunOption { return core.WithBaselineCheck() }
 
+// Deadlines configures the phase watchdog (see WithDeadlines).
+type Deadlines = core.Deadlines
+
+// WithDeadlines arms the phase watchdog: every SUT phase of every
+// experiment — start, each functional test, stop — is bounded by
+// Deadlines.Phase, and a whole experiment's SUT time by
+// Deadlines.Experiment. A phase exceeding its deadline is abandoned, the
+// experiment records the InfrastructureError outcome with the phase and
+// elapsed time in its detail, the worker's instance is quarantined (next
+// start is cold), and the campaign continues. The zero value disables
+// the watchdog entirely.
+func WithDeadlines(d Deadlines) RunOption { return core.WithDeadlines(d) }
+
 // Runner executes campaigns of one generator against one target family,
 // sequentially or in parallel. The zero value is not usable; construct it
 // with NewRunner or NewRunnerFor.

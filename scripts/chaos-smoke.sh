@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Chaos smoke test: distributed campaign over a deliberately faulty
+# network.
+#
+# Starts two sutd worker daemons with -chaos-seed, so every protocol
+# connection suffers deterministic injected faults — latency spikes,
+# split writes, and rare mid-frame connection resets. The coordinator
+# must absorb torn frames and severed connections through its retry and
+# sequence-dedup machinery, and the merged -no-duration profile must
+# still come out byte-identical to a fault-free single-process
+# `conferr matrix -stream-out` reference. Also drains a worker with
+# SIGTERM mid-run to prove the graceful-drain path reassigns work
+# without corrupting the stream.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+  kill "$(jobs -p)" >/dev/null 2>&1 || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/conferr" ./cmd/conferr
+go build -o "$tmp/sutd" ./cmd/sutd
+
+SEED=42 ROUNDS=20 LIMIT=20000 PORT=24100
+W1=29441 W2=29442
+
+echo "== single-process fault-free reference"
+"$tmp/conferr" matrix -systems nginx -plugins typo -seed $SEED \
+  -rounds $ROUNDS -limit $LIMIT -base-port $PORT -memnet \
+  -no-duration -stream-out "$tmp/ref.jsonl" >/dev/null
+
+echo "== starting two chaos workers"
+"$tmp/sutd" -serve 127.0.0.1:$W1 -chaos-seed 7 -quiet >"$tmp/w1.log" 2>&1 &
+W1PID=$!
+"$tmp/sutd" -serve 127.0.0.1:$W2 -chaos-seed 11 -quiet >"$tmp/w2.log" 2>&1 &
+for log in w1 w2; do
+  ok=""
+  for _ in $(seq 50); do
+    if grep -q "worker listening" "$tmp/$log.log"; then ok=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "worker $log did not start"; cat "$tmp/$log.log"; exit 1; }
+done
+
+echo "== distributed run under injected faults (worker 1 drains mid-run)"
+"$tmp/conferr" dist -workers 127.0.0.1:$W1,127.0.0.1:$W2 -shards 4 \
+  -system nginx -plugin typo -seed $SEED -rounds $ROUNDS -limit $LIMIT \
+  -port $PORT -memnet -no-duration -retries 50 -fsync \
+  -out "$tmp/dist.jsonl" &
+DIST=$!
+
+sleep 0.3
+kill -TERM "$W1PID" 2>/dev/null && echo "draining worker 1 (pid $W1PID)" || true
+
+wait "$DIST"
+
+cmp "$tmp/ref.jsonl" "$tmp/dist.jsonl"
+echo "chaos-smoke OK: faulty-network merge byte-identical to the fault-free reference ($(wc -l <"$tmp/dist.jsonl") records)"

@@ -3,6 +3,7 @@ package conferr
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"conferr/internal/core"
 )
@@ -130,6 +131,12 @@ type MatrixOptions struct {
 	// entry's records; the suite then retains no per-record state for that
 	// cell. When nil, each cell accumulates an in-memory profile.
 	SinkFor func(entry MatrixEntry) Sink
+	// ExperimentTimeout and PhaseTimeout arm the phase watchdog on every
+	// cell: a SUT phase (start, probe, stop) exceeding its deadline is
+	// recorded as an infrastructure error and the campaign continues. Zero
+	// disables the watchdog — no per-experiment overhead.
+	ExperimentTimeout time.Duration
+	PhaseTimeout      time.Duration
 }
 
 // RunMatrix runs a target × generator matrix as one suite: every cell's
@@ -175,6 +182,12 @@ func RunMatrix(ctx context.Context, entries []MatrixEntry, mo MatrixOptions) (*S
 		}
 		if mo.SinkFor != nil {
 			sc.Sink = mo.SinkFor(e)
+		}
+		if mo.ExperimentTimeout > 0 || mo.PhaseTimeout > 0 {
+			sc.Options = append(sc.Options, core.WithDeadlines(core.Deadlines{
+				Experiment: mo.ExperimentTimeout,
+				Phase:      mo.PhaseTimeout,
+			}))
 		}
 		campaigns = append(campaigns, sc)
 	}
